@@ -1,0 +1,46 @@
+//! Criterion bench for the §6.3-vs-§6.4 ablation: the same queries
+//! answered by the linear semantics and by the grid semantics.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gubpi_core::{AnalysisOptions, Analyzer, Method};
+use gubpi_interval::Interval;
+
+const MODELS: &[(&str, &str)] = &[
+    ("score_sum", "let x = sample in let y = sample in score(x + y); x"),
+    (
+        "observed_walk",
+        "let s = sample + sample + sample in observe s from normal(1.5, 0.3); s",
+    ),
+    (
+        "branchy",
+        "if sample + sample <= 0.8 then sample else 1 - sample",
+    ),
+];
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_linear_vs_grid");
+    group.sample_size(10);
+    for (name, src) in MODELS {
+        for (label, method) in [("linear", Method::Auto), ("grid", Method::Grid)] {
+            group.bench_function(format!("{name}/{label}"), |bencher| {
+                bencher.iter(|| {
+                    let a = Analyzer::from_source(
+                        src,
+                        AnalysisOptions {
+                            method,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("model compiles");
+                    black_box(a.denotation_bounds(Interval::new(0.0, 1.0)))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

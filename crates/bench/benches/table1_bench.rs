@@ -1,0 +1,33 @@
+//! Criterion bench for Table 1: GuBPI vs the [56] baseline on the
+//! probability-estimation suite (timings column of the table).
+
+use std::hint::black_box;
+
+use bench::models;
+use bench::{analyze_prob_benchmark, baseline56_bounds, BaselineOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    // A representative, cheap subset; `repro table1` runs the full suite.
+    for b in models::table1() {
+        if !matches!(b.name, "example4" | "example5" | "ex-book-s" | "tug-of-war") {
+            continue;
+        }
+        let id = format!("gubpi/{}/{}", b.name, b.query_label);
+        group.bench_function(&id, |bencher| {
+            bencher.iter(|| black_box(analyze_prob_benchmark(&b)));
+        });
+        let id = format!("baseline56/{}/{}", b.name, b.query_label);
+        group.bench_function(&id, |bencher| {
+            bencher.iter(|| {
+                black_box(baseline56_bounds(b.source, b.u, BaselineOptions::default()).ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

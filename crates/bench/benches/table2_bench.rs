@@ -1,0 +1,34 @@
+//! Criterion bench for Table 2: analysis time on the discrete models
+//! (the `t GuBPI` column).
+
+use std::hint::black_box;
+
+use bench::models;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gubpi_core::{AnalysisOptions, Analyzer};
+use gubpi_interval::Interval;
+use gubpi_symbolic::SymExecOptions;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for b in models::table2() {
+        group.bench_function(b.name, |bencher| {
+            bencher.iter(|| {
+                let opts = AnalysisOptions {
+                    sym: SymExecOptions {
+                        max_fix_unfoldings: 8,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let a = Analyzer::from_source(b.source, opts).expect("model compiles");
+                black_box(a.posterior_probability(Interval::new(0.5, 1.5)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

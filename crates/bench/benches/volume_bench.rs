@@ -1,0 +1,36 @@
+//! Criterion bench for the volume substrate (the Vinci substitution):
+//! Lasserre's exact recursion vs certified box-subdivision bounds across
+//! dimensions — the ablation behind choosing `exact_dim_cap`.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gubpi_polytope::HPolytope;
+
+fn cut_cube(dim: usize) -> HPolytope {
+    let mut p = HPolytope::unit_cube(dim);
+    p.add_constraint(vec![1.0; dim], dim as f64 * 0.5);
+    let mut alt = vec![0.0; dim];
+    for (i, a) in alt.iter_mut().enumerate() {
+        *a = if i % 2 == 0 { 1.0 } else { -0.5 };
+    }
+    p.add_constraint(alt, 0.4);
+    p
+}
+
+fn bench_volumes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volume");
+    for dim in [2usize, 3, 4, 5, 6] {
+        let p = cut_cube(dim);
+        group.bench_function(format!("lasserre/dim{dim}"), |bencher| {
+            bencher.iter(|| black_box(p.volume_lasserre()));
+        });
+        group.bench_function(format!("boxes4096/dim{dim}"), |bencher| {
+            bencher.iter(|| black_box(p.volume_bounds(4096)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_volumes);
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! `repro` — regenerates every table and figure of the GuBPI paper.
+//!
+//! ```text
+//! repro table1        Table 1/4: probability estimation, GuBPI vs [56]
+//! repro table2        Table 2: discrete models vs exact posteriors
+//! repro table3        Table 3: GuBPI vs SBC running times
+//! repro pedestrian    Fig. 1/7: pedestrian bounds vs IS vs (wrong) HMC
+//! repro fig5          Fig. 5a–5d: non-recursive histogram bounds
+//! repro fig6          Fig. 6a–6f: recursive histogram bounds
+//! repro ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep
+//! repro all           everything above
+//! ```
+
+use std::time::Instant;
+
+use bench::models;
+use bench::{analyze_prob_benchmark, analyzer_for_figure, baseline56_bounds, mc_probability};
+use gubpi_core::{render_histogram, AnalysisOptions, Analyzer, Method};
+use gubpi_inference::hmc::{hmc_sample, HmcOptions};
+use gubpi_inference::importance::{importance_sample, ImportanceOptions};
+use gubpi_inference::sbc::{run_sbc, SbcConfig};
+use gubpi_interval::Interval;
+use gubpi_symbolic::SymExecOptions;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "table1" | "table4" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "pedestrian" | "fig1" | "fig7" => pedestrian(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "ablation" | "ablation-linear" | "ablation-depth" => ablation(),
+        "all" => {
+            table1();
+            table2();
+            fig5();
+            fig6();
+            ablation();
+            pedestrian();
+            table3();
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see the doc comment for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table 1 / Table 4: per-query bounds and times, baseline vs GuBPI,
+/// with a Monte-Carlo cross-check column.
+fn table1() {
+    println!("== Table 1 / Table 4: probability estimation =========================");
+    println!(
+        "{:<14} {:<22} {:>8} {:>19} {:>8} {:>19} {:>8}",
+        "program", "query", "t[56]", "result [56]", "tGuBPI", "result GuBPI", "MC"
+    );
+    for b in models::table1() {
+        let t0 = Instant::now();
+        let base = baseline56_bounds(b.source, b.u, Default::default());
+        let t_base = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let (lo, hi) = analyze_prob_benchmark(&b);
+        let t_gubpi = t1.elapsed().as_secs_f64();
+        let mc = mc_probability(b.source, b.u, 30_000, 12345);
+        let base_str = match base {
+            Ok((bl, bh)) => format!("[{bl:.4}, {bh:.4}]"),
+            Err(_) => "(rejected)".to_owned(),
+        };
+        println!(
+            "{:<14} {:<22} {:>7.2}s {:>19} {:>7.2}s [{:.4}, {:.4}] {:>8.4}",
+            b.name, b.query_label, t_base, base_str, t_gubpi, lo, hi, mc
+        );
+    }
+    println!();
+}
+
+/// Table 2: discrete models — GuBPI bounds vs exact rational posteriors.
+fn table2() {
+    println!("== Table 2: discrete models vs exact posterior =======================");
+    println!(
+        "{:<16} {:>16} {:>25} {:>9} {:>6}",
+        "instance", "exact", "GuBPI bounds", "t", "tight"
+    );
+    for b in models::table2() {
+        let exact = b.exact.0 as f64 / b.exact.1 as f64;
+        let t0 = Instant::now();
+        let opts = AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = Analyzer::from_source(b.source, opts).expect("model compiles");
+        let (lo, hi) = a.posterior_probability(Interval::new(0.5, 1.5));
+        let t = t0.elapsed().as_secs_f64();
+        let tight = if hi - lo < 1e-3 { "yes" } else { "~" };
+        println!(
+            "{:<16} {:>7}={:.4} [{:.6}, {:.6}] {:>8.2}s {:>6}",
+            b.name,
+            format!("{}/{}", b.exact.0, b.exact.1),
+            exact,
+            lo,
+            hi,
+            t,
+            tight
+        );
+        assert!(
+            lo <= exact + 1e-9 && exact <= hi + 1e-9,
+            "{}: exact {exact} outside [{lo}, {hi}]",
+            b.name
+        );
+    }
+    println!();
+}
+
+/// Table 3: running time of GuBPI bounds vs SBC on the same model.
+fn table3() {
+    println!("== Table 3: GuBPI vs simulation-based calibration ====================");
+    // Binary GMM (1-dimensional).
+    let fig5_models = models::figure5();
+    let gmm = &fig5_models[2];
+    let t0 = Instant::now();
+    let a = analyzer_for_figure(gmm);
+    let h = a.histogram(gmm.domain, gmm.bins);
+    let (zlo, zhi) = h.z_bounds();
+    let t_gubpi = t0.elapsed().as_secs_f64();
+    println!("Binary GMM: GuBPI {t_gubpi:.2}s (Z in [{zlo:.4}, {zhi:.4}])");
+
+    // SBC for an importance sampler on a conjugate-style model.
+    let t1 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(99);
+    let cfg = SbcConfig {
+        simulations: 200,
+        posterior_samples: 31,
+        bins: 8,
+    };
+    let r = run_sbc(
+        |rng| rng.random::<f64>(),
+        |theta, rng| theta + (rng.random::<f64>() - 0.5) * 0.2,
+        |y, l, rng| {
+            // Posterior sampling by importance resampling on the program.
+            let lo = (y - 0.1).max(0.0);
+            let hi = (y + 0.1).min(1.0);
+            if hi <= lo {
+                return Vec::new();
+            }
+            let src = format!(
+                "let t = sample in observe t from uniform({lo}, {hi}); t"
+            );
+            let p = gubpi_lang::parse(&src).expect("model parses");
+            let ws = importance_sample(&p, 4 * l, ImportanceOptions::default(), rng);
+            systematic_resample(&ws, l)
+        },
+        cfg,
+        &mut rng,
+    );
+    let t_sbc = t1.elapsed().as_secs_f64();
+    println!(
+        "SBC (importance sampler): {t_sbc:.2}s, chi2 = {:.2}, p = {:.3} ({})",
+        r.chi2,
+        r.p_value,
+        if r.is_miscalibrated() { "MISCALIBRATED" } else { "calibrated" }
+    );
+    println!();
+}
+
+/// Systematic resampling of a weighted sample set.
+fn systematic_resample(ws: &gubpi_inference::WeightedSamples, l: usize) -> Vec<f64> {
+    let max_lw = ws
+        .log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max_lw.is_finite() {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = ws.log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(l);
+    for k in 0..l {
+        let target = (k as f64 + 0.5) / l as f64 * total;
+        let mut acc = 0.0;
+        for (v, w) in ws.values.iter().zip(&weights) {
+            acc += w;
+            if acc >= target {
+                out.push(*v);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 1 / Fig. 7: pedestrian — GuBPI bounds, IS histogram, wrong HMC.
+fn pedestrian() {
+    println!("== Fig. 1 / Fig. 7: the pedestrian example ===========================");
+    let src = models::PEDESTRIAN;
+    let domain = Interval::new(0.0, 3.0);
+    let bins = 12;
+
+    let t0 = Instant::now();
+    let mut opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: 5,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    opts.bounds.splits = 16;
+    let a = Analyzer::from_source(src, opts).expect("pedestrian compiles");
+    let h = a.histogram(domain, bins);
+    println!(
+        "GuBPI bounds ({} paths, {:.1}s):",
+        a.paths().len(),
+        t0.elapsed().as_secs_f64()
+    );
+    print!("{}", render_histogram(&h, 40));
+
+    // Importance sampling (the *correct* stochastic answer).
+    let program = gubpi_lang::parse(src).expect("pedestrian parses");
+    let mut rng = StdRng::seed_from_u64(4);
+    let is = importance_sample(&program, 30_000, ImportanceOptions::default(), &mut rng);
+    let is_hist = is.histogram(domain.lo(), domain.hi(), bins);
+
+    // Fixed-truncation HMC (the *wrong* answer of Fig. 1).
+    let mut rng = StdRng::seed_from_u64(5);
+    let hmc = hmc_sample(
+        &program,
+        1_500,
+        HmcOptions {
+            dim: 9,
+            step_size: 0.12,
+            leapfrog_steps: 8,
+            burn_in: 150,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut hmc_hist = vec![0.0f64; bins];
+    for v in &hmc.values {
+        if *v >= domain.lo() && *v < domain.hi() {
+            let b = (((v - domain.lo()) / domain.width()) * bins as f64) as usize;
+            hmc_hist[b.min(bins - 1)] += 1.0;
+        }
+    }
+    let total: f64 = hmc_hist.iter().sum::<f64>().max(1.0);
+    for x in &mut hmc_hist {
+        *x /= total;
+    }
+
+    println!("\n{:<16} {:>21} {:>8} {:>8} {:>9}", "bin", "GuBPI", "IS", "HMC", "HMC ok?");
+    let norm = h.normalized();
+    let mut is_viol = 0;
+    let mut hmc_viol = 0;
+    for (i, nb) in norm.iter().enumerate() {
+        // 0.002 of slack absorbs Monte-Carlo noise in the samplers'
+        // histograms without masking genuine violations.
+        let ok_is = is_hist[i] >= nb.lo - 0.002 && is_hist[i] <= nb.hi + 0.002;
+        let ok_hmc = hmc_hist[i] >= nb.lo - 0.002 && hmc_hist[i] <= nb.hi + 0.002;
+        if !ok_is {
+            is_viol += 1;
+        }
+        if !ok_hmc {
+            hmc_viol += 1;
+        }
+        println!(
+            "[{:5.2}, {:5.2})  [{:.4}, {:.4}] {:>8.4} {:>8.4} {:>9}",
+            nb.bin.lo(),
+            nb.bin.hi(),
+            nb.lo,
+            nb.hi,
+            is_hist[i],
+            hmc_hist[i],
+            if ok_hmc { "ok" } else { "VIOLATES" }
+        );
+    }
+    println!(
+        "\nIS violates {is_viol} bins; fixed-truncation HMC violates {hmc_viol} bins \
+         (the Fig. 1 separation)."
+    );
+    println!();
+}
+
+/// Fig. 5: non-recursive models.
+fn fig5() {
+    println!("== Fig. 5: guaranteed bounds for non-recursive models ================");
+    for b in models::figure5() {
+        run_figure(&b);
+    }
+}
+
+/// Fig. 6: recursive models.
+fn fig6() {
+    println!("== Fig. 6: guaranteed bounds for recursive models ====================");
+    for b in models::figure6() {
+        run_figure(&b);
+    }
+}
+
+fn run_figure(b: &models::FigureBenchmark) {
+    let t0 = Instant::now();
+    let a = analyzer_for_figure(b);
+    let h = a.histogram(b.domain, b.bins);
+    let t = t0.elapsed().as_secs_f64();
+    println!(
+        "-- Fig. {} ({}) — {} paths, {:.1}s",
+        b.id,
+        b.description,
+        a.paths().len(),
+        t
+    );
+    print!("{}", render_histogram(&h, 40));
+    println!();
+}
+
+/// Ablations: linear vs grid semantics; depth sweep on the pedestrian.
+fn ablation() {
+    println!("== Ablation: linear (§6.4) vs grid (§6.3) semantics ==================");
+    let src = "let x = sample in let y = sample in score(x + y); x";
+    for (label, method) in [("linear", Method::Auto), ("grid", Method::Grid)] {
+        let t0 = Instant::now();
+        let a = Analyzer::from_source(
+            src,
+            AnalysisOptions {
+                method,
+                ..Default::default()
+            },
+        )
+        .expect("model compiles");
+        let (lo, hi) = a.denotation_bounds(Interval::new(0.0, 0.5));
+        println!(
+            "{label:>7}: [{lo:.5}, {hi:.5}] width {:.5} in {:.2}s",
+            hi - lo,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    println!("\n== Ablation: unfolding depth vs tightness (pedestrian Z bounds) =====");
+    for depth in [2u32, 3, 4, 5] {
+        let t0 = Instant::now();
+        let mut opts = AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: depth,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        opts.bounds.splits = 16;
+        let a = Analyzer::from_source(models::PEDESTRIAN, opts).expect("pedestrian compiles");
+        let (zlo, zhi) = a.normalizing_constant();
+        println!(
+            "depth {depth}: Z in [{zlo:.4}, {zhi:.4}] ({} paths, {:.1}s)",
+            a.paths().len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!();
+}

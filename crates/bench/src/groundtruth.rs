@@ -1,0 +1,209 @@
+//! Exact rational ground truth for the discrete benchmarks (Table 2).
+//!
+//! The paper checks GuBPI's (tight) bounds against PSI's exact symbolic
+//! posteriors. PSI is closed infrastructure we replace with exact
+//! rational arithmetic: each model's posterior is computed from first
+//! principles with [`Ratio`] (128-bit integer fractions), so there is no
+//! floating-point error on the reference side.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// An exact rational number on `i128`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num.abs(), den.abs()).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The rational `0`.
+    pub fn zero() -> Ratio {
+        Ratio::new(0, 1)
+    }
+
+    /// The rational `1`.
+    pub fn one() -> Ratio {
+        Ratio::new(1, 1)
+    }
+
+    /// Numerator (lowest terms).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (lowest terms, positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// Nearest `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The complement `1 − self`.
+    pub fn complement(&self) -> Ratio {
+        Ratio::one() - *self
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+fn r(n: i128, d: i128) -> Ratio {
+    Ratio::new(n, d)
+}
+
+/// `P(burglary | alarm)` with burglary 1/8, earthquake 1/4, alarm iff
+/// burglary ∨ earthquake:
+/// `P(b ∧ alarm) / P(alarm) = (1/8) / (1 − (7/8)(3/4))`.
+pub fn burglar_alarm() -> (i128, i128) {
+    let pb = r(1, 8);
+    let pe = r(1, 4);
+    let p_alarm = Ratio::one() - pb.complement() * pe.complement();
+    let post = pb / p_alarm;
+    (post.num(), post.den())
+}
+
+/// `P(rain | wet)` for the grass model: rain 1/2, sprinkler 3/10, wet
+/// channels 9/10 (rain) and 8/10 (sprinkler), combined by noisy-or.
+pub fn grass() -> (i128, i128) {
+    let p_rain = r(1, 2);
+    let p_spr = r(3, 10);
+    // P(wet | rain) = 1 − (1/10)·(1 − 0.3·0.8)
+    let wet_given = |rain: bool| -> Ratio {
+        let via_rain = if rain { r(9, 10) } else { Ratio::zero() };
+        let via_spr = p_spr * r(8, 10);
+        Ratio::one() - via_rain.complement() * via_spr.complement()
+    };
+    let joint_rain = p_rain * wet_given(true);
+    let p_wet = joint_rain + p_rain.complement() * wet_given(false);
+    let post = joint_rain / p_wet;
+    (post.num(), post.den())
+}
+
+/// `P(cause1 | symptom)` for the noisy-or model: causes 2/5 and 3/10,
+/// channels 7/10 and 3/5.
+pub fn noisy_or() -> (i128, i128) {
+    let p1 = r(2, 5);
+    let p2 = r(3, 10);
+    let sym_given = |c1: bool| -> Ratio {
+        let via1 = if c1 { r(7, 10) } else { Ratio::zero() };
+        let via2 = p2 * r(3, 5);
+        Ratio::one() - via1.complement() * via2.complement()
+    };
+    let joint = p1 * sym_given(true);
+    let p_sym = joint + p1.complement() * sym_given(false);
+    let post = joint / p_sym;
+    (post.num(), post.den())
+}
+
+/// `P(alice | gun)` with alice 3/10, gun channels 3/100 vs 8/10.
+pub fn murder_mystery() -> (i128, i128) {
+    let pa = r(3, 10);
+    let joint = pa * r(3, 100);
+    let p_gun = joint + pa.complement() * r(8, 10);
+    let post = joint / p_gun;
+    (post.num(), post.den())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_arithmetic_is_exact() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(r(2, 4), r(1, 2), "reduction to lowest terms");
+        assert_eq!(r(1, -2), r(-1, 2), "sign normalisation");
+        assert_eq!(r(3, 4).complement(), r(1, 4));
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn burglar_alarm_posterior() {
+        // P(alarm) = 1 − (7/8)(3/4) = 11/32; posterior = (1/8)/(11/32) = 4/11.
+        assert_eq!(burglar_alarm(), (4, 11));
+    }
+
+    #[test]
+    fn murder_mystery_posterior() {
+        // joint = 9/1000; P(gun) = 9/1000 + (7/10)(8/10) = 569/1000.
+        assert_eq!(murder_mystery(), (9, 569));
+    }
+
+    #[test]
+    fn grass_and_noisy_or_are_valid_probabilities() {
+        for (n, d) in [grass(), noisy_or()] {
+            assert!(n > 0 && n < d, "{n}/{d}");
+        }
+        // Spot value: grass = 0.462/0.582 ≈ 0.7938.
+        let (n, d) = grass();
+        let p = n as f64 / d as f64;
+        assert!((p - 0.7938).abs() < 0.01, "p={p}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared benchmark runners.
+
+use gubpi_core::{AnalysisOptions, Analyzer};
+use gubpi_interval::Interval;
+use gubpi_symbolic::SymExecOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::models::{FigureBenchmark, ProbBenchmark};
+
+/// Runs the GuBPI analyzer on a Table 1 benchmark, returning the
+/// guaranteed bounds on `P(result ∈ U)`.
+pub fn analyze_prob_benchmark(b: &ProbBenchmark) -> (f64, f64) {
+    let opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: b.unfold,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let a = Analyzer::from_source(b.source, opts).expect("benchmark must compile");
+    a.denotation_bounds(b.u)
+}
+
+/// Builds an analyzer configured for a figure benchmark.
+pub fn analyzer_for_figure(b: &FigureBenchmark) -> Analyzer {
+    let mut opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: b.unfold,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    opts.bounds.splits = b.splits;
+    Analyzer::from_source(b.source, opts).expect("benchmark must compile")
+}
+
+/// Monte-Carlo estimate of `P(result ∈ U)` by likelihood weighting —
+/// the statistical cross-check used in tests and EXPERIMENTS.md.
+pub fn mc_probability(source: &str, u: Interval, samples: usize, seed: u64) -> f64 {
+    let program = gubpi_lang::parse(source).expect("benchmark must parse");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = gubpi_inference::importance_sample(
+        &program,
+        samples,
+        gubpi_inference::ImportanceOptions::default(),
+        &mut rng,
+    );
+    ws.probability_in(u.lo(), u.hi())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn table1_first_row_runs_end_to_end() {
+        let b = &models::table1()[3]; // ex-book-s, count >= 2 (cheap)
+        let (lo, hi) = analyze_prob_benchmark(b);
+        // Binomial(5, 1/2): P(count ≥ 2) = 1 − 6/32 = 0.8125, and the
+        // discrete model should be computed (near-)exactly.
+        assert!(lo <= 0.8125 && 0.8125 <= hi, "[{lo}, {hi}]");
+        assert!(hi - lo < 1e-6, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn mc_agrees_with_bounds_on_example4() {
+        let b = models::table1()
+            .into_iter()
+            .find(|b| b.name == "example4")
+            .unwrap();
+        let (lo, hi) = analyze_prob_benchmark(&b);
+        let mc = mc_probability(b.source, b.u, 40_000, 7);
+        assert!(
+            lo - 0.01 <= mc && mc <= hi + 0.01,
+            "mc={mc} outside [{lo}, {hi}]"
+        );
+        // Exact value 0.18 = (6²/2)/100 up to float rounding.
+        assert!(lo <= 0.18 + 1e-12 && 0.18 <= hi + 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! The analyzer facade (Algorithm 1).
+
+use gubpi_interval::Interval;
+use gubpi_lang::{infer, parse, LangError, Program, TypeMap};
+use gubpi_symbolic::{symbolic_paths, SymExecOptions, SymPath};
+use gubpi_types::{infer_interval_types, IntervalTyping};
+
+use crate::histogram::HistogramBounds;
+use crate::pathbounds::{
+    bound_path, bound_path_grid_only, bound_path_query, linear_applicable, PathBoundOptions,
+    SingleQuery,
+};
+
+/// Which per-path semantics to use.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Method {
+    /// Linear semantics where applicable, grid otherwise (§6.4 + §6.3).
+    #[default]
+    Auto,
+    /// Force the standard grid semantics (§6.3) for every path.
+    Grid,
+}
+
+/// End-to-end analysis options.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AnalysisOptions {
+    /// Symbolic execution (depth limit `D`, path caps).
+    pub sym: SymExecOptions,
+    /// Per-path bounding (splits, volume method).
+    pub bounds: PathBoundOptions,
+    /// Semantics selection.
+    pub method: Method,
+}
+
+/// A prepared analysis: program parsed, typed, symbolically executed.
+///
+/// Queries and histograms reuse the path set, so asking many questions of
+/// one program costs one symbolic execution.
+pub struct Analyzer {
+    program: Program,
+    simple: TypeMap,
+    typing: IntervalTyping,
+    paths: Vec<SymPath>,
+    opts: AnalysisOptions,
+}
+
+impl Analyzer {
+    /// Parses, type-checks and symbolically executes `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexing, parsing and simple-type errors.
+    pub fn from_source(source: &str, opts: AnalysisOptions) -> Result<Analyzer, LangError> {
+        let program = parse(source)?;
+        Analyzer::from_program(program, opts)
+    }
+
+    /// Analysis of an already-parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simple-type errors.
+    pub fn from_program(program: Program, opts: AnalysisOptions) -> Result<Analyzer, LangError> {
+        let simple = infer(&program)?;
+        let typing = infer_interval_types(&program, &simple);
+        let paths = symbolic_paths(&program, &typing, opts.sym);
+        Ok(Analyzer {
+            program,
+            simple,
+            typing,
+            paths,
+            opts,
+        })
+    }
+
+    /// The analysed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The simple types.
+    pub fn simple_types(&self) -> &TypeMap {
+        &self.simple
+    }
+
+    /// The weight-aware interval typing.
+    pub fn interval_typing(&self) -> &IntervalTyping {
+        &self.typing
+    }
+
+    /// The symbolic interval paths found by Algorithm 1's exploration.
+    pub fn paths(&self) -> &[SymPath] {
+        &self.paths
+    }
+
+    /// How many paths the linear semantics (§6.4) applies to.
+    pub fn linear_path_count(&self) -> usize {
+        self.paths.iter().filter(|p| linear_applicable(p)).count()
+    }
+
+    fn run_path_sink(&self, path: &SymPath, sink: &mut impl crate::pathbounds::BoundSink) {
+        match self.opts.method {
+            Method::Auto => bound_path(path, self.opts.bounds, sink),
+            Method::Grid => bound_path_grid_only(path, self.opts.bounds, sink),
+        }
+    }
+
+    /// Guaranteed bounds on the **unnormalised** denotation `⟦P⟧(U)`
+    /// (Corollary 6.3).
+    pub fn denotation_bounds(&self, u: Interval) -> (f64, f64) {
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for p in &self.paths {
+            let (l, h) = match self.opts.method {
+                Method::Auto => bound_path_query(p, u, self.opts.bounds),
+                Method::Grid => {
+                    let mut sink = SingleQuery::new(u);
+                    bound_path_grid_only(p, self.opts.bounds, &mut sink);
+                    (sink.lo, sink.hi)
+                }
+            };
+            lo += l;
+            hi += h;
+        }
+        (lo, hi)
+    }
+
+    /// Bounds on the normalising constant `Z = ⟦P⟧(R)`.
+    pub fn normalizing_constant(&self) -> (f64, f64) {
+        self.denotation_bounds(Interval::REAL)
+    }
+
+    /// Guaranteed bounds on the **normalised** posterior probability
+    /// `posterior_P(U) = ⟦P⟧(U) / Z`.
+    ///
+    /// Uses the tight two-query normalisation: with `m = ⟦P⟧(U)` and
+    /// `r = ⟦P⟧(R∖U)`, `posterior = m/(m+r)` is monotone in both.
+    pub fn posterior_probability(&self, u: Interval) -> (f64, f64) {
+        let (m_lo, m_hi) = self.denotation_bounds(u);
+        // Complement mass via two ray queries. For the lower bound the
+        // rays are shrunk by one ulp so they are strictly disjoint from U
+        // (closed intervals would otherwise double-count boundary atoms);
+        // the closed rays over-cover the complement for the upper bound,
+        // which is sound.
+        let left_closed = Interval::new(f64::NEG_INFINITY, u.lo());
+        let right_closed = Interval::new(u.hi(), f64::INFINITY);
+        let left_open = Interval::new(
+            f64::NEG_INFINITY,
+            gubpi_interval::next_after_down(u.lo()),
+        );
+        let right_open = Interval::new(gubpi_interval::next_after_up(u.hi()), f64::INFINITY);
+        let (ll, _) = self.denotation_bounds(left_open);
+        let (rl, _) = self.denotation_bounds(right_open);
+        let (_, lh) = self.denotation_bounds(left_closed);
+        let (_, rh) = self.denotation_bounds(right_closed);
+        let (r_lo, r_hi) = (ll + rl, lh + rh);
+        let lo = if m_lo <= 0.0 {
+            0.0
+        } else {
+            m_lo / (m_lo + r_hi)
+        };
+        let hi = if m_hi <= 0.0 {
+            0.0
+        } else if r_lo <= 0.0 {
+            1.0
+        } else {
+            (m_hi / (m_hi + r_lo)).min(1.0)
+        };
+        (lo, hi)
+    }
+
+    /// Histogram bounds over `domain` with `bins` bins, on the
+    /// unnormalised denotation; call
+    /// [`HistogramBounds::normalized`] for posterior bounds.
+    ///
+    /// One pass over all regions; regions whose value range straddles a
+    /// bin edge contribute their upper mass to both neighbours (sound,
+    /// slightly conservative). Use [`Analyzer::histogram_exact`] for
+    /// per-bin query precision.
+    pub fn histogram(&self, domain: Interval, bins: usize) -> HistogramBounds {
+        let mut h = HistogramBounds::new(domain, bins);
+        for p in &self.paths {
+            self.run_path_sink(p, &mut h);
+        }
+        h
+    }
+
+    /// Histogram bounds computed as one exact query per bin (plus the two
+    /// tails) — tighter than [`Analyzer::histogram`] at `bins + 2` times
+    /// the cost.
+    pub fn histogram_exact(&self, domain: Interval, bins: usize) -> HistogramBounds {
+        let mut h = HistogramBounds::new(domain, bins);
+        for i in 0..bins {
+            let (lo, hi) = self.denotation_bounds(h.bin(i));
+            h.set_bin(i, lo, hi);
+        }
+        h.left_tail = self.denotation_bounds(Interval::new(f64::NEG_INFINITY, domain.lo()));
+        h.right_tail = self.denotation_bounds(Interval::new(domain.hi(), f64::INFINITY));
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer(src: &str) -> Analyzer {
+        Analyzer::from_source(src, AnalysisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn uniform_posterior_probability() {
+        let a = analyzer("sample");
+        let (lo, hi) = a.posterior_probability(Interval::new(0.25, 0.75));
+        assert!(lo <= 0.5 && 0.5 <= hi);
+        assert!(hi - lo < 1e-6, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn scoring_changes_posterior() {
+        // score(x): posterior density 2x; P(X > 0.5) = 3/4.
+        let a = analyzer("let x = sample in score(x); x");
+        let (lo, hi) = a.posterior_probability(Interval::new(0.5, 1.0));
+        assert!(lo <= 0.75 && 0.75 <= hi, "[{lo}, {hi}]");
+        assert!(hi - lo < 0.1, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn histogram_brackets_uniform() {
+        let a = analyzer("sample");
+        let h = a.histogram(Interval::new(0.0, 1.0), 4);
+        for i in 0..4 {
+            let (lo, hi) = h.unnormalized(i);
+            assert!(lo <= 0.25 + 1e-9 && 0.25 <= hi + 1e-9, "bin {i}: [{lo}, {hi}]");
+        }
+        let n = h.normalized();
+        for nb in n {
+            assert!(nb.lo <= 0.25 + 1e-9 && 0.25 <= nb.hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_method_is_sound_but_looser() {
+        let src = "let x = sample in score(x); x";
+        let auto = analyzer(src);
+        let grid = Analyzer::from_source(
+            src,
+            AnalysisOptions {
+                method: Method::Grid,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (al, ah) = auto.denotation_bounds(Interval::UNIT);
+        let (gl, gh) = grid.denotation_bounds(Interval::UNIT);
+        assert!(gl <= 0.5 && 0.5 <= gh);
+        assert!(al <= 0.5 && 0.5 <= ah);
+        assert!(ah - al <= gh - gl + 1e-9, "linear at least as tight");
+    }
+
+    #[test]
+    fn recursive_program_gets_finite_bounds() {
+        // Geometric recursion: ⟦P⟧(R) = Σ (1/2)^{k+1} = 1.
+        let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let a = Analyzer::from_source(
+            src,
+            AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: 8,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (z_lo, z_hi) = a.normalizing_constant();
+        assert!(z_lo > 0.9, "explored mass ≥ 1 − 2⁻⁸, got {z_lo}");
+        assert!(z_hi >= 1.0 - 1e-9);
+        // P(result = 0) = 1/2 exactly; bin [−0.25, 0.25] captures it.
+        let (lo, hi) = a.denotation_bounds(Interval::new(-0.25, 0.25));
+        assert!(lo <= 0.5 + 1e-9 && 0.5 <= hi + 1e-9, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn linear_paths_are_detected() {
+        let a = analyzer("if sample + sample <= 1 then sample else 1 - sample");
+        assert_eq!(a.linear_path_count(), a.paths().len());
+        assert!(a.paths().len() >= 2);
+    }
+}

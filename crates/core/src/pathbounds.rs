@@ -1,0 +1,581 @@
+//! Bounding the denotation of one symbolic interval path (§6.3–6.4).
+
+use gubpi_interval::{BoxN, Interval};
+use gubpi_polytope::{HPolytope, LinExpr};
+use gubpi_symbolic::SymPath;
+
+/// Where per-region contributions are accumulated.
+///
+/// For each explored region the path analysis reports a triple
+/// `(value_range, lo_mass, hi_mass)`: all traces in the region yield a
+/// value in `value_range`; their total weighted measure is at least
+/// `lo_mass` (with constraints holding *definitely*) and at most
+/// `hi_mass` (constraints holding *possibly*).
+pub trait BoundSink {
+    /// Records one region's contribution.
+    fn add(&mut self, value_range: Interval, lo_mass: f64, hi_mass: f64);
+}
+
+/// A sink for a single query `⟦P⟧(U)`.
+#[derive(Clone, Debug)]
+pub struct SingleQuery {
+    /// The query set `U`.
+    pub u: Interval,
+    /// Accumulated lower bound.
+    pub lo: f64,
+    /// Accumulated upper bound.
+    pub hi: f64,
+}
+
+impl SingleQuery {
+    /// A fresh query accumulator for `U`.
+    pub fn new(u: Interval) -> SingleQuery {
+        SingleQuery { u, lo: 0.0, hi: 0.0 }
+    }
+}
+
+impl BoundSink for SingleQuery {
+    fn add(&mut self, value_range: Interval, lo_mass: f64, hi_mass: f64) {
+        if value_range.subset_of(&self.u) {
+            self.lo += lo_mass;
+        }
+        if value_range.intersects(&self.u) {
+            self.hi += hi_mass;
+        }
+    }
+}
+
+/// Options for per-path bound computation.
+#[derive(Copy, Clone, Debug)]
+pub struct PathBoundOptions {
+    /// Chunks per boxed linear expression (the paper's "evenly sized
+    /// chunks", §6.4) and per grid dimension (§6.3).
+    pub splits: usize,
+    /// Upper bound on the total number of regions per path; the grid
+    /// semantics reduces per-dimension splits to stay below it.
+    pub region_budget: usize,
+    /// Number of linear expressions boxed simultaneously (Cartesian
+    /// product of chunks); beyond this, extra expressions are bounded by
+    /// a single LP range.
+    pub max_boxed: usize,
+    /// Use certified box-subdivision volumes instead of Lasserre's exact
+    /// recursion.
+    pub certified_volumes: bool,
+    /// Box-subdivision budget per volume query when the exact recursion
+    /// is not used.
+    pub volume_budget: usize,
+    /// Largest *coupled* dimension for which the exact Lasserre volume is
+    /// used; beyond it, certified box bounds take over.
+    pub exact_dim_cap: usize,
+}
+
+impl Default for PathBoundOptions {
+    fn default() -> PathBoundOptions {
+        PathBoundOptions {
+            splits: 32,
+            region_budget: 100_000,
+            max_boxed: 2,
+            certified_volumes: false,
+            volume_budget: 4_000,
+            exact_dim_cap: 7,
+        }
+    }
+}
+
+/// Bounds `⟦Ψ⟧(U)` for one path directly.
+///
+/// For linear paths the query set `U` is folded into the polytopes
+/// (the 𝔓_lb / 𝔓_ub of §6.4), which avoids any boundary slack: the
+/// membership test becomes part of the volume computation.
+pub fn bound_path_query(path: &SymPath, u: Interval, opts: PathBoundOptions) -> (f64, f64) {
+    if path.n_samples == 0 {
+        let mut sink = SingleQuery::new(u);
+        bound_sampleless(path, &mut sink);
+        return (sink.lo, sink.hi);
+    }
+    if linear_applicable(path) {
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        bound_linear(path, opts, ResultMode::Query(u), &mut |_vr, l, h| {
+            lo += l;
+            hi += h;
+        });
+        (lo, hi)
+    } else {
+        let mut sink = SingleQuery::new(u);
+        bound_grid(path, opts, &mut sink);
+        (sink.lo, sink.hi)
+    }
+}
+
+/// Bounds `⟦Ψ⟧` for one path, feeding regions into the sink.
+///
+/// Dispatches to the linear semantics when the path's constraints and
+/// result are interval-linear (§6.4), otherwise to the standard grid
+/// semantics (§6.3).
+pub fn bound_path(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
+    if path.n_samples == 0 {
+        bound_sampleless(path, sink);
+        return;
+    }
+    if linear_applicable(path) {
+        bound_linear(path, opts, ResultMode::Boxed, &mut |vr, l, h| sink.add(vr, l, h));
+    } else {
+        bound_grid(path, opts, sink);
+    }
+}
+
+/// Like [`bound_path`] but always uses the grid semantics — the §6.3 vs
+/// §6.4 ablation baseline.
+pub fn bound_path_grid_only(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
+    if path.n_samples == 0 {
+        bound_sampleless(path, sink);
+    } else {
+        bound_grid(path, opts, sink);
+    }
+}
+
+/// Is the linear semantics applicable (linear constraints and result)?
+pub fn linear_applicable(path: &SymPath) -> bool {
+    let n = path.n_samples;
+    path.result.linear_form(n).is_some()
+        && path
+            .constraints
+            .iter()
+            .all(|c| c.value.linear_form(n).is_some())
+}
+
+/// Paths without samples: a single region of measure 1.
+fn bound_sampleless(path: &SymPath, sink: &mut impl BoundSink) {
+    let empty = BoxN::empty();
+    let def = path.constraints_on_box(&empty, true);
+    let pos = path.constraints_on_box(&empty, false);
+    if !pos {
+        return;
+    }
+    let w = path.weight_range_over_box(&empty);
+    let v = path.result.range_over_box(&empty);
+    sink.add(v, if def { w.lo() } else { 0.0 }, w.hi());
+}
+
+// --------------------------------------------------------------------
+// Standard interval trace semantics on a path (§6.3)
+// --------------------------------------------------------------------
+
+/// Grid splitting of `[0,1]^n`: every cell is checked against `Δ`
+/// (∀ for the lower, ∃ for the upper bound), weighted by the interval
+/// product of `Ξ`, and reported with the result range.
+fn bound_grid(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
+    let n = path.n_samples;
+    // Choose per-dimension splits within the region budget.
+    let mut k = opts.splits.max(1);
+    while k > 1 && (k as f64).powi(n as i32) > opts.region_budget as f64 {
+        k -= 1;
+    }
+    let mut idx = vec![0usize; n];
+    let cell_edges: Vec<Vec<Interval>> = (0..n).map(|_| Interval::UNIT.split(k)).collect();
+    'outer: loop {
+        let cell: BoxN = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| cell_edges[d][i])
+            .collect();
+        process_region(path, &cell, sink);
+        for slot in idx.iter_mut() {
+            *slot += 1;
+            if *slot < k {
+                continue 'outer;
+            }
+            *slot = 0;
+        }
+        break;
+    }
+}
+
+fn process_region(path: &SymPath, cell: &BoxN, sink: &mut impl BoundSink) {
+    if !path.constraints_on_box(cell, false) {
+        return; // definitely outside
+    }
+    let vol = cell.volume();
+    let w = path.weight_range_over_box(cell);
+    let v = path.result.range_over_box(cell);
+    let definite = path.constraints_on_box(cell, true);
+    let lo = if definite { vol * w.lo() } else { 0.0 };
+    sink.add(v, lo, vol * w.hi());
+}
+
+// --------------------------------------------------------------------
+// Linear interval trace semantics (§6.4, Appendix E.1)
+// --------------------------------------------------------------------
+
+/// How the result value participates in the linear analysis.
+enum ResultMode {
+    /// Box the result as one of the chunked linear expressions; regions
+    /// are emitted with their value range (histogram sinks).
+    Boxed,
+    /// Fold `result ∈ U` into the polytopes (`𝔓_lb`/`𝔓_ub` of §6.4):
+    /// membership is decided by the volume computation itself.
+    Query(Interval),
+}
+
+fn bound_linear(
+    path: &SymPath,
+    opts: PathBoundOptions,
+    mode: ResultMode,
+    emit: &mut impl FnMut(Interval, f64, f64),
+) {
+    let n = path.n_samples;
+
+    // 𝔓_lb: constraints hold for *all* refinements of interval parts;
+    // 𝔓_ub: for *some* refinement.
+    let mut p_lb = HPolytope::unit_cube(n);
+    let mut p_ub = HPolytope::unit_cube(n);
+    for c in &path.constraints {
+        let (lin, iv) = c.value.linear_form(n).expect("checked by caller");
+        use gubpi_symbolic::CmpDir::*;
+        match c.dir {
+            // lin + iv ≤ 0
+            LeZero => {
+                if iv.hi().is_finite() {
+                    p_lb.add_le_zero(&(&lin + &LinExpr::constant(n, iv.hi())));
+                } else {
+                    // Never definitely ≤ 0: empty lower region.
+                    p_lb.add_constraint(vec![0.0; n], -1.0);
+                }
+                if iv.lo().is_finite() {
+                    p_ub.add_le_zero(&(&lin + &LinExpr::constant(n, iv.lo())));
+                }
+                // iv.lo = −∞ ⇒ possibly ≤ 0 everywhere: no cut.
+            }
+            // lin + iv > 0 (closed to ≥ 0; boundary has measure zero)
+            GtZero => {
+                if iv.lo().is_finite() {
+                    p_lb.add_ge_zero(&(&lin + &LinExpr::constant(n, iv.lo())));
+                } else {
+                    p_lb.add_constraint(vec![0.0; n], -1.0);
+                }
+                if iv.hi().is_finite() {
+                    p_ub.add_ge_zero(&(&lin + &LinExpr::constant(n, iv.hi())));
+                }
+            }
+        }
+    }
+
+    // Fold the query into the polytopes / decide how the result reports.
+    let (res_lin, res_iv) = path.result.linear_form(n).expect("checked by caller");
+    let mut result_boxed = false;
+    let mut const_value_range = Interval::point(res_lin.constant_term()) + res_iv;
+    let mut const_in_lo = true;
+    let mut const_in_hi = true;
+    match mode {
+        ResultMode::Boxed => {
+            result_boxed = !res_lin.is_constant();
+        }
+        ResultMode::Query(u) => {
+            if res_lin.is_constant() {
+                // Classify once: all traces share the value range.
+                const_in_lo = const_value_range.subset_of(&u);
+                const_in_hi = const_value_range.intersects(&u);
+                if !const_in_hi {
+                    return;
+                }
+            } else {
+                // V ⊆ U for the lower bound:
+                //   lin + iv.hi ≤ u.hi  ∧  lin + iv.lo ≥ u.lo
+                if u.hi().is_finite() {
+                    if res_iv.hi().is_finite() {
+                        p_lb.add_le_zero(&(&res_lin + &LinExpr::constant(n, res_iv.hi() - u.hi())));
+                    } else {
+                        p_lb.add_constraint(vec![0.0; n], -1.0);
+                    }
+                }
+                if u.lo().is_finite() {
+                    if res_iv.lo().is_finite() {
+                        p_lb.add_ge_zero(&(&res_lin + &LinExpr::constant(n, res_iv.lo() - u.lo())));
+                    } else {
+                        p_lb.add_constraint(vec![0.0; n], -1.0);
+                    }
+                }
+                // V ∩ U ≠ ∅ for the upper bound:
+                //   lin + iv.lo ≤ u.hi  ∧  lin + iv.hi ≥ u.lo
+                if u.hi().is_finite() && res_iv.lo().is_finite() {
+                    p_ub.add_le_zero(&(&res_lin + &LinExpr::constant(n, res_iv.lo() - u.hi())));
+                }
+                if u.lo().is_finite() && res_iv.hi().is_finite() {
+                    p_ub.add_ge_zero(&(&res_lin + &LinExpr::constant(n, res_iv.hi() - u.lo())));
+                }
+                // Report the full possible value range; the sink closure
+                // for queries ignores it.
+                const_value_range = Interval::REAL;
+            }
+        }
+    }
+    if p_ub.is_empty() {
+        return;
+    }
+
+    // Boxed expressions: the result (when boxed) first, then the linear
+    // parts of every score decomposition (Appendix E.1). Identical
+    // expressions share one boxed slot.
+    let mut boxed: Vec<LinExpr> = Vec::new();
+    if result_boxed {
+        boxed.push(res_lin.clone());
+    }
+    let decomps: Vec<_> = path
+        .scores
+        .iter()
+        .map(|w| w.linear_decomposition(n))
+        .collect();
+    // Map each score part to either a boxed index or a fixed LP range:
+    // `part_source[s][p] = Ok(boxed_idx) | Err(fixed_range)`.
+    let mut part_source: Vec<Vec<Result<usize, Interval>>> = Vec::new();
+    for d in &decomps {
+        let mut row = Vec::new();
+        for (lin, iv) in &d.parts {
+            if let Some(k) = boxed.iter().position(|b| b == lin) {
+                row.push(Ok(k));
+            } else if boxed.len() < opts.max_boxed {
+                boxed.push(lin.clone());
+                row.push(Ok(boxed.len() - 1));
+            } else {
+                let base = p_ub.range_of(lin).unwrap_or(Interval::REAL);
+                row.push(Err(base + *iv));
+            }
+        }
+        part_source.push(row);
+    }
+
+    // Ranges of the boxed expressions over 𝔓_ub, split into chunks.
+    let mut chunkings: Vec<Vec<Interval>> = Vec::new();
+    for lin in &boxed {
+        let range = match p_ub.range_of(lin) {
+            Some(r) if r.is_finite() => r,
+            _ => return,
+        };
+        if range.width() == 0.0 {
+            chunkings.push(vec![range]);
+        } else {
+            chunkings.push(range.split(opts.splits.max(1)));
+        }
+    }
+
+    let exact_cap = if opts.certified_volumes { 0 } else { opts.exact_dim_cap };
+
+    // Cartesian iteration over chunk combinations.
+    let mut idx = vec![0usize; boxed.len()];
+    loop {
+        let chunks: Vec<Interval> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| chunkings[i][j])
+            .collect();
+
+        // Clip both polytopes to the chunks.
+        let mut q_lb = p_lb.clone();
+        let mut q_ub = p_ub.clone();
+        for (lin, ch) in boxed.iter().zip(&chunks) {
+            // ch.lo ≤ lin ≤ ch.hi
+            let upper = &(lin.clone()) + &LinExpr::constant(n, -ch.hi());
+            let lower = &(lin.clone()) + &LinExpr::constant(n, -ch.lo());
+            q_lb.add_le_zero(&upper);
+            q_lb.add_ge_zero(&lower);
+            q_ub.add_le_zero(&upper);
+            q_ub.add_ge_zero(&lower);
+        }
+
+        // One LP feasibility check prunes most chunk combinations (the
+        // boxed expressions co-vary, so the Cartesian grid is sparse);
+        // q_lb ⊆ q_ub, so an empty q_ub kills both volumes.
+        if q_ub.is_empty() {
+            if advance(&mut idx, &chunkings) {
+                continue;
+            }
+            return;
+        }
+        let (vol_lb, _) = q_lb.volume_range(exact_cap, opts.volume_budget);
+        let (_, vol_ub) = q_ub.volume_range(exact_cap, opts.volume_budget);
+
+        if vol_ub > 0.0 || vol_lb > 0.0 {
+            // Weight interval: product over scores of the skeleton
+            // evaluated with each part pinned to its chunk (+ interval
+            // slack) or fixed LP range.
+            let mut w = Interval::ONE;
+            for (s, d) in decomps.iter().enumerate() {
+                let ranges: Vec<Interval> = d
+                    .parts
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, (_, iv))| match part_source[s][pi] {
+                        Ok(bi) => chunks[bi] + *iv,
+                        Err(fixed) => fixed,
+                    })
+                    .collect();
+                w = w * d.eval_with_part_ranges(&ranges).clamp_non_neg();
+            }
+            let value_range = if result_boxed {
+                chunks[0] + res_iv
+            } else {
+                const_value_range
+            };
+            let lo_mass = if const_in_lo { vol_lb * w.lo() } else { 0.0 };
+            let hi_mass = if const_in_hi { vol_ub * w.hi() } else { 0.0 };
+            emit(value_range, lo_mass, hi_mass);
+        }
+
+        if !advance(&mut idx, &chunkings) {
+            return;
+        }
+    }
+}
+
+/// Advances a mixed-radix index vector; `false` when iteration is done.
+#[allow(clippy::needless_range_loop)]
+fn advance(idx: &mut [usize], chunkings: &[Vec<Interval>]) -> bool {
+    let mut d = 0;
+    loop {
+        if d == idx.len() {
+            return false;
+        }
+        idx[d] += 1;
+        if idx[d] < chunkings[d].len() {
+            return true;
+        }
+        idx[d] = 0;
+        d += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::{infer, parse};
+    use gubpi_symbolic::{symbolic_paths, SymExecOptions};
+    use gubpi_types::infer_interval_types;
+
+    fn paths(src: &str) -> Vec<SymPath> {
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        symbolic_paths(&p, &typing, SymExecOptions::default())
+    }
+
+    fn query(src: &str, u: Interval, opts: PathBoundOptions) -> (f64, f64) {
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for p in paths(src) {
+            let (l, h) = bound_path_query(&p, u, opts);
+            lo += l;
+            hi += h;
+        }
+        (lo, hi)
+    }
+
+    #[test]
+    fn uniform_probability_is_exact_with_linear_method() {
+        let (lo, hi) = query(
+            "sample",
+            Interval::new(0.0, 0.5),
+            PathBoundOptions::default(),
+        );
+        assert!((lo - 0.5).abs() < 1e-9, "lo={lo}");
+        assert!((hi - 0.5).abs() < 1e-9, "hi={hi}");
+    }
+
+    #[test]
+    fn branch_probabilities_are_polytope_volumes() {
+        // P(α₀ ≤ 0.3 branch) = 0.3 exactly.
+        let (lo, hi) = query(
+            "if sample <= 0.3 then 1 else 0",
+            Interval::new(0.5, 1.5),
+            PathBoundOptions::default(),
+        );
+        assert!((lo - 0.3).abs() < 1e-9);
+        assert!((hi - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_uniforms_crosses_half() {
+        // P(α₀ + α₁ ≤ 0.75) = 0.75²/2 = 0.28125, exact by Lasserre.
+        let (lo, hi) = query(
+            "if sample + sample <= 0.75 then 1 else 0",
+            Interval::new(0.5, 1.5),
+            PathBoundOptions::default(),
+        );
+        assert!((lo - 0.28125).abs() < 1e-9, "lo={lo}");
+        assert!((hi - 0.28125).abs() < 1e-9, "hi={hi}");
+    }
+
+    #[test]
+    fn linear_score_bounds_converge() {
+        // ⟦score(α₀); α₀⟧([0,1]) = ∫₀¹ x dx = 1/2.
+        for (splits, tol) in [(4usize, 0.26), (32, 0.04)] {
+            let opts = PathBoundOptions {
+                splits,
+                ..Default::default()
+            };
+            let (lo, hi) = query("let x = sample in score(x); x", Interval::UNIT, opts);
+            assert!(lo <= 0.5 && 0.5 <= hi, "[{lo}, {hi}]");
+            assert!(hi - lo <= tol, "splits={splits}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn nonlinear_paths_fall_back_to_grid() {
+        // result α₀·α₁ is non-linear; ⟦P⟧([0, 0.25]) with no scores is
+        // P(xy ≤ 0.25) = 0.25(1 + ln 4) ≈ 0.5966.
+        let src = "let x = sample in let y = sample in
+                   if x * y <= 0.25 then 1 else 0";
+        let p = &paths(src)[..];
+        assert!(p.iter().any(|q| !linear_applicable(q)));
+        let opts = PathBoundOptions {
+            splits: 64,
+            ..Default::default()
+        };
+        let mut sink = SingleQuery::new(Interval::new(0.5, 1.5));
+        for q in p {
+            bound_path(q, opts, &mut sink);
+        }
+        let truth = 0.25 * (1.0 + 4.0f64.ln());
+        assert!(sink.lo <= truth && truth <= sink.hi);
+        assert!(sink.hi - sink.lo < 0.1, "[{}, {}]", sink.lo, sink.hi);
+    }
+
+    #[test]
+    fn observe_reweights_mass() {
+        // Z = ∫₀¹ pdf_N(0.5, 1)(x) dx; compare against erf ground truth.
+        let src = "observe sample from normal(0.5, 1); 1";
+        let opts = PathBoundOptions {
+            splits: 64,
+            ..Default::default()
+        };
+        let (lo, hi) = query(src, Interval::REAL, opts);
+        use gubpi_dist::ContinuousDist;
+        let n = gubpi_dist::Normal::new(0.5, 1.0);
+        let truth = n.cdf(1.0) - n.cdf(0.0);
+        assert!(lo <= truth && truth <= hi, "truth={truth} ∉ [{lo}, {hi}]");
+        assert!(hi - lo < 0.05);
+    }
+
+    #[test]
+    fn certified_volumes_also_sandwich() {
+        let opts = PathBoundOptions {
+            splits: 8,
+            certified_volumes: true,
+            volume_budget: 2_000,
+            ..Default::default()
+        };
+        let (lo, hi) = query(
+            "if sample + sample <= 0.75 then 1 else 0",
+            Interval::new(0.5, 1.5),
+            opts,
+        );
+        assert!(lo <= 0.28125 && 0.28125 <= hi, "[{lo}, {hi}]");
+        assert!(hi - lo < 0.1);
+    }
+
+    #[test]
+    fn sampleless_paths_work() {
+        let (lo, hi) = query("score(0.25); 2", Interval::new(1.5, 2.5), PathBoundOptions::default());
+        assert!((lo - 0.25).abs() < 1e-12 && (hi - 0.25).abs() < 1e-12);
+    }
+}

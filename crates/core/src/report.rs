@@ -1,0 +1,56 @@
+//! Plain-text rendering of bound results (GuBPI-style output).
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramBounds;
+
+/// Renders a histogram's normalised bounds as an ASCII chart, one row per
+/// bin:
+///
+/// ```text
+/// [ 0.00,  0.30) 0.1234 0.1250 ####·
+/// ```
+///
+/// `#` marks the guaranteed (lower-bound) mass, `·` the additional mass
+/// admitted by the upper bound.
+pub fn render_histogram(h: &HistogramBounds, width: usize) -> String {
+    let rows = h.normalized();
+    let mut out = String::new();
+    let max_hi = rows.iter().map(|r| r.hi).fold(0.0f64, f64::max).max(1e-12);
+    for r in &rows {
+        let lo_cells = ((r.lo / max_hi) * width as f64).round() as usize;
+        let hi_cells = ((r.hi / max_hi) * width as f64).round() as usize;
+        let _ = write!(
+            out,
+            "[{:8.3}, {:8.3})  {:>8.5} {:>8.5}  ",
+            r.bin.lo(),
+            r.bin.hi(),
+            r.lo,
+            r.hi
+        );
+        out.push_str(&"#".repeat(lo_cells));
+        out.push_str(&"·".repeat(hi_cells.saturating_sub(lo_cells)));
+        out.push('\n');
+    }
+    let (z_lo, z_hi) = h.z_bounds();
+    let _ = writeln!(out, "Z in [{z_lo:.6}, {z_hi:.6}]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathbounds::BoundSink;
+    use gubpi_interval::Interval;
+
+    #[test]
+    fn renders_rows_and_z() {
+        let mut h = HistogramBounds::new(Interval::new(0.0, 1.0), 2);
+        h.add(Interval::new(0.1, 0.4), 0.5, 0.6);
+        h.add(Interval::new(0.6, 0.9), 0.4, 0.5);
+        let s = render_histogram(&h, 20);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("Z in ["));
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,150 @@
+//! Chain diagnostics: autocorrelation, effective sample size and the
+//! Gelman–Rubin convergence statistic.
+
+/// The Gelman–Rubin potential scale reduction factor `R̂` over several
+/// chains of equal length: values well above 1 indicate that the chains
+/// have not mixed (the standard MCMC convergence check referenced by the
+/// paper's discussion of Fig. 1).
+///
+/// Returns `NaN` for fewer than two chains or chains shorter than 4.
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    if m < 2 {
+        return f64::NAN;
+    }
+    let n = chains.iter().map(Vec::len).min().unwrap_or(0);
+    if n < 4 {
+        return f64::NAN;
+    }
+    let means: Vec<f64> = chains.iter().map(|c| mean(&c[..n])).collect();
+    let grand = mean(&means);
+    // Between-chain variance B/n and within-chain variance W.
+    let b_over_n =
+        means.iter().map(|mu| (mu - grand) * (mu - grand)).sum::<f64>() / (m as f64 - 1.0);
+    let w = chains
+        .iter()
+        .map(|c| {
+            let mu = mean(&c[..n]);
+            c[..n].iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if w <= 0.0 {
+        return f64::NAN;
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b_over_n;
+    (var_plus / w).sqrt()
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (denominator `n`).
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    mean(&xs.iter().map(|x| (x - m) * (x - m)).collect::<Vec<_>>())
+}
+
+/// Autocorrelation of the chain at lag `k` (1 at lag 0; 0 for
+/// degenerate chains).
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if k >= n {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = variance(xs);
+    if var == 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..n - k {
+        acc += (xs[i] - m) * (xs[i + k] - m);
+    }
+    acc / (n as f64 * var)
+}
+
+/// Effective sample size via the initial-positive-sequence estimator:
+/// `ESS = n / (1 + 2 Σ ρ_k)` truncated at the first non-positive
+/// autocorrelation.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mut rho_sum = 0.0;
+    for k in 1..n / 2 {
+        let r = autocorrelation(xs, k);
+        if r <= 0.0 {
+            break;
+        }
+        rho_sum += r;
+    }
+    n as f64 / (1.0 + 2.0 * rho_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_chain_has_full_ess() {
+        // A deterministic low-discrepancy sequence behaves like iid noise
+        // for this estimator.
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 2654435761u64 % 1000) as f64) / 1000.0).collect();
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 500.0, "ess={ess}");
+        assert!((mean(&xs) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn perfectly_correlated_chain_has_tiny_ess() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64) / 1000.0).collect(); // a ramp
+        let ess = effective_sample_size(&xs);
+        assert!(ess < 50.0, "ess={ess}");
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_at_lag_zero_is_one() {
+        let xs = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(autocorrelation(&xs, 10), 0.0);
+    }
+
+    #[test]
+    fn degenerate_chains() {
+        let xs = [2.0; 10];
+        assert_eq!(variance(&xs), 0.0);
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn gelman_rubin_flags_unmixed_chains() {
+        // Two chains exploring the same distribution: R̂ ≈ 1.
+        let noise = |seed: u64, shift: f64| -> Vec<f64> {
+            (0..500)
+                .map(|i| {
+                    let h = (i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed);
+                    shift + ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+                })
+                .collect()
+        };
+        let mixed = gelman_rubin(&[noise(1, 0.0), noise(2, 0.0), noise(3, 0.0)]);
+        assert!((mixed - 1.0).abs() < 0.05, "R̂ = {mixed}");
+        // Chains stuck in different modes: R̂ ≫ 1.
+        let stuck = gelman_rubin(&[noise(1, -2.0), noise(2, 2.0)]);
+        assert!(stuck > 2.0, "R̂ = {stuck}");
+        // Degenerate inputs.
+        assert!(gelman_rubin(&[noise(1, 0.0)]).is_nan());
+        assert!(gelman_rubin(&[vec![1.0], vec![2.0]]).is_nan());
+    }
+}

@@ -1,0 +1,209 @@
+//! Likelihood-weighted importance sampling.
+
+use gubpi_lang::Program;
+use gubpi_semantics::bigstep::{sample_run_with, EvalOptions};
+use rand::Rng;
+
+/// Options for importance sampling.
+#[derive(Copy, Clone, Debug)]
+pub struct ImportanceOptions {
+    /// Evaluator limits per run.
+    pub eval: EvalOptions,
+}
+
+impl Default for ImportanceOptions {
+    fn default() -> ImportanceOptions {
+        ImportanceOptions {
+            eval: EvalOptions {
+                fuel: 1_000_000,
+                max_depth: 700,
+            },
+        }
+    }
+}
+
+/// A set of weighted posterior samples.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedSamples {
+    /// Returned values.
+    pub values: Vec<f64>,
+    /// Log weights (aligned with `values`).
+    pub log_weights: Vec<f64>,
+    /// Runs that failed to terminate within limits (their prior mass is
+    /// treated as rejected — the same truncation every sampler applies to
+    /// non-AST programs).
+    pub rejected: usize,
+}
+
+impl WeightedSamples {
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Self-normalised weighted posterior mean.
+    pub fn weighted_mean(&self) -> f64 {
+        let max_lw = self
+            .log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_lw == f64::NEG_INFINITY {
+            return f64::NAN;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (v, lw) in self.values.iter().zip(&self.log_weights) {
+            let w = (lw - max_lw).exp();
+            num += w * v;
+            den += w;
+        }
+        num / den
+    }
+
+    /// Self-normalised posterior probability of `value ∈ [lo, hi]`.
+    pub fn probability_in(&self, lo: f64, hi: f64) -> f64 {
+        let max_lw = self
+            .log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_lw == f64::NEG_INFINITY {
+            return f64::NAN;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (v, lw) in self.values.iter().zip(&self.log_weights) {
+            let w = (lw - max_lw).exp();
+            if *v >= lo && *v <= hi {
+                num += w;
+            }
+            den += w;
+        }
+        num / den
+    }
+
+    /// Weighted histogram (normalised to total mass 1) over `[lo, hi]`
+    /// with `bins` bins; returns per-bin masses.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+        let mut h = vec![0.0f64; bins];
+        let max_lw = self
+            .log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_lw == f64::NEG_INFINITY {
+            return h;
+        }
+        let mut total = 0.0;
+        for (v, lw) in self.values.iter().zip(&self.log_weights) {
+            let w = (lw - max_lw).exp();
+            total += w;
+            if *v >= lo && *v < hi {
+                let b = (((v - lo) / (hi - lo)) * bins as f64) as usize;
+                h[b.min(bins - 1)] += w;
+            }
+        }
+        if total > 0.0 {
+            for x in &mut h {
+                *x /= total;
+            }
+        }
+        h
+    }
+
+    /// The (unnormalised) evidence estimate `Ẑ = mean of weights`,
+    /// counting rejected runs as weight 0.
+    pub fn evidence_estimate(&self) -> f64 {
+        let n = self.len() + self.rejected;
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.log_weights.iter().map(|lw| lw.exp()).sum();
+        sum / n as f64
+    }
+}
+
+/// Draws `n` likelihood-weighted samples by running the program forward.
+pub fn importance_sample<R: Rng>(
+    program: &Program,
+    n: usize,
+    opts: ImportanceOptions,
+    rng: &mut R,
+) -> WeightedSamples {
+    let mut out = WeightedSamples::default();
+    for _ in 0..n {
+        match sample_run_with(program, rng, opts.eval) {
+            Ok(o) => {
+                out.values.push(o.value);
+                out.log_weights.push(o.log_weight);
+            }
+            Err(_) => out.rejected += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unweighted_uniform_mean() {
+        let p = parse("sample").unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = importance_sample(&p, 20_000, ImportanceOptions::default(), &mut rng);
+        assert_eq!(s.rejected, 0);
+        assert!((s.weighted_mean() - 0.5).abs() < 0.02);
+        assert!((s.probability_in(0.0, 0.25) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn scores_tilt_the_posterior() {
+        // density ∝ x on [0,1]: mean 2/3, P(X ≤ 1/2) = 1/4.
+        let p = parse("let x = sample in score(x); x").unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = importance_sample(&p, 20_000, ImportanceOptions::default(), &mut rng);
+        assert!((s.weighted_mean() - 2.0 / 3.0).abs() < 0.02);
+        assert!((s.probability_in(0.0, 0.5) - 0.25).abs() < 0.02);
+        // evidence = ∫ x dx = 1/2
+        assert!((s.evidence_estimate() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn histogram_masses_sum_to_one() {
+        let p = parse("sample").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = importance_sample(&p, 5_000, ImportanceOptions::default(), &mut rng);
+        let h = s.histogram(0.0, 1.0, 10);
+        let total: f64 = h.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for b in h {
+            assert!((b - 0.1).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn nonterminating_runs_are_rejected_not_hung() {
+        let p = parse("let rec spin x = spin (x + sample) in spin 0").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let opts = ImportanceOptions {
+            eval: EvalOptions {
+                fuel: 5_000,
+                max_depth: 200,
+            },
+        };
+        let s = importance_sample(&p, 10, opts, &mut rng);
+        assert_eq!(s.rejected, 10);
+        assert!(s.is_empty());
+        assert!(s.weighted_mean().is_nan());
+    }
+}

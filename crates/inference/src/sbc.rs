@@ -1,0 +1,174 @@
+//! Simulation-based calibration (§7.4, Appendix F.3).
+//!
+//! SBC validates a posterior sampler against a generative model: draw
+//! `θ ~ prior`, synthesise data `y | θ`, sample `θ₁…θ_L` from the
+//! sampler's posterior given `y`, and record the rank of `θ` among the
+//! `θᵢ`. If the sampler is exact, ranks are uniform on `{0, …, L}`; a
+//! χ² uniformity score flags miscalibration.
+
+use gubpi_dist::math::gamma_q;
+use rand::Rng;
+use rand::RngExt;
+
+/// SBC configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct SbcConfig {
+    /// Number of simulations `N` (paper suggests `N = 10·L`).
+    pub simulations: usize,
+    /// Posterior samples per simulation `L` (paper: a power of two minus
+    /// one, e.g. 63).
+    pub posterior_samples: usize,
+    /// Histogram bins for the χ² statistic.
+    pub bins: usize,
+}
+
+impl Default for SbcConfig {
+    fn default() -> SbcConfig {
+        SbcConfig {
+            simulations: 630,
+            posterior_samples: 63,
+            bins: 16,
+        }
+    }
+}
+
+/// The result of an SBC run.
+#[derive(Clone, Debug)]
+pub struct SbcResult {
+    /// Rank histogram counts (`bins` cells over `{0, …, L}`).
+    pub rank_counts: Vec<usize>,
+    /// χ² statistic against the uniform distribution.
+    pub chi2: f64,
+    /// Asymptotic p-value `P(X²_{bins−1} ≥ chi2)`.
+    pub p_value: f64,
+}
+
+impl SbcResult {
+    /// Convenience: calibration rejected at the 0.005 level (strongly
+    /// non-uniform ranks)?
+    pub fn is_miscalibrated(&self) -> bool {
+        self.p_value < 0.005
+    }
+}
+
+/// Runs SBC.
+///
+/// * `prior` draws `θ`;
+/// * `simulate` draws synthetic data `y | θ`;
+/// * `posterior` produces `L` posterior samples of `θ` given `y`.
+pub fn run_sbc<R: Rng>(
+    mut prior: impl FnMut(&mut R) -> f64,
+    mut simulate: impl FnMut(f64, &mut R) -> f64,
+    mut posterior: impl FnMut(f64, usize, &mut R) -> Vec<f64>,
+    cfg: SbcConfig,
+    rng: &mut R,
+) -> SbcResult {
+    let l = cfg.posterior_samples;
+    let mut counts = vec![0usize; cfg.bins];
+    let mut done = 0usize;
+    while done < cfg.simulations {
+        let theta = prior(rng);
+        let y = simulate(theta, rng);
+        let post = posterior(y, l, rng);
+        if post.len() < l {
+            continue; // sampler failed; retry with a fresh simulation
+        }
+        // Rank of θ among the posterior samples, uniform tie-breaking.
+        let mut rank = 0usize;
+        let mut ties = 0usize;
+        for &p in &post[..l] {
+            if p < theta {
+                rank += 1;
+            } else if p == theta {
+                ties += 1;
+            }
+        }
+        if ties > 0 {
+            rank += rng.random_range(0..=ties);
+        }
+        // rank ∈ {0, …, L}; map onto bins.
+        let bin = (rank * cfg.bins) / (l + 1);
+        counts[bin.min(cfg.bins - 1)] += 1;
+        done += 1;
+    }
+    let expected = cfg.simulations as f64 / cfg.bins as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // p = Q(k/2, chi2/2) for k = bins − 1 degrees of freedom.
+    let dof = (cfg.bins - 1) as f64;
+    let p_value = gamma_q(dof / 2.0, chi2 / 2.0);
+    SbcResult {
+        rank_counts: counts,
+        chi2,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Conjugate toy model: θ ~ U(0,1), y | θ ~ Bernoulli-ish noisy obs.
+    /// An exact posterior sampler must calibrate; a broken one must not.
+    fn noisy_obs(theta: f64, rng: &mut StdRng) -> f64 {
+        // y = θ + uniform noise on [−0.1, 0.1]
+        theta + (rng.random::<f64>() - 0.5) * 0.2
+    }
+
+    /// Exact posterior for the model above: θ | y ~ U(y−0.1, y+0.1) ∩ [0,1].
+    fn exact_posterior(y: f64, l: usize, rng: &mut StdRng) -> Vec<f64> {
+        let lo = (y - 0.1).max(0.0);
+        let hi = (y + 0.1).min(1.0);
+        (0..l).map(|_| lo + rng.random::<f64>() * (hi - lo)).collect()
+    }
+
+    /// A *wrong* sampler: ignores the data half the time.
+    fn broken_posterior(y: f64, l: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..l)
+            .map(|_| {
+                let lo = (y - 0.02).max(0.0);
+                let hi = (y + 0.02).min(1.0);
+                lo + rng.random::<f64>() * (hi - lo)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_sampler_calibrates() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let r = run_sbc(
+            |rng| rng.random::<f64>(),
+            noisy_obs,
+            exact_posterior,
+            SbcConfig::default(),
+            &mut rng,
+        );
+        assert!(!r.is_miscalibrated(), "chi2={} p={}", r.chi2, r.p_value);
+        assert_eq!(r.rank_counts.iter().sum::<usize>(), 630);
+    }
+
+    #[test]
+    fn broken_sampler_is_flagged() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let r = run_sbc(
+            |rng| rng.random::<f64>(),
+            noisy_obs,
+            broken_posterior,
+            SbcConfig::default(),
+            &mut rng,
+        );
+        // Over-concentrated posteriors push ranks to the extremes — the
+        // U-shape of Fig. 11.
+        assert!(r.is_miscalibrated(), "chi2={} p={}", r.chi2, r.p_value);
+        let first = r.rank_counts[0] + r.rank_counts.last().unwrap();
+        let middle = r.rank_counts[r.rank_counts.len() / 2];
+        assert!(first > middle * 2, "expected U-shape, got {:?}", r.rank_counts);
+    }
+}

@@ -1,0 +1,218 @@
+//! The interval lattice with bottom element, and the widening operator.
+//!
+//! Appendix A.1 of the paper turns the poset of intervals under inclusion
+//! into a lattice by adjoining a bottom element `⊥` (the empty interval).
+//! The constraint solver of the weight-aware type system (Appendix D)
+//! iterates over this lattice and uses the widening operator `∇` to break
+//! infinite ascending chains.
+
+use std::fmt;
+
+use crate::Interval;
+
+/// An element of the interval lattice: either `⊥` (empty) or an interval.
+///
+/// # Example
+///
+/// ```
+/// use gubpi_interval::{Interval, Lattice};
+///
+/// let a = Lattice::from(Interval::new(0.0, 1.0));
+/// assert_eq!(Lattice::Bottom.join(a), a);
+/// assert_eq!(Lattice::Bottom.meet(a), Lattice::Bottom);
+/// ```
+#[derive(Copy, Clone, PartialEq, Default)]
+pub enum Lattice {
+    /// The empty interval `⊥`.
+    #[default]
+    Bottom,
+    /// A non-empty interval.
+    Elem(Interval),
+}
+
+impl Lattice {
+    /// Least upper bound `⊔`.
+    pub fn join(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Bottom, x) | (x, Lattice::Bottom) => x,
+            (Lattice::Elem(a), Lattice::Elem(b)) => Lattice::Elem(a.join(b)),
+        }
+    }
+
+    /// Greatest lower bound `⊓`; disjoint intervals meet at `⊥`.
+    pub fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+            (Lattice::Elem(a), Lattice::Elem(b)) => match a.meet(b) {
+                Some(i) => Lattice::Elem(i),
+                None => Lattice::Bottom,
+            },
+        }
+    }
+
+    /// The partial order `⊑` (with `⊥ ⊑ x` for all `x`).
+    pub fn leq(self, other: Lattice) -> bool {
+        match (self, other) {
+            (Lattice::Bottom, _) => true,
+            (_, Lattice::Bottom) => false,
+            (Lattice::Elem(a), Lattice::Elem(b)) => a.subset_of(&b),
+        }
+    }
+
+    /// Extracts the interval, or `None` at `⊥`.
+    pub fn interval(self) -> Option<Interval> {
+        match self {
+            Lattice::Bottom => None,
+            Lattice::Elem(i) => Some(i),
+        }
+    }
+
+    /// Extracts the interval, substituting `fallback` at `⊥`.
+    pub fn interval_or(self, fallback: Interval) -> Interval {
+        self.interval().unwrap_or(fallback)
+    }
+
+    /// Is this the bottom element?
+    pub fn is_bottom(self) -> bool {
+        matches!(self, Lattice::Bottom)
+    }
+}
+
+impl From<Interval> for Lattice {
+    fn from(i: Interval) -> Lattice {
+        Lattice::Elem(i)
+    }
+}
+
+impl fmt::Debug for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lattice::Bottom => write!(f, "⊥"),
+            Lattice::Elem(i) => write!(f, "{i:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lattice::Bottom => write!(f, "⊥"),
+            Lattice::Elem(i) => fmt::Display::fmt(i, f),
+        }
+    }
+}
+
+/// The widening operator `∇` of Appendix D.3, with landmark thresholds.
+///
+/// `widen(old, new)` over-approximates `old ⊔ new`; any endpoint of `new`
+/// that escapes `old` is pushed outward to the next landmark in
+/// `{−∞, 0, 1, +∞}`. The landmarks `0` and `1` matter for *weight*
+/// variables: a recursive score chain like `ν ⊒ 0.5 · ν ⊔ 1` stabilises
+/// at the precise `[0, 1]` instead of `[−∞, 1]`. Each endpoint can move
+/// through the finite landmark set at most a fixed number of times, so
+/// every ascending chain stabilises.
+pub fn widen(old: Lattice, new: Lattice) -> Lattice {
+    match (old, new) {
+        (Lattice::Bottom, x) | (x, Lattice::Bottom) => x,
+        (Lattice::Elem(a), Lattice::Elem(b)) => {
+            let lo = if b.lo() < a.lo() {
+                // largest landmark ≤ b.lo()
+                if b.lo() >= 1.0 {
+                    1.0
+                } else if b.lo() >= 0.0 {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                a.lo()
+            };
+            let hi = if b.hi() > a.hi() {
+                // smallest landmark ≥ b.hi()
+                if b.hi() <= 0.0 {
+                    0.0
+                } else if b.hi() <= 1.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                a.hi()
+            };
+            Lattice::Elem(Interval::new(lo, hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(lo: f64, hi: f64) -> Lattice {
+        Lattice::Elem(Interval::new(lo, hi))
+    }
+
+    #[test]
+    fn bottom_is_identity_for_join_and_absorbing_for_meet() {
+        let x = e(0.0, 1.0);
+        assert_eq!(Lattice::Bottom.join(x), x);
+        assert_eq!(x.join(Lattice::Bottom), x);
+        assert_eq!(Lattice::Bottom.meet(x), Lattice::Bottom);
+        assert!(Lattice::Bottom.leq(x));
+        assert!(!x.leq(Lattice::Bottom));
+    }
+
+    #[test]
+    fn disjoint_meet_is_bottom() {
+        assert_eq!(e(0.0, 1.0).meet(e(2.0, 3.0)), Lattice::Bottom);
+        assert_eq!(e(0.0, 1.5).meet(e(1.0, 3.0)), e(1.0, 1.5));
+    }
+
+    #[test]
+    fn widening_pushes_escaping_endpoints_outward() {
+        // Matches the definition in Appendix D.3 (with landmarks).
+        assert_eq!(widen(e(0.0, 1.0), e(0.5, 0.8)), e(0.0, 1.0));
+        assert_eq!(widen(e(0.0, 1.0), e(0.0, 2.0)), e(0.0, f64::INFINITY));
+        assert_eq!(widen(e(0.0, 1.0), e(-1.0, 1.0)), e(f64::NEG_INFINITY, 1.0));
+        assert_eq!(widen(e(0.0, 1.0), e(-1.0, 2.0)), Lattice::Elem(Interval::REAL));
+        assert_eq!(widen(Lattice::Bottom, e(1.0, 2.0)), e(1.0, 2.0));
+    }
+
+    #[test]
+    fn widening_lands_on_weight_landmarks() {
+        // A shrinking weight chain stabilises at [0, 1], not [−∞, 1].
+        assert_eq!(widen(e(0.25, 1.0), e(0.125, 1.0)), e(0.0, 1.0));
+        // Growth capped below 1 lands on 1 first.
+        assert_eq!(widen(e(0.0, 0.5), e(0.0, 0.75)), e(0.0, 1.0));
+        assert_eq!(widen(e(0.0, 1.0), e(0.0, 1.5)), e(0.0, f64::INFINITY));
+        // Negative growth below zero still reaches −∞.
+        assert_eq!(widen(e(-1.0, 0.0), e(-2.0, 0.0)), e(f64::NEG_INFINITY, 0.0));
+    }
+
+    #[test]
+    fn widening_is_an_upper_bound() {
+        let old = e(0.0, 1.0);
+        let new = e(-0.5, 3.0);
+        let w = widen(old, new);
+        assert!(old.join(new).leq(w));
+    }
+
+    #[test]
+    fn widening_stabilises_chains() {
+        // The canonical non-terminating chain ν₃ ≡ ν₃ + 1 from Appendix D.3.
+        let mut x = e(0.0, 0.0);
+        for step in 0..100 {
+            let bumped = match x {
+                Lattice::Elem(i) => Lattice::Elem(i + Interval::ONE),
+                Lattice::Bottom => unreachable!(),
+            };
+            let next = widen(x, bumped);
+            if next == x {
+                assert!(step <= 2, "stabilised late");
+                return;
+            }
+            x = next;
+        }
+        panic!("widening failed to stabilise");
+    }
+}

@@ -1,0 +1,54 @@
+//! Directed rounding helpers.
+//!
+//! Outward rounding lets interval results absorb one floating-point
+//! rounding error per operation, so that computed bounds remain sound even
+//! though the endpoint arithmetic itself rounds to nearest.
+
+/// The next representable `f64` strictly below `x` (identity on `−∞`).
+///
+/// Zero steps to the largest negative subnormal; `NaN` is propagated.
+#[inline]
+pub fn next_after_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    f64::next_down(x)
+}
+
+/// The next representable `f64` strictly above `x` (identity on `+∞`).
+#[inline]
+pub fn next_after_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    f64::next_up(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_are_strict_for_finite_values() {
+        for &x in &[0.0, 1.0, -1.0, 1e300, -1e-300, 0.1] {
+            assert!(next_after_down(x) < x, "down({x})");
+            assert!(next_after_up(x) > x, "up({x})");
+        }
+    }
+
+    #[test]
+    fn infinities_are_fixed_points() {
+        assert_eq!(next_after_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(next_after_up(f64::INFINITY), f64::INFINITY);
+        // The *other* direction does step off infinity.
+        assert!(next_after_down(f64::INFINITY).is_finite());
+        assert!(next_after_up(f64::NEG_INFINITY).is_finite());
+    }
+
+    #[test]
+    fn step_is_one_ulp() {
+        let x = 1.0f64;
+        let up = next_after_up(x);
+        assert_eq!(up, x + f64::EPSILON);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for interval arithmetic.
+//!
+//! The central soundness property (Lemma 3.1 rests on it): whenever
+//! `x ∈ X` and `y ∈ Y`, every lifted operation satisfies `x ∘ y ∈ X ∘I Y`.
+
+use gubpi_interval::{widen, BoxN, Interval, Lattice};
+use proptest::prelude::*;
+
+/// A strategy for finite intervals with endpoints in `[-100, 100]`.
+fn finite_interval() -> impl Strategy<Value = Interval> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(a, b)| Interval::from_unordered(a, b))
+}
+
+/// A strategy for an interval together with a member point.
+fn interval_with_point() -> impl Strategy<Value = (Interval, f64)> {
+    (finite_interval(), 0.0f64..=1.0).prop_map(|(i, t)| {
+        let x = i.lo() + t * (i.hi() - i.lo());
+        (i, x)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_is_sound(((x_iv, x), (y_iv, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!((x_iv + y_iv).contains(x + y));
+    }
+
+    #[test]
+    fn sub_is_sound(((x_iv, x), (y_iv, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!((x_iv - y_iv).contains(x - y));
+    }
+
+    #[test]
+    fn mul_is_sound(((x_iv, x), (y_iv, y)) in (interval_with_point(), interval_with_point())) {
+        let prod = x_iv * y_iv;
+        // Allow one ulp of slack: endpoint arithmetic rounds to nearest.
+        prop_assert!(prod.outward().contains(x * y), "{x}*{y} ∉ {prod:?}");
+    }
+
+    #[test]
+    fn neg_abs_are_sound((x_iv, x) in interval_with_point()) {
+        prop_assert!((-x_iv).contains(-x));
+        prop_assert!(x_iv.abs().contains(x.abs()));
+    }
+
+    #[test]
+    fn min_max_are_sound(((x_iv, x), (y_iv, y)) in (interval_with_point(), interval_with_point())) {
+        prop_assert!(x_iv.min_i(y_iv).contains(x.min(y)));
+        prop_assert!(x_iv.max_i(y_iv).contains(x.max(y)));
+    }
+
+    #[test]
+    fn exp_sigmoid_are_sound((x_iv, x) in interval_with_point()) {
+        prop_assert!(x_iv.exp().outward().contains(x.exp()));
+        let s = 1.0 / (1.0 + (-x).exp());
+        prop_assert!(x_iv.sigmoid().outward().contains(s));
+    }
+
+    #[test]
+    fn powi_is_sound((x_iv, x) in interval_with_point(), n in 0i32..5) {
+        prop_assert!(x_iv.powi(n).outward().contains(x.powi(n)));
+    }
+
+    #[test]
+    fn recip_is_sound((x_iv, x) in interval_with_point()) {
+        if x != 0.0 {
+            prop_assert!(x_iv.recip().outward().contains(1.0 / x));
+        }
+    }
+
+    #[test]
+    fn join_is_lub(a in finite_interval(), b in finite_interval()) {
+        let j = a.join(b);
+        prop_assert!(a.subset_of(&j));
+        prop_assert!(b.subset_of(&j));
+    }
+
+    #[test]
+    fn meet_is_glb(a in finite_interval(), b in finite_interval()) {
+        if let Some(m) = a.meet(b) {
+            prop_assert!(m.subset_of(&a));
+            prop_assert!(m.subset_of(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn split_partitions(i in finite_interval(), n in 1usize..8) {
+        let parts = i.split(n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts[0].lo(), i.lo());
+        prop_assert_eq!(parts[n - 1].hi(), i.hi());
+        let total: f64 = parts.iter().map(Interval::width).sum();
+        prop_assert!((total - i.width()).abs() <= 1e-9 * (1.0 + i.width().abs()));
+        for w in parts.windows(2) {
+            prop_assert!(w[0].almost_disjoint(&w[1]));
+        }
+    }
+
+    #[test]
+    fn widening_is_upper_bound_and_idempotent_limit(
+        a in finite_interval(), b in finite_interval()
+    ) {
+        let la = Lattice::from(a);
+        let lb = Lattice::from(b);
+        let w = widen(la, lb);
+        prop_assert!(la.join(lb).leq(w));
+        // Widening twice with the same argument is stable.
+        prop_assert_eq!(widen(w, lb), w);
+    }
+
+    #[test]
+    fn lattice_laws(a in finite_interval(), b in finite_interval(), c in finite_interval()) {
+        let (a, b, c) = (Lattice::from(a), Lattice::from(b), Lattice::from(c));
+        // commutativity
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.meet(b), b.meet(a));
+        // associativity of join
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        // absorption (one direction that holds for hull-join):
+        prop_assert!(a.leq(a.join(b)));
+        prop_assert!(a.meet(b).leq(a));
+    }
+
+    #[test]
+    fn grid_volume_sums(b_dims in proptest::collection::vec(finite_interval(), 1..4),
+                        splits in proptest::collection::vec(1usize..4, 1..4)) {
+        let n = b_dims.len().min(splits.len());
+        let b = BoxN::new(b_dims[..n].to_vec());
+        let g = b.grid(&splits[..n]);
+        let total: f64 = g.iter().map(BoxN::volume).sum();
+        prop_assert!((total - b.volume()).abs() <= 1e-6 * (1.0 + b.volume().abs()));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for the SPCF front end.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::Span;
+
+/// An error produced while lexing, parsing or type-checking a program.
+#[derive(Clone, Debug)]
+pub struct LangError {
+    /// Which phase rejected the program.
+    pub phase: Phase,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location of the offending text.
+    pub span: Span,
+}
+
+/// The front-end phase an error originated from.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Simple-type inference.
+    Type,
+}
+
+impl LangError {
+    /// Creates an error.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> LangError {
+        LangError {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a line/column computed from `source`, in the
+    /// style `3:14: parse error: expected ...`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start as usize);
+        format!("{line}:{col}: {self}")
+    }
+}
+
+/// Computes a 1-based (line, column) pair for a byte offset.
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in source.char_indices() {
+        if i >= clamped {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex error",
+            Phase::Parse => "parse error",
+            Phase::Type => "type error",
+        };
+        write!(f, "{phase}: {}", self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let src = "let x = 1 in\nbadness here";
+        let err = LangError::new(Phase::Parse, "unexpected thing", Span::new(13, 20));
+        assert_eq!(err.render(src), "2:1: parse error: unexpected thing");
+    }
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let err = LangError::new(Phase::Type, "expected a function", Span::default());
+        assert_eq!(err.to_string(), "type error: expected a function");
+    }
+}

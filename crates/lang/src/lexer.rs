@@ -1,0 +1,260 @@
+//! Hand-written lexer for the SPCF surface syntax.
+
+use crate::ast::Span;
+use crate::error::{LangError, Phase};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source` into a vector ending in an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters or malformed numbers.
+///
+/// # Example
+///
+/// ```
+/// use gubpi_lang::lexer::lex;
+/// let toks = lex("let x = 1.5 in x + 2").unwrap();
+/// assert_eq!(toks.len(), 9); // incl. EOF
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '#' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '+' => {
+                i += 1;
+                push(&mut toks, TokenKind::Plus, start, i);
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    i += 2;
+                    push(&mut toks, TokenKind::Arrow, start, i);
+                } else {
+                    i += 1;
+                    push(&mut toks, TokenKind::Minus, start, i);
+                }
+            }
+            '*' => {
+                i += 1;
+                push(&mut toks, TokenKind::Star, start, i);
+            }
+            '/' => {
+                i += 1;
+                push(&mut toks, TokenKind::Slash, start, i);
+            }
+            '(' => {
+                i += 1;
+                push(&mut toks, TokenKind::LParen, start, i);
+            }
+            ')' => {
+                i += 1;
+                push(&mut toks, TokenKind::RParen, start, i);
+            }
+            ',' => {
+                i += 1;
+                push(&mut toks, TokenKind::Comma, start, i);
+            }
+            ';' => {
+                i += 1;
+                push(&mut toks, TokenKind::Semi, start, i);
+            }
+            '=' => {
+                i += 1;
+                push(&mut toks, TokenKind::Eq, start, i);
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                    push(&mut toks, TokenKind::Le, start, i);
+                } else {
+                    i += 1;
+                    push(&mut toks, TokenKind::Lt, start, i);
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                    push(&mut toks, TokenKind::Ge, start, i);
+                } else {
+                    i += 1;
+                    push(&mut toks, TokenKind::Gt, start, i);
+                }
+            }
+            '0'..='9' | '.' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: f64 = text.parse().map_err(|_| {
+                    LangError::new(
+                        Phase::Lex,
+                        format!("malformed number `{text}`"),
+                        Span::new(start as u32, i as u32),
+                    )
+                })?;
+                push(&mut toks, TokenKind::Number(value), start, i);
+            }
+            // `$` begins compiler-generated names (emitted by the pretty
+            // printer for desugared binders); accepting it keeps printed
+            // programs re-parseable.
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$'
+                        || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "let" => TokenKind::Let,
+                    "rec" => TokenKind::Rec,
+                    "in" => TokenKind::In,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "fn" => TokenKind::Fn,
+                    "sample" => TokenKind::Sample,
+                    "score" => TokenKind::Score,
+                    "observe" => TokenKind::Observe,
+                    "from" => TokenKind::From,
+                    "fail" => TokenKind::Fail,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                push(&mut toks, kind, start, i);
+            }
+            other => {
+                return Err(LangError::new(
+                    Phase::Lex,
+                    format!("unexpected character `{other}`"),
+                    Span::new(start as u32, start as u32 + 1),
+                ));
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(bytes.len() as u32, bytes.len() as u32),
+    });
+    Ok(toks)
+}
+
+fn push(toks: &mut Vec<Token>, kind: TokenKind, start: usize, end: usize) {
+    toks.push(Token {
+        kind,
+        span: Span::new(start as u32, end as u32),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("let rec walk in x"),
+            vec![Let, Rec, Ident("walk".into()), In, Ident("x".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a <= b < c >= d > e -> f"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Lt,
+                Ident("c".into()),
+                Ge,
+                Ident("d".into()),
+                Gt,
+                Ident("e".into()),
+                Arrow,
+                Ident("f".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_scientific() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("1 2.5 0.1 1e-3 2.5E+2"),
+            vec![
+                Number(1.0),
+                Number(2.5),
+                Number(0.1),
+                Number(1e-3),
+                Number(250.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("1 # a comment\n2 // another\n3"),
+            vec![Number(1.0), Number(2.0), Number(3.0), Eof]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        use TokenKind::*;
+        assert_eq!(kinds("a - b"), vec![Ident("a".into()), Minus, Ident("b".into()), Eof]);
+        assert_eq!(kinds("a -> b"), vec![Ident("a".into()), Arrow, Ident("b".into()), Eof]);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.message.contains('?'));
+        assert_eq!(err.render("a ? b"), "1:3: lex error: unexpected character `?`");
+    }
+
+    #[test]
+    fn spans_track_byte_offsets() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,158 @@
+//! Pretty printer for core SPCF expressions.
+//!
+//! Prints desugared terms back in a compact surface-ish notation, mainly
+//! for diagnostics and tests. Operator precedences mirror the parser so
+//! that simple first-order arithmetic round-trips.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, ExprKind};
+use crate::prim::PrimOp;
+
+/// Renders an expression to a string.
+///
+/// # Example
+///
+/// ```
+/// let p = gubpi_lang::parse("1 + 2 * 3").unwrap();
+/// assert_eq!(gubpi_lang::pretty(&p.root), "1 + 2 * 3");
+/// ```
+pub fn pretty(e: &Expr) -> String {
+    let mut s = String::new();
+    go(e, Prec::Lowest, &mut s);
+    s
+}
+
+/// Precedence levels, loosest first.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Lowest,
+    Add,
+    Mul,
+    App,
+    Atom,
+}
+
+fn go(e: &Expr, ctx: Prec, out: &mut String) {
+    match &e.kind {
+        ExprKind::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ExprKind::Const(r) => {
+            if *r < 0.0 {
+                paren(ctx > Prec::Add, out, |out| {
+                    let _ = write!(out, "{r}");
+                });
+            } else {
+                let _ = write!(out, "{r}");
+            }
+        }
+        ExprKind::Sample => out.push_str("sample"),
+        ExprKind::Lam(x, body) => paren(ctx > Prec::Lowest, out, |out| {
+            let _ = write!(out, "fn {x} -> ");
+            go(body, Prec::Lowest, out);
+        }),
+        ExprKind::Fix(f, x, body) => paren(ctx > Prec::Lowest, out, |out| {
+            let _ = write!(out, "mu {f} {x} -> ");
+            go(body, Prec::Lowest, out);
+        }),
+        ExprKind::App(f, a) => paren(ctx > Prec::App, out, |out| {
+            go(f, Prec::App, out);
+            out.push(' ');
+            go(a, Prec::Atom, out);
+        }),
+        ExprKind::If(c, t, els) => paren(ctx > Prec::Lowest, out, |out| {
+            out.push_str("if ");
+            go(c, Prec::Lowest, out);
+            out.push_str(" <= 0 then ");
+            go(t, Prec::Lowest, out);
+            out.push_str(" else ");
+            go(els, Prec::Lowest, out);
+        }),
+        ExprKind::Score(m) => {
+            out.push_str("score(");
+            go(m, Prec::Lowest, out);
+            out.push(')');
+        }
+        ExprKind::Prim(op, args) => match op {
+            PrimOp::Add | PrimOp::Sub => paren(ctx > Prec::Add, out, |out| {
+                go(&args[0], Prec::Add, out);
+                out.push_str(if *op == PrimOp::Add { " + " } else { " - " });
+                go(&args[1], Prec::Mul, out);
+            }),
+            PrimOp::Mul | PrimOp::Div => paren(ctx > Prec::Mul, out, |out| {
+                go(&args[0], Prec::Mul, out);
+                out.push_str(if *op == PrimOp::Mul { " * " } else { " / " });
+                go(&args[1], Prec::App, out);
+            }),
+            PrimOp::Neg => paren(ctx > Prec::Mul, out, |out| {
+                out.push('-');
+                go(&args[0], Prec::Atom, out);
+            }),
+            _ => {
+                let _ = write!(out, "{}(", op.name());
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    go(a, Prec::Lowest, out);
+                }
+                out.push(')');
+            }
+        },
+    }
+}
+
+fn paren(needed: bool, out: &mut String, inner: impl FnOnce(&mut String)) {
+    if needed {
+        out.push('(');
+        inner(out);
+        out.push(')');
+    } else {
+        inner(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) -> String {
+        pretty(&parse(src).unwrap().root)
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(roundtrip("1 + 2 * 3"), "1 + 2 * 3");
+        assert_eq!(roundtrip("(1 + 2) * 3"), "(1 + 2) * 3");
+        assert_eq!(roundtrip("1 - 2 - 3"), "1 - 2 - 3");
+        assert_eq!(roundtrip("1 / 2 / 3"), "1 / 2 / 3");
+    }
+
+    #[test]
+    fn application_binds_tightest() {
+        assert_eq!(roundtrip("let f x = x in f 1 + 2"), "(fn f -> f 1 + 2) (fn x -> x)");
+    }
+
+    #[test]
+    fn prims_print_with_names() {
+        assert_eq!(roundtrip("exp(min(1, 2))"), "exp(min(1, 2))");
+        assert_eq!(roundtrip("score(2)"), "score(2)");
+    }
+
+    #[test]
+    fn printed_programs_reparse_to_same_print() {
+        for src in [
+            "1 + 2 * 3",
+            "exp(1) + sample",
+            "score(sample); 4",
+            "if sample <= 0.5 then 1 else 0",
+            "let f x = x + 1 in f 3",
+        ] {
+            let once = roundtrip(src);
+            let twice = roundtrip(&once);
+            assert_eq!(once, twice, "printing is a fixpoint for `{src}`");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Tokens of the SPCF surface syntax.
+
+use std::fmt;
+
+use crate::ast::Span;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// An identifier (variable, distribution or builtin name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `let`
+    Let,
+    /// `rec`
+    Rec,
+    /// `in`
+    In,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `fn`
+    Fn,
+    /// `sample`
+    Sample,
+    /// `score`
+    Score,
+    /// `observe`
+    Observe,
+    /// `from`
+    From,
+    /// `fail` — hard rejection, sugar for `score(0)`
+    Fail,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Number(n) => write!(f, "number `{n}`"),
+            Let => write!(f, "`let`"),
+            Rec => write!(f, "`rec`"),
+            In => write!(f, "`in`"),
+            If => write!(f, "`if`"),
+            Then => write!(f, "`then`"),
+            Else => write!(f, "`else`"),
+            Fn => write!(f, "`fn`"),
+            Sample => write!(f, "`sample`"),
+            Score => write!(f, "`score`"),
+            Observe => write!(f, "`observe`"),
+            From => write!(f, "`from`"),
+            Fail => write!(f, "`fail`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            Comma => write!(f, "`,`"),
+            Semi => write!(f, "`;`"),
+            Eq => write!(f, "`=`"),
+            Arrow => write!(f, "`->`"),
+            Le => write!(f, "`<=`"),
+            Lt => write!(f, "`<`"),
+            Ge => write!(f, "`>=`"),
+            Gt => write!(f, "`>`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}

@@ -1,0 +1,434 @@
+//! Simple types for SPCF and unification-based inference.
+//!
+//! The paper's type system (§2.2) has `α, β ::= R | α → β`. The surface
+//! language omits annotations, so we infer types with standard
+//! Hindley–Milner-style unification restricted to monotypes (SPCF is
+//! simply typed; no polymorphism is needed). Every AST node receives a
+//! type, recorded in a [`TypeMap`] keyed by [`NodeId`] — the weight-aware
+//! interval type system (crate `gubpi-types`) consumes this map to build
+//! its symbolic skeletons (`fresh(α)`, Appendix D).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{Expr, ExprKind, Name, NodeId, Program, Span};
+use crate::error::{LangError, Phase};
+
+/// A simple type `R | α → β`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimpleTy {
+    /// The ground type of reals.
+    Real,
+    /// A function type.
+    Fun(Rc<SimpleTy>, Rc<SimpleTy>),
+}
+
+impl SimpleTy {
+    /// The order of the type (0 for `R`, 1 for `R → R`, …).
+    pub fn order(&self) -> usize {
+        match self {
+            SimpleTy::Real => 0,
+            SimpleTy::Fun(a, b) => (a.order() + 1).max(b.order()),
+        }
+    }
+
+    /// Is this the ground type `R`?
+    pub fn is_real(&self) -> bool {
+        matches!(self, SimpleTy::Real)
+    }
+}
+
+impl fmt::Display for SimpleTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleTy::Real => write!(f, "R"),
+            SimpleTy::Fun(a, b) => {
+                if matches!(**a, SimpleTy::Fun(..)) {
+                    write!(f, "({a}) -> {b}")
+                } else {
+                    write!(f, "{a} -> {b}")
+                }
+            }
+        }
+    }
+}
+
+/// The result of type inference: a type for every AST node.
+#[derive(Clone, Debug, Default)]
+pub struct TypeMap {
+    map: HashMap<NodeId, SimpleTy>,
+}
+
+impl TypeMap {
+    /// The type of the node, if inference reached it.
+    pub fn get(&self, id: NodeId) -> Option<&SimpleTy> {
+        self.map.get(&id)
+    }
+
+    /// The type of the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node was not typed; all nodes of a program accepted
+    /// by [`infer`] are typed.
+    pub fn ty(&self, id: NodeId) -> &SimpleTy {
+        self.map.get(&id).expect("node was typed by inference")
+    }
+
+    /// Number of typed nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no nodes have been typed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Internal unification term: a type variable or constructor.
+#[derive(Clone, Debug)]
+enum TyTerm {
+    /// An unresolved variable (index into the union-find table).
+    Var,
+    /// Ground type.
+    Real,
+    /// Function type over two table entries.
+    Fun(u32, u32),
+}
+
+struct Infer {
+    /// Union-find parents; `parent[i] == i` for roots.
+    parent: Vec<u32>,
+    /// Structure at each root.
+    term: Vec<TyTerm>,
+}
+
+impl Infer {
+    fn new() -> Infer {
+        Infer {
+            parent: Vec::new(),
+            term: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let i = self.parent.len() as u32;
+        self.parent.push(i);
+        self.term.push(TyTerm::Var);
+        i
+    }
+
+    fn real(&mut self) -> u32 {
+        let i = self.fresh();
+        self.term[i as usize] = TyTerm::Real;
+        i
+    }
+
+    fn fun(&mut self, a: u32, b: u32) -> u32 {
+        let i = self.fresh();
+        self.term[i as usize] = TyTerm::Fun(a, b);
+        i
+    }
+
+    fn find(&mut self, i: u32) -> u32 {
+        let p = self.parent[i as usize];
+        if p == i {
+            return i;
+        }
+        let root = self.find(p);
+        self.parent[i as usize] = root;
+        root
+    }
+
+    /// Does variable root `v` occur inside the structure rooted at `t`?
+    /// Prevents the construction of infinite types like `a = a → b`.
+    fn occurs(&mut self, v: u32, t: u32) -> bool {
+        let rt = self.find(t);
+        if rt == v {
+            return true;
+        }
+        match self.term[rt as usize].clone() {
+            TyTerm::Var | TyTerm::Real => false,
+            TyTerm::Fun(a, b) => self.occurs(v, a) || self.occurs(v, b),
+        }
+    }
+
+    fn unify(&mut self, a: u32, b: u32, span: Span) -> Result<(), LangError> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(());
+        }
+        let ta = self.term[ra as usize].clone();
+        let tb = self.term[rb as usize].clone();
+        match (ta, tb) {
+            (TyTerm::Var, _) => {
+                if self.occurs(ra, rb) {
+                    return Err(LangError::new(
+                        Phase::Type,
+                        "cannot construct an infinite type",
+                        span,
+                    ));
+                }
+                self.parent[ra as usize] = rb;
+                Ok(())
+            }
+            (_, TyTerm::Var) => {
+                if self.occurs(rb, ra) {
+                    return Err(LangError::new(
+                        Phase::Type,
+                        "cannot construct an infinite type",
+                        span,
+                    ));
+                }
+                self.parent[rb as usize] = ra;
+                Ok(())
+            }
+            (TyTerm::Real, TyTerm::Real) => {
+                self.parent[ra as usize] = rb;
+                Ok(())
+            }
+            (TyTerm::Fun(a1, r1), TyTerm::Fun(a2, r2)) => {
+                self.parent[ra as usize] = rb;
+                self.unify(a1, a2, span)?;
+                self.unify(r1, r2, span)
+            }
+            (x, y) => Err(LangError::new(
+                Phase::Type,
+                format!(
+                    "type mismatch: {} vs {}",
+                    describe(&x),
+                    describe(&y)
+                ),
+                span,
+            )),
+        }
+    }
+
+    /// Resolves a table entry into a [`SimpleTy`], defaulting unresolved
+    /// variables to `R` (any ground default is sound for SPCF programs
+    /// whose result type is `R`).
+    fn resolve(&mut self, i: u32) -> SimpleTy {
+        let r = self.find(i);
+        match self.term[r as usize].clone() {
+            TyTerm::Var | TyTerm::Real => SimpleTy::Real,
+            TyTerm::Fun(a, b) => {
+                SimpleTy::Fun(Rc::new(self.resolve(a)), Rc::new(self.resolve(b)))
+            }
+        }
+    }
+}
+
+fn describe(t: &TyTerm) -> &'static str {
+    match t {
+        TyTerm::Var => "_",
+        TyTerm::Real => "R",
+        TyTerm::Fun(..) => "a function type",
+    }
+}
+
+/// Infers simple types for every node of the program and checks that the
+/// whole program has ground type `R`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] when unification fails (e.g. a number is
+/// applied as a function) or an unbound variable occurs.
+///
+/// # Example
+///
+/// ```
+/// let p = gubpi_lang::parse("let f x = x + 1 in f 2").unwrap();
+/// let types = gubpi_lang::infer(&p).unwrap();
+/// assert!(types.ty(p.root.id).is_real());
+/// ```
+pub fn infer(program: &Program) -> Result<TypeMap, LangError> {
+    let mut inf = Infer::new();
+    let mut node_ty: HashMap<NodeId, u32> = HashMap::new();
+    let mut env: Vec<(Name, u32)> = Vec::new();
+    let root_ty = walk(&program.root, &mut inf, &mut env, &mut node_ty)?;
+    let real = inf.real();
+    inf.unify(root_ty, real, program.root.span).map_err(|_| {
+        LangError::new(
+            Phase::Type,
+            "program must have ground type R",
+            program.root.span,
+        )
+    })?;
+    let mut map = HashMap::with_capacity(node_ty.len());
+    for (id, t) in node_ty {
+        map.insert(id, inf.resolve(t));
+    }
+    Ok(TypeMap { map })
+}
+
+fn walk(
+    e: &Expr,
+    inf: &mut Infer,
+    env: &mut Vec<(Name, u32)>,
+    out: &mut HashMap<NodeId, u32>,
+) -> Result<u32, LangError> {
+    let ty = match &e.kind {
+        ExprKind::Var(x) => match env.iter().rev().find(|(n, _)| n == x) {
+            Some((_, t)) => *t,
+            None => {
+                return Err(LangError::new(
+                    Phase::Type,
+                    format!("unbound variable `{x}`"),
+                    e.span,
+                ))
+            }
+        },
+        ExprKind::Const(_) | ExprKind::Sample => inf.real(),
+        ExprKind::Lam(x, body) => {
+            let a = inf.fresh();
+            env.push((x.clone(), a));
+            let b = walk(body, inf, env, out)?;
+            env.pop();
+            inf.fun(a, b)
+        }
+        ExprKind::Fix(f, x, body) => {
+            let a = inf.fresh();
+            let b = inf.fresh();
+            let fun = inf.fun(a, b);
+            env.push((f.clone(), fun));
+            env.push((x.clone(), a));
+            let body_t = walk(body, inf, env, out)?;
+            env.pop();
+            env.pop();
+            inf.unify(body_t, b, e.span)?;
+            fun
+        }
+        ExprKind::App(g, arg) => {
+            let gt = walk(g, inf, env, out)?;
+            let at = walk(arg, inf, env, out)?;
+            let r = inf.fresh();
+            let want = inf.fun(at, r);
+            inf.unify(gt, want, e.span)?;
+            r
+        }
+        ExprKind::If(c, t, el) => {
+            let ct = walk(c, inf, env, out)?;
+            let real = inf.real();
+            inf.unify(ct, real, c.span)?;
+            let tt = walk(t, inf, env, out)?;
+            let et = walk(el, inf, env, out)?;
+            inf.unify(tt, et, e.span)?;
+            tt
+        }
+        ExprKind::Prim(_, args) => {
+            for a in args {
+                let at = walk(a, inf, env, out)?;
+                let real = inf.real();
+                inf.unify(at, real, a.span)?;
+            }
+            inf.real()
+        }
+        ExprKind::Score(m) => {
+            let mt = walk(m, inf, env, out)?;
+            let real = inf.real();
+            inf.unify(mt, real, m.span)?;
+            real
+        }
+    };
+    out.insert(e.id, ty);
+    Ok(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn infers_function_types() {
+        let p = parse("let f x = x + 1 in f (f 2)").unwrap();
+        let tm = infer(&p).unwrap();
+        assert!(tm.ty(p.root.id).is_real());
+        // Some node must have type R -> R (the function f).
+        let fun = SimpleTy::Fun(Rc::new(SimpleTy::Real), Rc::new(SimpleTy::Real));
+        let mut found = false;
+        p.root.walk(&mut |e| {
+            if tm.get(e.id) == Some(&fun) {
+                found = true;
+            }
+        });
+        assert!(found);
+        assert_eq!(fun.to_string(), "R -> R");
+        assert_eq!(fun.order(), 1);
+    }
+
+    #[test]
+    fn recursive_functions_type_check() {
+        let p = parse(
+            "let rec fact n = if n <= 0 then 1 else n * fact (n - 1) in fact 5",
+        )
+        .unwrap();
+        let tm = infer(&p).unwrap();
+        assert!(tm.ty(p.root.id).is_real());
+    }
+
+    #[test]
+    fn higher_order_types() {
+        let p = parse("let twice f x = f (f x) in twice (fn y -> y + 1) 0").unwrap();
+        let tm = infer(&p).unwrap();
+        // twice : (R→R) → R → R must appear in the program.
+        let rr = Rc::new(SimpleTy::Fun(Rc::new(SimpleTy::Real), Rc::new(SimpleTy::Real)));
+        let twice_ty = SimpleTy::Fun(
+            rr.clone(),
+            Rc::new(SimpleTy::Fun(Rc::new(SimpleTy::Real), Rc::new(SimpleTy::Real))),
+        );
+        let mut found = false;
+        p.root.walk(&mut |e| {
+            if tm.get(e.id) == Some(&twice_ty) {
+                found = true;
+            }
+        });
+        assert!(found);
+        assert_eq!(twice_ty.order(), 2);
+    }
+
+    #[test]
+    fn rejects_applying_a_number() {
+        let p = parse("let x = 1 in x 2").unwrap();
+        let err = infer(&p).unwrap_err();
+        assert_eq!(err.phase, Phase::Type);
+    }
+
+    #[test]
+    fn rejects_non_ground_programs() {
+        let p = parse("fn x -> x").unwrap();
+        assert!(infer(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_variables() {
+        let p = parse("x + 1").unwrap();
+        let err = infer(&p).unwrap_err();
+        assert!(err.message.contains("unbound"));
+    }
+
+    #[test]
+    fn every_node_is_typed() {
+        let p = parse("let g y = y * 2 in if g 1 <= 2 then sample else 0").unwrap();
+        let tm = infer(&p).unwrap();
+        let mut missing = 0;
+        p.root.walk(&mut |e| {
+            if tm.get(e.id).is_none() {
+                missing += 1;
+            }
+        });
+        assert_eq!(missing, 0);
+        assert!(!tm.is_empty() && !tm.is_empty());
+    }
+
+    #[test]
+    fn occurs_check_rejects_self_application() {
+        // ω-style self application requires the infinite type a = a → b.
+        let p = parse("(fn x -> x x) (fn x -> x x)").unwrap();
+        let err = infer(&p).unwrap_err();
+        assert!(err.message.contains("infinite type"));
+    }
+}

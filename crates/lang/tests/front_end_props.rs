@@ -1,0 +1,64 @@
+//! Property tests for the SPCF front end.
+
+use gubpi_lang::{infer, parse, pretty};
+use proptest::prelude::*;
+
+/// Generates random arithmetic source text with known structure.
+fn arith_source() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0u32..100).prop_map(|n| n.to_string()),
+        Just("sample".to_owned()),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("min({a}, {b})")),
+            inner.clone().prop_map(|a| format!("exp({a})")),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| format!("(if {c} <= 50 then {t} else {e})")),
+        ]
+    })
+}
+
+proptest! {
+    /// Parsing never panics and always yields a well-scoped ground term.
+    #[test]
+    fn random_arithmetic_parses_and_types(src in arith_source()) {
+        let p = parse(&src).unwrap_or_else(|e| panic!("{}: {src}", e.render(&src)));
+        prop_assert!(p.root.free_vars().is_empty());
+        let tm = infer(&p).unwrap();
+        prop_assert!(tm.ty(p.root.id).is_real());
+    }
+
+    /// pretty ∘ parse is a projection: printing, re-parsing and printing
+    /// again reproduces the first print exactly.
+    #[test]
+    fn pretty_is_a_projection(src in arith_source()) {
+        let once = pretty(&parse(&src).unwrap().root);
+        let twice = pretty(&parse(&once).unwrap().root);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Garbage input never panics the lexer/parser (errors are values).
+    #[test]
+    fn no_panics_on_garbage(src in "[ -~]{0,80}") {
+        let _ = parse(&src);
+    }
+
+    /// Node ids are unique across the whole tree.
+    #[test]
+    fn node_ids_are_unique(src in arith_source()) {
+        let p = parse(&src).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut dup = false;
+        p.root.walk(&mut |e| {
+            if !seen.insert(e.id) {
+                dup = true;
+            }
+        });
+        prop_assert!(!dup);
+        prop_assert!(seen.len() <= p.node_count as usize);
+    }
+}

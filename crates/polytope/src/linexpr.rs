@@ -1,0 +1,209 @@
+//! Linear expressions `w·x + c` over sample variables.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use gubpi_interval::{BoxN, Interval};
+
+/// A linear expression `w₁x₁ + ⋯ + w_nx_n + c`.
+///
+/// The symbolic executor extracts these from symbolic values (§6.4 calls
+/// them *interval linear functions* when the constant is an interval; we
+/// keep the constant pointwise and track interval slack separately).
+#[derive(Clone, PartialEq, Debug)]
+pub struct LinExpr {
+    coeffs: Vec<f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The constant expression `c` over `dim` variables.
+    pub fn constant(dim: usize, c: f64) -> LinExpr {
+        LinExpr {
+            coeffs: vec![0.0; dim],
+            constant: c,
+        }
+    }
+
+    /// The single variable `x_i` over `dim` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ dim`.
+    pub fn var(dim: usize, i: usize) -> LinExpr {
+        assert!(i < dim, "variable index out of range");
+        let mut coeffs = vec![0.0; dim];
+        coeffs[i] = 1.0;
+        LinExpr { coeffs, constant: 0.0 }
+    }
+
+    /// Builds from raw parts.
+    pub fn new(coeffs: Vec<f64>, constant: f64) -> LinExpr {
+        LinExpr { coeffs, constant }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient vector `w`.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The constant offset `c`.
+    pub fn constant_term(&self) -> f64 {
+        self.constant
+    }
+
+    /// Is this a constant (all coefficients zero)?
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&w| w == 0.0)
+    }
+
+    /// Evaluates at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        self.coeffs.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.constant
+    }
+
+    /// Exact range over an axis-aligned box (interval arithmetic is exact
+    /// for linear functions of independent variables).
+    pub fn range_over_box(&self, b: &BoxN) -> Interval {
+        assert_eq!(b.dim(), self.dim(), "dimension mismatch");
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        for (w, iv) in self.coeffs.iter().zip(b.intervals()) {
+            if *w >= 0.0 {
+                lo += w * iv.lo();
+                hi += w * iv.hi();
+            } else {
+                lo += w * iv.hi();
+                hi += w * iv.lo();
+            }
+        }
+        Interval::new(lo.min(hi), hi.max(lo))
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, k: f64) -> LinExpr {
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|w| w * k).collect(),
+            constant: self.constant * k,
+        }
+    }
+}
+
+impl Add for &LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: &LinExpr) -> LinExpr {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            constant: self.constant + rhs.constant,
+        }
+    }
+}
+
+impl Sub for &LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: &LinExpr) -> LinExpr {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(a, b)| a - b)
+                .collect(),
+            constant: self.constant - rhs.constant,
+        }
+    }
+}
+
+impl Neg for &LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(-1.0)
+    }
+}
+
+impl Mul<f64> for &LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        self.scale(k)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, w) in self.coeffs.iter().enumerate() {
+            if *w == 0.0 {
+                continue;
+            }
+            if first {
+                write!(f, "{w}·a{i}")?;
+                first = false;
+            } else if *w < 0.0 {
+                write!(f, " - {}·a{i}", -w)?;
+            } else {
+                write!(f, " + {w}·a{i}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)
+        } else if self.constant != 0.0 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)
+            } else {
+                write!(f, " + {}", self.constant)
+            }
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_and_arithmetic() {
+        let x = LinExpr::var(2, 0);
+        let y = LinExpr::var(2, 1);
+        let e = &(&x + &y.scale(2.0)) + &LinExpr::constant(2, 1.0); // x + 2y + 1
+        assert_eq!(e.eval(&[3.0, 4.0]), 12.0);
+        let d = &e - &x; // 2y + 1
+        assert_eq!(d.eval(&[100.0, 1.0]), 3.0);
+        assert!((-&d).eval(&[0.0, 1.0]) == -3.0);
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant(3, 5.0).is_constant());
+    }
+
+    #[test]
+    fn range_over_box_is_exact() {
+        // x − 2y over [0,1] × [0,0.5]: range [−1, 1].
+        let e = LinExpr::new(vec![1.0, -2.0], 0.0);
+        let b = BoxN::new(vec![Interval::UNIT, Interval::new(0.0, 0.5)]);
+        assert_eq!(e.range_over_box(&b), Interval::new(-1.0, 1.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::new(vec![1.0, -0.5], 2.0);
+        assert_eq!(e.to_string(), "1·a0 - 0.5·a1 + 2");
+        assert_eq!(LinExpr::constant(2, 3.0).to_string(), "3");
+    }
+}

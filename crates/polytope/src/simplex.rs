@@ -1,0 +1,339 @@
+//! Dense two-phase simplex for small LPs.
+#![allow(clippy::needless_range_loop)] // index loops mirror tableau notation
+//!
+//! Solves `max / min c·x` subject to `A x ≤ b`, `x ≥ 0` — the form in
+//! which all polytopes of the linear trace semantics arrive (sample
+//! variables live in `[0, 1]^n`, with the cube constraints included as
+//! rows). Bland's anti-cycling rule is used throughout; tolerances are
+//! absolute (`1e-9`), adequate for the small well-scaled systems produced
+//! by the analyzer.
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// An optimal vertex: `(objective value, point)`.
+    Optimal(f64, Vec<f64>),
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `optimize c·x` s.t. `rows[i].0 · x ≤ rows[i].1` and `x ≥ 0`.
+///
+/// `maximize` selects the direction. Row coefficient vectors must all
+/// have length `dim`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn solve_lp(c: &[f64], maximize: bool, rows: &[(Vec<f64>, f64)], dim: usize) -> LpOutcome {
+    assert_eq!(c.len(), dim, "objective dimension mismatch");
+    for (a, _) in rows {
+        assert_eq!(a.len(), dim, "row dimension mismatch");
+    }
+    let m = rows.len();
+
+    // Columns: dim structural | m slacks | artificials… ; plus rhs.
+    // Rows with negative rhs are negated (slack coeff −1) and get an
+    // artificial basic variable.
+    let mut need_art: Vec<bool> = Vec::with_capacity(m);
+    for (_, b) in rows {
+        need_art.push(*b < 0.0);
+    }
+    let n_art = need_art.iter().filter(|&&x| x).count();
+    let ncols = dim + m + n_art;
+
+    let mut a = vec![vec![0.0f64; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut art_col = dim + m;
+    for (i, (coef, b)) in rows.iter().enumerate() {
+        let neg = need_art[i];
+        let sign = if neg { -1.0 } else { 1.0 };
+        for (j, &w) in coef.iter().enumerate() {
+            a[i][j] = sign * w;
+        }
+        a[i][dim + i] = sign; // slack
+        a[i][ncols] = sign * b;
+        if neg {
+            a[i][art_col] = 1.0;
+            basis[i] = art_col;
+            art_col += 1;
+        } else {
+            basis[i] = dim + i;
+        }
+    }
+
+    // ---- Phase 1: minimize the sum of artificials -----------------------
+    if n_art > 0 {
+        let mut cost = vec![0.0f64; ncols + 1];
+        for j in dim + m..ncols {
+            cost[j] = 1.0;
+        }
+        // Zero out basic (artificial) columns of the cost row.
+        for i in 0..m {
+            if basis[i] >= dim + m {
+                let r = a[i].clone();
+                for j in 0..=ncols {
+                    cost[j] -= r[j];
+                }
+            }
+        }
+        if iterate(&mut a, &mut basis, &mut cost, ncols).is_err() {
+            // Phase-1 objective is bounded below by 0; unboundedness here
+            // signals numerical trouble — report infeasible conservatively.
+            return LpOutcome::Infeasible;
+        }
+        let z1 = -cost[ncols];
+        if z1 > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any degenerate artificials out of the basis.
+        for i in 0..m {
+            if basis[i] >= dim + m {
+                if let Some(j) = (0..dim + m).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut basis, &mut vec![0.0; ncols + 1], i, j);
+                }
+                // If no pivot column exists the row is all-zero
+                // (redundant); leaving the artificial basic at value 0 is
+                // harmless for phase 2 since its column is never entered.
+            }
+        }
+    }
+
+    // ---- Phase 2 ---------------------------------------------------------
+    // Minimize cmin·x where cmin = −c for maximisation.
+    let mut cost = vec![0.0f64; ncols + 1];
+    for j in 0..dim {
+        cost[j] = if maximize { -c[j] } else { c[j] };
+    }
+    // Forbid artificials from re-entering.
+    for j in dim + m..ncols {
+        cost[j] = f64::INFINITY;
+    }
+    // Express the cost row in terms of non-basic variables.
+    for i in 0..m {
+        let bj = basis[i];
+        if cost[bj] != 0.0 && cost[bj].is_finite() {
+            let factor = cost[bj];
+            let r = a[i].clone();
+            for j in 0..=ncols {
+                if cost[j].is_finite() {
+                    cost[j] -= factor * r[j];
+                }
+            }
+        }
+    }
+    if iterate(&mut a, &mut basis, &mut cost, ncols).is_err() {
+        return LpOutcome::Unbounded;
+    }
+
+    // Read the solution.
+    let mut x = vec![0.0f64; dim];
+    for i in 0..m {
+        if basis[i] < dim {
+            x[basis[i]] = a[i][ncols];
+        }
+    }
+    let z_min = -cost[ncols];
+    let value = if maximize { -z_min } else { z_min };
+    LpOutcome::Optimal(value, x)
+}
+
+/// Solves `optimize c·x` s.t. `rows[i].0 · x ≤ rows[i].1` with **free**
+/// variables (no sign restriction), via the split `x = u − v` with
+/// `u, v ≥ 0`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn solve_lp_free(
+    c: &[f64],
+    maximize: bool,
+    rows: &[(Vec<f64>, f64)],
+    dim: usize,
+) -> LpOutcome {
+    let c2: Vec<f64> = c.iter().copied().chain(c.iter().map(|x| -x)).collect();
+    let rows2: Vec<(Vec<f64>, f64)> = rows
+        .iter()
+        .map(|(a, b)| {
+            let a2: Vec<f64> = a.iter().copied().chain(a.iter().map(|x| -x)).collect();
+            (a2, *b)
+        })
+        .collect();
+    match solve_lp(&c2, maximize, &rows2, 2 * dim) {
+        LpOutcome::Optimal(v, uv) => {
+            let x: Vec<f64> = (0..dim).map(|i| uv[i] - uv[dim + i]).collect();
+            LpOutcome::Optimal(v, x)
+        }
+        other => other,
+    }
+}
+
+/// Runs simplex iterations until optimal (`Ok`) or unbounded (`Err`).
+fn iterate(
+    a: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &mut [f64],
+    ncols: usize,
+) -> Result<(), ()> {
+    let m = a.len();
+    for _round in 0..100_000 {
+        // Bland: entering column = smallest index with negative reduced cost.
+        let mut enter = None;
+        for (j, &cj) in cost.iter().enumerate().take(ncols) {
+            if cj.is_finite() && cj < -EPS {
+                enter = Some(j);
+                break;
+            }
+        }
+        let Some(col) = enter else {
+            return Ok(()); // optimal
+        };
+        // Ratio test; Bland tie-break on the smallest basis variable.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if a[i][col] > EPS {
+                let ratio = a[i][ncols] / a[i][col];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - EPS || (ratio < br + EPS && basis[i] < basis[bi]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Err(()); // unbounded
+        };
+        pivot(a, basis, cost, row, col);
+    }
+    // Iteration limit: treat as optimal-enough; Bland's rule should
+    // prevent reaching this for the problem sizes at hand.
+    Ok(())
+}
+
+/// Pivots the tableau (and cost row) on `(row, col)`.
+fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], cost: &mut [f64], row: usize, col: usize) {
+    let ncols = a[row].len() - 1;
+    let p = a[row][col];
+    for j in 0..=ncols {
+        a[row][j] /= p;
+    }
+    a[row][col] = 1.0; // exact
+    for i in 0..a.len() {
+        if i != row && a[i][col].abs() > 0.0 {
+            let f = a[i][col];
+            for j in 0..=ncols {
+                a[i][j] -= f * a[row][j];
+            }
+            a[i][col] = 0.0;
+        }
+    }
+    if cost[col].is_finite() && cost[col] != 0.0 {
+        let f = cost[col];
+        for j in 0..=ncols {
+            if cost[j].is_finite() {
+                cost[j] -= f * a[row][j];
+            }
+        }
+        cost[col] = 0.0;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(rs: &[(&[f64], f64)]) -> Vec<(Vec<f64>, f64)> {
+        rs.iter().map(|(a, b)| (a.to_vec(), *b)).collect()
+    }
+
+    #[test]
+    fn maximize_on_unit_square() {
+        // max x + y s.t. x ≤ 1, y ≤ 1 → 2 at (1,1).
+        let r = rows(&[(&[1.0, 0.0], 1.0), (&[0.0, 1.0], 1.0)]);
+        match solve_lp(&[1.0, 1.0], true, &r, 2) {
+            LpOutcome::Optimal(v, x) => {
+                assert!((v - 2.0).abs() < 1e-9);
+                assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_triggers_phase_one() {
+        // x ≥ 0.25 encoded as −x ≤ −0.25; min x → 0.25.
+        let r = rows(&[(&[-1.0], -0.25), (&[1.0], 1.0)]);
+        match solve_lp(&[1.0], false, &r, 1) {
+            LpOutcome::Optimal(v, _) => assert!((v - 0.25).abs() < 1e-9),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detection() {
+        // x ≤ 0.2 and x ≥ 0.8.
+        let r = rows(&[(&[1.0], 0.2), (&[-1.0], -0.8)]);
+        assert_eq!(solve_lp(&[1.0], true, &r, 1), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        // max x with no upper bound.
+        let r = rows(&[(&[-1.0], 0.0)]);
+        assert_eq!(solve_lp(&[1.0], true, &r, 1), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn simplex_on_triangle() {
+        // max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 → vertex (4, 0): 12.
+        let r = rows(&[(&[1.0, 1.0], 4.0), (&[1.0, 3.0], 6.0)]);
+        match solve_lp(&[3.0, 2.0], true, &r, 2) {
+            LpOutcome::Optimal(v, x) => {
+                assert!((v - 12.0).abs() < 1e-9);
+                assert!((x[0] - 4.0).abs() < 1e-9);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_with_equality_like_band() {
+        // 0.5 ≤ x + y ≤ 0.5 forces x + y = 0.5; min y → 0 at x = 0.5 ≤ 1.
+        let r = rows(&[
+            (&[1.0, 1.0], 0.5),
+            (&[-1.0, -1.0], -0.5),
+            (&[1.0, 0.0], 1.0),
+            (&[0.0, 1.0], 1.0),
+        ]);
+        match solve_lp(&[0.0, 1.0], false, &r, 2) {
+            LpOutcome::Optimal(v, x) => {
+                assert!(v.abs() < 1e-9);
+                assert!((x[0] - 0.5).abs() < 1e-9);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        // Duplicate constraints must not break the solver.
+        let r = rows(&[
+            (&[1.0, 0.0], 0.5),
+            (&[1.0, 0.0], 0.5),
+            (&[0.0, 1.0], 0.5),
+            (&[-1.0, 0.0], -0.5), // x ≥ 0.5 — forces x = 0.5
+        ]);
+        match solve_lp(&[1.0, 1.0], true, &r, 2) {
+            LpOutcome::Optimal(v, _) => assert!((v - 1.0).abs() < 1e-9),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+}

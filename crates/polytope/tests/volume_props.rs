@@ -1,0 +1,88 @@
+//! Property tests: the two volume algorithms must agree.
+//!
+//! Lasserre's facet recursion is exact-but-floating-point; the box
+//! subdivision is certified. On random polytopes (random halfspace cuts
+//! of the unit cube) the Lasserre value must fall inside the certified
+//! `[lo, hi]` bounds, and both must agree with a high-resolution grid
+//! estimate in 2-D.
+
+use gubpi_polytope::{HPolytope, LinExpr, LpOutcome};
+use proptest::prelude::*;
+
+fn random_cut() -> impl Strategy<Value = (Vec<f64>, f64)> {
+    (
+        proptest::collection::vec(-1.0f64..1.0, 3),
+        -0.5f64..1.5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn lasserre_within_certified_bounds(cuts in proptest::collection::vec(random_cut(), 0..4)) {
+        let mut p = HPolytope::unit_cube(3);
+        for (a, b) in &cuts {
+            p.add_constraint(a.clone(), *b);
+        }
+        let exact = p.volume_lasserre();
+        let (lo, hi) = p.volume_bounds(6_000);
+        // Allow a whisker of floating-point slack.
+        prop_assert!(lo - 1e-7 <= exact, "lo={lo} exact={exact} cuts={cuts:?}");
+        prop_assert!(exact <= hi + 1e-7, "hi={hi} exact={exact} cuts={cuts:?}");
+    }
+
+    #[test]
+    fn two_d_grid_cross_check(a0 in -1.0f64..1.0, a1 in -1.0f64..1.0, b in -0.5f64..1.5) {
+        let mut p = HPolytope::unit_cube(2);
+        p.add_constraint(vec![a0, a1], b);
+        let exact = p.volume_lasserre();
+        // 400×400 midpoint grid estimate.
+        let n = 400usize;
+        let mut hits = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let x = (i as f64 + 0.5) / n as f64;
+                let y = (j as f64 + 0.5) / n as f64;
+                if a0 * x + a1 * y <= b {
+                    hits += 1;
+                }
+            }
+        }
+        let grid = hits as f64 / (n * n) as f64;
+        prop_assert!((exact - grid).abs() < 0.02, "exact={exact} grid={grid}");
+    }
+
+    #[test]
+    fn lp_range_contains_feasible_points(a0 in -1.0f64..1.0, a1 in -1.0f64..1.0,
+                                         b in 0.2f64..1.5, px in 0.0f64..1.0, py in 0.0f64..1.0) {
+        let mut p = HPolytope::unit_cube(2);
+        p.add_constraint(vec![a0, a1], b);
+        let e = LinExpr::new(vec![0.7, -0.3], 0.1);
+        if p.contains(&[px, py], 0.0) {
+            let range = p.range_of(&e).expect("nonempty");
+            let v = e.eval(&[px, py]);
+            prop_assert!(range.lo() - 1e-9 <= v && v <= range.hi() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lp_optimum_is_feasible_and_extreme(c0 in -1.0f64..1.0, c1 in -1.0f64..1.0,
+                                          b in 0.2f64..1.8) {
+        let mut p = HPolytope::unit_cube(2);
+        p.add_constraint(vec![1.0, 1.0], b);
+        if let LpOutcome::Optimal(v, x) = p.maximize(&[c0, c1]) {
+            prop_assert!(p.contains(&x, 1e-7), "optimum {x:?} infeasible");
+            prop_assert!((c0 * x[0] + c1 * x[1] - v).abs() < 1e-7);
+            // No grid point beats the optimum.
+            for i in 0..20 {
+                for j in 0..20 {
+                    let gx = i as f64 / 19.0;
+                    let gy = j as f64 / 19.0;
+                    if p.contains(&[gx, gy], 0.0) {
+                        prop_assert!(c0 * gx + c1 * gy <= v + 1e-7);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Lower/upper bounds on `⟦P⟧(U)` from finite sets of interval traces
+//! (§3.3 and Appendix A.4 of the paper).
+//!
+//! Given a finite, compatible set `T` of interval traces,
+//!
+//! ```text
+//! lowerBd_P^T(U) = Σ_{t∈T} Σ_{leaves} vol(t) · min wtI · [valI ⊆ U]
+//! upperBd_P^T(U) = Σ_{t∈T} Σ_{leaves} vol(t) · sup wtI · [valI ∩ U ≠ ∅]
+//! ```
+//!
+//! where the inner sums range over the leaves of the nondeterministic
+//! interval reduction (Appendix A.4). Lower bounds are sound for
+//! compatible `T`; upper bounds additionally require `T` to be exhaustive.
+//! For *finite* `T` exhaustivity can be checked exactly — see
+//! [`covered_volume`].
+
+use gubpi_interval::{BoxN, Interval};
+use gubpi_lang::Program;
+
+use crate::interval::{eval_on_interval_trace, IntervalOptions, Leaf};
+
+/// Accumulates per-trace contributions to both bounds at once.
+#[derive(Clone, Debug, Default)]
+pub struct BoundAccumulator {
+    /// Running lower bound.
+    pub lower: f64,
+    /// Running upper bound.
+    pub upper: f64,
+}
+
+impl BoundAccumulator {
+    /// Adds the contribution of one interval trace's leaves.
+    pub fn add(&mut self, volume: f64, leaves: &[Leaf], u: Interval) {
+        for leaf in leaves {
+            if leaf.value.subset_of(&u) && leaf.terminated {
+                self.lower += volume * leaf.weight.lo();
+            }
+            if leaf.value.intersects(&u) {
+                self.upper += volume * leaf.weight.hi();
+            }
+        }
+    }
+}
+
+/// `lowerBd_P^T(U)` for a finite compatible set of interval traces.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `traces` is not pairwise compatible —
+/// incompatible sets double-count and the bound would be unsound.
+pub fn lower_bound(program: &Program, traces: &[BoxN], u: Interval, opts: IntervalOptions) -> f64 {
+    debug_assert!(pairwise_compatible(traces), "trace set must be compatible");
+    let mut acc = 0.0;
+    for t in traces {
+        for leaf in eval_on_interval_trace(program, t, opts) {
+            if leaf.terminated && leaf.value.subset_of(&u) {
+                acc += t.volume() * leaf.weight.lo();
+            }
+        }
+    }
+    acc
+}
+
+/// `upperBd_P^T(U)`; sound when `traces` is exhaustive (check with
+/// [`covered_volume`] ≈ 1 for the explored prefix length).
+pub fn upper_bound(program: &Program, traces: &[BoxN], u: Interval, opts: IntervalOptions) -> f64 {
+    let mut acc = 0.0;
+    for t in traces {
+        for leaf in eval_on_interval_trace(program, t, opts) {
+            if leaf.value.intersects(&u) {
+                acc += t.volume() * leaf.weight.hi();
+            }
+        }
+    }
+    acc
+}
+
+/// Are the traces pairwise compatible (§3.3)?
+pub fn pairwise_compatible(traces: &[BoxN]) -> bool {
+    for (i, a) in traces.iter().enumerate() {
+        for b in &traces[i + 1..] {
+            if !a.compatible(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The Lebesgue measure of `⋃_t cover(t)` restricted to `[0,1]^N`, where
+/// `N` is the longest trace length: the volume of the union of the
+/// cylinders `L(t) × [0,1]^{N−n}`.
+///
+/// A finite trace set is *exhaustive up to depth `N`* iff this equals 1.
+/// Computed exactly by sweeping the grid induced by all interval
+/// endpoints; exponential in `N`, intended for tests and small analyses.
+pub fn covered_volume(traces: &[BoxN]) -> f64 {
+    let n = traces.iter().map(BoxN::dim).max().unwrap_or(0);
+    if n == 0 {
+        return if traces.is_empty() { 0.0 } else { 1.0 };
+    }
+    // Collect cut points per dimension.
+    let mut cuts: Vec<Vec<f64>> = vec![vec![0.0, 1.0]; n];
+    for t in traces {
+        for (d, iv) in t.intervals().iter().enumerate() {
+            cuts[d].push(iv.lo().clamp(0.0, 1.0));
+            cuts[d].push(iv.hi().clamp(0.0, 1.0));
+        }
+    }
+    for c in &mut cuts {
+        c.sort_by(f64::total_cmp);
+        c.dedup();
+    }
+    // Enumerate grid cells by index vector.
+    let sizes: Vec<usize> = cuts.iter().map(|c| c.len() - 1).collect();
+    let mut idx = vec![0usize; n];
+    let mut covered = 0.0;
+    'outer: loop {
+        // Cell midpoint & volume.
+        let mut vol = 1.0;
+        let mut mid = Vec::with_capacity(n);
+        for d in 0..n {
+            let lo = cuts[d][idx[d]];
+            let hi = cuts[d][idx[d] + 1];
+            vol *= hi - lo;
+            mid.push(0.5 * (lo + hi));
+        }
+        if vol > 0.0 {
+            let is_covered = traces.iter().any(|t| {
+                t.intervals()
+                    .iter()
+                    .zip(&mid)
+                    .all(|(iv, &m)| iv.contains(m))
+            });
+            if is_covered {
+                covered += vol;
+            }
+        }
+        // Advance the index vector.
+        for d in 0..n {
+            idx[d] += 1;
+            if idx[d] < sizes[d] {
+                continue 'outer;
+            }
+            idx[d] = 0;
+        }
+        break;
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::parse;
+
+    fn tr(dims: &[(f64, f64)]) -> BoxN {
+        BoxN::new(dims.iter().map(|&(a, b)| Interval::new(a, b)).collect())
+    }
+
+    fn grid1(n: usize) -> Vec<BoxN> {
+        Interval::UNIT
+            .split(n)
+            .into_iter()
+            .map(|i| BoxN::new(vec![i]))
+            .collect()
+    }
+
+    #[test]
+    fn example_3_1_coverage() {
+        // (i) {⟨[0,1],[0,0.6]⟩} is not exhaustive.
+        let t1 = vec![tr(&[(0.0, 1.0), (0.0, 0.6)])];
+        assert!(covered_volume(&t1) < 1.0);
+        // (ii) {⟨[0,0.6]⟩, ⟨[0.3,1]⟩} is exhaustive but not compatible.
+        let t2 = vec![tr(&[(0.0, 0.6)]), tr(&[(0.3, 1.0)])];
+        assert!((covered_volume(&t2) - 1.0).abs() < 1e-12);
+        assert!(!pairwise_compatible(&t2));
+        // A proper partition is both.
+        let t3 = grid1(4);
+        assert!((covered_volume(&t3) - 1.0).abs() < 1e-12);
+        assert!(pairwise_compatible(&t3));
+    }
+
+    #[test]
+    fn bounds_sandwich_uniform_probability() {
+        // P = sample; ⟦P⟧([0, 0.5]) = 0.5.
+        let p = parse("sample").unwrap();
+        let traces = grid1(8);
+        let u = Interval::new(0.0, 0.5);
+        let lo = lower_bound(&p, &traces, u, IntervalOptions::default());
+        let hi = upper_bound(&p, &traces, u, IntervalOptions::default());
+        assert!(lo <= 0.5 + 1e-12 && 0.5 <= hi + 1e-12);
+        assert!((hi - lo) < 0.2, "8 splits give tight bounds, got [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn refinement_tightens_bounds() {
+        let p = parse("if sample <= 0.5 then sample else 1 - sample").unwrap();
+        let u = Interval::new(0.0, 0.25);
+        let coarse: Vec<BoxN> = BoxN::unit_cube(2).grid(&[2, 2]);
+        let fine: Vec<BoxN> = BoxN::unit_cube(2).grid(&[8, 8]);
+        let o = IntervalOptions::default();
+        let (cl, cu) = (lower_bound(&p, &coarse, u, o), upper_bound(&p, &coarse, u, o));
+        let (fl, fu) = (lower_bound(&p, &fine, u, o), upper_bound(&p, &fine, u, o));
+        assert!(fl >= cl - 1e-12);
+        assert!(fu <= cu + 1e-12);
+        // True probability is 0.25; check the sandwich.
+        assert!(fl <= 0.25 + 1e-12 && 0.25 <= fu + 1e-12);
+    }
+
+    #[test]
+    fn score_scales_bounds() {
+        let p = parse("score(2); sample").unwrap();
+        let traces = grid1(4);
+        let u = Interval::UNIT;
+        let o = IntervalOptions::default();
+        let lo = lower_bound(&p, &traces, u, o);
+        let hi = upper_bound(&p, &traces, u, o);
+        assert!((lo - 2.0).abs() < 1e-9 && (hi - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_dependent_on_sample_needs_splitting() {
+        // ⟦score(sample); sample⟧(R) = ∫ x dx = 0.5
+        let p = parse("let x = sample in score(x); x").unwrap();
+        let o = IntervalOptions::default();
+        for n in [2usize, 4, 16] {
+            let traces = grid1(n);
+            let lo = lower_bound(&p, &traces, Interval::UNIT, o);
+            let hi = upper_bound(&p, &traces, Interval::UNIT, o);
+            assert!(lo <= 0.5 && 0.5 <= hi, "n={n}: [{lo}, {hi}]");
+            // Riemann-style convergence: gap = 1/n.
+            assert!((hi - lo - 1.0 / n as f64).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_functions() {
+        let p = parse("sample").unwrap();
+        let traces = grid1(4);
+        let u = Interval::new(0.25, 0.75);
+        let o = IntervalOptions::default();
+        let mut acc = BoundAccumulator::default();
+        for t in &traces {
+            let leaves = eval_on_interval_trace(&p, t, o);
+            acc.add(t.volume(), &leaves, u);
+        }
+        assert!((acc.lower - lower_bound(&p, &traces, u, o)).abs() < 1e-12);
+        assert!((acc.upper - upper_bound(&p, &traces, u, o)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Concrete and interval trace semantics for SPCF.
+//!
+//! This crate implements §2.3 and §3 of the GuBPI paper:
+//!
+//! * [`bigstep`] — an environment-based big-step evaluator, the fast path
+//!   used by samplers and by the analyzer's cross-checks. It evaluates a
+//!   program against a [`trace::TraceSource`]: either a fixed trace
+//!   `s ∈ T` (deterministic replay, defining `val_P(s)` and `wt_P(s)`) or
+//!   a random number generator (ancestral sampling, recording the trace).
+//! * [`smallstep`] — a substitution-based machine mirroring Fig. 2
+//!   rule-for-rule; slower, used in tests to validate the big-step
+//!   evaluator against the paper's definition.
+//! * [`interval`] — the interval reduction `→I` of Fig. 3 extended with
+//!   the both-branches rule of Appendix A.4, evaluating a program on an
+//!   *interval trace* and returning every reachable leaf.
+//! * [`bounds`] — `lowerBd`/`upperBd` over finite sets of interval traces
+//!   (§3.3), plus compatibility and coverage checkers.
+//!
+//! # Example
+//!
+//! ```
+//! use gubpi_lang::parse;
+//! use gubpi_semantics::bigstep::run_on_trace;
+//!
+//! // Example 2.1 of the paper: the pedestrian on a fixed trace.
+//! let p = parse(
+//!     "let start = 3 * sample uniform(0, 1) in \
+//!      let rec walk x = \
+//!        if x <= 0 then 0 else \
+//!          let step = sample uniform(0, 1) in \
+//!          if sample <= 0.5 then step + walk (x + step) \
+//!          else step + walk (x - step) \
+//!      in \
+//!      let distance = walk start in \
+//!      observe distance from normal(1.1, 0.1); \
+//!      start",
+//! ).unwrap();
+//! let out = run_on_trace(&p, &[0.1, 0.2, 0.4, 0.7, 0.8]).unwrap();
+//! assert!((out.value - 0.3).abs() < 1e-12);
+//! ```
+
+pub mod bigstep;
+pub mod bounds;
+pub mod interval;
+pub mod smallstep;
+pub mod trace;
+pub mod value;
+
+pub use bigstep::{run_on_trace, sample_run, EvalError, Outcome};
+pub use bounds::{lower_bound, upper_bound, BoundAccumulator};
+pub use trace::{Trace, TraceSource};
+pub use value::{Env, Value};

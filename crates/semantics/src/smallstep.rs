@@ -1,0 +1,329 @@
+//! Substitution-based small-step machine (Fig. 2 of the paper).
+//!
+//! Faithful to the paper's call-by-value reduction `(M, s, w) → (M', s',
+//! w')`: redexes are found under evaluation contexts
+//! `E ::= [] | E M | V E | if(E, N, P) | f(r…, E, M…) | score(E)` and each
+//! [`step`] performs exactly one rule from Fig. 2. Substitution is naive —
+//! sound here because in the reduction of a closed program every
+//! substituted value is itself closed.
+//!
+//! This machine exists for fidelity and cross-validation (the big-step
+//! evaluator in [`crate::bigstep`] is the fast path); tests assert both
+//! agree on value and weight for the whole model zoo.
+
+use gubpi_lang::{Expr, ExprKind, Name, Program};
+
+use crate::bigstep::{EvalError, Outcome};
+
+/// A small-step machine configuration `(M, s, w)`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// The current term.
+    pub term: Expr,
+    /// The remaining trace (paper: the trace is consumed from the front).
+    pub trace: Vec<f64>,
+    /// The accumulated weight `w`.
+    pub weight: f64,
+    /// Steps taken so far.
+    pub steps: u64,
+}
+
+impl Config {
+    /// Initial configuration `(P, s, 1)`.
+    pub fn initial(program: &Program, trace: &[f64]) -> Config {
+        Config {
+            term: program.root.clone(),
+            trace: trace.to_vec(),
+            weight: 1.0,
+            steps: 0,
+        }
+    }
+
+    /// Has the machine reached a value?
+    pub fn is_terminal(&self) -> bool {
+        self.term.is_value()
+    }
+}
+
+/// Performs one reduction step; returns `Ok(true)` if a step was taken and
+/// `Ok(false)` at a value.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the configuration is stuck (negative score,
+/// exhausted trace, runtime type error).
+pub fn step(cfg: &mut Config) -> Result<bool, EvalError> {
+    if cfg.term.is_value() {
+        return Ok(false);
+    }
+    let term = std::mem::replace(&mut cfg.term, dummy());
+    let reduced = reduce(term, cfg)?;
+    cfg.term = reduced;
+    cfg.steps += 1;
+    Ok(true)
+}
+
+/// Runs the machine to termination.
+///
+/// # Errors
+///
+/// Propagates stuck configurations; `max_steps` guards divergence.
+pub fn run_small_step(
+    program: &Program,
+    trace: &[f64],
+    max_steps: u64,
+) -> Result<Outcome, EvalError> {
+    let mut cfg = Config::initial(program, trace);
+    while step(&mut cfg)? {
+        if cfg.steps > max_steps {
+            return Err(EvalError::OutOfFuel);
+        }
+    }
+    if !cfg.trace.is_empty() {
+        return Err(EvalError::TraceNotConsumed);
+    }
+    match cfg.term.kind {
+        ExprKind::Const(value) => Ok(Outcome {
+            value,
+            log_weight: cfg.weight.ln(),
+            trace: trace.to_vec(),
+        }),
+        other => Err(EvalError::Stuck(format!(
+            "terminated at non-real value {other:?}"
+        ))),
+    }
+}
+
+fn dummy() -> Expr {
+    Expr {
+        id: gubpi_lang::NodeId(u32::MAX),
+        span: gubpi_lang::Span::default(),
+        kind: ExprKind::Const(f64::NAN),
+    }
+}
+
+/// Reduces the leftmost-innermost redex of `e` (one step).
+fn reduce(e: Expr, st: &mut Config) -> Result<Expr, EvalError> {
+    let Expr { id, span, kind } = e;
+    let rebuild = |kind| Expr { id, span, kind };
+    match kind {
+        // ---- redex or descend-into-function-position --------------------
+        ExprKind::App(f, a) => {
+            if !f.is_value() {
+                let f2 = reduce(*f, st)?;
+                return Ok(rebuild(ExprKind::App(Box::new(f2), a)));
+            }
+            if !a.is_value() {
+                let a2 = reduce(*a, st)?;
+                return Ok(rebuild(ExprKind::App(f, Box::new(a2))));
+            }
+            match f.kind {
+                ExprKind::Lam(x, body) => Ok(subst(*body, &x, &a)),
+                ExprKind::Fix(fname, x, body) => {
+                    // (μφ x. M) V → M[V/x, (μφ x. M)/φ]
+                    let fix_val = Expr {
+                        id,
+                        span,
+                        kind: ExprKind::Fix(fname.clone(), x.clone(), body.clone()),
+                    };
+                    let body1 = subst(*body, &x, &a);
+                    Ok(subst(body1, &fname, &fix_val))
+                }
+                other => Err(EvalError::Stuck(format!("applying non-function {other:?}"))),
+            }
+        }
+        ExprKind::If(c, t, els) => {
+            if !c.is_value() {
+                let c2 = reduce(*c, st)?;
+                return Ok(rebuild(ExprKind::If(Box::new(c2), t, els)));
+            }
+            match c.kind {
+                ExprKind::Const(r) if r <= 0.0 => Ok(*t),
+                ExprKind::Const(_) => Ok(*els),
+                other => Err(EvalError::Stuck(format!("if-guard is {other:?}"))),
+            }
+        }
+        ExprKind::Prim(op, mut args) => {
+            for i in 0..args.len() {
+                if !args[i].is_value() {
+                    let old = std::mem::replace(&mut args[i], dummy());
+                    args[i] = reduce(old, st)?;
+                    return Ok(rebuild(ExprKind::Prim(op, args)));
+                }
+            }
+            let mut xs = Vec::with_capacity(args.len());
+            for a in &args {
+                match a.kind {
+                    ExprKind::Const(r) => xs.push(r),
+                    ref other => {
+                        return Err(EvalError::Stuck(format!(
+                            "primitive argument is {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(rebuild(ExprKind::Const(op.eval(&xs))))
+        }
+        ExprKind::Sample => {
+            if st.trace.is_empty() {
+                return Err(EvalError::TraceExhausted);
+            }
+            let r = st.trace.remove(0);
+            Ok(rebuild(ExprKind::Const(r)))
+        }
+        ExprKind::Score(m) => {
+            if !m.is_value() {
+                let m2 = reduce(*m, st)?;
+                return Ok(rebuild(ExprKind::Score(Box::new(m2))));
+            }
+            match m.kind {
+                ExprKind::Const(r) if r >= 0.0 => {
+                    st.weight *= r;
+                    Ok(rebuild(ExprKind::Const(r)))
+                }
+                ExprKind::Const(r) => Err(EvalError::NegativeScore(r)),
+                other => Err(EvalError::Stuck(format!("score of {other:?}"))),
+            }
+        }
+        // Values never reach here (checked by `step`).
+        v @ (ExprKind::Var(_) | ExprKind::Const(_) | ExprKind::Lam(..) | ExprKind::Fix(..)) => {
+            Err(EvalError::Stuck(format!("cannot reduce value {v:?}")))
+        }
+    }
+}
+
+/// Capture-naive substitution `e[v/x]`; sound for closed `v`.
+fn subst(e: Expr, x: &Name, v: &Expr) -> Expr {
+    let Expr { id, span, kind } = e;
+    let rebuild = |kind| Expr { id, span, kind };
+    match kind {
+        ExprKind::Var(y) => {
+            if &y == x {
+                v.clone()
+            } else {
+                rebuild(ExprKind::Var(y))
+            }
+        }
+        ExprKind::Const(_) | ExprKind::Sample => rebuild(kind),
+        ExprKind::Lam(y, body) => {
+            if &y == x {
+                rebuild(ExprKind::Lam(y, body))
+            } else {
+                let b = subst(*body, x, v);
+                rebuild(ExprKind::Lam(y, Box::new(b)))
+            }
+        }
+        ExprKind::Fix(f, y, body) => {
+            if &f == x || &y == x {
+                rebuild(ExprKind::Fix(f, y, body))
+            } else {
+                let b = subst(*body, x, v);
+                rebuild(ExprKind::Fix(f, y, Box::new(b)))
+            }
+        }
+        ExprKind::App(a, b) => {
+            let a = subst(*a, x, v);
+            let b = subst(*b, x, v);
+            rebuild(ExprKind::App(Box::new(a), Box::new(b)))
+        }
+        ExprKind::If(c, t, e2) => {
+            let c = subst(*c, x, v);
+            let t = subst(*t, x, v);
+            let e2 = subst(*e2, x, v);
+            rebuild(ExprKind::If(Box::new(c), Box::new(t), Box::new(e2)))
+        }
+        ExprKind::Prim(op, args) => {
+            let args = args.into_iter().map(|a| subst(a, x, v)).collect();
+            rebuild(ExprKind::Prim(op, args))
+        }
+        ExprKind::Score(m) => {
+            let m = subst(*m, x, v);
+            rebuild(ExprKind::Score(Box::new(m)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigstep::run_on_trace;
+    use gubpi_lang::parse;
+
+    fn small(src: &str, trace: &[f64]) -> Outcome {
+        run_small_step(&parse(src).unwrap(), trace, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn beta_reduction_counts_steps() {
+        let p = parse("(fn x -> x + 1) 2").unwrap();
+        let mut cfg = Config::initial(&p, &[]);
+        let mut n = 0;
+        while step(&mut cfg).unwrap() {
+            n += 1;
+        }
+        assert!(cfg.is_terminal());
+        assert!(n >= 2); // β-step + primitive step
+        assert!(matches!(cfg.term.kind, ExprKind::Const(c) if c == 3.0));
+    }
+
+    #[test]
+    fn agrees_with_bigstep_on_examples() {
+        let cases: &[(&str, &[f64])] = &[
+            ("1 + 2 * 3 - 4", &[]),
+            ("let f x = x * x in f (f 2)", &[]),
+            ("if sample <= 0.5 then 10 else 20", &[0.3]),
+            ("if sample <= 0.5 then 10 else 20", &[0.7]),
+            ("score(2); sample + 1", &[0.25]),
+            (
+                "let rec fact n = if n <= 0 then 1 else n * fact (n - 1) in fact 5",
+                &[],
+            ),
+            ("sample uniform(1, 3) * 2", &[0.5]),
+            ("observe 0.2 from normal(0, 1); 7", &[]),
+        ];
+        for (src, trace) in cases {
+            let a = small(src, trace);
+            let b = run_on_trace(&parse(src).unwrap(), trace).unwrap();
+            assert!((a.value - b.value).abs() < 1e-12, "value mismatch on {src}");
+            assert!(
+                (a.log_weight - b.log_weight).abs() < 1e-9
+                    || (a.log_weight.is_infinite() && b.log_weight.is_infinite()),
+                "weight mismatch on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixpoint_unfolds_by_substitution() {
+        let out = small(
+            "let rec down x = if x <= 0 then 42 else down (x - 1) in down 3",
+            &[],
+        );
+        assert_eq!(out.value, 42.0);
+    }
+
+    #[test]
+    fn stuck_configurations_error() {
+        assert!(matches!(
+            run_small_step(&parse("score(0 - 2)").unwrap(), &[], 100),
+            Err(EvalError::NegativeScore(_))
+        ));
+        assert!(matches!(
+            run_small_step(&parse("sample").unwrap(), &[], 100),
+            Err(EvalError::TraceExhausted)
+        ));
+        assert!(matches!(
+            run_small_step(&parse("1").unwrap(), &[0.5], 100),
+            Err(EvalError::TraceNotConsumed)
+        ));
+    }
+
+    #[test]
+    fn divergence_is_cut_off() {
+        let p = parse("let rec spin x = spin x in spin 0").unwrap();
+        assert!(matches!(
+            run_small_step(&p, &[], 1_000),
+            Err(EvalError::OutOfFuel)
+        ));
+    }
+}

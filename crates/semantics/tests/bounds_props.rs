@@ -1,0 +1,71 @@
+//! Property tests for the interval-trace bound machinery (§3.3):
+//! ordering, refinement monotonicity and grid coverage.
+
+use gubpi_interval::{BoxN, Interval};
+use gubpi_lang::parse;
+use gubpi_semantics::bounds::{covered_volume, lower_bound, pairwise_compatible, upper_bound};
+use gubpi_semantics::interval::IntervalOptions;
+use proptest::prelude::*;
+
+const MODELS: &[(&str, usize)] = &[
+    ("sample", 1),
+    ("if sample <= 0.5 then sample else 1 - sample", 2),
+    ("let x = sample in score(x + 0.25); x", 1),
+    ("min(sample, sample)", 2),
+];
+
+fn grid(n_samples: usize, k: usize) -> Vec<BoxN> {
+    BoxN::unit_cube(n_samples).grid(&vec![k; n_samples])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// lowerBd ≤ upperBd for any query on a compatible exhaustive grid.
+    #[test]
+    fn lower_never_exceeds_upper(model_idx in 0usize..MODELS.len(),
+                                 a in -0.5f64..1.5, w in 0.05f64..1.0,
+                                 k in 2usize..6) {
+        let (src, n) = MODELS[model_idx];
+        let p = parse(src).unwrap();
+        let traces = grid(n, k);
+        prop_assert!(pairwise_compatible(&traces));
+        prop_assert!((covered_volume(&traces) - 1.0).abs() < 1e-9);
+        let u = Interval::new(a, a + w);
+        let o = IntervalOptions::default();
+        let lo = lower_bound(&p, &traces, u, o);
+        let hi = upper_bound(&p, &traces, u, o);
+        prop_assert!(lo <= hi + 1e-12, "{src}: [{lo}, {hi}]");
+        prop_assert!(lo >= 0.0);
+    }
+
+    /// Refining the grid never loosens either bound (the premise of the
+    /// completeness theorem's limit).
+    #[test]
+    fn grid_refinement_is_monotone(model_idx in 0usize..MODELS.len(),
+                                   a in 0.0f64..0.8, w in 0.1f64..0.6) {
+        let (src, n) = MODELS[model_idx];
+        let p = parse(src).unwrap();
+        let u = Interval::new(a, a + w);
+        let o = IntervalOptions::default();
+        let coarse = grid(n, 2);
+        let fine = grid(n, 4); // every coarse cell splits exactly in half
+        let (cl, ch) = (lower_bound(&p, &coarse, u, o), upper_bound(&p, &coarse, u, o));
+        let (fl, fh) = (lower_bound(&p, &fine, u, o), upper_bound(&p, &fine, u, o));
+        prop_assert!(fl >= cl - 1e-12, "{src}: lower regressed {cl} -> {fl}");
+        prop_assert!(fh <= ch + 1e-12, "{src}: upper regressed {ch} -> {fh}");
+    }
+
+    /// Dropping traces from a compatible set can only lower the lower
+    /// bound (superadditivity of lowerBd).
+    #[test]
+    fn lower_bound_is_monotone_in_the_trace_set(model_idx in 0usize..MODELS.len(),
+                                                keep in 1usize..4) {
+        let (src, n) = MODELS[model_idx];
+        let p = parse(src).unwrap();
+        let all = grid(n, 4);
+        let some: Vec<BoxN> = all.iter().take(keep * all.len() / 4).cloned().collect();
+        let u = Interval::new(0.0, 1.0);
+        let o = IntervalOptions::default();
+        prop_assert!(lower_bound(&p, &some, u, o) <= lower_bound(&p, &all, u, o) + 1e-12);
+    }
+}

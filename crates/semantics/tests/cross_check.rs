@@ -1,0 +1,96 @@
+//! Cross-validation: big-step vs small-step vs interval semantics.
+//!
+//! * The environment-based big-step evaluator and the substitution-based
+//!   small-step machine (Fig. 2) must agree on value and weight for any
+//!   trace.
+//! * The interval machine on the degenerate trace `⟨[r₁,r₁], …⟩` must
+//!   produce exactly the concrete result (Lemma 3.1 at points).
+//! * The interval machine on a widened trace must *contain* the concrete
+//!   result (Lemma 3.1).
+
+use gubpi_interval::{BoxN, Interval};
+use gubpi_lang::parse;
+use gubpi_semantics::bigstep::run_on_trace;
+use gubpi_semantics::interval::{eval_on_interval_trace, IntervalOptions};
+use gubpi_semantics::smallstep::run_small_step;
+use proptest::prelude::*;
+
+/// Models with a fixed number of samples, used by several properties.
+const MODELS: &[(&str, usize)] = &[
+    ("sample + sample * 2", 2),
+    ("if sample <= 0.5 then sample else 1 - sample", 2),
+    ("let x = sample in score(x + 0.5); x * 3", 1),
+    ("let f u = u * u in f (sample) + f (sample)", 2),
+    ("observe sample from normal(0.5, 0.2); 1", 1),
+    ("min(sample, sample) + abs(sample - 1)", 3),
+    ("exp(sample) / (1 + exp(sample))", 2),
+    (
+        "let s = sample in if s <= 0.25 then s else if s <= 0.75 then 2 * s else 3 * s",
+        1,
+    ),
+];
+
+proptest! {
+    #[test]
+    fn bigstep_equals_smallstep(model_idx in 0usize..MODELS.len(),
+                                raw in proptest::collection::vec(0.0f64..1.0, 8)) {
+        let (src, n) = MODELS[model_idx];
+        let trace = &raw[..n];
+        let p = parse(src).unwrap();
+        let big = run_on_trace(&p, trace).unwrap();
+        let small = run_small_step(&p, trace, 100_000).unwrap();
+        prop_assert!((big.value - small.value).abs() < 1e-12);
+        let bw = big.weight();
+        let sw = small.weight();
+        prop_assert!((bw - sw).abs() <= 1e-12 * (1.0 + bw.abs()));
+    }
+
+    #[test]
+    fn interval_on_point_trace_matches_concrete(model_idx in 0usize..MODELS.len(),
+                                                raw in proptest::collection::vec(0.0f64..1.0, 8)) {
+        let (src, n) = MODELS[model_idx];
+        let trace = &raw[..n];
+        let p = parse(src).unwrap();
+        let concrete = run_on_trace(&p, trace).unwrap();
+        let t = BoxN::new(trace.iter().map(|&r| Interval::point(r)).collect());
+        let leaves = eval_on_interval_trace(&p, &t, IntervalOptions::default());
+        // Some leaf must contain the concrete value & weight. The concrete
+        // evaluator round-trips weights through log space, so compare with
+        // a relative tolerance of a few ulps.
+        let w = concrete.weight();
+        let tol = |x: f64| 1e-13 * (1.0 + x.abs());
+        prop_assert!(
+            leaves.iter().any(|l| l.value.contains(concrete.value)
+                && l.weight.lo() - tol(w) <= w
+                && w <= l.weight.hi() + tol(w)),
+            "no leaf contains value={} weight={w}; leaves={leaves:?}",
+            concrete.value
+        );
+    }
+
+    #[test]
+    fn lemma_3_1_widened_traces_contain_concrete(model_idx in 0usize..MODELS.len(),
+                                                 raw in proptest::collection::vec(0.01f64..0.99, 8),
+                                                 eps in 0.001f64..0.2) {
+        let (src, n) = MODELS[model_idx];
+        let trace = &raw[..n];
+        let p = parse(src).unwrap();
+        let concrete = run_on_trace(&p, trace).unwrap();
+        let t = BoxN::new(
+            trace
+                .iter()
+                .map(|&r| Interval::new((r - eps).max(0.0), (r + eps).min(1.0)))
+                .collect(),
+        );
+        let leaves = eval_on_interval_trace(&p, &t, IntervalOptions::default());
+        let w = concrete.weight();
+        // Lemma 3.1: wt(s) ∈ wtI(t) and val(s) ∈ valI(t) for s ⊳ t, where
+        // the leaf union plays the role of the (nondeterministic) valI.
+        prop_assert!(
+            leaves.iter().any(|l| l.value.outward().contains(concrete.value)
+                && l.weight.outward().contains(w)),
+            "no leaf contains value={} weight={w}; leaves={leaves:?}",
+            concrete.value
+        );
+    }
+}

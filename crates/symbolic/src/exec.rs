@@ -1,0 +1,528 @@
+//! The symbolic executor (Fig. 8 + Algorithm 1's path accumulation).
+
+use std::rc::Rc;
+
+use gubpi_interval::Interval;
+use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
+use gubpi_types::IntervalTyping;
+
+use crate::path::{CmpDir, SymConstraint, SymPath};
+use crate::symval::SymVal;
+
+/// Options controlling symbolic exploration.
+#[derive(Copy, Clone, Debug)]
+pub struct SymExecOptions {
+    /// The depth limit `D` of Algorithm 1: fixpoint unfoldings allowed
+    /// per path before `approxFix` replaces further applications.
+    pub max_fix_unfoldings: u32,
+    /// Cap on the number of paths; exceeding it yields ⊤ paths (sound but
+    /// infinitely wide upper bounds).
+    pub max_paths: usize,
+    /// Evaluation fuel shared along each path.
+    pub fuel: u64,
+    /// Rust-stack recursion guard.
+    pub max_depth: u32,
+}
+
+impl Default for SymExecOptions {
+    fn default() -> SymExecOptions {
+        SymExecOptions {
+            max_fix_unfoldings: 16,
+            max_paths: 20_000,
+            fuel: 5_000_000,
+            max_depth: 1_200,
+        }
+    }
+}
+
+/// Runs symbolic execution from `(P, 0, ∅, ∅)`, returning all finished
+/// symbolic (interval) paths.
+///
+/// `typing` supplies the weight-aware interval types consumed by
+/// `approxFix`; fixpoints without usable bounds degrade to ⊤
+/// (`[−∞, ∞]`-valued, `[0, ∞]`-weighted) replacements.
+pub fn symbolic_paths(
+    program: &Program,
+    typing: &IntervalTyping,
+    opts: SymExecOptions,
+) -> Vec<SymPath> {
+    let mut ex = Executor {
+        typing,
+        opts,
+        paths: Vec::new(),
+        depth: 0,
+    };
+    let st = PState {
+        n: 0,
+        constraints: Vec::new(),
+        scores: Vec::new(),
+        unfoldings: opts.max_fix_unfoldings,
+        truncated: false,
+        fuel: opts.fuel,
+    };
+    let leaves = ex.eval(&program.root, &SEnv::empty(), st);
+    for (v, st) in leaves {
+        match v {
+            Some(SValue::Sym(result)) => ex.paths.push(SymPath {
+                result,
+                n_samples: st.n,
+                constraints: st.constraints,
+                scores: st.scores,
+                truncated: st.truncated,
+            }),
+            _ => ex.paths.push(top_path(st)),
+        }
+    }
+    ex.paths
+}
+
+/// A sound "anything can happen beyond this point" path.
+fn top_path(st: PState) -> SymPath {
+    let mut scores = st.scores;
+    scores.push(Rc::new(SymVal::Interval(Interval::NON_NEG)));
+    SymPath {
+        result: Rc::new(SymVal::Interval(Interval::REAL)),
+        n_samples: st.n,
+        constraints: st.constraints,
+        scores,
+        truncated: true,
+    }
+}
+
+/// Symbolic runtime values.
+#[derive(Clone)]
+enum SValue {
+    Sym(Rc<SymVal>),
+    Closure {
+        param: Name,
+        body: Rc<Expr>,
+        env: SEnv,
+    },
+    Fix {
+        node: NodeId,
+        fname: Name,
+        param: Name,
+        body: Rc<Expr>,
+        env: SEnv,
+    },
+    /// A higher-order `approxFix` stub: behaves as
+    /// `λ_…λ_. score([e,f]); [c,d]` with `remaining` parameters left.
+    ApproxFun {
+        remaining: u32,
+        value: Interval,
+        weight: Interval,
+    },
+}
+
+/// Persistent environment.
+#[derive(Clone, Default)]
+struct SEnv(Option<Rc<SNode>>);
+
+struct SNode {
+    name: Name,
+    value: SValue,
+    rest: SEnv,
+}
+
+impl SEnv {
+    fn empty() -> SEnv {
+        SEnv(None)
+    }
+    fn bind(&self, name: Name, value: SValue) -> SEnv {
+        SEnv(Some(Rc::new(SNode {
+            name,
+            value,
+            rest: self.clone(),
+        })))
+    }
+    fn lookup(&self, name: &str) -> Option<&SValue> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &*node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+/// Per-path execution state.
+#[derive(Clone)]
+struct PState {
+    n: usize,
+    constraints: Vec<SymConstraint>,
+    scores: Vec<Rc<SymVal>>,
+    unfoldings: u32,
+    truncated: bool,
+    fuel: u64,
+}
+
+type Branches = Vec<(Option<SValue>, PState)>;
+
+struct Executor<'a> {
+    typing: &'a IntervalTyping,
+    opts: SymExecOptions,
+    paths: Vec<SymPath>,
+    depth: u32,
+}
+
+impl Executor<'_> {
+    fn eval(&mut self, e: &Expr, env: &SEnv, st: PState) -> Branches {
+        self.depth += 1;
+        let r = if self.depth > self.opts.max_depth {
+            vec![(None, st)]
+        } else {
+            self.eval_inner(e, env, st)
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_inner(&mut self, e: &Expr, env: &SEnv, mut st: PState) -> Branches {
+        if st.fuel == 0 {
+            return vec![(None, st)];
+        }
+        st.fuel -= 1;
+        match &e.kind {
+            ExprKind::Var(x) => match env.lookup(x) {
+                Some(v) => vec![(Some(v.clone()), st)],
+                None => vec![(None, st)],
+            },
+            ExprKind::Const(r) => vec![(Some(SValue::Sym(Rc::new(SymVal::Const(*r)))), st)],
+            ExprKind::Sample => {
+                let v = Rc::new(SymVal::Sample(st.n));
+                st.n += 1;
+                vec![(Some(SValue::Sym(v)), st)]
+            }
+            ExprKind::Lam(param, body) => vec![(
+                Some(SValue::Closure {
+                    param: param.clone(),
+                    body: Rc::new((**body).clone()),
+                    env: env.clone(),
+                }),
+                st,
+            )],
+            ExprKind::Fix(fname, param, body) => vec![(
+                Some(SValue::Fix {
+                    node: e.id,
+                    fname: fname.clone(),
+                    param: param.clone(),
+                    body: Rc::new((**body).clone()),
+                    env: env.clone(),
+                }),
+                st,
+            )],
+            ExprKind::App(f, a) => {
+                let fs = self.eval(f, env, st);
+                self.bind(fs, |ex, fv, st1| {
+                    let args = ex.eval(a, env, st1);
+                    ex.bind(args, |ex, av, st2| ex.apply(fv.clone(), av, st2))
+                })
+            }
+            ExprKind::If(c, t, els) => {
+                let cs = self.eval(c, env, st);
+                self.bind(cs, |ex, cv, st1| {
+                    let guard = match cv {
+                        SValue::Sym(v) => v,
+                        _ => return vec![(None, st1)],
+                    };
+                    let range = guard.crude_range(st1.n);
+                    if range.hi() <= 0.0 {
+                        ex.eval(t, env, st1)
+                    } else if range.lo() > 0.0 {
+                        ex.eval(els, env, st1)
+                    } else {
+                        let mut st_then = st1.clone();
+                        st_then.constraints.push(SymConstraint {
+                            value: guard.clone(),
+                            dir: CmpDir::LeZero,
+                        });
+                        let mut st_else = st1;
+                        st_else.constraints.push(SymConstraint {
+                            value: guard,
+                            dir: CmpDir::GtZero,
+                        });
+                        let mut out = ex.eval(t, env, st_then);
+                        out.extend(ex.eval(els, env, st_else));
+                        out
+                    }
+                })
+            }
+            ExprKind::Prim(op, args) => {
+                let mut partial: Vec<(Vec<Rc<SymVal>>, PState)> = vec![(Vec::new(), st)];
+                for a in args {
+                    let mut next = Vec::new();
+                    for (prefix, stp) in partial {
+                        for (v, stn) in self.eval(a, env, stp) {
+                            match v {
+                                Some(SValue::Sym(sv)) => {
+                                    let mut p2 = prefix.clone();
+                                    p2.push(sv);
+                                    next.push((p2, stn));
+                                }
+                                _ => self.emit_top(stn),
+                            }
+                        }
+                    }
+                    partial = next;
+                }
+                let op = *op;
+                partial
+                    .into_iter()
+                    .map(|(argv, stn)| (Some(SValue::Sym(SymVal::prim(op, argv))), stn))
+                    .collect()
+            }
+            ExprKind::Score(m) => {
+                let ms = self.eval(m, env, st);
+                self.bind(ms, |_ex, mv, mut st1| {
+                    let v = match mv {
+                        SValue::Sym(v) => v,
+                        _ => return vec![(None, st1)],
+                    };
+                    // Fig. 8 adds V ≥ 0 to Δ; we skip the constraint when
+                    // the value is structurally non-negative (pdfs).
+                    let range = v.crude_range(st1.n);
+                    if range.lo() < 0.0 {
+                        st1.constraints.push(SymConstraint {
+                            value: SymVal::prim(gubpi_lang::PrimOp::Neg, vec![v.clone()]),
+                            dir: CmpDir::LeZero,
+                        });
+                    }
+                    st1.scores.push(v.clone());
+                    vec![(Some(SValue::Sym(v)), st1)]
+                })
+            }
+        }
+    }
+
+    fn apply(&mut self, f: SValue, a: SValue, st: PState) -> Branches {
+        match f {
+            SValue::Closure { param, body, env } => {
+                let env2 = env.bind(param, a);
+                self.eval(&body, &env2, st)
+            }
+            SValue::Fix {
+                node,
+                fname,
+                param,
+                body,
+                env,
+            } => {
+                if st.unfoldings == 0 {
+                    return self.approx_fix(node, st);
+                }
+                let mut st2 = st;
+                st2.unfoldings -= 1;
+                let rec = SValue::Fix {
+                    node,
+                    fname: fname.clone(),
+                    param: param.clone(),
+                    body: body.clone(),
+                    env: env.clone(),
+                };
+                let env2 = env.bind(fname, rec).bind(param, a);
+                self.eval(&body, &env2, st2)
+            }
+            SValue::ApproxFun {
+                remaining,
+                value,
+                weight,
+            } => {
+                let mut st2 = st;
+                st2.truncated = true;
+                if remaining == 0 {
+                    Self::finish_approx(value, weight, st2)
+                } else {
+                    vec![(
+                        Some(SValue::ApproxFun {
+                            remaining: remaining - 1,
+                            value,
+                            weight,
+                        }),
+                        st2,
+                    )]
+                }
+            }
+            SValue::Sym(_) => vec![(None, st)],
+        }
+    }
+
+    /// `approxFix` (§6.2): replace the application of an exhausted
+    /// fixpoint by `λ_…λ_. score([e, f]); [c, d]` from its interval type
+    /// (curried fixpoints keep absorbing arguments until ground).
+    fn approx_fix(&mut self, node: NodeId, mut st: PState) -> Branches {
+        let (extra, value, weight) = self
+            .typing
+            .fix_apply_chain(node)
+            .unwrap_or((0, Interval::REAL, Interval::NON_NEG));
+        st.truncated = true;
+        if extra == 0 {
+            Self::finish_approx(value, weight, st)
+        } else {
+            vec![(
+                Some(SValue::ApproxFun {
+                    remaining: extra - 1,
+                    value,
+                    weight,
+                }),
+                st,
+            )]
+        }
+    }
+
+    /// Emits the ground `score([e,f]); [c,d]` of an approxFix stub.
+    fn finish_approx(value: Interval, weight: Interval, mut st: PState) -> Branches {
+        if weight != Interval::ONE {
+            st.scores
+                .push(Rc::new(SymVal::Interval(weight.clamp_non_neg())));
+        }
+        vec![(Some(SValue::Sym(Rc::new(SymVal::Interval(value)))), st)]
+    }
+
+    fn emit_top(&mut self, st: PState) {
+        self.paths.push(top_path(st));
+    }
+
+    fn bind(
+        &mut self,
+        branches: Branches,
+        mut f: impl FnMut(&mut Self, SValue, PState) -> Branches,
+    ) -> Branches {
+        let mut out = Branches::new();
+        for (v, st) in branches {
+            if self.paths.len() + out.len() > self.opts.max_paths {
+                out.push((None, st));
+                continue;
+            }
+            match v {
+                Some(v) => out.extend(f(self, v, st)),
+                None => out.push((None, st)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::{infer, parse};
+    use gubpi_types::infer_interval_types;
+
+    fn paths_for(src: &str, unfold: u32) -> Vec<SymPath> {
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        symbolic_paths(
+            &p,
+            &typing,
+            SymExecOptions {
+                max_fix_unfoldings: unfold,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn straight_line_gives_one_path() {
+        let ps = paths_for("3 * sample + 1", 4);
+        assert_eq!(ps.len(), 1);
+        let p = &ps[0];
+        assert_eq!(p.n_samples, 1);
+        assert!(p.constraints.is_empty());
+        assert!(p.scores.is_empty());
+        assert!(!p.truncated);
+        assert_eq!(p.result.eval(&[0.5]), gubpi_interval::Interval::point(2.5));
+    }
+
+    #[test]
+    fn branching_gives_two_paths_with_constraints() {
+        let ps = paths_for("if sample <= 0.5 then 1 else 2", 4);
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert_eq!(p.constraints.len(), 1);
+            assert!(!p.truncated);
+        }
+        let dirs: Vec<CmpDir> = ps.iter().map(|p| p.constraints[0].dir).collect();
+        assert!(dirs.contains(&CmpDir::LeZero) && dirs.contains(&CmpDir::GtZero));
+    }
+
+    #[test]
+    fn deterministic_guards_do_not_branch() {
+        let ps = paths_for(
+            "let rec fact n = if n <= 0 then 1 else n * fact (n - 1) in fact 5",
+            32,
+        );
+        assert_eq!(ps.len(), 1);
+        assert_eq!(*ps[0].result, SymVal::Const(120.0));
+    }
+
+    #[test]
+    fn scores_are_recorded() {
+        let ps = paths_for("observe sample from normal(0.5, 0.1); 1", 4);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].scores.len(), 1);
+        // pdf is structurally non-negative: no extra constraint.
+        assert!(ps[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn possibly_negative_scores_get_a_constraint() {
+        let ps = paths_for("score(sample - 0.5); 1", 4);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].constraints.len(), 1);
+    }
+
+    #[test]
+    fn example_6_1_pedestrian_paths() {
+        let src = "
+            let start = 3 * sample in
+            let rec walk x =
+              if x <= 0 then 0 else
+                let step = sample in
+                if sample <= 0.5 then step + walk (x + step)
+                else step + walk (x - step)
+            in
+            let d = walk start in
+            observe d from normal(1.1, 0.1);
+            start";
+        let ps = paths_for(src, 3);
+        assert!(ps.len() > 2);
+        // Terminating, non-truncated paths return 3·α₀ and carry exactly
+        // one score (the observe).
+        let exact: Vec<&SymPath> = ps.iter().filter(|p| !p.truncated).collect();
+        assert!(!exact.is_empty());
+        for p in exact {
+            assert_eq!(p.scores.len(), 1);
+            let r = p.result.eval([0.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0][..p.n_samples.max(1)].as_ref());
+            assert!((r.lo() - 1.2).abs() < 1e-12, "result must be 3·α₀");
+            assert!(p.satisfies_single_use(), "Example C.2: Assumption 1 holds");
+        }
+        // Truncated paths must carry interval literals.
+        assert!(ps.iter().any(|p| p.truncated));
+    }
+
+    #[test]
+    fn truncation_uses_type_bounds() {
+        // A recursion with no score: the approxFix replacement should not
+        // add any weight factor (weight type is [1,1]).
+        let src = "
+            let rec walk x =
+              if x <= 0 then 0 else walk (x - sample)
+            in walk 1";
+        let ps = paths_for(src, 2);
+        assert!(ps.iter().any(|p| p.truncated));
+        for p in ps.iter().filter(|p| p.truncated) {
+            assert!(p.scores.is_empty(), "weight [1,1] adds no score factor");
+            assert!(p.result.has_intervals());
+        }
+    }
+
+    #[test]
+    fn higher_order_programs_execute() {
+        let ps = paths_for("let app f x = f x in app (fn y -> y + sample) 1", 4);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].n_samples, 1);
+    }
+}

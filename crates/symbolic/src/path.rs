@@ -1,0 +1,205 @@
+//! Symbolic paths `Ψ = (V, n, Δ, Ξ)` (Appendix B).
+
+use std::fmt;
+use std::rc::Rc;
+
+use gubpi_interval::{BoxN, Interval};
+
+use crate::symval::SymVal;
+
+/// Direction of a recorded branch constraint.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CmpDir {
+    /// `V ≤ 0` (the then-branch of `if(V, N, P)`).
+    LeZero,
+    /// `V > 0` (the else-branch).
+    GtZero,
+}
+
+/// A symbolic constraint `V ≤ 0` or `V > 0` recorded in `Δ`.
+#[derive(Clone, Debug)]
+pub struct SymConstraint {
+    /// The symbolic value being compared against 0.
+    pub value: Rc<SymVal>,
+    /// Which side of the branch was taken.
+    pub dir: CmpDir,
+}
+
+impl SymConstraint {
+    /// Do concrete samples `s` satisfy the constraint? With intervals in
+    /// the value, `definitely` requires *all* refinements to satisfy it
+    /// (the `∀` of `⟦Ψ⟧_lb`); otherwise *some* refinement suffices
+    /// (`∃`, for `⟦Ψ⟧_ub`).
+    pub fn satisfied(&self, s: &[f64], definitely: bool) -> bool {
+        let range = self.value.eval(s);
+        self.holds_on(range, definitely)
+    }
+
+    /// Constraint satisfaction for a whole range of values.
+    pub fn holds_on(&self, range: Interval, definitely: bool) -> bool {
+        match (self.dir, definitely) {
+            (CmpDir::LeZero, true) => range.hi() <= 0.0,
+            (CmpDir::LeZero, false) => range.lo() <= 0.0,
+            (CmpDir::GtZero, true) => range.lo() > 0.0,
+            (CmpDir::GtZero, false) => range.hi() > 0.0,
+        }
+    }
+}
+
+impl fmt::Display for SymConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            CmpDir::LeZero => write!(f, "{} <= 0", self.value),
+            CmpDir::GtZero => write!(f, "{} > 0", self.value),
+        }
+    }
+}
+
+/// A finished symbolic (interval) path `Ψ = (V, n, Δ, Ξ)`.
+#[derive(Clone, Debug)]
+pub struct SymPath {
+    /// The result value `V`.
+    pub result: Rc<SymVal>,
+    /// Number of sample variables drawn along the path.
+    pub n_samples: usize,
+    /// The branch constraints `Δ`.
+    pub constraints: Vec<SymConstraint>,
+    /// The score values `Ξ`.
+    pub scores: Vec<Rc<SymVal>>,
+    /// Did `approxFix` (or a budget overflow) introduce interval
+    /// literals? Exact-path denotations exist only when `false`.
+    pub truncated: bool,
+}
+
+impl SymPath {
+    /// Is every sample variable used at most once in the result, in each
+    /// constraint and in each score value (Assumption 1, §4.2)?
+    pub fn satisfies_single_use(&self) -> bool {
+        let single = |v: &Rc<SymVal>| {
+            let mut counts = Vec::new();
+            v.count_sample_uses(&mut counts);
+            counts.iter().all(|&c| c <= 1)
+        };
+        single(&self.result)
+            && self.constraints.iter().all(|c| single(&c.value))
+            && self.scores.iter().all(single)
+    }
+
+    /// The product of score values over a box of sample values, as an
+    /// interval (the `Π W` factor of `⟦Ψ⟧_lb` / `⟦Ψ⟧_ub`).
+    pub fn weight_range_over_box(&self, b: &BoxN) -> Interval {
+        let mut acc = Interval::ONE;
+        for w in &self.scores {
+            acc = acc * w.range_over_box(b).clamp_non_neg();
+        }
+        acc
+    }
+
+    /// Do all constraints hold on the box — definitely (`∀`) or possibly
+    /// (`∃`)?
+    pub fn constraints_on_box(&self, b: &BoxN, definitely: bool) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| c.holds_on(c.value.range_over_box(b), definitely))
+    }
+}
+
+impl fmt::Display for SymPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ψ(result = {}, n = {}, Δ = {{", self.result, self.n_samples)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}, Ξ = {{")?;
+        for (i, w) in self.scores.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::PrimOp;
+
+    fn s(i: usize) -> Rc<SymVal> {
+        Rc::new(SymVal::Sample(i))
+    }
+    fn c(x: f64) -> Rc<SymVal> {
+        Rc::new(SymVal::Const(x))
+    }
+
+    #[test]
+    fn constraint_satisfaction_on_points() {
+        // α₀ − 0.5 ≤ 0
+        let g = SymConstraint {
+            value: SymVal::prim(PrimOp::Sub, vec![s(0), c(0.5)]),
+            dir: CmpDir::LeZero,
+        };
+        assert!(g.satisfied(&[0.3], true));
+        assert!(!g.satisfied(&[0.7], true));
+        let h = SymConstraint {
+            value: SymVal::prim(PrimOp::Sub, vec![s(0), c(0.5)]),
+            dir: CmpDir::GtZero,
+        };
+        assert!(h.satisfied(&[0.7], true));
+    }
+
+    #[test]
+    fn forall_vs_exists_with_intervals() {
+        // (α₀ + [0, 1]) ≤ 0 at α₀ = −0.5: range [−0.5, 0.5]
+        let v = SymVal::prim(
+            PrimOp::Add,
+            vec![s(0), Rc::new(SymVal::Interval(Interval::UNIT))],
+        );
+        let g = SymConstraint {
+            value: v,
+            dir: CmpDir::LeZero,
+        };
+        assert!(!g.satisfied(&[-0.5], true)); // not all refinements
+        assert!(g.satisfied(&[-0.5], false)); // some refinement
+    }
+
+    #[test]
+    fn weight_range_multiplies_scores() {
+        let p = SymPath {
+            result: s(0),
+            n_samples: 1,
+            constraints: vec![],
+            scores: vec![c(2.0), s(0)],
+            truncated: false,
+        };
+        let b = BoxN::new(vec![Interval::new(0.25, 0.5)]);
+        assert_eq!(p.weight_range_over_box(&b), Interval::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn single_use_check() {
+        let good = SymPath {
+            result: s(0),
+            n_samples: 2,
+            constraints: vec![SymConstraint {
+                value: SymVal::prim(PrimOp::Sub, vec![s(1), c(0.5)]),
+                dir: CmpDir::LeZero,
+            }],
+            scores: vec![],
+            truncated: false,
+        };
+        assert!(good.satisfies_single_use());
+        let bad = SymPath {
+            result: SymVal::prim(PrimOp::Sub, vec![s(0), s(0)]),
+            n_samples: 1,
+            constraints: vec![],
+            scores: vec![],
+            truncated: false,
+        };
+        assert!(!bad.satisfies_single_use());
+    }
+}

@@ -1,0 +1,377 @@
+//! Symbolic values over sample variables (Appendix B).
+
+use std::fmt;
+use std::rc::Rc;
+
+use gubpi_interval::{BoxN, Interval};
+use gubpi_lang::PrimOp;
+use gubpi_polytope::LinExpr;
+
+/// A symbolic value: a term over sample variables `α_i`, constants,
+/// interval literals (from `approxFix`) and delayed primitive
+/// applications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SymVal {
+    /// A real constant.
+    Const(f64),
+    /// An interval literal `[a, b]` (appears after `approxFix`).
+    Interval(Interval),
+    /// The sample variable `α_i` (0-based).
+    Sample(usize),
+    /// A delayed primitive application.
+    Prim(PrimOp, Vec<Rc<SymVal>>),
+}
+
+impl SymVal {
+    /// Smart constructor for primitive applications: folds constants so
+    /// that deterministic guards stay decidable.
+    pub fn prim(op: PrimOp, args: Vec<Rc<SymVal>>) -> Rc<SymVal> {
+        if args.iter().all(|a| matches!(**a, SymVal::Const(_))) {
+            let xs: Vec<f64> = args
+                .iter()
+                .map(|a| match **a {
+                    SymVal::Const(c) => c,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return Rc::new(SymVal::Const(op.eval(&xs)));
+        }
+        Rc::new(SymVal::Prim(op, args))
+    }
+
+    /// The largest sample index used, if any.
+    pub fn max_sample(&self) -> Option<usize> {
+        match self {
+            SymVal::Const(_) | SymVal::Interval(_) => None,
+            SymVal::Sample(i) => Some(*i),
+            SymVal::Prim(_, args) => args.iter().filter_map(|a| a.max_sample()).max(),
+        }
+    }
+
+    /// Counts how often each sample variable occurs (Assumption 1 of §4.2
+    /// requires each count ≤ 1 per constraint/score/result).
+    pub fn count_sample_uses(&self, counts: &mut Vec<usize>) {
+        match self {
+            SymVal::Const(_) | SymVal::Interval(_) => {}
+            SymVal::Sample(i) => {
+                if counts.len() <= *i {
+                    counts.resize(*i + 1, 0);
+                }
+                counts[*i] += 1;
+            }
+            SymVal::Prim(_, args) => {
+                for a in args {
+                    a.count_sample_uses(counts);
+                }
+            }
+        }
+    }
+
+    /// Does the value mention any sample variable?
+    pub fn has_samples(&self) -> bool {
+        self.max_sample().is_some()
+    }
+
+    /// Does the value contain interval literals (i.e. was `approxFix`
+    /// involved)?
+    pub fn has_intervals(&self) -> bool {
+        match self {
+            SymVal::Interval(_) => true,
+            SymVal::Const(_) | SymVal::Sample(_) => false,
+            SymVal::Prim(_, args) => args.iter().any(|a| a.has_intervals()),
+        }
+    }
+
+    /// `⌜V[s/α]⌝` — evaluates with concrete samples, returning the set of
+    /// possible results as an interval (a point iff the value is
+    /// interval-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is shorter than the largest sample index used.
+    pub fn eval(&self, s: &[f64]) -> Interval {
+        match self {
+            SymVal::Const(c) => Interval::point(*c),
+            SymVal::Interval(i) => *i,
+            SymVal::Sample(i) => Interval::point(s[*i]),
+            SymVal::Prim(op, args) => {
+                let xs: Vec<Interval> = args.iter().map(|a| a.eval(s)).collect();
+                op.eval_interval(&xs)
+            }
+        }
+    }
+
+    /// Interval range over a box of sample values (sound, exact when each
+    /// sample occurs at most once — Assumption 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box is lower-dimensional than the samples used.
+    pub fn range_over_box(&self, b: &BoxN) -> Interval {
+        match self {
+            SymVal::Const(c) => Interval::point(*c),
+            SymVal::Interval(i) => *i,
+            SymVal::Sample(i) => b[*i],
+            SymVal::Prim(op, args) => {
+                let xs: Vec<Interval> = args.iter().map(|a| a.range_over_box(b)).collect();
+                op.eval_interval(&xs)
+            }
+        }
+    }
+
+    /// Crude range assuming every sample ranges over `[0, 1]`.
+    pub fn crude_range(&self, n_samples: usize) -> Interval {
+        self.range_over_box(&BoxN::unit_cube(n_samples))
+    }
+
+    /// Extracts an *interval-linear form* `w·α + [a, b]` (§6.4), if the
+    /// value is linear in the sample variables: addition, subtraction,
+    /// negation, and multiplication/division by interval-free constants.
+    pub fn linear_form(&self, dim: usize) -> Option<(LinExpr, Interval)> {
+        match self {
+            SymVal::Const(c) => Some((LinExpr::constant(dim, *c), Interval::ZERO)),
+            SymVal::Interval(i) => Some((LinExpr::constant(dim, 0.0), *i)),
+            SymVal::Sample(i) => {
+                if *i < dim {
+                    Some((LinExpr::var(dim, *i), Interval::ZERO))
+                } else {
+                    None
+                }
+            }
+            SymVal::Prim(op, args) => match op {
+                PrimOp::Add => {
+                    let (l1, i1) = args[0].linear_form(dim)?;
+                    let (l2, i2) = args[1].linear_form(dim)?;
+                    Some((&l1 + &l2, i1 + i2))
+                }
+                PrimOp::Sub => {
+                    let (l1, i1) = args[0].linear_form(dim)?;
+                    let (l2, i2) = args[1].linear_form(dim)?;
+                    Some((&l1 - &l2, i1 - i2))
+                }
+                PrimOp::Neg => {
+                    let (l, i) = args[0].linear_form(dim)?;
+                    Some((-&l, -i))
+                }
+                PrimOp::Mul => {
+                    let (l1, i1) = args[0].linear_form(dim)?;
+                    let (l2, i2) = args[1].linear_form(dim)?;
+                    // One side must be a pure point constant.
+                    if l1.is_constant() && i1.is_point() {
+                        let k = l1.constant_term() + i1.lo();
+                        Some((l2.scale(k), i2 * Interval::point(k)))
+                    } else if l2.is_constant() && i2.is_point() {
+                        let k = l2.constant_term() + i2.lo();
+                        Some((l1.scale(k), i1 * Interval::point(k)))
+                    } else {
+                        None
+                    }
+                }
+                PrimOp::Div => {
+                    let (l1, i1) = args[0].linear_form(dim)?;
+                    let (l2, i2) = args[1].linear_form(dim)?;
+                    if l2.is_constant() && i2.is_point() {
+                        let k = l2.constant_term() + i2.lo();
+                        if k != 0.0 {
+                            return Some((
+                                l1.scale(1.0 / k),
+                                i1 * Interval::point(1.0 / k),
+                            ));
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Decomposes a value into `f(Z₁, …, Z_m)` where each `Zᵢ` is a
+    /// maximal interval-linear sub-expression (Appendix E.1): returns the
+    /// skeleton with [`SymVal::Sample`] leaves replaced by placeholder
+    /// indices into the returned linear parts.
+    ///
+    /// Implemented as: if `self` is linear, one part; otherwise recurse
+    /// into primitive arguments.
+    pub fn linear_decomposition(self: &Rc<SymVal>, dim: usize) -> Decomposition {
+        let mut parts = Vec::new();
+        let skeleton = decompose(self, dim, &mut parts);
+        Decomposition { skeleton, parts }
+    }
+}
+
+/// The result of [`SymVal::linear_decomposition`]: a skeleton value whose
+/// `Sample(k)` leaves index into `parts` (interval-linear functions).
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Skeleton with placeholder `Sample(k)` leaves referring to `parts[k]`.
+    pub skeleton: Rc<SymVal>,
+    /// The extracted interval-linear sub-expressions.
+    pub parts: Vec<(LinExpr, Interval)>,
+}
+
+impl Decomposition {
+    /// Evaluates the skeleton once each part's range is known.
+    pub fn eval_with_part_ranges(&self, ranges: &[Interval]) -> Interval {
+        eval_skeleton(&self.skeleton, ranges)
+    }
+}
+
+fn eval_skeleton(v: &SymVal, ranges: &[Interval]) -> Interval {
+    match v {
+        SymVal::Const(c) => Interval::point(*c),
+        SymVal::Interval(i) => *i,
+        SymVal::Sample(k) => ranges[*k],
+        SymVal::Prim(op, args) => {
+            let xs: Vec<Interval> = args.iter().map(|a| eval_skeleton(a, ranges)).collect();
+            op.eval_interval(&xs)
+        }
+    }
+}
+
+fn decompose(v: &Rc<SymVal>, dim: usize, parts: &mut Vec<(LinExpr, Interval)>) -> Rc<SymVal> {
+    if let Some(lf) = v.linear_form(dim) {
+        // Constant linear forms are inlined as interval literals — the
+        // original node may still *syntactically* contain samples (e.g.
+        // `0 · α₀`), which must not survive into the skeleton where
+        // `Sample` leaves denote part indices.
+        if lf.0.is_constant() {
+            return Rc::new(SymVal::Interval(
+                Interval::point(lf.0.constant_term()) + lf.1,
+            ));
+        }
+        let k = parts.len();
+        parts.push(lf);
+        return Rc::new(SymVal::Sample(k));
+    }
+    match &**v {
+        SymVal::Prim(op, args) => {
+            let new_args = args.iter().map(|a| decompose(a, dim, parts)).collect();
+            Rc::new(SymVal::Prim(*op, new_args))
+        }
+        // Non-linear leaves cannot occur (leaves are always linear).
+        _ => v.clone(),
+    }
+}
+
+impl fmt::Display for SymVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymVal::Const(c) => write!(f, "{c}"),
+            SymVal::Interval(i) => write!(f, "{i}"),
+            SymVal::Sample(i) => write!(f, "a{i}"),
+            SymVal::Prim(op, args) => {
+                write!(f, "{}(", op.name())?;
+                for (k, a) in args.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> Rc<SymVal> {
+        Rc::new(SymVal::Sample(i))
+    }
+    fn c(x: f64) -> Rc<SymVal> {
+        Rc::new(SymVal::Const(x))
+    }
+
+    #[test]
+    fn constant_folding_in_smart_constructor() {
+        let v = SymVal::prim(PrimOp::Add, vec![c(2.0), c(3.0)]);
+        assert_eq!(*v, SymVal::Const(5.0));
+        let w = SymVal::prim(PrimOp::Add, vec![c(2.0), s(0)]);
+        assert!(matches!(*w, SymVal::Prim(..)));
+    }
+
+    #[test]
+    fn evaluation_substitutes_samples() {
+        // 3·α₀ + α₁
+        let v = SymVal::prim(
+            PrimOp::Add,
+            vec![SymVal::prim(PrimOp::Mul, vec![c(3.0), s(0)]), s(1)],
+        );
+        assert_eq!(v.eval(&[0.5, 0.25]), Interval::point(1.75));
+        assert_eq!(v.max_sample(), Some(1));
+        assert!(v.has_samples() && !v.has_intervals());
+    }
+
+    #[test]
+    fn range_over_box_bounds_value() {
+        let v = SymVal::prim(PrimOp::Mul, vec![c(3.0), s(0)]);
+        assert_eq!(v.crude_range(1), Interval::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn linear_form_extraction() {
+        // 3·α₀ − α₁ + 1 + [0, ∞]
+        let v = SymVal::prim(
+            PrimOp::Add,
+            vec![
+                SymVal::prim(
+                    PrimOp::Sub,
+                    vec![
+                        SymVal::prim(PrimOp::Mul, vec![c(3.0), s(0)]),
+                        SymVal::prim(PrimOp::Sub, vec![s(1), c(1.0)]),
+                    ],
+                ),
+                Rc::new(SymVal::Interval(Interval::NON_NEG)),
+            ],
+        );
+        let (lin, iv) = v.linear_form(2).expect("linear");
+        assert_eq!(lin.coeffs(), &[3.0, -1.0]);
+        assert_eq!(lin.constant_term(), 1.0);
+        assert_eq!(iv, Interval::NON_NEG);
+    }
+
+    #[test]
+    fn nonlinear_values_have_no_linear_form() {
+        let v = SymVal::prim(PrimOp::Mul, vec![s(0), s(1)]);
+        assert!(v.linear_form(2).is_none());
+        let w = SymVal::prim(PrimOp::Exp, vec![s(0)]);
+        assert!(w.linear_form(1).is_none());
+    }
+
+    #[test]
+    fn example_e1_decomposition_of_pdf_score() {
+        // pdf_normal(1.1, 0.1, α₁ + α₂): one linear part α₁ + α₂.
+        let arg = SymVal::prim(PrimOp::Add, vec![s(1), s(2)]);
+        let v = SymVal::prim(PrimOp::NormalPdf, vec![c(1.1), c(0.1), arg]);
+        let d = v.linear_decomposition(3);
+        assert_eq!(d.parts.len(), 1);
+        assert_eq!(d.parts[0].0.coeffs(), &[0.0, 1.0, 1.0]);
+        // Evaluating the skeleton with the part pinned to [0.9, 0.9]
+        // reproduces the pdf at 0.9.
+        use gubpi_dist::ContinuousDist;
+        let r = d.eval_with_part_ranges(&[Interval::point(0.9)]);
+        let want = gubpi_dist::Normal::new(1.1, 0.1).pdf(0.9);
+        assert!((r.lo() - want).abs() < 1e-12 && (r.hi() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_use_counting_detects_assumption_1() {
+        let ok = SymVal::prim(PrimOp::Add, vec![s(0), s(1)]);
+        let mut counts = Vec::new();
+        ok.count_sample_uses(&mut counts);
+        assert_eq!(counts, vec![1, 1]);
+        let bad = SymVal::prim(PrimOp::Sub, vec![s(0), s(0)]);
+        let mut counts = Vec::new();
+        bad.count_sample_uses(&mut counts);
+        assert_eq!(counts, vec![2]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let v = SymVal::prim(PrimOp::Add, vec![s(0), c(1.0)]);
+        assert_eq!(v.to_string(), "add(a0, 1)");
+    }
+}

@@ -1,0 +1,119 @@
+//! Interval constraints over placeholder variables (Appendix D.3).
+//!
+//! Constraint generation replaces every interval in a typing skeleton
+//! with a variable `ν`, and records simple constraints in the abstract
+//! interval domain. In least-fixpoint style every constraint is read as a
+//! *lower bound* on its target variable (the final assignment is the
+//! least one ⊒ all contributions).
+
+use gubpi_interval::Interval;
+use gubpi_lang::PrimOp;
+
+/// An interval placeholder variable.
+pub type IVar = u32;
+
+/// A constraint on interval variables.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constraint {
+    /// `ν ⊒ [a, b]` — from literal rules (`ν ≡ [a,b]` in Fig. 10).
+    Const(IVar, Interval),
+    /// `ν₂ ⊒ ν₁` — subtyping flow (`ν₁ ⊑ ν₂`).
+    Flow(IVar, IVar),
+    /// `ν ⊒ f^I(ν₁, …, ν_n)` — primitive application.
+    Prim(IVar, PrimOp, Vec<IVar>),
+    /// `ν ⊒ ν₁ ×I ⋯ ×I ν_n` — weight products.
+    Product(IVar, Vec<IVar>),
+    /// `ν ⊒ ν' ⊓ [0, ∞]` — the `score` truncation.
+    MeetNonNeg(IVar, IVar),
+}
+
+impl Constraint {
+    /// The variable this constraint bounds.
+    pub fn target(&self) -> IVar {
+        match self {
+            Constraint::Const(v, _)
+            | Constraint::Flow(v, _)
+            | Constraint::Prim(v, _, _)
+            | Constraint::Product(v, _)
+            | Constraint::MeetNonNeg(v, _) => *v,
+        }
+    }
+
+    /// The variables this constraint reads.
+    pub fn inputs(&self) -> Vec<IVar> {
+        match self {
+            Constraint::Const(_, _) => Vec::new(),
+            Constraint::Flow(_, v) | Constraint::MeetNonNeg(_, v) => vec![*v],
+            Constraint::Prim(_, _, args) => args.clone(),
+            Constraint::Product(_, args) => args.clone(),
+        }
+    }
+}
+
+/// A growing set of constraints plus the variable supply.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    next_var: IVar,
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh(&mut self) -> IVar {
+        let v = self.next_var;
+        self.next_var += 1;
+        v
+    }
+
+    /// Allocates a fresh variable constrained to a constant.
+    pub fn fresh_const(&mut self, c: Interval) -> IVar {
+        let v = self.fresh();
+        self.push(Constraint::Const(v, c));
+        v
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Number of variables allocated.
+    pub fn var_count(&self) -> usize {
+        self.next_var as usize
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_variables_are_sequential() {
+        let mut cs = ConstraintSet::new();
+        assert_eq!(cs.fresh(), 0);
+        assert_eq!(cs.fresh(), 1);
+        assert_eq!(cs.var_count(), 2);
+    }
+
+    #[test]
+    fn targets_and_inputs() {
+        let c = Constraint::Prim(5, PrimOp::Add, vec![1, 2]);
+        assert_eq!(c.target(), 5);
+        assert_eq!(c.inputs(), vec![1, 2]);
+        let f = Constraint::Flow(3, 4);
+        assert_eq!(f.target(), 3);
+        assert_eq!(f.inputs(), vec![4]);
+        let k = Constraint::Const(0, Interval::ONE);
+        assert!(k.inputs().is_empty());
+    }
+}

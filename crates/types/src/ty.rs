@@ -1,0 +1,116 @@
+//! Interval types (§5.1).
+
+use std::fmt;
+
+use gubpi_interval::Interval;
+
+/// A weightless interval type `σ ::= I | σ → A`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ITy {
+    /// A ground type refined by an interval: `{x : R | x ∈ I}`.
+    Base(Interval),
+    /// A function type with a weighted result.
+    Fun(Box<ITy>, Box<WTy>),
+}
+
+impl ITy {
+    /// For ground types, the refining interval.
+    pub fn as_interval(&self) -> Option<Interval> {
+        match self {
+            ITy::Base(i) => Some(*i),
+            ITy::Fun(..) => None,
+        }
+    }
+
+    /// The subtyping relation `⊑σ` (§5.1): covariant intervals,
+    /// contravariant function arguments.
+    pub fn subtype_of(&self, other: &ITy) -> bool {
+        match (self, other) {
+            (ITy::Base(a), ITy::Base(b)) => a.subset_of(b),
+            (ITy::Fun(a1, r1), ITy::Fun(a2, r2)) => a2.subtype_of(a1) && r1.subtype_of(r2),
+            _ => false,
+        }
+    }
+}
+
+/// A weighted interval type `A = ⟨σ, I⟩`: any terminating execution
+/// produces a value in `σ` with weight in `I`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WTy {
+    /// Bound on the returned value.
+    pub ty: ITy,
+    /// Bound on the execution weight.
+    pub weight: Interval,
+}
+
+impl WTy {
+    /// Creates `⟨ty, weight⟩`.
+    pub fn new(ty: ITy, weight: Interval) -> WTy {
+        WTy { ty, weight }
+    }
+
+    /// The subtyping relation `⊑A`: component-wise.
+    pub fn subtype_of(&self, other: &WTy) -> bool {
+        self.ty.subtype_of(&other.ty) && self.weight.subset_of(&other.weight)
+    }
+}
+
+impl fmt::Display for ITy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ITy::Base(i) => write!(f, "{i}"),
+            ITy::Fun(a, r) => write!(f, "({a} -> {r})"),
+        }
+    }
+}
+
+impl fmt::Display for WTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} | {}>", self.ty, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(lo: f64, hi: f64) -> ITy {
+        ITy::Base(Interval::new(lo, hi))
+    }
+
+    #[test]
+    fn base_subtyping_is_inclusion() {
+        assert!(base(0.0, 1.0).subtype_of(&base(-1.0, 2.0)));
+        assert!(!base(-1.0, 2.0).subtype_of(&base(0.0, 1.0)));
+    }
+
+    #[test]
+    fn function_subtyping_is_contravariant() {
+        // (bigger-arg → smaller-result) ⊑ (smaller-arg → bigger-result)
+        let f1 = ITy::Fun(
+            Box::new(base(-10.0, 10.0)),
+            Box::new(WTy::new(base(0.0, 1.0), Interval::ONE)),
+        );
+        let f2 = ITy::Fun(
+            Box::new(base(0.0, 1.0)),
+            Box::new(WTy::new(base(-1.0, 2.0), Interval::new(0.0, 2.0))),
+        );
+        assert!(f1.subtype_of(&f2));
+        assert!(!f2.subtype_of(&f1));
+    }
+
+    #[test]
+    fn weighted_subtyping_requires_weight_inclusion() {
+        let a = WTy::new(base(0.0, 1.0), Interval::ONE);
+        let b = WTy::new(base(0.0, 1.0), Interval::new(0.0, 2.0));
+        assert!(a.subtype_of(&b));
+        assert!(!b.subtype_of(&a));
+    }
+
+    #[test]
+    fn example_5_1_type_shape() {
+        // ⟨[0,20] | [0,1]⟩ from Example 5.1.
+        let t = WTy::new(base(0.0, 20.0), Interval::new(0.0, 1.0));
+        assert_eq!(t.to_string(), "<[0, 20] | [0, 1]>");
+    }
+}

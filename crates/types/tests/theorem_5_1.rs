@@ -1,0 +1,64 @@
+//! Dynamic soundness of the weight-aware interval type system
+//! (Theorem 5.1): if `⊢ P : ⟨[a,b] | [c,d]⟩` and `(P, s, 1) →* (r, ⟨⟩, w)`
+//! then `r ∈ [a,b]` and `w ∈ [c,d]`.
+//!
+//! We check this against randomly sampled runs of a model zoo that covers
+//! branching, scoring, recursion and higher-order functions.
+
+use gubpi_lang::{infer, parse};
+use gubpi_semantics::bigstep::{sample_run_with, EvalOptions};
+use gubpi_types::infer_interval_types;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MODELS: &[&str] = &[
+    "3 * sample + 1",
+    "score(2 * sample); 7",
+    "if sample <= 0.5 then score(2); 1 else 3",
+    "let f x = x * 2 + 1 in f (f (sample))",
+    "let s = sample in score(s); s",
+    "observe 0.7 from normal(sample, 0.5); sample",
+    "let rec geo x = if sample <= 0.5 then x else (score(0.5); geo (x + 1)) in geo 0",
+    "let rec walk x =
+       if x <= 0 then 0 else
+         let step = sample in
+         if sample <= 0.5 then step + walk (x + step)
+         else step + walk (x - step)
+     in walk (1 * sample)",
+    "let twice f x = f (f x) in twice (fn y -> y + sample) 0",
+    "min(sample, 0.5) * max(sample, 0.5) - abs(sample - 0.5)",
+    "exp(sample) / (1 + exp(sample))",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn typed_bounds_contain_sampled_runs(model_idx in 0usize..MODELS.len(), seed in 0u64..10_000) {
+        let src = MODELS[model_idx];
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let root = typing.wty(p.root.id).unwrap();
+        let value_bound = root.ty.as_interval().expect("ground program");
+        let weight_bound = root.weight;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = EvalOptions { fuel: 200_000, max_depth: 250 };
+        // Skip non-terminating draws (bounds only speak about
+        // terminating executions — partial correctness).
+        if let Ok(out) = sample_run_with(&p, &mut rng, opts) {
+            let w = out.weight();
+            let tol = 1e-9 * (1.0 + w.abs());
+            prop_assert!(
+                value_bound.outward().contains(out.value),
+                "{src}: value {} escapes {value_bound:?}",
+                out.value
+            );
+            prop_assert!(
+                weight_bound.lo() - tol <= w && w <= weight_bound.hi() + tol,
+                "{src}: weight {w} escapes {weight_bound:?}"
+            );
+        }
+    }
+}

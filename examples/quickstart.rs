@@ -1,0 +1,35 @@
+//! Quickstart: parse a model, compute guaranteed posterior bounds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gubpi_core::{AnalysisOptions, Analyzer};
+use gubpi_interval::Interval;
+
+fn main() {
+    // A tiny Bayesian model: uniform prior on a bias, one noisy
+    // observation, return the bias.
+    let source = "
+        let bias = sample in
+        observe 0.8 from normal(bias, 0.25);
+        bias";
+
+    let analyzer =
+        Analyzer::from_source(source, AnalysisOptions::default()).expect("model compiles");
+
+    // Guaranteed bounds on the normalising constant Z = ⟦P⟧(R).
+    let (z_lo, z_hi) = analyzer.normalizing_constant();
+    println!("Z in [{z_lo:.6}, {z_hi:.6}]");
+
+    // Guaranteed bounds on the posterior probability that the bias
+    // exceeds one half. These are *not* stochastic estimates: an exact
+    // posterior value outside these brackets is impossible.
+    let (lo, hi) = analyzer.posterior_probability(Interval::new(0.5, 1.0));
+    println!("P(bias >= 0.5 | data) in [{lo:.6}, {hi:.6}]");
+
+    // Histogram-shaped bounds over the prior support.
+    let hist = analyzer.histogram(Interval::new(0.0, 1.0), 10);
+    println!("\nPosterior histogram bounds:");
+    print!("{}", gubpi_core::render_histogram(&hist, 40));
+}

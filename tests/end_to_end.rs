@@ -1,0 +1,117 @@
+//! End-to-end behaviour of the analyzer on representative models.
+
+use gubpi_core::{AnalysisOptions, Analyzer};
+use gubpi_interval::Interval;
+use gubpi_symbolic::SymExecOptions;
+
+fn analyzer(src: &str, unfold: u32) -> Analyzer {
+    Analyzer::from_source(
+        src,
+        AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: unfold,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("model compiles")
+}
+
+#[test]
+fn conjugate_style_posterior_shifts_upward() {
+    // Uniform prior, observation at 0.8 → posterior favours large bias.
+    let a = analyzer("let b = sample in observe 0.8 from normal(b, 0.25); b", 2);
+    let (lo_hi, _) = a.posterior_probability(Interval::new(0.5, 1.0));
+    let (_, hi_lo) = a.posterior_probability(Interval::new(0.0, 0.5));
+    assert!(lo_hi > 0.5, "upper half must dominate: lo={lo_hi}");
+    assert!(hi_lo < 0.5, "lower half must be dominated: hi={hi_lo}");
+}
+
+#[test]
+fn discrete_bayes_net_is_exact() {
+    // P(burglary | alarm) = 4/11 with the priors below.
+    let src = "
+        let burglary = flip(0.125) in
+        let earthquake = flip(0.25) in
+        let alarm = max(burglary, earthquake) in
+        if alarm >= 1 then burglary else fail";
+    let a = analyzer(src, 2);
+    let (lo, hi) = a.posterior_probability(Interval::new(0.5, 1.5));
+    let exact = 4.0 / 11.0;
+    assert!(lo <= exact + 1e-9 && exact <= hi + 1e-9);
+    assert!(hi - lo < 1e-9, "discrete model must be exact: [{lo}, {hi}]");
+}
+
+#[test]
+fn hard_rejection_renormalizes() {
+    // Condition sample ≥ 0.5 by failing otherwise: posterior uniform on
+    // [0.5, 1], so P(x ≥ 0.75) = 1/2.
+    let a = analyzer("let x = sample in if x >= 0.5 then x else fail", 2);
+    let (lo, hi) = a.posterior_probability(Interval::new(0.75, 1.0));
+    assert!(lo <= 0.5 + 1e-9 && 0.5 <= hi + 1e-9, "[{lo}, {hi}]");
+    assert!(hi - lo < 1e-6);
+}
+
+#[test]
+fn recursive_geometric_histogram() {
+    let a = analyzer(
+        "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0",
+        10,
+    );
+    let h = a.histogram(Interval::new(-0.5, 5.5), 6);
+    // Bin k holds the integer k with mass 2^{-(k+1)}.
+    for k in 0..6 {
+        let (lo, hi) = h.unnormalized(k);
+        let want = 0.5f64.powi(k as i32 + 1);
+        assert!(
+            lo <= want + 1e-9 && want <= hi + 1e-9,
+            "bin {k}: {want} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn histogram_exact_is_at_least_as_tight() {
+    let src = "let x = sample in score(x); x";
+    let a = analyzer(src, 2);
+    let domain = Interval::new(0.0, 1.0);
+    let fast = a.histogram(domain, 5);
+    let exact = a.histogram_exact(domain, 5);
+    for i in 0..5 {
+        let (fl, fh) = fast.unnormalized(i);
+        let (el, eh) = exact.unnormalized(i);
+        assert!(el >= fl - 1e-9, "bin {i}: exact lower {el} < fast {fl}");
+        assert!(eh <= fh + 1e-9, "bin {i}: exact upper {eh} > fast {fh}");
+        // Both contain the truth ∫ x dx over the bin.
+        let b = fast.bin(i);
+        let truth = 0.5 * (b.hi() * b.hi() - b.lo() * b.lo());
+        assert!(el <= truth + 1e-9 && truth <= eh + 1e-9);
+    }
+}
+
+#[test]
+fn almost_surely_rejected_programs_have_no_posterior() {
+    let a = analyzer("fail; sample", 2);
+    let (z_lo, z_hi) = a.normalizing_constant();
+    assert_eq!(z_lo, 0.0);
+    assert_eq!(z_hi, 0.0);
+    let h = a.histogram(Interval::new(0.0, 1.0), 4);
+    assert!(h.normalized().is_empty());
+}
+
+#[test]
+fn front_end_errors_propagate() {
+    assert!(Analyzer::from_source("let x = in x", AnalysisOptions::default()).is_err());
+    assert!(Analyzer::from_source("fn x -> x", AnalysisOptions::default()).is_err());
+    assert!(Analyzer::from_source("y + 1", AnalysisOptions::default()).is_err());
+}
+
+#[test]
+fn render_histogram_is_printable() {
+    let a = analyzer("sample", 2);
+    let h = a.histogram(Interval::new(0.0, 1.0), 4);
+    let s = gubpi_core::render_histogram(&h, 30);
+    assert_eq!(s.lines().count(), 5);
+    assert!(s.contains("Z in ["));
+}

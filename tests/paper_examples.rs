@@ -1,0 +1,164 @@
+//! The paper's worked examples, executed end-to-end.
+
+use gubpi_core::{AnalysisOptions, Analyzer};
+use gubpi_dist::{ContinuousDist, Normal};
+use gubpi_interval::Interval;
+use gubpi_lang::{infer, parse};
+use gubpi_semantics::bigstep::run_on_trace;
+use gubpi_symbolic::{symbolic_paths, SymExecOptions};
+use gubpi_types::infer_interval_types;
+
+const PEDESTRIAN: &str = "
+    let start = 3 * sample uniform(0, 1) in
+    let rec walk x =
+      if x <= 0 then 0 else
+        let step = sample uniform(0, 1) in
+        if sample <= 0.5 then step + walk (x + step)
+        else step + walk (x - step)
+    in
+    let distance = walk start in
+    observe distance from normal(1.1, 0.1);
+    start";
+
+/// Example 2.1: on s = ⟨0.1, 0.2, 0.4, 0.7, 0.8⟩ the pedestrian walks
+/// 0.2 away and 0.7 home, giving val = 0.3 and wt = pdf_N(1.1,0.1)(0.9).
+#[test]
+fn example_2_1_trace_semantics() {
+    let p = parse(PEDESTRIAN).unwrap();
+    let out = run_on_trace(&p, &[0.1, 0.2, 0.4, 0.7, 0.8]).unwrap();
+    assert!((out.value - 0.3).abs() < 1e-12);
+    let expected = Normal::new(1.1, 0.1).pdf(0.9);
+    assert!((out.weight() - expected).abs() < 1e-12);
+}
+
+/// Example C.2: the pedestrian's symbolic paths satisfy Assumption 1
+/// (every sample variable used at most once per value).
+#[test]
+fn example_c_2_single_use_assumption() {
+    let p = parse(PEDESTRIAN).unwrap();
+    let simple = infer(&p).unwrap();
+    let typing = infer_interval_types(&p, &simple);
+    let paths = symbolic_paths(
+        &p,
+        &typing,
+        SymExecOptions {
+            max_fix_unfoldings: 4,
+            ..Default::default()
+        },
+    );
+    assert!(paths.len() > 4);
+    for path in paths.iter().filter(|q| !q.truncated) {
+        assert!(path.satisfies_single_use(), "{path}");
+        // Exact paths carry exactly the observe score.
+        assert_eq!(path.scores.len(), 1);
+    }
+}
+
+/// Example 5.2 / 6.2: the pedestrian fixpoint types as
+/// `[a,b] → ⟨[0,∞] | [1,1]⟩`, so approxFix replaces it by
+/// `λ_. score([1,1]); [0,∞]` — i.e. adds no weight factor.
+#[test]
+fn example_5_2_and_6_2_fixpoint_typing() {
+    let p = parse(PEDESTRIAN).unwrap();
+    let simple = infer(&p).unwrap();
+    let typing = infer_interval_types(&p, &simple);
+    let mut fix_bounds = None;
+    p.root.walk(&mut |e| {
+        if matches!(e.kind, gubpi_lang::ExprKind::Fix(..)) {
+            fix_bounds = typing.fix_apply_bounds(e.id);
+        }
+    });
+    let (value, weight) = fix_bounds.expect("pedestrian has one fixpoint");
+    assert_eq!(weight, Interval::ONE);
+    assert_eq!(value, Interval::NON_NEG);
+}
+
+/// Example 3.1(iii): T2 = {⟨[1/2,1]^n, [0,1/2]⟩} is compatible and
+/// exhaustive; T1 (with [0,1/3] tails) is compatible but not exhaustive.
+#[test]
+fn example_3_1_compatibility_and_exhaustivity() {
+    use gubpi_interval::BoxN;
+    use gubpi_semantics::bounds::{covered_volume, pairwise_compatible};
+    let make = |tail: f64, n_max: usize| -> Vec<BoxN> {
+        (0..n_max)
+            .map(|n| {
+                let mut dims = vec![Interval::new(0.5, 1.0); n];
+                dims.push(Interval::new(0.0, tail));
+                BoxN::new(dims)
+            })
+            .collect()
+    };
+    let t1 = make(1.0 / 3.0, 8);
+    let t2 = make(0.5, 8);
+    assert!(pairwise_compatible(&t1));
+    assert!(pairwise_compatible(&t2));
+    // T2 covers everything except (1/2, 1]^8 (measure 2⁻⁸ at depth 8).
+    let c2 = covered_volume(&t2);
+    assert!((c2 - (1.0 - 0.5f64.powi(8))).abs() < 1e-9, "c2={c2}");
+    // T1 leaves strictly more uncovered.
+    let c1 = covered_volume(&t1);
+    assert!(c1 < c2);
+}
+
+/// Example C.3: the program with unbounded weight function. Its
+/// normalising constant is finite (the program is integrable); the lower
+/// bound converges toward Z from below while finitely many paths cannot
+/// pin the upper bound (it stays ≥ Z).
+#[test]
+fn example_c_3_unbounded_weight() {
+    // P ≡ μφ s. if(sample − s, score(2); φ(s/2), 1) applied to 1.
+    let src = "
+        let rec loop s =
+          if sample <= s then (score(2); loop (s / 2)) else 1
+        in loop 1";
+    let a = Analyzer::from_source(
+        src,
+        AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Z = Σ_{n≥0} 2ⁿ(1 − 2⁻ⁿ)·∏_{i<n} 2⁻ⁱ  (n loop entries, then exit).
+    let mut z = 0.0;
+    let mut prefix = 1.0; // ∏ 2^{-i}
+    for n in 0..30 {
+        let weight = 2.0f64.powi(n);
+        let exit_prob = 1.0 - 2.0f64.powi(-n);
+        z += weight * exit_prob * prefix;
+        prefix *= 2.0f64.powi(-n);
+    }
+    let (lo, hi) = a.normalizing_constant();
+    assert!(lo <= z + 1e-9, "lo={lo} vs Z={z}");
+    assert!(lo > 0.8 * z, "explored mass should be near Z: lo={lo} Z={z}");
+    assert!(hi >= z - 1e-9, "hi={hi} vs Z={z}");
+}
+
+/// Example 6.1's path structure: every exact pedestrian path returns
+/// `3·α₀` and draws an odd number of samples (start + step/coin pairs).
+#[test]
+fn example_6_1_path_shape() {
+    let p = parse(PEDESTRIAN).unwrap();
+    let simple = infer(&p).unwrap();
+    let typing = infer_interval_types(&p, &simple);
+    let paths = symbolic_paths(
+        &p,
+        &typing,
+        SymExecOptions {
+            max_fix_unfoldings: 3,
+            ..Default::default()
+        },
+    );
+    for path in paths.iter().filter(|q| !q.truncated) {
+        for probe in [0.0, 0.25, 0.9] {
+            let mut s = vec![0.5; path.n_samples.max(1)];
+            s[0] = probe;
+            let v = path.result.eval(&s);
+            assert!((v.lo() - 3.0 * probe).abs() < 1e-12);
+        }
+        assert_eq!(path.n_samples % 2, 1, "{path}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Statistical soundness: guaranteed bounds must contain high-precision
+//! Monte-Carlo estimates across the model zoo (Corollary 6.3 in action).
+
+use gubpi_core::{AnalysisOptions, Analyzer};
+use gubpi_inference::importance::{importance_sample, ImportanceOptions};
+use gubpi_interval::Interval;
+use gubpi_lang::parse;
+use gubpi_symbolic::SymExecOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(source, query, unfold)` triples covering branching, scoring,
+/// observation, recursion and non-linear operators.
+const ZOO: &[(&str, (f64, f64), u32)] = &[
+    ("sample", (0.2, 0.7), 2),
+    ("sample + sample", (0.5, 1.2), 2),
+    ("let x = sample in score(2 * x); x", (0.3, 0.9), 2),
+    ("observe 0.4 from normal(sample, 0.3); sample", (0.0, 0.5), 2),
+    ("if sample <= 0.3 then sample else 2 * sample", (0.4, 1.1), 2),
+    ("exp(sample) / 2", (0.6, 1.2), 2),
+    ("min(sample, sample) + 0.1", (0.3, 0.8), 2),
+    (
+        "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0",
+        (-0.5, 1.5),
+        8,
+    ),
+    (
+        "let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1; sample",
+        (0.0, 0.5),
+        8,
+    ),
+    (
+        "let p = sample in (if sample <= p then score(2) else score(1)); p",
+        (0.5, 1.0),
+        2,
+    ),
+];
+
+fn posterior_mc(src: &str, u: Interval, seed: u64) -> f64 {
+    let p = parse(src).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = importance_sample(&p, 60_000, ImportanceOptions::default(), &mut rng);
+    ws.probability_in(u.lo(), u.hi())
+}
+
+#[test]
+fn bounds_contain_monte_carlo_posteriors() {
+    for (i, (src, (a, b), unfold)) in ZOO.iter().enumerate() {
+        let u = Interval::new(*a, *b);
+        let analyzer = Analyzer::from_source(
+            src,
+            AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: *unfold,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{src}: {e}"));
+        let (lo, hi) = analyzer.posterior_probability(u);
+        assert!(lo <= hi + 1e-12, "{src}: inverted bounds [{lo}, {hi}]");
+        let mc = posterior_mc(src, u, 1000 + i as u64);
+        // 60k samples: allow 1.5% statistical slack.
+        assert!(
+            lo - 0.015 <= mc && mc <= hi + 0.015,
+            "{src}: MC {mc} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn unnormalized_bounds_contain_evidence_estimates() {
+    for (i, (src, _, unfold)) in ZOO.iter().enumerate() {
+        let analyzer = Analyzer::from_source(
+            src,
+            AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: *unfold,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (z_lo, z_hi) = analyzer.normalizing_constant();
+        let p = parse(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(7_000 + i as u64);
+        let ws = importance_sample(&p, 60_000, ImportanceOptions::default(), &mut rng);
+        let z_mc = ws.evidence_estimate();
+        assert!(
+            z_lo - 0.02 <= z_mc && z_mc <= z_hi + 0.02 * (1.0 + z_hi.abs()),
+            "{src}: Ẑ = {z_mc} outside [{z_lo}, {z_hi}]"
+        );
+    }
+}
+
+#[test]
+fn refining_splits_never_loosens_bounds() {
+    let src = "let x = sample in score(x + sample); x";
+    let u = Interval::new(0.25, 0.75);
+    let mut prev_width = f64::INFINITY;
+    for splits in [4usize, 8, 16, 32] {
+        let mut opts = AnalysisOptions::default();
+        opts.bounds.splits = splits;
+        let a = Analyzer::from_source(src, opts).unwrap();
+        let (lo, hi) = a.denotation_bounds(u);
+        let width = hi - lo;
+        assert!(
+            width <= prev_width + 1e-9,
+            "splits={splits}: width {width} > previous {prev_width}"
+        );
+        prev_width = width;
+    }
+    assert!(prev_width < 0.05, "32 splits should be tight, got {prev_width}");
+}
+
+#[test]
+fn deeper_unfolding_never_loosens_z_bounds() {
+    let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+    let mut prev = (0.0f64, f64::INFINITY);
+    for unfold in [2u32, 4, 8, 12] {
+        let a = Analyzer::from_source(
+            src,
+            AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: unfold,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (lo, hi) = a.normalizing_constant();
+        assert!(lo >= prev.0 - 1e-9, "unfold={unfold}: lower regressed");
+        assert!(hi <= prev.1 + 1e-9, "unfold={unfold}: upper regressed");
+        prev = (lo, hi);
+    }
+    // Z = 1 for this almost-surely-terminating score-free program.
+    assert!(prev.0 > 0.999 && prev.1 >= 1.0 - 1e-9);
+}
