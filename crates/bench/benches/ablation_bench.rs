@@ -8,7 +8,10 @@ use gubpi_core::{AnalysisOptions, Analyzer, Method};
 use gubpi_interval::Interval;
 
 const MODELS: &[(&str, &str)] = &[
-    ("score_sum", "let x = sample in let y = sample in score(x + y); x"),
+    (
+        "score_sum",
+        "let x = sample in let y = sample in score(x + y); x",
+    ),
     (
         "observed_walk",
         "let s = sample + sample + sample in observe s from normal(1.5, 0.3); s",

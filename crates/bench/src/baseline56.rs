@@ -134,7 +134,11 @@ struct QueryAccum {
 
 impl QueryAccum {
     fn new(u: Interval) -> QueryAccum {
-        QueryAccum { u, lo: 0.0, hi: 0.0 }
+        QueryAccum {
+            u,
+            lo: 0.0,
+            hi: 0.0,
+        }
     }
 }
 

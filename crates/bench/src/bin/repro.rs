@@ -28,6 +28,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
+        "--help" | "-h" | "help" => {
+            println!(
+                "repro — regenerates the tables and figures of the GuBPI paper\n\n\
+                 USAGE: repro [COMMAND]\n\n\
+                 COMMANDS:\n  \
+                 table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
+                 table2        Table 2: discrete models vs exact posteriors\n  \
+                 table3        Table 3: GuBPI vs SBC running times\n  \
+                 pedestrian    Fig. 1/7: pedestrian bounds vs IS vs (wrong) HMC\n  \
+                 fig5          Fig. 5a-5d: non-recursive histogram bounds\n  \
+                 fig6          Fig. 6a-6f: recursive histogram bounds\n  \
+                 ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep\n  \
+                 all           everything above (the default)"
+            );
+        }
         "table1" | "table4" => table1(),
         "table2" => table2(),
         "table3" => table3(),
@@ -45,7 +60,7 @@ fn main() {
             table3();
         }
         other => {
-            eprintln!("unknown command `{other}`; see the doc comment for usage");
+            eprintln!("unknown command `{other}`; run `repro --help` for usage");
             std::process::exit(2);
         }
     }
@@ -150,9 +165,7 @@ fn table3() {
             if hi <= lo {
                 return Vec::new();
             }
-            let src = format!(
-                "let t = sample in observe t from uniform({lo}, {hi}); t"
-            );
+            let src = format!("let t = sample in observe t from uniform({lo}, {hi}); t");
             let p = gubpi_lang::parse(&src).expect("model parses");
             let ws = importance_sample(&p, 4 * l, ImportanceOptions::default(), rng);
             systematic_resample(&ws, l)
@@ -165,7 +178,11 @@ fn table3() {
         "SBC (importance sampler): {t_sbc:.2}s, chi2 = {:.2}, p = {:.3} ({})",
         r.chi2,
         r.p_value,
-        if r.is_miscalibrated() { "MISCALIBRATED" } else { "calibrated" }
+        if r.is_miscalibrated() {
+            "MISCALIBRATED"
+        } else {
+            "calibrated"
+        }
     );
     println!();
 }
@@ -180,7 +197,11 @@ fn systematic_resample(ws: &gubpi_inference::WeightedSamples, l: usize) -> Vec<f
     if !max_lw.is_finite() {
         return Vec::new();
     }
-    let weights: Vec<f64> = ws.log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
+    let weights: Vec<f64> = ws
+        .log_weights
+        .iter()
+        .map(|lw| (lw - max_lw).exp())
+        .collect();
     let total: f64 = weights.iter().sum();
     if total <= 0.0 {
         return Vec::new();
@@ -257,7 +278,10 @@ fn pedestrian() {
         *x /= total;
     }
 
-    println!("\n{:<16} {:>21} {:>8} {:>8} {:>9}", "bin", "GuBPI", "IS", "HMC", "HMC ok?");
+    println!(
+        "\n{:<16} {:>21} {:>8} {:>8} {:>9}",
+        "bin", "GuBPI", "IS", "HMC", "HMC ok?"
+    );
     let norm = h.normalized();
     let mut is_viol = 0;
     let mut hmc_viol = 0;

@@ -245,22 +245,30 @@ fn fig6_source(c: usize) -> &'static str {
     // x starts uniform on [0, 10]; steps are uniform(0, 4); c counts the
     // steps needed to leave [0, 10].
     match c {
-        1 => r#"
+        1 => {
+            r#"
             let rec go x = if x > 10 then 0 else 1 + go (x + sample uniform(0, 4)) in
             let c = go (sample uniform(0, 10)) in
-            if c <= 1 then 1 else 0"#,
-        2 => r#"
+            if c <= 1 then 1 else 0"#
+        }
+        2 => {
+            r#"
             let rec go x = if x > 10 then 0 else 1 + go (x + sample uniform(0, 4)) in
             let c = go (sample uniform(0, 10)) in
-            if c <= 2 then 1 else 0"#,
-        5 => r#"
+            if c <= 2 then 1 else 0"#
+        }
+        5 => {
+            r#"
             let rec go x = if x > 10 then 0 else 1 + go (x + sample uniform(0, 4)) in
             let c = go (sample uniform(0, 10)) in
-            if c <= 5 then 1 else 0"#,
-        _ => r#"
+            if c <= 5 then 1 else 0"#
+        }
+        _ => {
+            r#"
             let rec go x = if x > 10 then 0 else 1 + go (x + sample uniform(0, 4)) in
             let c = go (sample uniform(0, 10)) in
-            if c <= 8 then 1 else 0"#,
+            if c <= 8 then 1 else 0"#
+        }
     }
 }
 

@@ -1,0 +1,62 @@
+//! Smoke tests for the workspace wiring: the `repro` binary must start,
+//! answer `--help`, and a tiny model must run end to end through the
+//! same harness entry point the benches use. This is the canary that
+//! keeps the binary, the bench harness and the analyzer linked together.
+
+use std::process::Command;
+
+use bench::analyze_prob_benchmark;
+use bench::models::ProbBenchmark;
+use gubpi_interval::Interval;
+
+/// Path to the compiled `repro` binary (provided by Cargo for
+/// integration tests of the package that owns the binary).
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+#[test]
+fn repro_help_exits_zero_and_prints_usage() {
+    let out = Command::new(REPRO)
+        .arg("--help")
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "--help must exit 0: {:?}", out.status);
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["USAGE", "table1", "pedestrian", "ablation", "all"] {
+        assert!(
+            text.contains(needle),
+            "usage text missing {needle:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_commands() {
+    let out = Command::new(REPRO)
+        .arg("no-such-table")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+}
+
+#[test]
+fn tiny_model_end_to_end() {
+    // The smallest interesting model: a uniform prior scored to the
+    // upper half. The unnormalised mass of [0.5, 1] is exactly 1/2, and
+    // the analyzer's guaranteed bounds must bracket it.
+    let b = ProbBenchmark {
+        name: "smoke",
+        query_label: "x in [0.5, 1]",
+        source: "let x = sample in score(if x <= 0.5 then 0 else 1); x",
+        u: Interval::new(0.5, 1.0),
+        unfold: 2,
+    };
+    let (lo, hi) = analyze_prob_benchmark(&b);
+    assert!(
+        lo <= 0.5 && 0.5 <= hi,
+        "bounds [{lo}, {hi}] must contain 0.5"
+    );
+    assert!(lo >= 0.0 && hi <= 1.0, "weights are a sub-probability here");
+    assert!(hi - lo < 0.45, "bounds [{lo}, {hi}] should be informative");
+}

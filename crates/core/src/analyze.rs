@@ -144,10 +144,7 @@ impl Analyzer {
         // which is sound.
         let left_closed = Interval::new(f64::NEG_INFINITY, u.lo());
         let right_closed = Interval::new(u.hi(), f64::INFINITY);
-        let left_open = Interval::new(
-            f64::NEG_INFINITY,
-            gubpi_interval::next_after_down(u.lo()),
-        );
+        let left_open = Interval::new(f64::NEG_INFINITY, gubpi_interval::next_after_down(u.lo()));
         let right_open = Interval::new(gubpi_interval::next_after_up(u.hi()), f64::INFINITY);
         let (ll, _) = self.denotation_bounds(left_open);
         let (rl, _) = self.denotation_bounds(right_open);
@@ -231,7 +228,10 @@ mod tests {
         let h = a.histogram(Interval::new(0.0, 1.0), 4);
         for i in 0..4 {
             let (lo, hi) = h.unnormalized(i);
-            assert!(lo <= 0.25 + 1e-9 && 0.25 <= hi + 1e-9, "bin {i}: [{lo}, {hi}]");
+            assert!(
+                lo <= 0.25 + 1e-9 && 0.25 <= hi + 1e-9,
+                "bin {i}: [{lo}, {hi}]"
+            );
         }
         let n = h.normalized();
         for nb in n {

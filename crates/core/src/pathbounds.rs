@@ -30,7 +30,11 @@ pub struct SingleQuery {
 impl SingleQuery {
     /// A fresh query accumulator for `U`.
     pub fn new(u: Interval) -> SingleQuery {
-        SingleQuery { u, lo: 0.0, hi: 0.0 }
+        SingleQuery {
+            u,
+            lo: 0.0,
+            hi: 0.0,
+        }
     }
 }
 
@@ -119,7 +123,9 @@ pub fn bound_path(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundS
         return;
     }
     if linear_applicable(path) {
-        bound_linear(path, opts, ResultMode::Boxed, &mut |vr, l, h| sink.add(vr, l, h));
+        bound_linear(path, opts, ResultMode::Boxed, &mut |vr, l, h| {
+            sink.add(vr, l, h)
+        });
     } else {
         bound_grid(path, opts, sink);
     }
@@ -359,7 +365,11 @@ fn bound_linear(
         }
     }
 
-    let exact_cap = if opts.certified_volumes { 0 } else { opts.exact_dim_cap };
+    let exact_cap = if opts.certified_volumes {
+        0
+    } else {
+        opts.exact_dim_cap
+    };
 
     // Cartesian iteration over chunk combinations.
     let mut idx = vec![0usize; boxed.len()];
@@ -575,7 +585,11 @@ mod tests {
 
     #[test]
     fn sampleless_paths_work() {
-        let (lo, hi) = query("score(0.25); 2", Interval::new(1.5, 2.5), PathBoundOptions::default());
+        let (lo, hi) = query(
+            "score(0.25); 2",
+            Interval::new(1.5, 2.5),
+            PathBoundOptions::default(),
+        );
         assert!((lo - 0.25).abs() < 1e-12 && (hi - 0.25).abs() < 1e-12);
     }
 }

@@ -1,0 +1,580 @@
+//! Validated continuous distributions for GuBPI.
+//!
+//! The SPCF front end desugars `sample D(…)` and `observe … from D` into
+//! primitive pdf/quantile calls (see `gubpi_lang::prim`), and the
+//! inference baselines need cdfs and samplers. This crate provides that
+//! numeric foundation: the [`ContinuousDist`] trait with `pdf`, `cdf`,
+//! `quantile` and `sample`, the five distributions of the paper's
+//! benchmark suite ([`Normal`], [`Uniform`], [`Beta`], [`Cauchy`],
+//! [`Exponential`]), interval liftings of the densities
+//! ([`ContinuousDist::pdf_interval`]) for the interval trace semantics,
+//! and the special functions backing them in [`math`].
+//!
+//! Parameter validity is enforced at construction time: every `new`
+//! panics on parameters outside the distribution's domain (`σ ≤ 0`,
+//! `b ≤ a`, NaN, …), so a constructed distribution is always usable.
+//!
+//! # Example
+//!
+//! ```
+//! use gubpi_dist::{ContinuousDist, Normal};
+//!
+//! let n = Normal::standard();
+//! assert!((n.cdf(n.quantile(0.975)) - 0.975).abs() < 1e-12);
+//! ```
+
+use gubpi_interval::Interval;
+
+pub mod math;
+
+use math::{beta_inc, beta_inc_inv, ln_beta, std_normal_cdf, std_normal_quantile};
+
+/// A continuous distribution over (a subset of) the reals.
+pub trait ContinuousDist {
+    /// Probability density at `x` (0 outside the support; may be `+∞` at
+    /// an integrable singularity, e.g. `Beta(½, ½)` at the endpoints).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile (inverse CDF): the smallest `x` with `cdf(x) ≥ p`.
+    ///
+    /// Returns the infimum/supremum of the support at `p = 0` / `p = 1`
+    /// (which may be `±∞`) and `NaN` outside `[0, 1]`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Draws one value by inverse-transform sampling.
+    fn sample<R: rand::Rng>(&self, rng: &mut R) -> f64
+    where
+        Self: Sized,
+    {
+        // Uniform on the *open* interval (0, 1): the bin midpoints
+        // ((k + ½)·2⁻⁵³) never hit 0 or 1, so quantile() cannot return
+        // ±∞ and poison downstream running statistics.
+        let u = ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+        self.quantile(u)
+    }
+
+    /// An interval enclosure of `{ pdf(x) | x ∈ xs }`.
+    ///
+    /// The default is the sound-but-loose `[0, ∞]`; every distribution in
+    /// this crate overrides it with an exact range.
+    fn pdf_interval(&self, xs: Interval) -> Interval {
+        let _ = xs;
+        Interval::NON_NEG
+    }
+}
+
+fn check_finite(value: f64, what: &str) -> f64 {
+    assert!(value.is_finite(), "{what} must be finite, got {value}");
+    value
+}
+
+/// The normal distribution `N(μ, σ²)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// `N(μ, σ²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `σ > 0` and both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Normal {
+        check_finite(mu, "normal mean");
+        check_finite(sigma, "normal stddev");
+        assert!(sigma > 0.0, "normal stddev must be positive, got {sigma}");
+        Normal { mu, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Normal {
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Mean `μ`.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation `σ`.
+    pub fn stddev(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+
+    fn pdf_interval(&self, xs: Interval) -> Interval {
+        // The density is unimodal with its maximum at μ.
+        xs.map_unimodal_max(self.mu, |x| self.pdf(x))
+    }
+}
+
+/// The uniform distribution on `[a, b]`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// `Uniform(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a < b` and both endpoints are finite.
+    pub fn new(a: f64, b: f64) -> Uniform {
+        check_finite(a, "uniform lower endpoint");
+        check_finite(b, "uniform upper endpoint");
+        assert!(a < b, "uniform requires a < b, got [{a}, {b}]");
+        Uniform { a, b }
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if (self.a..=self.b).contains(&x) {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.a + p * (self.b - self.a)
+    }
+
+    fn pdf_interval(&self, xs: Interval) -> Interval {
+        let h = 1.0 / (self.b - self.a);
+        let support = Interval::new(self.a, self.b);
+        if !xs.intersects(&support) {
+            Interval::ZERO
+        } else if xs.subset_of(&support) {
+            Interval::point(h)
+        } else {
+            Interval::new(0.0, h)
+        }
+    }
+}
+
+/// The beta distribution `Beta(α, β)` on `[0, 1]`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+    ln_norm: f64,
+}
+
+impl Beta {
+    /// `Beta(α, β)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `α > 0` and `β > 0` (finite).
+    pub fn new(alpha: f64, beta: f64) -> Beta {
+        check_finite(alpha, "beta shape α");
+        check_finite(beta, "beta shape β");
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "beta shapes must be positive, got ({alpha}, {beta})"
+        );
+        Beta {
+            alpha,
+            beta,
+            ln_norm: ln_beta(alpha, beta),
+        }
+    }
+}
+
+impl ContinuousDist for Beta {
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        // Endpoint conventions: with α < 1 (resp. β < 1) the density
+        // diverges at 0 (resp. 1); with α = 1 it is finite and positive.
+        let (a, b) = (self.alpha, self.beta);
+        let endpoint_pdf = |shape: f64| {
+            if shape < 1.0 {
+                f64::INFINITY
+            } else if shape == 1.0 {
+                (-self.ln_norm).exp()
+            } else {
+                0.0
+            }
+        };
+        if x == 0.0 {
+            return endpoint_pdf(a);
+        }
+        if x == 1.0 {
+            return endpoint_pdf(b);
+        }
+        ((a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - self.ln_norm).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            beta_inc(self.alpha, self.beta, x)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        beta_inc_inv(self.alpha, self.beta, p)
+    }
+
+    fn pdf_interval(&self, xs: Interval) -> Interval {
+        let support = Interval::UNIT;
+        // The density is 0 outside [0, 1]; if the query pokes out of the
+        // support the range must include that 0.
+        let sticks_out = !xs.subset_of(&support);
+        let Some(xs) = xs.meet(support) else {
+            return Interval::ZERO;
+        };
+        let (a, b) = (self.alpha, self.beta);
+        let raw = self.pdf_interval_on_support(xs, a, b);
+        if sticks_out {
+            raw.join(Interval::ZERO)
+        } else {
+            raw
+        }
+    }
+}
+
+impl Beta {
+    /// Exact range of the density over `xs ⊆ [0, 1]`.
+    fn pdf_interval_on_support(&self, xs: Interval, a: f64, b: f64) -> Interval {
+        if a >= 1.0 && b >= 1.0 {
+            // Unimodal (constant when α = β = 1) with interior mode.
+            let mode = if a + b > 2.0 {
+                (a - 1.0) / (a + b - 2.0)
+            } else {
+                0.5
+            };
+            xs.map_unimodal_max(mode, |x| self.pdf(x))
+        } else {
+            // A shape parameter below 1 makes the density diverge at the
+            // corresponding endpoint; return the exact hull over the
+            // clipped interval by checking endpoints plus any interior
+            // critical point.
+            let lo_val = self.pdf(xs.lo());
+            let hi_val = self.pdf(xs.hi());
+            let mut lo = lo_val.min(hi_val);
+            let hi = lo_val.max(hi_val);
+            if a < 1.0 && b < 1.0 {
+                // U-shaped: interior minimum at (1−α)/(2−α−β).
+                let m = (1.0 - a) / (2.0 - a - b);
+                if xs.contains(m) {
+                    lo = lo.min(self.pdf(m));
+                }
+            }
+            // Otherwise exactly one shape is < 1: d/dx ln pdf =
+            // (α−1)/x − (β−1)/(1−x) has both terms of the same sign, so
+            // the density is strictly monotone on (0, 1) and the
+            // endpoint values above already span the exact range.
+            Interval::new(lo, hi)
+        }
+    }
+}
+
+/// The Cauchy distribution with location `x₀` and scale `γ`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Cauchy {
+    x0: f64,
+    gamma: f64,
+}
+
+impl Cauchy {
+    /// `Cauchy(x₀, γ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `γ > 0` and both parameters are finite.
+    pub fn new(x0: f64, gamma: f64) -> Cauchy {
+        check_finite(x0, "cauchy location");
+        check_finite(gamma, "cauchy scale");
+        assert!(gamma > 0.0, "cauchy scale must be positive, got {gamma}");
+        Cauchy { x0, gamma }
+    }
+}
+
+impl ContinuousDist for Cauchy {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.x0) / self.gamma;
+        1.0 / (std::f64::consts::PI * self.gamma * (1.0 + z * z))
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        0.5 + ((x - self.x0) / self.gamma).atan() / std::f64::consts::PI
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.x0 + self.gamma * (std::f64::consts::PI * (p - 0.5)).tan()
+    }
+
+    fn pdf_interval(&self, xs: Interval) -> Interval {
+        xs.map_unimodal_max(self.x0, |x| self.pdf(x))
+    }
+}
+
+/// The exponential distribution with rate `λ` (density `λe^{−λx}` on
+/// `[0, ∞)`).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// `Exp(λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `λ > 0` (finite).
+    pub fn new(rate: f64) -> Exponential {
+        check_finite(rate, "exponential rate");
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        // −ln(1−p)/λ via ln_1p for accuracy near p = 0.
+        -(-p).ln_1p() / self.rate
+    }
+
+    fn pdf_interval(&self, xs: Interval) -> Interval {
+        if xs.hi() < 0.0 {
+            return Interval::ZERO;
+        }
+        let lo_x = xs.lo().max(0.0);
+        let hi_val = self.pdf(lo_x);
+        let lo_val = if xs.lo() < 0.0 || xs.hi().is_infinite() {
+            0.0
+        } else {
+            self.pdf(xs.hi())
+        };
+        Interval::new(lo_val, hi_val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn normal_reference_values() {
+        let n = Normal::standard();
+        assert!(close(n.pdf(0.0), 0.398_942_280_401_432_7, 1e-15));
+        assert!(close(n.pdf(1.0), 0.241_970_724_519_143_37, 1e-15));
+        assert_eq!(n.cdf(0.0), 0.5);
+        assert!(close(n.cdf(1.96), 0.975_002_104_851_779_5, 1e-13));
+        assert!(close(n.quantile(0.975), 1.959_963_984_540_054, 1e-12));
+        let m = Normal::new(2.0, 3.0);
+        assert!(close(m.quantile(m.cdf(4.2)), 4.2, 1e-12));
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.stddev(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stddev must be positive")]
+    fn normal_rejects_bad_sigma() {
+        let _ = Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn uniform_basics() {
+        let u = Uniform::new(-1.0, 3.0);
+        assert_eq!(u.pdf(0.0), 0.25);
+        assert_eq!(u.pdf(5.0), 0.0);
+        assert_eq!(u.cdf(-1.0), 0.0);
+        assert_eq!(u.cdf(3.0), 1.0);
+        assert_eq!(u.cdf(1.0), 0.5);
+        assert_eq!(u.quantile(0.5), 1.0);
+        assert_eq!(u.quantile(0.0), -1.0);
+        assert_eq!(u.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn beta_reference_values() {
+        let b = Beta::new(2.0, 3.0);
+        // pdf(x) = 12 x (1−x)².
+        assert!(close(b.pdf(0.5), 1.5, 1e-13));
+        assert!(close(b.cdf(0.5), beta_inc(2.0, 3.0, 0.5), 1e-15));
+        assert!(close(b.quantile(b.cdf(0.3)), 0.3, 1e-10));
+        // Symmetric case: median at 1/2.
+        assert!(close(Beta::new(2.0, 2.0).quantile(0.5), 0.5, 1e-12));
+        // α < 1 diverges at 0, is zero nowhere inside.
+        let s = Beta::new(0.5, 0.5);
+        assert_eq!(s.pdf(0.0), f64::INFINITY);
+        assert_eq!(s.pdf(1.0), f64::INFINITY);
+        assert!(s.pdf(0.5) > 0.0);
+        assert_eq!(s.pdf(-0.1), 0.0);
+    }
+
+    #[test]
+    fn cauchy_reference_values() {
+        let c = Cauchy::new(0.0, 1.0);
+        assert!(close(c.pdf(0.0), 1.0 / std::f64::consts::PI, 1e-15));
+        assert_eq!(c.cdf(0.0), 0.5);
+        assert!(close(c.quantile(0.75), 1.0, 1e-13));
+        assert!(close(c.quantile(0.25), -1.0, 1e-13));
+        assert_eq!(c.quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(c.quantile(1.0), f64::INFINITY);
+        let shifted = Cauchy::new(2.0, 0.5);
+        assert!(close(shifted.quantile(shifted.cdf(2.7)), 2.7, 1e-12));
+    }
+
+    #[test]
+    fn exponential_reference_values() {
+        let e = Exponential::new(1.0);
+        assert_eq!(e.pdf(0.0), 1.0);
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert!(close(e.cdf(1.0), 1.0 - (-1.0f64).exp(), 1e-15));
+        assert!(close(e.quantile(1.0 - (-1.0f64).exp()), 1.0, 1e-13));
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(1.0), f64::INFINITY);
+        let fast = Exponential::new(4.0);
+        assert!(close(fast.quantile(fast.cdf(0.3)), 0.3, 1e-13));
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip_on_grid() {
+        let dists: Vec<Box<dyn Fn(f64) -> f64>> = vec![
+            Box::new(|p| Normal::new(1.0, 2.0).quantile(p)),
+            Box::new(|p| Uniform::new(0.0, 1.0).quantile(p)),
+            Box::new(|p| Beta::new(2.0, 5.0).quantile(p)),
+            Box::new(|p| Cauchy::new(0.0, 1.0).quantile(p)),
+            Box::new(|p| Exponential::new(0.7).quantile(p)),
+        ];
+        for q in &dists {
+            let mut last = f64::NEG_INFINITY;
+            for i in 1..50 {
+                let p = i as f64 / 50.0;
+                let x = q(p);
+                assert!(x >= last, "quantiles must be monotone");
+                last = x;
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let n = Normal::new(0.0, 1.0);
+        let draws = 20_000;
+        let below_zero = (0..draws).filter(|_| n.sample(&mut rng) < 0.0).count() as f64;
+        assert!((below_zero / draws as f64 - 0.5).abs() < 0.02);
+        let e = Exponential::new(2.0);
+        let mean: f64 = (0..draws).map(|_| e.sample(&mut rng)).sum::<f64>() / draws as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let _ = rng.random::<f64>();
+    }
+
+    #[test]
+    fn pdf_intervals_enclose_point_evaluations() {
+        let xs = Interval::new(-0.5, 1.5);
+        let grid = |k: usize| xs.lo() + (xs.hi() - xs.lo()) * k as f64 / 40.0;
+        macro_rules! check {
+            ($d:expr) => {
+                let d = $d;
+                let range = d.pdf_interval(xs);
+                for k in 0..=40 {
+                    let x = grid(k);
+                    let fx = d.pdf(x);
+                    assert!(
+                        range.outward().contains(fx),
+                        "pdf({x}) = {fx} outside {range:?}"
+                    );
+                }
+            };
+        }
+        check!(Normal::new(0.3, 0.7));
+        check!(Uniform::new(0.0, 1.0));
+        check!(Beta::new(2.0, 3.0));
+        check!(Beta::new(0.5, 0.5));
+        check!(Beta::new(0.5, 2.0));
+        check!(Cauchy::new(0.2, 0.4));
+        check!(Exponential::new(1.3));
+    }
+
+    #[test]
+    fn uniform_pdf_interval_cases() {
+        let u = Uniform::new(0.0, 2.0);
+        assert_eq!(
+            u.pdf_interval(Interval::new(0.5, 1.0)),
+            Interval::point(0.5)
+        );
+        assert_eq!(u.pdf_interval(Interval::new(3.0, 4.0)), Interval::ZERO);
+        assert_eq!(
+            u.pdf_interval(Interval::new(-1.0, 1.0)),
+            Interval::new(0.0, 0.5)
+        );
+    }
+}

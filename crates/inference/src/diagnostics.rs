@@ -19,8 +19,11 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
     let means: Vec<f64> = chains.iter().map(|c| mean(&c[..n])).collect();
     let grand = mean(&means);
     // Between-chain variance B/n and within-chain variance W.
-    let b_over_n =
-        means.iter().map(|mu| (mu - grand) * (mu - grand)).sum::<f64>() / (m as f64 - 1.0);
+    let b_over_n = means
+        .iter()
+        .map(|mu| (mu - grand) * (mu - grand))
+        .sum::<f64>()
+        / (m as f64 - 1.0);
     let w = chains
         .iter()
         .map(|c| {
@@ -96,7 +99,9 @@ mod tests {
     fn iid_chain_has_full_ess() {
         // A deterministic low-discrepancy sequence behaves like iid noise
         // for this estimator.
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 2654435761u64 % 1000) as f64) / 1000.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64) / 1000.0)
+            .collect();
         let ess = effective_sample_size(&xs);
         assert!(ess > 500.0, "ess={ess}");
         assert!((mean(&xs) - 0.5).abs() < 0.05);

@@ -188,7 +188,11 @@ mod tests {
             ..Default::default()
         };
         let chain = hmc_sample(&p, 1_500, opts, &mut rng);
-        assert!(chain.acceptance_rate > 0.4, "rate={}", chain.acceptance_rate);
+        assert!(
+            chain.acceptance_rate > 0.4,
+            "rate={}",
+            chain.acceptance_rate
+        );
         let mean: f64 = chain.values.iter().sum::<f64>() / chain.values.len() as f64;
         assert!((mean - 0.7).abs() < 0.08, "mean={mean}");
     }

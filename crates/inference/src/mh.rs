@@ -53,9 +53,7 @@ pub fn mh_sample<R: Rng>(program: &Program, n: usize, opts: MhOptions, rng: &mut
     // Initial state by forward runs.
     let mut current: Option<Outcome> = None;
     for _ in 0..10_000 {
-        if let Ok(o) =
-            gubpi_semantics::bigstep::sample_run_with(program, rng, opts.eval)
-        {
+        if let Ok(o) = gubpi_semantics::bigstep::sample_run_with(program, rng, opts.eval) {
             if o.log_weight > f64::NEG_INFINITY {
                 current = Some(o);
                 break;
@@ -74,8 +72,7 @@ pub fn mh_sample<R: Rng>(program: &Program, n: usize, opts: MhOptions, rng: &mut
         if let Some(p) = proposal {
             // Acceptance in log space; the n/n' factor corrects for
             // trans-dimensional moves under the trace base measure.
-            let log_alpha = p.log_weight - current.log_weight
-                + (current.trace.len() as f64).ln()
+            let log_alpha = p.log_weight - current.log_weight + (current.trace.len() as f64).ln()
                 - (p.trace.len().max(1) as f64).ln();
             if log_alpha >= 0.0 || rng.random::<f64>().ln() < log_alpha {
                 current = p;
@@ -154,10 +151,7 @@ mod tests {
     #[test]
     fn mh_handles_transdimensional_models() {
         // Geometric number of draws; P(k = 0) = 1/2.
-        let p = parse(
-            "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0",
-        )
-        .unwrap();
+        let p = parse("let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0").unwrap();
         let mut rng = StdRng::seed_from_u64(23);
         let chain = mh_sample(&p, 6_000, MhOptions::default(), &mut rng);
         let zeros = chain.values.iter().filter(|&&v| v == 0.0).count();

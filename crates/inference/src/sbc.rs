@@ -126,7 +126,9 @@ mod tests {
     fn exact_posterior(y: f64, l: usize, rng: &mut StdRng) -> Vec<f64> {
         let lo = (y - 0.1).max(0.0);
         let hi = (y + 0.1).min(1.0);
-        (0..l).map(|_| lo + rng.random::<f64>() * (hi - lo)).collect()
+        (0..l)
+            .map(|_| lo + rng.random::<f64>() * (hi - lo))
+            .collect()
     }
 
     /// A *wrong* sampler: ignores the data half the time.
@@ -169,6 +171,10 @@ mod tests {
         assert!(r.is_miscalibrated(), "chi2={} p={}", r.chi2, r.p_value);
         let first = r.rank_counts[0] + r.rank_counts.last().unwrap();
         let middle = r.rank_counts[r.rank_counts.len() / 2];
-        assert!(first > middle * 2, "expected U-shape, got {:?}", r.rank_counts);
+        assert!(
+            first > middle * 2,
+            "expected U-shape, got {:?}",
+            r.rank_counts
+        );
     }
 }

@@ -116,7 +116,11 @@ impl BoxN {
     ///
     /// Panics if `splits.len() != self.dim()` or any count is zero.
     pub fn grid(&self, splits: &[usize]) -> Vec<BoxN> {
-        assert_eq!(splits.len(), self.dim(), "split counts must match dimension");
+        assert_eq!(
+            splits.len(),
+            self.dim(),
+            "split counts must match dimension"
+        );
         let parts: Vec<Vec<Interval>> = self
             .dims
             .iter()

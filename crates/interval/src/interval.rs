@@ -202,7 +202,11 @@ impl Interval {
         let mut parts = Vec::with_capacity(n);
         let mut lo = self.lo;
         for i in 0..n {
-            let hi = if i + 1 == n { self.hi } else { self.lo + (i + 1) as f64 * step };
+            let hi = if i + 1 == n {
+                self.hi
+            } else {
+                self.lo + (i + 1) as f64 * step
+            };
             parts.push(Interval::new(lo, hi.max(lo)));
             lo = hi.max(lo);
         }
@@ -552,7 +556,10 @@ mod tests {
     #[test]
     fn recip_and_div() {
         assert_eq!(Interval::new(2.0, 4.0).recip(), Interval::new(0.25, 0.5));
-        assert_eq!(Interval::new(-4.0, -2.0).recip(), Interval::new(-0.5, -0.25));
+        assert_eq!(
+            Interval::new(-4.0, -2.0).recip(),
+            Interval::new(-0.5, -0.25)
+        );
         assert_eq!(Interval::new(-1.0, 1.0).recip(), Interval::REAL);
         assert_eq!(
             Interval::new(0.0, 2.0).recip(),
@@ -605,9 +612,15 @@ mod tests {
 
     #[test]
     fn clamp_non_neg_matches_score_rule() {
-        assert_eq!(Interval::new(-1.0, 2.0).clamp_non_neg(), Interval::new(0.0, 2.0));
+        assert_eq!(
+            Interval::new(-1.0, 2.0).clamp_non_neg(),
+            Interval::new(0.0, 2.0)
+        );
         assert_eq!(Interval::new(-2.0, -1.0).clamp_non_neg(), Interval::ZERO);
-        assert_eq!(Interval::new(1.0, 2.0).clamp_non_neg(), Interval::new(1.0, 2.0));
+        assert_eq!(
+            Interval::new(1.0, 2.0).clamp_non_neg(),
+            Interval::new(1.0, 2.0)
+        );
     }
 
     #[test]

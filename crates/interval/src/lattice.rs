@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(widen(e(0.0, 1.0), e(0.5, 0.8)), e(0.0, 1.0));
         assert_eq!(widen(e(0.0, 1.0), e(0.0, 2.0)), e(0.0, f64::INFINITY));
         assert_eq!(widen(e(0.0, 1.0), e(-1.0, 1.0)), e(f64::NEG_INFINITY, 1.0));
-        assert_eq!(widen(e(0.0, 1.0), e(-1.0, 2.0)), Lattice::Elem(Interval::REAL));
+        assert_eq!(
+            widen(e(0.0, 1.0), e(-1.0, 2.0)),
+            Lattice::Elem(Interval::REAL)
+        );
         assert_eq!(widen(Lattice::Bottom, e(1.0, 2.0)), e(1.0, 2.0));
     }
 

@@ -240,15 +240,24 @@ mod tests {
     #[test]
     fn minus_vs_arrow() {
         use TokenKind::*;
-        assert_eq!(kinds("a - b"), vec![Ident("a".into()), Minus, Ident("b".into()), Eof]);
-        assert_eq!(kinds("a -> b"), vec![Ident("a".into()), Arrow, Ident("b".into()), Eof]);
+        assert_eq!(
+            kinds("a - b"),
+            vec![Ident("a".into()), Minus, Ident("b".into()), Eof]
+        );
+        assert_eq!(
+            kinds("a -> b"),
+            vec![Ident("a".into()), Arrow, Ident("b".into()), Eof]
+        );
     }
 
     #[test]
     fn rejects_unknown_characters() {
         let err = lex("a ? b").unwrap_err();
         assert!(err.message.contains('?'));
-        assert_eq!(err.render("a ? b"), "1:3: lex error: unexpected character `?`");
+        assert_eq!(
+            err.render("a ? b"),
+            "1:3: lex error: unexpected character `?`"
+        );
     }
 
     #[test]

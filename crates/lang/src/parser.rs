@@ -261,9 +261,10 @@ impl Parser {
                 (g, else_e, then_e)
             }
         };
-        Ok(self
-            .builder
-            .mk(ExprKind::If(Box::new(guard), Box::new(t), Box::new(e)), span))
+        Ok(self.builder.mk(
+            ExprKind::If(Box::new(guard), Box::new(t), Box::new(e)),
+            span,
+        ))
     }
 
     /// Builds `a − b`, folding constants for tidier guards.
@@ -289,7 +290,9 @@ impl Parser {
         let mut body = self.expr()?;
         let span = start.merge(body.span);
         for p in params.iter().rev() {
-            body = self.builder.mk(ExprKind::Lam(p.clone(), Box::new(body)), span);
+            body = self
+                .builder
+                .mk(ExprKind::Lam(p.clone(), Box::new(body)), span);
         }
         Ok(body)
     }
@@ -341,7 +344,10 @@ impl Parser {
         if args.len() != expected {
             return Err(LangError::new(
                 Phase::Parse,
-                format!("distribution `{dist}` expects {expected} parameter(s), got {}", args.len()),
+                format!(
+                    "distribution `{dist}` expects {expected} parameter(s), got {}",
+                    args.len()
+                ),
                 span,
             ));
         }
@@ -486,7 +492,12 @@ impl Parser {
         if args.len() != op.arity() {
             return Err(LangError::new(
                 Phase::Parse,
-                format!("`{}` expects {} argument(s), got {}", op.name(), op.arity(), args.len()),
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    op.name(),
+                    op.arity(),
+                    args.len()
+                ),
                 span,
             ));
         }
@@ -527,7 +538,10 @@ impl Parser {
             } else {
                 Err(LangError::new(
                     Phase::Parse,
-                    format!("distribution `{dist}` expects {n} parameter(s), got {}", args.len()),
+                    format!(
+                        "distribution `{dist}` expects {n} parameter(s), got {}",
+                        args.len()
+                    ),
                     span,
                 ))
             }

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn application_binds_tightest() {
-        assert_eq!(roundtrip("let f x = x in f 1 + 2"), "(fn f -> f 1 + 2) (fn x -> x)");
+        assert_eq!(
+            roundtrip("let f x = x in f 1 + 2"),
+            "(fn f -> f 1 + 2) (fn x -> x)"
+        );
     }
 
     #[test]

@@ -222,7 +222,10 @@ impl PrimOp {
                 u.map_increasing(|p| Cauchy::new(0.0, 1.0).quantile(p))
             }
             BetaQuantile => {
-                if args[0].is_point() && args[1].is_point() {
+                if args[0].is_point()
+                    && args[1].is_point()
+                    && valid_beta_shapes(args[0].lo(), args[1].lo())
+                {
                     let d = Beta::new(args[0].lo(), args[1].lo());
                     let u = args[2].meet(Interval::UNIT).unwrap_or(Interval::ZERO);
                     u.map_increasing(|p| d.quantile(p))
@@ -264,10 +267,21 @@ fn normal_pdf_interval(mu: Interval, sigma: Interval, x: Interval) -> Interval {
         let b = (mu.hi() - x.lo()).abs();
         a.max(b) // may be ∞ for unbounded inputs
     };
-    let pdf = |d: f64, s: f64| Normal::new(0.0, s).pdf(d);
+    // σ may be +∞ (unbounded scale interval): the density tends to 0.
+    let pdf = |d: f64, s: f64| {
+        if s.is_finite() {
+            Normal::new(0.0, s).pdf(d)
+        } else {
+            0.0
+        }
+    };
     // Maximum: smallest distance, σ maximising at that distance.
     let s_star = d_min.clamp(s_lo, s_hi);
-    let hi = if d_min == 0.0 { pdf(0.0, s_lo) } else { pdf(d_min, s_star) };
+    let hi = if d_min == 0.0 {
+        pdf(0.0, s_lo)
+    } else {
+        pdf(d_min, s_star)
+    };
     // Minimum: largest distance; in σ the density at fixed d is unimodal,
     // so the minimum over σ is at an endpoint.
     let lo = if d_max.is_infinite() {
@@ -280,7 +294,7 @@ fn normal_pdf_interval(mu: Interval, sigma: Interval, x: Interval) -> Interval {
 
 /// Range of `pdf_{Uniform(a, b)}(x)`; exact for point `a, b`.
 fn uniform_pdf_interval(a: Interval, b: Interval, x: Interval) -> Interval {
-    if a.is_point() && b.is_point() && a.lo() < b.lo() {
+    if a.is_point() && b.is_point() && a.is_finite() && b.is_finite() && a.lo() < b.lo() {
         Uniform::new(a.lo(), b.lo()).pdf_interval(x)
     } else {
         // Conservative: height ranges over 1/(b−a).
@@ -289,9 +303,18 @@ fn uniform_pdf_interval(a: Interval, b: Interval, x: Interval) -> Interval {
     }
 }
 
-/// Range of `pdf_{Beta(α, β)}(x)`; exact for point parameters, else `[0, ∞]`.
+/// Are `(α, β)` inside `Beta::new`'s domain? The interval liftings must
+/// stay total — out-of-domain parameters (a *modeling* error that only
+/// concrete evaluation reports) fall back to a sound enclosure instead
+/// of panicking mid-analysis.
+fn valid_beta_shapes(alpha: f64, beta: f64) -> bool {
+    alpha.is_finite() && beta.is_finite() && alpha > 0.0 && beta > 0.0
+}
+
+/// Range of `pdf_{Beta(α, β)}(x)`; exact for valid point parameters,
+/// else `[0, ∞]`.
 fn beta_pdf_interval(alpha: Interval, beta: Interval, x: Interval) -> Interval {
-    if alpha.is_point() && beta.is_point() {
+    if alpha.is_point() && beta.is_point() && valid_beta_shapes(alpha.lo(), beta.lo()) {
         Beta::new(alpha.lo(), beta.lo()).pdf_interval(x)
     } else {
         Interval::NON_NEG
@@ -306,7 +329,14 @@ fn exponential_pdf_interval(rate: Interval, x: Interval) -> Interval {
         return Interval::ZERO;
     }
     let x_lo = x.lo().max(0.0);
-    let g = |l: f64, t: f64| Exponential::new(l).pdf(t);
+    // λ may be +∞ (unbounded rate interval): for t > 0 the density tends to 0.
+    let g = |l: f64, t: f64| {
+        if l.is_finite() {
+            Exponential::new(l).pdf(t)
+        } else {
+            0.0
+        }
+    };
     // Max at smallest x; over λ the map λ ↦ λe^{−λx} peaks at λ = 1/x.
     let hi = if x_lo == 0.0 {
         l_hi // pdf(0) = λ
@@ -338,7 +368,14 @@ fn cauchy_pdf_interval(x0: Interval, gamma: Interval, x: Interval) -> Interval {
         x0.lo() - x.hi()
     };
     let d_max = (x.hi() - x0.lo()).abs().max((x0.hi() - x.lo()).abs());
-    let pdf = |d: f64, g: f64| Cauchy::new(0.0, g).pdf(d);
+    // γ may be +∞ (unbounded scale interval): the density tends to 0.
+    let pdf = |d: f64, g: f64| {
+        if g.is_finite() {
+            Cauchy::new(0.0, g).pdf(d)
+        } else {
+            0.0
+        }
+    };
     let hi = if d_min == 0.0 {
         pdf(0.0, g_lo)
     } else {
@@ -364,9 +401,28 @@ mod tests {
     fn arities_and_names_roundtrip() {
         use PrimOp::*;
         for op in [
-            Add, Sub, Mul, Div, Neg, Abs, Min, Max, Exp, Ln, Sqrt, Sigmoid, Floor, NormalPdf,
-            UniformPdf, BetaPdf, ExponentialPdf, CauchyPdf, NormalQuantile, ExponentialQuantile,
-            CauchyQuantile, BetaQuantile,
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Neg,
+            Abs,
+            Min,
+            Max,
+            Exp,
+            Ln,
+            Sqrt,
+            Sigmoid,
+            Floor,
+            NormalPdf,
+            UniformPdf,
+            BetaPdf,
+            ExponentialPdf,
+            CauchyPdf,
+            NormalQuantile,
+            ExponentialQuantile,
+            CauchyQuantile,
+            BetaQuantile,
         ] {
             assert_eq!(PrimOp::by_name(op.name()), Some(op));
             assert!(op.arity() >= 1 && op.arity() <= 3);
@@ -417,11 +473,7 @@ mod tests {
     #[test]
     fn normal_pdf_interval_with_interval_mean() {
         // μ ∈ [0, 1], σ = 1, x = 5: distance ∈ [4, 5].
-        let got = PrimOp::NormalPdf.eval_interval(&[
-            Interval::new(0.0, 1.0),
-            pt(1.0),
-            pt(5.0),
-        ]);
+        let got = PrimOp::NormalPdf.eval_interval(&[Interval::new(0.0, 1.0), pt(1.0), pt(5.0)]);
         let n = Normal::standard();
         assert!((got.hi() - n.pdf(4.0)).abs() < 1e-14);
         assert!((got.lo() - n.pdf(5.0)).abs() < 1e-14);
@@ -430,8 +482,7 @@ mod tests {
     #[test]
     fn normal_pdf_interval_sigma_interval_critical_point() {
         // d = 2 fixed, σ ∈ [1, 4]: the max over σ is at σ = d = 2.
-        let got =
-            PrimOp::NormalPdf.eval_interval(&[pt(0.0), Interval::new(1.0, 4.0), pt(2.0)]);
+        let got = PrimOp::NormalPdf.eval_interval(&[pt(0.0), Interval::new(1.0, 4.0), pt(2.0)]);
         let best = Normal::new(0.0, 2.0).pdf(2.0);
         assert!((got.hi() - best).abs() < 1e-14);
         let worst = Normal::new(0.0, 1.0)
@@ -443,8 +494,8 @@ mod tests {
     #[test]
     fn exponential_pdf_interval_cases() {
         // λ ∈ [0.5, 2], x ∈ [1, 3].
-        let got =
-            PrimOp::ExponentialPdf.eval_interval(&[Interval::new(0.5, 2.0), Interval::new(1.0, 3.0)]);
+        let got = PrimOp::ExponentialPdf
+            .eval_interval(&[Interval::new(0.5, 2.0), Interval::new(1.0, 3.0)]);
         // max at x=1, λ* = 1 ∈ [0.5, 2] → e^{−1}
         assert!((got.hi() - (-1.0f64).exp()).abs() < 1e-14);
         // min at x=3: min(0.5e^{−1.5}, 2e^{−6})
@@ -460,6 +511,30 @@ mod tests {
         // Full unit interval gives the whole line.
         let full = PrimOp::NormalQuantile.eval_interval(&[Interval::UNIT]);
         assert_eq!(full, Interval::REAL);
+    }
+
+    #[test]
+    fn invalid_dist_params_fall_back_to_sound_enclosures() {
+        // The interval liftings must stay total: out-of-domain parameters
+        // (reachable from program-controlled values during analysis) give
+        // the conservative enclosure instead of panicking.
+        let bad_beta = PrimOp::BetaPdf.eval_interval(&[pt(-1.0), pt(1.0), Interval::UNIT]);
+        assert_eq!(bad_beta, Interval::NON_NEG);
+        let bad_beta_q = PrimOp::BetaQuantile.eval_interval(&[pt(0.0), pt(2.0), Interval::UNIT]);
+        assert_eq!(bad_beta_q, Interval::UNIT);
+        let bad_uniform = PrimOp::UniformPdf.eval_interval(&[pt(2.0), pt(1.0), Interval::UNIT]);
+        assert!(bad_uniform.lo() >= 0.0);
+        // Unbounded scale intervals must not reach the (finite-only)
+        // constructors either.
+        let unbounded_sigma =
+            PrimOp::NormalPdf.eval_interval(&[pt(0.0), Interval::new(1.0, f64::INFINITY), pt(2.0)]);
+        assert!(unbounded_sigma.lo() >= 0.0 && unbounded_sigma.hi().is_finite());
+        let unbounded_rate = PrimOp::ExponentialPdf
+            .eval_interval(&[Interval::new(1.0, f64::INFINITY), Interval::new(1.0, 2.0)]);
+        assert!(unbounded_rate.lo() >= 0.0);
+        let unbounded_gamma =
+            PrimOp::CauchyPdf.eval_interval(&[pt(0.0), Interval::new(1.0, f64::INFINITY), pt(2.0)]);
+        assert!(unbounded_gamma.lo() >= 0.0 && unbounded_gamma.hi().is_finite());
     }
 
     #[test]

@@ -197,11 +197,7 @@ impl Infer {
             }
             (x, y) => Err(LangError::new(
                 Phase::Type,
-                format!(
-                    "type mismatch: {} vs {}",
-                    describe(&x),
-                    describe(&y)
-                ),
+                format!("type mismatch: {} vs {}", describe(&x), describe(&y)),
                 span,
             )),
         }
@@ -214,9 +210,7 @@ impl Infer {
         let r = self.find(i);
         match self.term[r as usize].clone() {
             TyTerm::Var | TyTerm::Real => SimpleTy::Real,
-            TyTerm::Fun(a, b) => {
-                SimpleTy::Fun(Rc::new(self.resolve(a)), Rc::new(self.resolve(b)))
-            }
+            TyTerm::Fun(a, b) => SimpleTy::Fun(Rc::new(self.resolve(a)), Rc::new(self.resolve(b))),
         }
     }
 }
@@ -362,10 +356,7 @@ mod tests {
 
     #[test]
     fn recursive_functions_type_check() {
-        let p = parse(
-            "let rec fact n = if n <= 0 then 1 else n * fact (n - 1) in fact 5",
-        )
-        .unwrap();
+        let p = parse("let rec fact n = if n <= 0 then 1 else n * fact (n - 1) in fact 5").unwrap();
         let tm = infer(&p).unwrap();
         assert!(tm.ty(p.root.id).is_real());
     }
@@ -375,10 +366,16 @@ mod tests {
         let p = parse("let twice f x = f (f x) in twice (fn y -> y + 1) 0").unwrap();
         let tm = infer(&p).unwrap();
         // twice : (R→R) → R → R must appear in the program.
-        let rr = Rc::new(SimpleTy::Fun(Rc::new(SimpleTy::Real), Rc::new(SimpleTy::Real)));
+        let rr = Rc::new(SimpleTy::Fun(
+            Rc::new(SimpleTy::Real),
+            Rc::new(SimpleTy::Real),
+        ));
         let twice_ty = SimpleTy::Fun(
             rr.clone(),
-            Rc::new(SimpleTy::Fun(Rc::new(SimpleTy::Real), Rc::new(SimpleTy::Real))),
+            Rc::new(SimpleTy::Fun(
+                Rc::new(SimpleTy::Real),
+                Rc::new(SimpleTy::Real),
+            )),
         );
         let mut found = false;
         p.root.walk(&mut |e| {

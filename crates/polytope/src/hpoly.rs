@@ -137,9 +137,10 @@ impl HPolytope {
     pub fn contains(&self, x: &[f64], tol: f64) -> bool {
         x.len() == self.dim
             && x.iter().all(|&v| v >= -tol)
-            && self.rows.iter().all(|(a, b)| {
-                a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + tol
-            })
+            && self
+                .rows
+                .iter()
+                .all(|(a, b)| a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + tol)
     }
 
     /// Removes constraints implied by the others (for each row, maximise

@@ -34,7 +34,10 @@ impl LinExpr {
         assert!(i < dim, "variable index out of range");
         let mut coeffs = vec![0.0; dim];
         coeffs[i] = 1.0;
-        LinExpr { coeffs, constant: 0.0 }
+        LinExpr {
+            coeffs,
+            constant: 0.0,
+        }
     }
 
     /// Builds from raw parts.

@@ -149,12 +149,7 @@ pub fn solve_lp(c: &[f64], maximize: bool, rows: &[(Vec<f64>, f64)], dim: usize)
 /// # Panics
 ///
 /// Panics on dimension mismatches.
-pub fn solve_lp_free(
-    c: &[f64],
-    maximize: bool,
-    rows: &[(Vec<f64>, f64)],
-    dim: usize,
-) -> LpOutcome {
+pub fn solve_lp_free(c: &[f64], maximize: bool, rows: &[(Vec<f64>, f64)], dim: usize) -> LpOutcome {
     let c2: Vec<f64> = c.iter().copied().chain(c.iter().map(|x| -x)).collect();
     let rows2: Vec<(Vec<f64>, f64)> = rows
         .iter()

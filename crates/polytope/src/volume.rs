@@ -175,7 +175,11 @@ impl HPolytope {
             return (0.0, 0.0);
         };
         if bb.dim() == 0 {
-            return if self.is_empty() { (0.0, 0.0) } else { (1.0, 1.0) };
+            return if self.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (1.0, 1.0)
+            };
         }
         let mut inside = 0.0f64;
         let mut heap: BinaryHeap<VolBox> = BinaryHeap::new();
@@ -541,7 +545,10 @@ mod tests {
             let mut p = HPolytope::unit_cube(n);
             p.add_constraint(vec![1.0; n], 1.0);
             let v = p.volume_lasserre();
-            assert!((v - expect).abs() < 1e-9 * (1.0 + expect), "n={n}: {v} vs {expect}");
+            assert!(
+                (v - expect).abs() < 1e-9 * (1.0 + expect),
+                "n={n}: {v} vs {expect}"
+            );
         }
     }
 

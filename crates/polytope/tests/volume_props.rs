@@ -10,10 +10,7 @@ use gubpi_polytope::{HPolytope, LinExpr, LpOutcome};
 use proptest::prelude::*;
 
 fn random_cut() -> impl Strategy<Value = (Vec<f64>, f64)> {
-    (
-        proptest::collection::vec(-1.0f64..1.0, 3),
-        -0.5f64..1.5,
-    )
+    (proptest::collection::vec(-1.0f64..1.0, 3), -0.5f64..1.5)
 }
 
 proptest! {

@@ -190,7 +190,10 @@ mod tests {
         let lo = lower_bound(&p, &traces, u, IntervalOptions::default());
         let hi = upper_bound(&p, &traces, u, IntervalOptions::default());
         assert!(lo <= 0.5 + 1e-12 && 0.5 <= hi + 1e-12);
-        assert!((hi - lo) < 0.2, "8 splits give tight bounds, got [{lo}, {hi}]");
+        assert!(
+            (hi - lo) < 0.2,
+            "8 splits give tight bounds, got [{lo}, {hi}]"
+        );
     }
 
     #[test]
@@ -200,7 +203,10 @@ mod tests {
         let coarse: Vec<BoxN> = BoxN::unit_cube(2).grid(&[2, 2]);
         let fine: Vec<BoxN> = BoxN::unit_cube(2).grid(&[8, 8]);
         let o = IntervalOptions::default();
-        let (cl, cu) = (lower_bound(&p, &coarse, u, o), upper_bound(&p, &coarse, u, o));
+        let (cl, cu) = (
+            lower_bound(&p, &coarse, u, o),
+            upper_bound(&p, &coarse, u, o),
+        );
         let (fl, fu) = (lower_bound(&p, &fine, u, o), upper_bound(&p, &fine, u, o));
         assert!(fl >= cl - 1e-12);
         assert!(fu <= cu + 1e-12);

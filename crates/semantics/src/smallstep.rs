@@ -156,9 +156,7 @@ fn reduce(e: Expr, st: &mut Config) -> Result<Expr, EvalError> {
                 match a.kind {
                     ExprKind::Const(r) => xs.push(r),
                     ref other => {
-                        return Err(EvalError::Stuck(format!(
-                            "primitive argument is {other:?}"
-                        )))
+                        return Err(EvalError::Stuck(format!("primitive argument is {other:?}")))
                     }
                 }
             }

@@ -352,10 +352,10 @@ impl Executor<'_> {
     /// fixpoint by `λ_…λ_. score([e, f]); [c, d]` from its interval type
     /// (curried fixpoints keep absorbing arguments until ground).
     fn approx_fix(&mut self, node: NodeId, mut st: PState) -> Branches {
-        let (extra, value, weight) = self
-            .typing
-            .fix_apply_chain(node)
-            .unwrap_or((0, Interval::REAL, Interval::NON_NEG));
+        let (extra, value, weight) =
+            self.typing
+                .fix_apply_chain(node)
+                .unwrap_or((0, Interval::REAL, Interval::NON_NEG));
         st.truncated = true;
         if extra == 0 {
             Self::finish_approx(value, weight, st)
@@ -495,7 +495,9 @@ mod tests {
         assert!(!exact.is_empty());
         for p in exact {
             assert_eq!(p.scores.len(), 1);
-            let r = p.result.eval([0.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0][..p.n_samples.max(1)].as_ref());
+            let r = p
+                .result
+                .eval([0.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0][..p.n_samples.max(1)].as_ref());
             assert!((r.lo() - 1.2).abs() < 1e-12, "result must be 3·α₀");
             assert!(p.satisfies_single_use(), "Example C.2: Assumption 1 holds");
         }

@@ -106,7 +106,11 @@ impl SymPath {
 
 impl fmt::Display for SymPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Ψ(result = {}, n = {}, Δ = {{", self.result, self.n_samples)?;
+        write!(
+            f,
+            "Ψ(result = {}, n = {}, Δ = {{",
+            self.result, self.n_samples
+        )?;
         for (i, c) in self.constraints.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;

@@ -173,10 +173,7 @@ impl SymVal {
                     if l2.is_constant() && i2.is_point() {
                         let k = l2.constant_term() + i2.lo();
                         if k != 0.0 {
-                            return Some((
-                                l1.scale(1.0 / k),
-                                i1 * Interval::point(1.0 / k),
-                            ));
+                            return Some((l1.scale(1.0 / k), i1 * Interval::point(1.0 / k)));
                         }
                     }
                     None

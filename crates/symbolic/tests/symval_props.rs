@@ -17,14 +17,14 @@ fn linear_symval(dim: usize) -> impl Strategy<Value = Rc<SymVal>> {
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SymVal::prim(PrimOp::Add, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SymVal::prim(PrimOp::Sub, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Add, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Sub, vec![a, b])),
             (inner.clone(), -3.0f64..3.0).prop_map(|(a, k)| {
                 SymVal::prim(PrimOp::Mul, vec![Rc::new(SymVal::Const(k)), a])
             }),
-            inner.clone().prop_map(|a| SymVal::prim(PrimOp::Neg, vec![a])),
+            inner
+                .clone()
+                .prop_map(|a| SymVal::prim(PrimOp::Neg, vec![a])),
         ]
     })
 }
@@ -37,14 +37,15 @@ fn any_symval(dim: usize) -> impl Strategy<Value = Rc<SymVal>> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SymVal::prim(PrimOp::Add, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SymVal::prim(PrimOp::Mul, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SymVal::prim(PrimOp::Min, vec![a, b])),
-            inner.clone().prop_map(|a| SymVal::prim(PrimOp::Abs, vec![a])),
-            inner.clone().prop_map(|a| SymVal::prim(PrimOp::Sigmoid, vec![a])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Add, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Mul, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Min, vec![a, b])),
+            inner
+                .clone()
+                .prop_map(|a| SymVal::prim(PrimOp::Abs, vec![a])),
+            inner
+                .clone()
+                .prop_map(|a| SymVal::prim(PrimOp::Sigmoid, vec![a])),
         ]
     })
 }

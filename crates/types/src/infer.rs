@@ -332,10 +332,9 @@ impl Generator<'_> {
 fn resolve_ty(t: &SymTy, a: &[Lattice]) -> ITy {
     match t {
         SymTy::Base(v) => ITy::Base(a[*v as usize].interval_or(Interval::REAL)),
-        SymTy::Fun(arg, res) => ITy::Fun(
-            Box::new(resolve_ty(arg, a)),
-            Box::new(resolve_wty(res, a)),
-        ),
+        SymTy::Fun(arg, res) => {
+            ITy::Fun(Box::new(resolve_ty(arg, a)), Box::new(resolve_wty(res, a)))
+        }
     }
 }
 

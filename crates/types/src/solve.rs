@@ -12,7 +12,6 @@ use std::collections::VecDeque;
 
 use gubpi_interval::{widen, Interval, Lattice};
 
-
 use crate::constraints::{Constraint, ConstraintSet};
 
 /// Solver knobs.

@@ -50,8 +50,8 @@ fn main() {
     let program = gubpi_lang::parse(GMM).expect("model parses");
     let mut rng = StdRng::seed_from_u64(31);
     let chain = mh_sample(&program, 2_000, MhOptions::default(), &mut rng);
-    let left = chain.values.iter().filter(|&&v| v < 0.0).count() as f64
-        / chain.values.len().max(1) as f64;
+    let left =
+        chain.values.iter().filter(|&&v| v < 0.0).count() as f64 / chain.values.len().max(1) as f64;
     println!(
         "\nMH chain: {:.1}% of samples left of 0 (acceptance {:.2})",
         100.0 * left,

@@ -1,0 +1,28 @@
+//! GuBPI — *Guaranteed bounds for posterior inference in universal
+//! probabilistic programming* (Beutner, Ong & Zaiser, PLDI 2022).
+//!
+//! This facade crate re-exports every layer of the workspace under one
+//! roof so downstream users (and the top-level integration tests and
+//! examples) can depend on a single crate. The layers, bottom to top:
+//!
+//! * [`interval`] — interval arithmetic, boxes, the bound lattice;
+//! * [`dist`] — validated distributions and special functions;
+//! * [`lang`] — the SPCF front end (lexer, parser, types, primitives);
+//! * [`types`] — the weight-aware interval type system;
+//! * [`polytope`] — H-polytopes and volume computation;
+//! * [`symbolic`] — symbolic execution producing path constraints;
+//! * [`semantics`] — concrete and interval trace semantics;
+//! * [`core`] — the analyzer orchestrating bounds end to end;
+//! * [`inference`] — sampling baselines (IS, MH, HMC) and SBC.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use gubpi_core as core;
+pub use gubpi_dist as dist;
+pub use gubpi_inference as inference;
+pub use gubpi_interval as interval;
+pub use gubpi_lang as lang;
+pub use gubpi_polytope as polytope;
+pub use gubpi_semantics as semantics;
+pub use gubpi_symbolic as symbolic;
+pub use gubpi_types as types;

@@ -133,7 +133,10 @@ fn example_c_3_unbounded_weight() {
     }
     let (lo, hi) = a.normalizing_constant();
     assert!(lo <= z + 1e-9, "lo={lo} vs Z={z}");
-    assert!(lo > 0.8 * z, "explored mass should be near Z: lo={lo} Z={z}");
+    assert!(
+        lo > 0.8 * z,
+        "explored mass should be near Z: lo={lo} Z={z}"
+    );
     assert!(hi >= z - 1e-9, "hi={hi} vs Z={z}");
 }
 

@@ -24,7 +24,10 @@ fn paths_of(src: &str) -> Vec<SymPath> {
 fn linear_and_grid_agree_on_linear_models() {
     let cases = [
         ("sample + sample", Interval::new(0.4, 1.1)),
-        ("if sample + sample <= 0.8 then 1 else 0", Interval::new(0.5, 1.5)),
+        (
+            "if sample + sample <= 0.8 then 1 else 0",
+            Interval::new(0.5, 1.5),
+        ),
         ("let x = sample in score(x); x", Interval::new(0.25, 0.8)),
     ];
     for (src, u) in cases {

@@ -15,8 +15,16 @@ const ZOO: &[(&str, (f64, f64), u32)] = &[
     ("sample", (0.2, 0.7), 2),
     ("sample + sample", (0.5, 1.2), 2),
     ("let x = sample in score(2 * x); x", (0.3, 0.9), 2),
-    ("observe 0.4 from normal(sample, 0.3); sample", (0.0, 0.5), 2),
-    ("if sample <= 0.3 then sample else 2 * sample", (0.4, 1.1), 2),
+    (
+        "observe 0.4 from normal(sample, 0.3); sample",
+        (0.0, 0.5),
+        2,
+    ),
+    (
+        "if sample <= 0.3 then sample else 2 * sample",
+        (0.4, 1.1),
+        2,
+    ),
     ("exp(sample) / 2", (0.6, 1.2), 2),
     ("min(sample, sample) + 0.1", (0.3, 0.8), 2),
     (
@@ -112,7 +120,10 @@ fn refining_splits_never_loosens_bounds() {
         );
         prev_width = width;
     }
-    assert!(prev_width < 0.05, "32 splits should be tight, got {prev_width}");
+    assert!(
+        prev_width < 0.05,
+        "32 splits should be tight, got {prev_width}"
+    );
 }
 
 #[test]

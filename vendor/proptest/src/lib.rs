@@ -1,0 +1,526 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the proptest API used by GuBPI's test suites:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//!   [`Strategy::prop_recursive`] and [`Strategy::boxed`];
+//! * strategies for numeric ranges, tuples, [`Just`], simple regex
+//!   string patterns, and [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros;
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: generation is deterministic per test
+//! (the RNG is seeded from the test name, so runs are reproducible), and
+//! there is **no shrinking** — a failing case reports its inputs via the
+//! assertion message instead. See `vendor/README.md` for the replacement
+//! policy.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod collection;
+
+/// Deterministic generator used to drive strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from an arbitrary string (e.g. the test name).
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the name, folded into a non-zero seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform on `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Test-runner configuration (only the case count is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 100 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+
+    /// Builds recursive structures: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into composite cases, nested at most
+    /// `depth` levels. `_desired_size` and `_expected_branch` are accepted
+    /// for API compatibility but not used by this stand-in.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur.clone()).boxed();
+            // Each level flips between "stay shallow" and "recurse once
+            // more", which keeps expected sizes small while still
+            // exercising every depth up to the limit.
+            cur = Union::new(vec![cur, deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.inner.gen_value(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (what
+/// [`prop_oneof!`] expands to).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A uniform union of the given non-empty alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].gen_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                start + (rng.next_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f64, f32);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String strategy from a *simple* regex pattern.
+///
+/// Supported shapes: a sequence of atoms, where an atom is a literal
+/// character or a character class `[a-z0-9_]`, optionally followed by a
+/// repetition `{m,n}`, `{m}`, `*`, `+` or `?`. This covers patterns like
+/// `"[ -~]{0,80}"`; anything fancier panics with a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let a = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if a == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let b = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Lit(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '.' | '(' | ')' | '|' => {
+                panic!("pattern {pattern:?} uses regex features beyond the offline proptest stub")
+            }
+            lit => Atom::Lit(lit),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let mut parts = spec.splitn(2, ',');
+                let m: usize = parts.next().unwrap().trim().parse().unwrap();
+                let n: usize = match parts.next() {
+                    Some(s) => s.trim().parse().unwrap(),
+                    None => m,
+                };
+                (m, n)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        let count = lo + rng.below(hi - lo + 1);
+        for _ in 0..count {
+            match &atom {
+                Atom::Lit(l) => out.push(*l),
+                Atom::Class(ranges) => {
+                    let (a, b) = ranges[rng.below(ranges.len())];
+                    let span = b as u32 - a as u32 + 1;
+                    let ch = char::from_u32(a as u32 + (rng.next_u64() as u32 % span)).unwrap_or(a);
+                    out.push(ch);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that generates `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..cfg.cases {
+                    $(let $p = $crate::Strategy::gen_value(&($s), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds (no shrinking: failure panics immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The glob-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Re-export so `prop_oneof!`-style macros resolve helper paths.
+    pub use crate as proptest;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_name("t");
+        let s = (0usize..5, -1.0f64..1.0, 0.0f64..=1.0);
+        for _ in 0..200 {
+            let (i, x, y) = s.gen_value(&mut rng);
+            assert!(i < 5);
+            assert!((-1.0..1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn map_union_and_just() {
+        let mut rng = TestRng::from_name("u");
+        let s = prop_oneof![(0u32..10).prop_map(|n| n.to_string()), Just("x".to_owned()),];
+        let mut saw_just = false;
+        let mut saw_digit = false;
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            if v == "x" {
+                saw_just = true;
+            } else {
+                assert!(v.parse::<u32>().unwrap() < 10);
+                saw_digit = true;
+            }
+        }
+        assert!(saw_just && saw_digit);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0u32..10).prop_map(|n| n.to_string());
+        let s = leaf.prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::from_name("rec");
+        let mut nested = false;
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.len() < 1000);
+            if v.contains('(') {
+                nested = true;
+            }
+        }
+        assert!(nested);
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = TestRng::from_name("pat");
+        for _ in 0..100 {
+            let s = "[ -~]{0,80}".gen_value(&mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..100 {
+            let v = collection::vec(0.0f64..1.0, 1..4).gen_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = collection::vec(0u32..3, 3).gen_value(&mut rng);
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro itself: patterns, multiple params, trailing comma.
+        #[test]
+        fn macro_roundtrip((a, b) in (0u32..10, 0u32..10), c in 0usize..3,) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c.min(2), c.min(2));
+            prop_assert_ne!(c + 1, 0);
+        }
+    }
+}
