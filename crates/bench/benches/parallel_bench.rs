@@ -1,0 +1,131 @@
+//! Criterion bench for the parallel per-path bounding engine:
+//! sequential (`Threads::Off`) vs fixed worker counts on multi-path
+//! Table 1 / Table 2 models and the pedestrian, plus an explicit
+//! speedup summary. Results are bit-identical across all settings (see
+//! `tests/parallel_determinism.rs`); only wall time may differ.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::models;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gubpi_core::{AnalysisOptions, Analyzer, Method, Threads};
+use gubpi_interval::Interval;
+use gubpi_symbolic::SymExecOptions;
+
+const SETTINGS: &[(&str, Threads)] = &[
+    ("seq", Threads::Off),
+    ("t2", Threads::Fixed(2)),
+    ("t4", Threads::Fixed(4)),
+];
+
+fn build(source: &str, unfold: u32, splits: usize, threads: Threads) -> Analyzer {
+    build_with(source, unfold, splits, threads, Method::Auto)
+}
+
+fn build_with(
+    source: &str,
+    unfold: u32,
+    splits: usize,
+    threads: Threads,
+    method: Method,
+) -> Analyzer {
+    let mut opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: unfold,
+            ..Default::default()
+        },
+        threads,
+        method,
+        ..Default::default()
+    };
+    opts.bounds.splits = splits;
+    Analyzer::from_source(source, opts).expect("model compiles")
+}
+
+/// Table 2 `grass`: 32 branch paths over 5 samples. Under the grid
+/// semantics (the §6.3 engine mode) every path costs `splits⁵` regions,
+/// so per-path bounding dominates — the parallel engine's target shape.
+fn grass_source() -> &'static str {
+    models::table2()
+        .into_iter()
+        .find(|b| b.name == "grass")
+        .expect("table2 has grass")
+        .source
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+
+    let grass = grass_source();
+    for &(label, threads) in SETTINGS {
+        let a = build_with(grass, 8, 8, threads, Method::Grid);
+        group.bench_function(format!("table2-grass-grid-posterior/{label}"), |bencher| {
+            bencher.iter(|| {
+                a.clear_cache(); // time cold queries, not cache hits
+                black_box(a.posterior_probability(Interval::new(0.5, 1.5)))
+            });
+        });
+    }
+
+    let t1 = models::table1();
+    let beauquier = t1
+        .iter()
+        .find(|b| b.name == "beauquier-3")
+        .expect("table1 has beauquier-3");
+    for &(label, threads) in SETTINGS {
+        let a = build(beauquier.source, beauquier.unfold, 32, threads);
+        group.bench_function(format!("table1-beauquier-query/{label}"), |bencher| {
+            bencher.iter(|| {
+                a.clear_cache();
+                black_box(a.denotation_bounds(beauquier.u))
+            });
+        });
+    }
+
+    for &(label, threads) in SETTINGS {
+        let a = build(models::PEDESTRIAN, 4, 16, threads);
+        group.bench_function(format!("pedestrian-histogram/{label}"), |bencher| {
+            bencher.iter(|| black_box(a.histogram(Interval::new(0.0, 3.0), 12)));
+        });
+    }
+
+    group.finish();
+    speedup_summary();
+}
+
+/// Prints the headline number: sequential vs 4-thread wall time on the
+/// multi-path Table 2 model under the grid semantics (mean of 5 cold
+/// queries after warm-up). Path-level parallelism needs ≥ 4 hardware
+/// threads to show its ≥ 1.5× speedup; on fewer cores the engine's
+/// determinism guarantee still holds but wall time cannot improve.
+fn speedup_summary() {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let grass = grass_source();
+    let time = |threads: Threads| {
+        let a = build_with(grass, 8, 8, threads, Method::Grid);
+        a.clear_cache();
+        let _ = a.posterior_probability(Interval::new(0.5, 1.5));
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            a.clear_cache();
+            black_box(a.posterior_probability(Interval::new(0.5, 1.5)));
+        }
+        t0.elapsed().as_secs_f64() / 5.0
+    };
+    let seq = time(Threads::Off);
+    let par = time(Threads::Fixed(4));
+    println!(
+        "table2-grass grid posterior: sequential {:.1} ms, 4 threads {:.1} ms \
+         -> {:.2}x speedup ({hw} hardware thread(s) available)",
+        seq * 1e3,
+        par * 1e3,
+        seq / par
+    );
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -25,13 +25,30 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N|auto|off` pins the parallel engine's worker count for
+    // every analysis below — equivalent to setting GUBPI_THREADS, which
+    // the default `AnalysisOptions` (Threads::Auto) honour. Bounds are
+    // bit-identical across all settings; only wall time changes.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).map(String::as_str) {
+            Some(value) if gubpi_core::Threads::parse(value).is_some() => {
+                std::env::set_var("GUBPI_THREADS", value);
+            }
+            other => {
+                let got = other.unwrap_or("<missing>");
+                eprintln!("--threads expects a worker count, `auto` or `off`; got `{got}`");
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
         "--help" | "-h" | "help" => {
             println!(
                 "repro — regenerates the tables and figures of the GuBPI paper\n\n\
-                 USAGE: repro [COMMAND]\n\n\
+                 USAGE: repro [--threads N|auto|off] [COMMAND]\n\n\
                  COMMANDS:\n  \
                  table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
                  table2        Table 2: discrete models vs exact posteriors\n  \
@@ -40,7 +57,10 @@ fn main() {
                  fig5          Fig. 5a-5d: non-recursive histogram bounds\n  \
                  fig6          Fig. 6a-6f: recursive histogram bounds\n  \
                  ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep\n  \
-                 all           everything above (the default)"
+                 all           everything above (the default)\n\n\
+                 OPTIONS:\n  \
+                 --threads N|auto|off   worker threads for per-path bounding\n                         \
+                 (same as GUBPI_THREADS; results are bit-identical)"
             );
         }
         "table1" | "table4" => table1(),

@@ -1,18 +1,23 @@
 //! The analyzer facade (Algorithm 1).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use gubpi_interval::Interval;
 use gubpi_lang::{infer, parse, LangError, Program, TypeMap};
 use gubpi_symbolic::{symbolic_paths, SymExecOptions, SymPath};
 use gubpi_types::{infer_interval_types, IntervalTyping};
 
 use crate::histogram::HistogramBounds;
+use crate::parallel::{map_paths, Threads};
 use crate::pathbounds::{
     bound_path, bound_path_grid_only, bound_path_query, linear_applicable, PathBoundOptions,
     SingleQuery,
 };
 
 /// Which per-path semantics to use.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Method {
     /// Linear semantics where applicable, grid otherwise (§6.4 + §6.3).
     #[default]
@@ -30,17 +35,47 @@ pub struct AnalysisOptions {
     pub bounds: PathBoundOptions,
     /// Semantics selection.
     pub method: Method,
+    /// Worker threads for per-path bounding. Bounds are bit-identical
+    /// across every setting (see [`crate::parallel`]).
+    pub threads: Threads,
+}
+
+/// `(path index, path fingerprint, query lo bits, query hi bits,
+/// bounding options, method)`. The index makes keys collision-proof
+/// within one analyzer (the cache never outlives its path set); the
+/// structural fingerprint documents *what* was bounded and keeps
+/// entries honest if the key ever travels across analyzers; the option
+/// values are keyed exactly (derived `Eq`/`Hash`), so differing
+/// configurations can never alias — even ones added to
+/// [`PathBoundOptions`] later.
+type QueryKey = (u64, u64, u64, u64, PathBoundOptions, Method);
+
+/// Memo cache for per-path query bounds, shared across worker threads.
+///
+/// Per-path bounding is pure, so a hit returns exactly the value a
+/// recomputation would — caching cannot perturb the determinism
+/// guarantee.
+#[derive(Default)]
+struct QueryCache {
+    map: Mutex<HashMap<QueryKey, (f64, f64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// A prepared analysis: program parsed, typed, symbolically executed.
 ///
 /// Queries and histograms reuse the path set, so asking many questions of
-/// one program costs one symbolic execution.
+/// one program costs one symbolic execution; repeated or overlapping
+/// queries additionally hit a per-path memo cache (see
+/// [`Analyzer::cache_stats`]).
 pub struct Analyzer {
     program: Program,
     simple: TypeMap,
     typing: IntervalTyping,
     paths: Vec<SymPath>,
+    /// `paths[i].fingerprint()`, precomputed once for the memo cache.
+    fingerprints: Vec<u64>,
+    cache: QueryCache,
     opts: AnalysisOptions,
 }
 
@@ -64,11 +99,14 @@ impl Analyzer {
         let simple = infer(&program)?;
         let typing = infer_interval_types(&program, &simple);
         let paths = symbolic_paths(&program, &typing, opts.sym);
+        let fingerprints = paths.iter().map(SymPath::fingerprint).collect();
         Ok(Analyzer {
             program,
             simple,
             typing,
             paths,
+            fingerprints,
+            cache: QueryCache::default(),
             opts,
         })
     }
@@ -98,27 +136,86 @@ impl Analyzer {
         self.paths.iter().filter(|p| linear_applicable(p)).count()
     }
 
-    fn run_path_sink(&self, path: &SymPath, sink: &mut impl crate::pathbounds::BoundSink) {
-        match self.opts.method {
-            Method::Auto => bound_path(path, self.opts.bounds, sink),
-            Method::Grid => bound_path_grid_only(path, self.opts.bounds, sink),
-        }
+    /// `(hits, misses)` of the per-path query memo cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every memoised per-path result (used by benchmarks to time
+    /// cold queries; results are unaffected because bounding is pure).
+    pub fn clear_cache(&self) {
+        self.cache.map.lock().expect("cache poisoned").clear();
+        self.cache.hits.store(0, Ordering::Relaxed);
+        self.cache.misses.store(0, Ordering::Relaxed);
     }
 
     /// Guaranteed bounds on the **unnormalised** denotation `⟦P⟧(U)`
     /// (Corollary 6.3).
     pub fn denotation_bounds(&self, u: Interval) -> (f64, f64) {
+        self.denotation_bounds_with(u, self.opts.bounds)
+    }
+
+    /// [`Analyzer::denotation_bounds`] under explicit per-path bounding
+    /// options (the memo cache keys on them, so mixing configurations on
+    /// one analyzer is safe).
+    pub fn denotation_bounds_with(&self, u: Interval, bounds: PathBoundOptions) -> (f64, f64) {
+        let method = self.opts.method;
+        let key = |i: usize| -> QueryKey {
+            (
+                i as u64,
+                self.fingerprints[i],
+                u.lo().to_bits(),
+                u.hi().to_bits(),
+                bounds,
+                method,
+            )
+        };
+        // One lock for the whole lookup pass: cached results are read
+        // out before dispatch, so workers never contend on the cache.
+        let cached: Vec<Option<(f64, f64)>> = {
+            let map = self.cache.map.lock().expect("cache poisoned");
+            (0..self.paths.len())
+                .map(|i| map.get(&key(i)).copied())
+                .collect()
+        };
+        let misses: Vec<(usize, &SymPath)> = cached
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| (i, &self.paths[i]))
+            .collect();
+        let hits = (self.paths.len() - misses.len()) as u64;
+        self.cache.hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache
+            .misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        let computed = map_paths(self.opts.threads, &misses, |_, &(_, p)| match method {
+            Method::Auto => bound_path_query(p, u, bounds),
+            Method::Grid => {
+                let mut sink = SingleQuery::new(u);
+                bound_path_grid_only(p, bounds, &mut sink);
+                (sink.lo, sink.hi)
+            }
+        });
+        {
+            let mut map = self.cache.map.lock().expect("cache poisoned");
+            for (&(i, _), &v) in misses.iter().zip(&computed) {
+                map.insert(key(i), v);
+            }
+        }
+        let mut per_path = cached;
+        for (&(i, _), &v) in misses.iter().zip(&computed) {
+            per_path[i] = Some(v);
+        }
+        // Deterministic reduce: sum the per-path bounds in path order, so
+        // the float summation order is independent of the thread count.
         let mut lo = 0.0;
         let mut hi = 0.0;
-        for p in &self.paths {
-            let (l, h) = match self.opts.method {
-                Method::Auto => bound_path_query(p, u, self.opts.bounds),
-                Method::Grid => {
-                    let mut sink = SingleQuery::new(u);
-                    bound_path_grid_only(p, self.opts.bounds, &mut sink);
-                    (sink.lo, sink.hi)
-                }
-            };
+        for r in per_path {
+            let (l, h) = r.expect("every path is cached or computed");
             lo += l;
             hi += h;
         }
@@ -174,10 +271,23 @@ impl Analyzer {
     /// bin edge contribute their upper mass to both neighbours (sound,
     /// slightly conservative). Use [`Analyzer::histogram_exact`] for
     /// per-bin query precision.
+    ///
+    /// Paths are bounded in parallel into per-path partial histograms,
+    /// merged in path order (same determinism guarantee as the queries).
     pub fn histogram(&self, domain: Interval, bins: usize) -> HistogramBounds {
+        let method = self.opts.method;
+        let bounds = self.opts.bounds;
+        let partials = map_paths(self.opts.threads, &self.paths, |_i, p| {
+            let mut h = HistogramBounds::new(domain, bins);
+            match method {
+                Method::Auto => bound_path(p, bounds, &mut h),
+                Method::Grid => bound_path_grid_only(p, bounds, &mut h),
+            }
+            h
+        });
         let mut h = HistogramBounds::new(domain, bins);
-        for p in &self.paths {
-            self.run_path_sink(p, &mut h);
+        for part in &partials {
+            h.merge_from(part);
         }
         h
     }
@@ -286,5 +396,94 @@ mod tests {
         let a = analyzer("if sample + sample <= 1 then sample else 1 - sample");
         assert_eq!(a.linear_path_count(), a.paths().len());
         assert!(a.paths().len() >= 2);
+    }
+
+    #[test]
+    fn constant_invalid_dist_params_have_zero_mass() {
+        // Every concrete run scores density 0 (σ = −0.5 is out of
+        // domain), so the true denotation is 0 — and the *guaranteed*
+        // bounds must say so. Regression: the interval lifting used to
+        // clamp σ into validity, reporting a huge positive lower bound.
+        let a = analyzer("observe 0 from normal(0, 0 - 0.5); sample");
+        let (z_lo, z_hi) = a.normalizing_constant();
+        assert_eq!((z_lo, z_hi), (0.0, 0.0), "Z must be exactly 0");
+    }
+
+    #[test]
+    fn runtime_invalid_dist_params_keep_bounds_sound() {
+        // σ = sample − 0.5: invalid (zero density) for sample ≤ 0.5.
+        // True Z = ∫_{0.5}^{1} pdf_{N(0, s−0.5)}(0.4) ds ≈ 0.171213
+        // (numerical quadrature).
+        let mut opts = AnalysisOptions::default();
+        opts.bounds.splits = 64;
+        let a = Analyzer::from_source("observe 0.4 from normal(0, sample - 0.5); sample", opts)
+            .unwrap();
+        let (z_lo, z_hi) = a.normalizing_constant();
+        let truth = 0.171_213;
+        assert!(
+            z_lo <= truth && truth <= z_hi,
+            "Z = {truth} outside [{z_lo}, {z_hi}]"
+        );
+        assert!(z_hi.is_finite());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo_cache() {
+        let a = analyzer("if sample <= 0.5 then sample else 1 - sample");
+        let n_paths = a.paths().len() as u64;
+        assert_eq!(a.cache_stats(), (0, 0));
+        let first = a.denotation_bounds(Interval::new(0.0, 0.5));
+        let (h0, m0) = a.cache_stats();
+        assert_eq!((h0, m0), (0, n_paths));
+        let second = a.denotation_bounds(Interval::new(0.0, 0.5));
+        let (h1, m1) = a.cache_stats();
+        assert_eq!((h1, m1), (n_paths, n_paths));
+        assert_eq!(first, second, "cache must return bit-identical bounds");
+        // A different query misses again.
+        let _ = a.denotation_bounds(Interval::new(0.25, 0.75));
+        let (h2, m2) = a.cache_stats();
+        assert_eq!(h2, n_paths);
+        assert_eq!(m2, 2 * n_paths);
+    }
+
+    #[test]
+    fn cache_keys_on_path_bound_options() {
+        let a = analyzer("let x = sample in score(x); x");
+        let u = Interval::new(0.0, 0.5);
+        let coarse = PathBoundOptions {
+            splits: 4,
+            ..Default::default()
+        };
+        let fine = PathBoundOptions {
+            splits: 64,
+            ..Default::default()
+        };
+        let c1 = a.denotation_bounds_with(u, coarse);
+        let f1 = a.denotation_bounds_with(u, fine);
+        // Different options must not alias: the fine query recomputes
+        // rather than reusing the coarse result.
+        assert!(f1.1 - f1.0 < c1.1 - c1.0, "fine {f1:?} vs coarse {c1:?}");
+        let (hits, misses) = a.cache_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2 * a.paths().len() as u64);
+        // Re-asking each configuration hits its own entry.
+        assert_eq!(a.denotation_bounds_with(u, coarse), c1);
+        assert_eq!(a.denotation_bounds_with(u, fine), f1);
+        let (hits, _) = a.cache_stats();
+        assert_eq!(hits, 2 * a.paths().len() as u64);
+    }
+
+    #[test]
+    fn clear_cache_resets_counters_not_results() {
+        let a = analyzer("sample");
+        let u = Interval::new(0.1, 0.9);
+        let r1 = a.denotation_bounds(u);
+        a.clear_cache();
+        assert_eq!(a.cache_stats(), (0, 0));
+        let r2 = a.denotation_bounds(u);
+        assert_eq!(r1, r2);
+        let (hits, misses) = a.cache_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, a.paths().len() as u64);
     }
 }

@@ -88,6 +88,32 @@ impl HistogramBounds {
         self.hi[i] = hi;
     }
 
+    /// Accumulates another histogram's bounds into this one (bin by bin,
+    /// plus tails). The parallel engine's reduce step: per-path partial
+    /// histograms are merged **in path order**, fixing the float
+    /// summation order independently of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms have different domains or bin
+    /// counts.
+    pub fn merge_from(&mut self, other: &HistogramBounds) {
+        assert_eq!(
+            self.edges, other.edges,
+            "merging histograms over different binnings"
+        );
+        for (a, b) in self.lo.iter_mut().zip(&other.lo) {
+            *a += b;
+        }
+        for (a, b) in self.hi.iter_mut().zip(&other.hi) {
+            *a += b;
+        }
+        self.left_tail.0 += other.left_tail.0;
+        self.left_tail.1 += other.left_tail.1;
+        self.right_tail.0 += other.right_tail.0;
+        self.right_tail.1 += other.right_tail.1;
+    }
+
     /// Bounds on the normalising constant `Z = ⟦P⟧(R)`: the sum of all
     /// bins and tails.
     pub fn z_bounds(&self) -> (f64, f64) {
@@ -253,6 +279,29 @@ mod tests {
     fn empty_posterior_returns_no_bins() {
         let h = HistogramBounds::new(Interval::new(0.0, 1.0), 2);
         assert!(h.normalized().is_empty());
+    }
+
+    #[test]
+    fn merge_from_adds_bins_and_tails() {
+        let mut a = HistogramBounds::new(Interval::new(0.0, 1.0), 2);
+        a.add(Interval::new(0.1, 0.4), 0.3, 0.3);
+        a.add(Interval::new(-2.0, -1.0), 0.1, 0.1);
+        let mut b = HistogramBounds::new(Interval::new(0.0, 1.0), 2);
+        b.add(Interval::new(0.6, 0.9), 0.2, 0.5);
+        b.add(Interval::new(2.0, 3.0), 0.0, 0.4);
+        a.merge_from(&b);
+        assert_eq!(a.unnormalized(0), (0.3, 0.3));
+        assert_eq!(a.unnormalized(1), (0.2, 0.5));
+        assert_eq!(a.left_tail, (0.1, 0.1));
+        assert_eq!(a.right_tail, (0.0, 0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "different binnings")]
+    fn merge_from_rejects_mismatched_domains() {
+        let mut a = HistogramBounds::new(Interval::new(0.0, 1.0), 2);
+        let b = HistogramBounds::new(Interval::new(0.0, 2.0), 2);
+        a.merge_from(&b);
     }
 
     #[test]

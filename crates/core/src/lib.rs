@@ -40,11 +40,13 @@
 
 mod analyze;
 mod histogram;
+pub mod parallel;
 mod pathbounds;
 mod report;
 
 pub use analyze::{AnalysisOptions, Analyzer, Method};
 pub use histogram::{HistogramBounds, NormalizedBin};
+pub use parallel::Threads;
 pub use pathbounds::{
     bound_path, bound_path_grid_only, bound_path_query, linear_applicable, BoundSink,
     PathBoundOptions, SingleQuery,

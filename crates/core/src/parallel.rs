@@ -1,0 +1,195 @@
+//! Parallel per-path bounding (the scaling half of Algorithm 1).
+//!
+//! After symbolic execution the algorithm is embarrassingly parallel:
+//! each `SymPath` is bounded independently and the per-path results are
+//! summed. This module provides the worker pool that exploits that —
+//! scoped `std::thread` workers claiming chunks of the path set from a
+//! shared atomic queue (chunked work-stealing; no external deps, per the
+//! offline `vendor/` policy) — together with the [`Threads`] knob that
+//! selects the degree of parallelism.
+//!
+//! # Determinism guarantee
+//!
+//! Guaranteed bounds must not depend on the thread count, so the engine
+//! never reduces in completion order: [`map_paths`] returns one result
+//! *per path, in path order*, and every caller folds that vector
+//! sequentially. Per-path computations are pure, so the floating-point
+//! summation order — and therefore every reported bound, bit for bit —
+//! is identical under [`Threads::Off`], [`Threads::Fixed`] and
+//! [`Threads::Auto`]. The `tests/parallel_determinism.rs` suite holds
+//! this line.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Degree of parallelism for per-path bounding.
+///
+/// The default is [`Threads::Auto`]. `Auto` honours the `GUBPI_THREADS`
+/// environment variable (`off`, `auto`, or a positive worker count) so
+/// whole test suites and CI jobs can be pinned without code changes;
+/// explicit `Fixed`/`Off` settings ignore the environment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Threads {
+    /// Use `GUBPI_THREADS` if set, otherwise the available hardware
+    /// parallelism.
+    #[default]
+    Auto,
+    /// Exactly `n` workers (values of 0 and 1 both mean sequential).
+    Fixed(usize),
+    /// Sequential execution on the calling thread.
+    Off,
+}
+
+impl Threads {
+    /// Parses a `GUBPI_THREADS`-style string (`"off"`, `"auto"`, or a
+    /// worker count).
+    pub fn parse(s: &str) -> Option<Threads> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "seq" | "sequential" => Some(Threads::Off),
+            "auto" | "" => Some(Threads::Auto),
+            n => n.parse::<usize>().ok().map(Threads::Fixed),
+        }
+    }
+
+    /// The number of workers to use for `jobs` independent tasks.
+    pub fn worker_count(self, jobs: usize) -> usize {
+        let raw = match self {
+            Threads::Off => 1,
+            Threads::Fixed(n) => n.max(1),
+            Threads::Auto => match std::env::var("GUBPI_THREADS") {
+                Ok(v) => match Threads::parse(&v) {
+                    Some(Threads::Auto) | None => hardware_threads(),
+                    Some(Threads::Off) => 1,
+                    Some(Threads::Fixed(n)) => n.max(1),
+                },
+                Err(_) => hardware_threads(),
+            },
+        };
+        raw.min(jobs.max(1))
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `jobs`, returning the results **in item
+/// order** regardless of which worker computed what.
+///
+/// Workers claim chunks of consecutive indices from a shared atomic
+/// cursor, so long paths at the front do not serialise the tail. With a
+/// resolved worker count of 1 (or ≤ 1 job) this degrades to a plain
+/// sequential map on the calling thread with zero overhead.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn map_paths<T, R, F>(threads: Threads, jobs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.worker_count(jobs.len());
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    // Small chunks keep the load balanced when per-path costs are skewed
+    // (one recursive path can dominate); ~4 chunks per worker amortises
+    // the atomic traffic.
+    let chunk = (jobs.len() / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let worker_outputs: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= jobs.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(jobs.len());
+                        for (i, job) in jobs.iter().enumerate().take(end).skip(start) {
+                            out.push((i, f(i, job)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    // Deterministic reduce step: place every result at its path index.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+    for (i, r) in worker_outputs.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let jobs: Vec<usize> = (0..1000).collect();
+        for threads in [Threads::Off, Threads::Fixed(1), Threads::Fixed(4)] {
+            let out = map_paths(threads, &jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, jobs.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_paths(Threads::Fixed(8), &none, |_, &x| x).is_empty());
+        assert_eq!(map_paths(Threads::Fixed(8), &[7u32], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(Threads::Off.worker_count(100), 1);
+        assert_eq!(Threads::Fixed(0).worker_count(100), 1);
+        assert_eq!(Threads::Fixed(4).worker_count(100), 4);
+        // Never more workers than jobs.
+        assert_eq!(Threads::Fixed(16).worker_count(3), 3);
+        assert!(Threads::Auto.worker_count(100) >= 1);
+    }
+
+    #[test]
+    fn parse_accepts_the_env_syntax() {
+        assert_eq!(Threads::parse("off"), Some(Threads::Off));
+        assert_eq!(Threads::parse("auto"), Some(Threads::Auto));
+        assert_eq!(Threads::parse("4"), Some(Threads::Fixed(4)));
+        assert_eq!(Threads::parse(" 2 "), Some(Threads::Fixed(2)));
+        assert_eq!(Threads::parse("bogus"), None);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            map_paths(Threads::Fixed(4), &jobs, |_, &x| {
+                assert!(x != 63, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+}

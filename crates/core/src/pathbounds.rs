@@ -50,7 +50,10 @@ impl BoundSink for SingleQuery {
 }
 
 /// Options for per-path bound computation.
-#[derive(Copy, Clone, Debug)]
+///
+/// `Eq`/`Hash` are derived so the analyzer's memo cache can key on the
+/// exact option values (every field is integral or boolean).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PathBoundOptions {
     /// Chunks per boxed linear expression (the paper's "evenly sized
     /// chunks", §6.4) and per grid dimension (§6.3).

@@ -192,6 +192,33 @@ mod tests {
     }
 
     #[test]
+    fn invalid_dist_params_give_zero_weight_runs_instead_of_panicking() {
+        // σ = sample − 0.5 is negative with probability 1/2: those runs
+        // terminate with weight 0 (density 0), not a process abort, and
+        // they contribute nothing to the posterior.
+        let p = parse("observe 0.4 from normal(0, sample - 0.5); sample").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = importance_sample(&p, 2_000, ImportanceOptions::default(), &mut rng);
+        assert_eq!(s.rejected, 0);
+        let zero_weight = s
+            .log_weights
+            .iter()
+            .filter(|lw| **lw == f64::NEG_INFINITY)
+            .count();
+        assert!(zero_weight > 500, "zero-weight runs: {zero_weight}");
+        assert!(zero_weight < 2_000, "some σ draws are valid");
+        // Posterior mass concentrates on samples > 0.5 (valid σ only).
+        let mean = s.weighted_mean();
+        assert!((0.5..=1.0).contains(&mean), "mean = {mean}");
+        // Invalid beta shapes zero out every run: the evidence is 0.
+        let b = parse("observe 0.5 from beta(0 - sample, 1); 1").unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = importance_sample(&b, 100, ImportanceOptions::default(), &mut rng);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.evidence_estimate(), 0.0);
+    }
+
+    #[test]
     fn nonterminating_runs_are_rejected_not_hung() {
         let p = parse("let rec spin x = spin (x + sample) in spin 0").unwrap();
         let mut rng = StdRng::seed_from_u64(1);

@@ -136,10 +136,21 @@ impl PrimOp {
 
     /// Concrete evaluation `f(args)`.
     ///
+    /// Every primitive is **total** (§3.1 requires `f : R^{|f|} → R`).
+    /// In particular, out-of-domain *runtime* distribution parameters —
+    /// program-controlled values like the negative σ that
+    /// `normal(0, sample - 0.5)` draws with positive probability — yield
+    /// **zero density** rather than a panic: a `score` of such a pdf
+    /// produces a zero-weight run, which is exactly how samplers and the
+    /// guaranteed bounds treat that trace. (The interval liftings agree:
+    /// possibly-invalid parameter ranges produce enclosures containing
+    /// 0.) `qbeta` with invalid shapes degrades to the uniform quantile
+    /// `u`, which its `[0, 1]` enclosure also covers.
+    ///
     /// # Panics
     ///
-    /// Panics if `args.len() != self.arity()` or a distribution parameter
-    /// is invalid (e.g. `σ ≤ 0`).
+    /// Panics if `args.len() != self.arity()` (an arity error is a bug
+    /// in the caller, never program-controlled).
     pub fn eval(self, args: &[f64]) -> f64 {
         assert_eq!(args.len(), self.arity(), "arity mismatch for {self:?}");
         use PrimOp::*;
@@ -169,15 +180,52 @@ impl PrimOp {
             }
             Sigmoid => 1.0 / (1.0 + (-args[0]).exp()),
             Floor => args[0].floor(),
-            NormalPdf => Normal::new(args[0], args[1]).pdf(args[2]),
-            UniformPdf => Uniform::new(args[0], args[1]).pdf(args[2]),
-            BetaPdf => Beta::new(args[0], args[1]).pdf(args[2]),
-            ExponentialPdf => Exponential::new(args[0]).pdf(args[1]),
-            CauchyPdf => Cauchy::new(args[0], args[1]).pdf(args[2]),
+            NormalPdf => {
+                if valid_scale_param(args[1]) && args[0].is_finite() {
+                    Normal::new(args[0], args[1]).pdf(args[2])
+                } else {
+                    0.0
+                }
+            }
+            UniformPdf => {
+                if args[0].is_finite() && args[1].is_finite() && args[0] < args[1] {
+                    Uniform::new(args[0], args[1]).pdf(args[2])
+                } else {
+                    0.0
+                }
+            }
+            BetaPdf => {
+                if valid_beta_shapes(args[0], args[1]) {
+                    Beta::new(args[0], args[1]).pdf(args[2])
+                } else {
+                    0.0
+                }
+            }
+            ExponentialPdf => {
+                if valid_scale_param(args[0]) {
+                    Exponential::new(args[0]).pdf(args[1])
+                } else {
+                    0.0
+                }
+            }
+            CauchyPdf => {
+                if valid_scale_param(args[1]) && args[0].is_finite() {
+                    Cauchy::new(args[0], args[1]).pdf(args[2])
+                } else {
+                    0.0
+                }
+            }
             NormalQuantile => gubpi_dist::math::std_normal_quantile(args[0].clamp(0.0, 1.0)),
             ExponentialQuantile => Exponential::new(1.0).quantile(args[0].clamp(0.0, 1.0)),
             CauchyQuantile => Cauchy::new(0.0, 1.0).quantile(args[0].clamp(0.0, 1.0)),
-            BetaQuantile => Beta::new(args[0], args[1]).quantile(args[2].clamp(0.0, 1.0)),
+            BetaQuantile => {
+                let u = args[2].clamp(0.0, 1.0);
+                if valid_beta_shapes(args[0], args[1]) {
+                    Beta::new(args[0], args[1]).quantile(u)
+                } else {
+                    u // uniform fallback, inside the [0, 1] enclosure
+                }
+            }
         }
     }
 
@@ -245,7 +293,25 @@ impl PrimOp {
     }
 }
 
-/// Exact range of `pdf_{Normal(μ, σ)}(x)` over interval-valued `μ, σ, x`.
+/// Hull with the zero density contributed by out-of-domain scale
+/// parameters: when the scale interval sticks out of `(0, ∞)`, some
+/// refinements are invalid and concretely evaluate to 0, so the
+/// enclosure's lower endpoint must drop to 0 (and an *entirely* invalid
+/// range is exactly `[0, 0]`). Without this, the clamped enclosures
+/// below would report a strictly positive guaranteed lower bound for
+/// mass that the concrete semantics assigns zero weight — unsound.
+fn hull_invalid_scale(scale: Interval, valid_range: Interval) -> Interval {
+    if scale.hi() <= 0.0 {
+        Interval::ZERO
+    } else if scale.lo() <= 0.0 {
+        Interval::new(0.0, valid_range.hi())
+    } else {
+        valid_range
+    }
+}
+
+/// Exact range of `pdf_{Normal(μ, σ)}(x)` over interval-valued `μ, σ, x`
+/// (zero density for out-of-domain σ, matching [`PrimOp::eval`]).
 ///
 /// For fixed distance `d = |x − μ|`, the density `e^{−d²/2σ²}/(σ√2π)` is
 /// unimodal in `σ` with mode `σ = d`; over `d` it is decreasing. The
@@ -289,7 +355,7 @@ fn normal_pdf_interval(mu: Interval, sigma: Interval, x: Interval) -> Interval {
     } else {
         pdf(d_max, s_lo).min(pdf(d_max, s_hi))
     };
-    Interval::new(lo.min(hi), hi.max(lo))
+    hull_invalid_scale(sigma, Interval::new(lo.min(hi), hi.max(lo)))
 }
 
 /// Range of `pdf_{Uniform(a, b)}(x)`; exact for point `a, b`.
@@ -303,10 +369,16 @@ fn uniform_pdf_interval(a: Interval, b: Interval, x: Interval) -> Interval {
     }
 }
 
-/// Are `(α, β)` inside `Beta::new`'s domain? The interval liftings must
-/// stay total — out-of-domain parameters (a *modeling* error that only
-/// concrete evaluation reports) fall back to a sound enclosure instead
-/// of panicking mid-analysis.
+/// Is a scale-like parameter (σ, λ, γ) inside its distribution's domain?
+/// Out-of-domain values mean zero density both concretely and in the
+/// interval liftings.
+fn valid_scale_param(scale: f64) -> bool {
+    scale.is_finite() && scale > 0.0
+}
+
+/// Are `(α, β)` inside `Beta::new`'s domain? Out-of-domain shapes mean
+/// zero density ([`PrimOp::eval`] stays total) and the sound `[0, ∞]` /
+/// `[0, 1]` enclosures in the liftings.
 fn valid_beta_shapes(alpha: f64, beta: f64) -> bool {
     alpha.is_finite() && beta.is_finite() && alpha > 0.0 && beta > 0.0
 }
@@ -350,7 +422,7 @@ fn exponential_pdf_interval(rate: Interval, x: Interval) -> Interval {
     } else {
         g(l_lo, x.hi()).min(g(l_hi, x.hi()))
     };
-    Interval::new(lo.min(hi), hi.max(lo))
+    hull_invalid_scale(rate, Interval::new(lo.min(hi), hi.max(lo)))
 }
 
 /// Exact range of `pdf_{Cauchy(x₀, γ)}(x)` over interval parameters.
@@ -386,7 +458,7 @@ fn cauchy_pdf_interval(x0: Interval, gamma: Interval, x: Interval) -> Interval {
     } else {
         pdf(d_max, g_lo).min(pdf(d_max, g_hi))
     };
-    Interval::new(lo.min(hi), hi.max(lo))
+    hull_invalid_scale(gamma, Interval::new(lo.min(hi), hi.max(lo)))
 }
 
 #[cfg(test)]
@@ -547,5 +619,48 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn wrong_arity_panics() {
         let _ = PrimOp::Add.eval(&[1.0]);
+    }
+
+    #[test]
+    fn out_of_domain_dist_params_give_zero_density_not_a_panic() {
+        // Negative σ (the `normal(0, sample - 0.5)` modeling error).
+        assert_eq!(PrimOp::NormalPdf.eval(&[0.0, -0.5, 0.3]), 0.0);
+        assert_eq!(PrimOp::NormalPdf.eval(&[0.0, 0.0, 0.3]), 0.0);
+        assert_eq!(PrimOp::NormalPdf.eval(&[f64::INFINITY, 1.0, 0.3]), 0.0);
+        // Invalid beta shapes: zero density; quantile degrades to u.
+        assert_eq!(PrimOp::BetaPdf.eval(&[-1.0, 1.0, 0.5]), 0.0);
+        assert_eq!(PrimOp::BetaPdf.eval(&[0.0, 2.0, 0.5]), 0.0);
+        assert_eq!(PrimOp::BetaQuantile.eval(&[0.0, 2.0, 0.7]), 0.7);
+        // Degenerate uniform, non-positive rate/scale.
+        assert_eq!(PrimOp::UniformPdf.eval(&[2.0, 1.0, 1.5]), 0.0);
+        assert_eq!(PrimOp::ExponentialPdf.eval(&[0.0, 1.0]), 0.0);
+        assert_eq!(PrimOp::CauchyPdf.eval(&[0.0, -1.0, 0.0]), 0.0);
+        // In-domain parameters are unaffected.
+        assert!(PrimOp::NormalPdf.eval(&[0.0, 0.5, 0.3]) > 0.0);
+    }
+
+    #[test]
+    fn invalid_scale_enclosures_contain_the_zero_density() {
+        // Entirely invalid σ: concretely always 0, and the lifting is
+        // exactly [0, 0] — a positive lower bound here would claim
+        // guaranteed mass for traces the semantics assigns zero weight.
+        let all_bad = PrimOp::NormalPdf.eval_interval(&[pt(0.0), pt(-0.5), pt(0.0)]);
+        assert_eq!(all_bad, Interval::ZERO);
+        assert_eq!(
+            PrimOp::ExponentialPdf.eval_interval(&[pt(-1.0), pt(0.5)]),
+            Interval::ZERO
+        );
+        assert_eq!(
+            PrimOp::CauchyPdf.eval_interval(&[pt(0.0), pt(-2.0), pt(0.1)]),
+            Interval::ZERO
+        );
+        // Partially invalid σ ∈ [−0.5, 0.5]: the enclosure keeps the
+        // valid upper end but its lower endpoint drops to 0.
+        let part = PrimOp::NormalPdf.eval_interval(&[pt(0.0), Interval::new(-0.5, 0.5), pt(0.0)]);
+        assert_eq!(part.lo(), 0.0);
+        assert!(part.hi() > 0.0);
+        // Valid scales are untouched.
+        let ok = PrimOp::NormalPdf.eval_interval(&[pt(0.0), pt(1.0), pt(0.0)]);
+        assert!(ok.lo() > 0.0);
     }
 }

@@ -430,6 +430,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_runtime_dist_params_give_zero_weight_not_a_panic() {
+        // sample = 0.2 draws σ = −0.3: the observed density is 0, so the
+        // run terminates with weight 0 instead of panicking — exactly
+        // the mass the guaranteed bounds assign such traces.
+        let p = parse("observe 0.4 from normal(0, sample - 0.5); 1").unwrap();
+        let out = run_on_trace(&p, &[0.2]).unwrap();
+        assert_eq!(out.weight(), 0.0);
+        assert_eq!(out.log_weight, f64::NEG_INFINITY);
+        // A run that draws a valid σ is weighted as usual.
+        let out = run_on_trace(&p, &[0.9]).unwrap();
+        use gubpi_dist::ContinuousDist;
+        let want = gubpi_dist::Normal::new(0.0, 0.4).pdf(0.4);
+        assert!((out.weight() - want).abs() < 1e-12);
+        // Invalid beta shapes drawn at runtime behave the same.
+        let b = parse("observe 0.5 from beta(sample - 0.5, 1); 1").unwrap();
+        let out = run_on_trace(&b, &[0.25]).unwrap();
+        assert_eq!(out.weight(), 0.0);
+    }
+
+    #[test]
     fn observe_weights_correctly() {
         let p = parse("observe 0.5 from normal(0, 1); 1").unwrap();
         let out = run_on_trace(&p, &[]).unwrap();

@@ -1,6 +1,7 @@
 //! The symbolic executor (Fig. 8 + Algorithm 1's path accumulation).
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use gubpi_interval::Interval;
 use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
@@ -79,9 +80,9 @@ pub fn symbolic_paths(
 /// A sound "anything can happen beyond this point" path.
 fn top_path(st: PState) -> SymPath {
     let mut scores = st.scores;
-    scores.push(Rc::new(SymVal::Interval(Interval::NON_NEG)));
+    scores.push(Arc::new(SymVal::Interval(Interval::NON_NEG)));
     SymPath {
-        result: Rc::new(SymVal::Interval(Interval::REAL)),
+        result: Arc::new(SymVal::Interval(Interval::REAL)),
         n_samples: st.n,
         constraints: st.constraints,
         scores,
@@ -92,7 +93,7 @@ fn top_path(st: PState) -> SymPath {
 /// Symbolic runtime values.
 #[derive(Clone)]
 enum SValue {
-    Sym(Rc<SymVal>),
+    Sym(Arc<SymVal>),
     Closure {
         param: Name,
         body: Rc<Expr>,
@@ -152,7 +153,7 @@ impl SEnv {
 struct PState {
     n: usize,
     constraints: Vec<SymConstraint>,
-    scores: Vec<Rc<SymVal>>,
+    scores: Vec<Arc<SymVal>>,
     unfoldings: u32,
     truncated: bool,
     fuel: u64,
@@ -189,9 +190,9 @@ impl Executor<'_> {
                 Some(v) => vec![(Some(v.clone()), st)],
                 None => vec![(None, st)],
             },
-            ExprKind::Const(r) => vec![(Some(SValue::Sym(Rc::new(SymVal::Const(*r)))), st)],
+            ExprKind::Const(r) => vec![(Some(SValue::Sym(Arc::new(SymVal::Const(*r)))), st)],
             ExprKind::Sample => {
-                let v = Rc::new(SymVal::Sample(st.n));
+                let v = Arc::new(SymVal::Sample(st.n));
                 st.n += 1;
                 vec![(Some(SValue::Sym(v)), st)]
             }
@@ -250,7 +251,7 @@ impl Executor<'_> {
                 })
             }
             ExprKind::Prim(op, args) => {
-                let mut partial: Vec<(Vec<Rc<SymVal>>, PState)> = vec![(Vec::new(), st)];
+                let mut partial: Vec<(Vec<Arc<SymVal>>, PState)> = vec![(Vec::new(), st)];
                 for a in args {
                     let mut next = Vec::new();
                     for (prefix, stp) in partial {
@@ -375,9 +376,9 @@ impl Executor<'_> {
     fn finish_approx(value: Interval, weight: Interval, mut st: PState) -> Branches {
         if weight != Interval::ONE {
             st.scores
-                .push(Rc::new(SymVal::Interval(weight.clamp_non_neg())));
+                .push(Arc::new(SymVal::Interval(weight.clamp_non_neg())));
         }
-        vec![(Some(SValue::Sym(Rc::new(SymVal::Interval(value)))), st)]
+        vec![(Some(SValue::Sym(Arc::new(SymVal::Interval(value)))), st)]
     }
 
     fn emit_top(&mut self, st: PState) {

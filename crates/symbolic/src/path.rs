@@ -1,7 +1,9 @@
 //! Symbolic paths `Ψ = (V, n, Δ, Ξ)` (Appendix B).
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use gubpi_interval::{BoxN, Interval};
 
@@ -20,7 +22,7 @@ pub enum CmpDir {
 #[derive(Clone, Debug)]
 pub struct SymConstraint {
     /// The symbolic value being compared against 0.
-    pub value: Rc<SymVal>,
+    pub value: Arc<SymVal>,
     /// Which side of the branch was taken.
     pub dir: CmpDir,
 }
@@ -59,13 +61,13 @@ impl fmt::Display for SymConstraint {
 #[derive(Clone, Debug)]
 pub struct SymPath {
     /// The result value `V`.
-    pub result: Rc<SymVal>,
+    pub result: Arc<SymVal>,
     /// Number of sample variables drawn along the path.
     pub n_samples: usize,
     /// The branch constraints `Δ`.
     pub constraints: Vec<SymConstraint>,
     /// The score values `Ξ`.
-    pub scores: Vec<Rc<SymVal>>,
+    pub scores: Vec<Arc<SymVal>>,
     /// Did `approxFix` (or a budget overflow) introduce interval
     /// literals? Exact-path denotations exist only when `false`.
     pub truncated: bool,
@@ -75,7 +77,7 @@ impl SymPath {
     /// Is every sample variable used at most once in the result, in each
     /// constraint and in each score value (Assumption 1, §4.2)?
     pub fn satisfies_single_use(&self) -> bool {
-        let single = |v: &Rc<SymVal>| {
+        let single = |v: &Arc<SymVal>| {
             let mut counts = Vec::new();
             v.count_sample_uses(&mut counts);
             counts.iter().all(|&c| c <= 1)
@@ -101,6 +103,54 @@ impl SymPath {
         self.constraints
             .iter()
             .all(|c| c.holds_on(c.value.range_over_box(b), definitely))
+    }
+
+    /// A structural 64-bit fingerprint of the path: result, sample count,
+    /// constraints (with direction), scores and the truncation flag, with
+    /// float literals hashed by bit pattern. Structurally identical paths
+    /// fingerprint identically across runs (the hasher is keyed with
+    /// fixed constants), so the analyzer can use it as a memo-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.n_samples.hash(&mut h);
+        self.truncated.hash(&mut h);
+        hash_symval(&self.result, &mut h);
+        self.constraints.len().hash(&mut h);
+        for c in &self.constraints {
+            matches!(c.dir, CmpDir::LeZero).hash(&mut h);
+            hash_symval(&c.value, &mut h);
+        }
+        self.scores.len().hash(&mut h);
+        for w in &self.scores {
+            hash_symval(w, &mut h);
+        }
+        h.finish()
+    }
+}
+
+fn hash_symval(v: &SymVal, h: &mut impl Hasher) {
+    match v {
+        SymVal::Const(c) => {
+            0u8.hash(h);
+            c.to_bits().hash(h);
+        }
+        SymVal::Interval(i) => {
+            1u8.hash(h);
+            i.lo().to_bits().hash(h);
+            i.hi().to_bits().hash(h);
+        }
+        SymVal::Sample(i) => {
+            2u8.hash(h);
+            i.hash(h);
+        }
+        SymVal::Prim(op, args) => {
+            3u8.hash(h);
+            op.hash(h);
+            args.len().hash(h);
+            for a in args {
+                hash_symval(a, h);
+            }
+        }
     }
 }
 
@@ -133,11 +183,11 @@ mod tests {
     use super::*;
     use gubpi_lang::PrimOp;
 
-    fn s(i: usize) -> Rc<SymVal> {
-        Rc::new(SymVal::Sample(i))
+    fn s(i: usize) -> Arc<SymVal> {
+        Arc::new(SymVal::Sample(i))
     }
-    fn c(x: f64) -> Rc<SymVal> {
-        Rc::new(SymVal::Const(x))
+    fn c(x: f64) -> Arc<SymVal> {
+        Arc::new(SymVal::Const(x))
     }
 
     #[test]
@@ -161,7 +211,7 @@ mod tests {
         // (α₀ + [0, 1]) ≤ 0 at α₀ = −0.5: range [−0.5, 0.5]
         let v = SymVal::prim(
             PrimOp::Add,
-            vec![s(0), Rc::new(SymVal::Interval(Interval::UNIT))],
+            vec![s(0), Arc::new(SymVal::Interval(Interval::UNIT))],
         );
         let g = SymConstraint {
             value: v,
@@ -205,5 +255,42 @@ mod tests {
             truncated: false,
         };
         assert!(!bad.satisfies_single_use());
+    }
+
+    #[test]
+    fn paths_are_send_and_sync() {
+        // The parallel bounding engine shares `&[SymPath]` across worker
+        // threads; this must stay a compile-time guarantee.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SymPath>();
+        assert_send_sync::<SymVal>();
+    }
+
+    #[test]
+    fn fingerprints_separate_structure() {
+        let base = SymPath {
+            result: s(0),
+            n_samples: 1,
+            constraints: vec![],
+            scores: vec![c(2.0)],
+            truncated: false,
+        };
+        let same = base.clone();
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        let mut other_score = base.clone();
+        other_score.scores = vec![c(3.0)];
+        assert_ne!(base.fingerprint(), other_score.fingerprint());
+        let mut truncated = base.clone();
+        truncated.truncated = true;
+        assert_ne!(base.fingerprint(), truncated.fingerprint());
+        let mut constrained = base.clone();
+        constrained.constraints.push(SymConstraint {
+            value: SymVal::prim(PrimOp::Sub, vec![s(0), c(0.5)]),
+            dir: CmpDir::LeZero,
+        });
+        assert_ne!(base.fingerprint(), constrained.fingerprint());
+        let mut flipped = constrained.clone();
+        flipped.constraints[0].dir = CmpDir::GtZero;
+        assert_ne!(constrained.fingerprint(), flipped.fingerprint());
     }
 }

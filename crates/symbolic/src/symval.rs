@@ -1,7 +1,7 @@
 //! Symbolic values over sample variables (Appendix B).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gubpi_interval::{BoxN, Interval};
 use gubpi_lang::PrimOp;
@@ -19,13 +19,15 @@ pub enum SymVal {
     /// The sample variable `α_i` (0-based).
     Sample(usize),
     /// A delayed primitive application.
-    Prim(PrimOp, Vec<Rc<SymVal>>),
+    Prim(PrimOp, Vec<Arc<SymVal>>),
 }
 
 impl SymVal {
     /// Smart constructor for primitive applications: folds constants so
-    /// that deterministic guards stay decidable.
-    pub fn prim(op: PrimOp, args: Vec<Rc<SymVal>>) -> Rc<SymVal> {
+    /// that deterministic guards stay decidable. Primitives are total —
+    /// out-of-domain distribution parameters fold to the zero density
+    /// the concrete semantics assigns them — so folding never panics.
+    pub fn prim(op: PrimOp, args: Vec<Arc<SymVal>>) -> Arc<SymVal> {
         if args.iter().all(|a| matches!(**a, SymVal::Const(_))) {
             let xs: Vec<f64> = args
                 .iter()
@@ -34,9 +36,9 @@ impl SymVal {
                     _ => unreachable!(),
                 })
                 .collect();
-            return Rc::new(SymVal::Const(op.eval(&xs)));
+            return Arc::new(SymVal::Const(op.eval(&xs)));
         }
-        Rc::new(SymVal::Prim(op, args))
+        Arc::new(SymVal::Prim(op, args))
     }
 
     /// The largest sample index used, if any.
@@ -190,7 +192,7 @@ impl SymVal {
     ///
     /// Implemented as: if `self` is linear, one part; otherwise recurse
     /// into primitive arguments.
-    pub fn linear_decomposition(self: &Rc<SymVal>, dim: usize) -> Decomposition {
+    pub fn linear_decomposition(self: &Arc<SymVal>, dim: usize) -> Decomposition {
         let mut parts = Vec::new();
         let skeleton = decompose(self, dim, &mut parts);
         Decomposition { skeleton, parts }
@@ -202,7 +204,7 @@ impl SymVal {
 #[derive(Clone, Debug)]
 pub struct Decomposition {
     /// Skeleton with placeholder `Sample(k)` leaves referring to `parts[k]`.
-    pub skeleton: Rc<SymVal>,
+    pub skeleton: Arc<SymVal>,
     /// The extracted interval-linear sub-expressions.
     pub parts: Vec<(LinExpr, Interval)>,
 }
@@ -226,25 +228,25 @@ fn eval_skeleton(v: &SymVal, ranges: &[Interval]) -> Interval {
     }
 }
 
-fn decompose(v: &Rc<SymVal>, dim: usize, parts: &mut Vec<(LinExpr, Interval)>) -> Rc<SymVal> {
+fn decompose(v: &Arc<SymVal>, dim: usize, parts: &mut Vec<(LinExpr, Interval)>) -> Arc<SymVal> {
     if let Some(lf) = v.linear_form(dim) {
         // Constant linear forms are inlined as interval literals — the
         // original node may still *syntactically* contain samples (e.g.
         // `0 · α₀`), which must not survive into the skeleton where
         // `Sample` leaves denote part indices.
         if lf.0.is_constant() {
-            return Rc::new(SymVal::Interval(
+            return Arc::new(SymVal::Interval(
                 Interval::point(lf.0.constant_term()) + lf.1,
             ));
         }
         let k = parts.len();
         parts.push(lf);
-        return Rc::new(SymVal::Sample(k));
+        return Arc::new(SymVal::Sample(k));
     }
     match &**v {
         SymVal::Prim(op, args) => {
             let new_args = args.iter().map(|a| decompose(a, dim, parts)).collect();
-            Rc::new(SymVal::Prim(*op, new_args))
+            Arc::new(SymVal::Prim(*op, new_args))
         }
         // Non-linear leaves cannot occur (leaves are always linear).
         _ => v.clone(),
@@ -275,11 +277,11 @@ impl fmt::Display for SymVal {
 mod tests {
     use super::*;
 
-    fn s(i: usize) -> Rc<SymVal> {
-        Rc::new(SymVal::Sample(i))
+    fn s(i: usize) -> Arc<SymVal> {
+        Arc::new(SymVal::Sample(i))
     }
-    fn c(x: f64) -> Rc<SymVal> {
-        Rc::new(SymVal::Const(x))
+    fn c(x: f64) -> Arc<SymVal> {
+        Arc::new(SymVal::Const(x))
     }
 
     #[test]
@@ -321,7 +323,7 @@ mod tests {
                         SymVal::prim(PrimOp::Sub, vec![s(1), c(1.0)]),
                     ],
                 ),
-                Rc::new(SymVal::Interval(Interval::NON_NEG)),
+                Arc::new(SymVal::Interval(Interval::NON_NEG)),
             ],
         );
         let (lin, iv) = v.linear_form(2).expect("linear");

@@ -1,7 +1,7 @@
 //! Property tests for symbolic values: the linear-form extraction and
 //! the box-range evaluation must agree with direct evaluation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gubpi_interval::{BoxN, Interval};
 use gubpi_lang::PrimOp;
@@ -10,17 +10,17 @@ use proptest::prelude::*;
 
 /// Random interval-linear symbolic values over `dim` samples, built from
 /// the linear operators only.
-fn linear_symval(dim: usize) -> impl Strategy<Value = Rc<SymVal>> {
+fn linear_symval(dim: usize) -> impl Strategy<Value = Arc<SymVal>> {
     let leaf = prop_oneof![
-        (0..dim).prop_map(|i| Rc::new(SymVal::Sample(i))),
-        (-5.0f64..5.0).prop_map(|c| Rc::new(SymVal::Const(c))),
+        (0..dim).prop_map(|i| Arc::new(SymVal::Sample(i))),
+        (-5.0f64..5.0).prop_map(|c| Arc::new(SymVal::Const(c))),
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Add, vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::prim(PrimOp::Sub, vec![a, b])),
             (inner.clone(), -3.0f64..3.0).prop_map(|(a, k)| {
-                SymVal::prim(PrimOp::Mul, vec![Rc::new(SymVal::Const(k)), a])
+                SymVal::prim(PrimOp::Mul, vec![Arc::new(SymVal::Const(k)), a])
             }),
             inner
                 .clone()
@@ -30,10 +30,10 @@ fn linear_symval(dim: usize) -> impl Strategy<Value = Rc<SymVal>> {
 }
 
 /// Arbitrary (possibly non-linear) symbolic values.
-fn any_symval(dim: usize) -> impl Strategy<Value = Rc<SymVal>> {
+fn any_symval(dim: usize) -> impl Strategy<Value = Arc<SymVal>> {
     let leaf = prop_oneof![
-        (0..dim).prop_map(|i| Rc::new(SymVal::Sample(i))),
-        (-3.0f64..3.0).prop_map(|c| Rc::new(SymVal::Const(c))),
+        (0..dim).prop_map(|i| Arc::new(SymVal::Sample(i))),
+        (-3.0f64..3.0).prop_map(|c| Arc::new(SymVal::Const(c))),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![

@@ -1,0 +1,178 @@
+//! Parallel ≡ sequential: the bounds reported by the analysis engine
+//! must be **bit-identical** under every `Threads` setting.
+//!
+//! This is the contract that lets the parallel engine exist at all: the
+//! paper's guarantees are about the *reported* floating-point bounds, so
+//! the thread count may change wall-clock time but never a single bit of
+//! any result. The engine enforces this by bounding each path
+//! independently and reducing in fixed path order; these tests hold the
+//! line on randomly generated programs and on the paper's models.
+
+use gubpi_core::{AnalysisOptions, Analyzer, Method, Threads};
+use gubpi_interval::Interval;
+use gubpi_symbolic::SymExecOptions;
+use proptest::prelude::*;
+
+/// Every `Threads` setting the engine must agree across.
+const SETTINGS: &[Threads] = &[
+    Threads::Off,
+    Threads::Fixed(1),
+    Threads::Fixed(4),
+    Threads::Auto,
+];
+
+/// Random SPCF model sources: arithmetic over samples, branching on
+/// sample-dependent guards, and score-reweighted sub-terms — enough to
+/// exercise the linear semantics, the grid fallback and multi-path
+/// reduction.
+fn model_source() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(|n| n.to_string()),
+        Just("sample".to_owned()),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("min({a}, {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("(if {c} <= 1 then {t} else {e})")),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| format!("(let x = sample in score(sigmoid({a})); {b} + x)")),
+        ]
+    })
+}
+
+fn analyzer(src: &str, threads: Threads, method: Method) -> Analyzer {
+    let mut opts = AnalysisOptions {
+        method,
+        threads,
+        ..Default::default()
+    };
+    // Keep random programs cheap: they can draw up to ~10 samples, and
+    // the grid semantics is exponential in that dimension.
+    opts.bounds.splits = 8;
+    opts.bounds.region_budget = 10_000;
+    Analyzer::from_source(src, opts).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+fn assert_bits_eq(reference: (f64, f64), got: (f64, f64), ctx: &str) {
+    assert!(
+        reference.0.to_bits() == got.0.to_bits() && reference.1.to_bits() == got.1.to_bits(),
+        "{ctx}: {got:?} differs from sequential {reference:?}"
+    );
+}
+
+/// Runs the three query shapes under every setting and demands
+/// bit-identical results against the sequential (`Threads::Off`) engine.
+fn check_all_settings(src: &str, build: impl Fn(Threads) -> Analyzer) {
+    let u = Interval::new(0.25, 1.0);
+    let wide = Interval::new(0.0, 1.5);
+    let reference = build(Threads::Off);
+    let ref_den = reference.denotation_bounds(wide);
+    let ref_post = reference.posterior_probability(u);
+    let ref_hist = reference.histogram(Interval::new(-1.0, 3.0), 6);
+    for &threads in SETTINGS {
+        let a = build(threads);
+        assert_eq!(
+            a.paths().len(),
+            reference.paths().len(),
+            "{src}: path set must not depend on threading"
+        );
+        assert_bits_eq(
+            ref_den,
+            a.denotation_bounds(wide),
+            &format!("{src} denotation_bounds under {threads:?}"),
+        );
+        assert_bits_eq(
+            ref_post,
+            a.posterior_probability(u),
+            &format!("{src} posterior_probability under {threads:?}"),
+        );
+        let h = a.histogram(Interval::new(-1.0, 3.0), 6);
+        for b in 0..h.bins() {
+            assert_bits_eq(
+                ref_hist.unnormalized(b),
+                h.unnormalized(b),
+                &format!("{src} histogram bin {b} under {threads:?}"),
+            );
+        }
+        assert_bits_eq(
+            ref_hist.left_tail,
+            h.left_tail,
+            &format!("{src} left tail under {threads:?}"),
+        );
+        assert_bits_eq(
+            ref_hist.right_tail,
+            h.right_tail,
+            &format!("{src} right tail under {threads:?}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn random_programs_bound_identically_across_thread_counts(src in model_source()) {
+        check_all_settings(&src, |threads| analyzer(&src, threads, Method::Auto));
+    }
+
+    #[test]
+    fn grid_method_is_also_deterministic(src in model_source()) {
+        check_all_settings(&src, |threads| analyzer(&src, threads, Method::Grid));
+    }
+}
+
+/// The models exercised by `tests/paper_examples.rs`, including the
+/// recursive pedestrian (many paths, mixed linear/grid, truncation).
+#[test]
+fn paper_example_models_bound_identically_across_thread_counts() {
+    const PEDESTRIAN: &str = "
+        let start = 3 * sample uniform(0, 1) in
+        let rec walk x =
+          if x <= 0 then 0 else
+            let step = sample uniform(0, 1) in
+            if sample <= 0.5 then step + walk (x + step)
+            else step + walk (x - step)
+        in
+        let d = walk start in
+        observe d from normal(1.1, 0.1);
+        start";
+    const GEOMETRIC: &str = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+    const UNBOUNDED_WEIGHT: &str = "
+        let rec loop s =
+          if sample <= s then (score(2); loop (s / 2)) else 1
+        in loop 1";
+    for (src, unfold) in [(PEDESTRIAN, 3u32), (GEOMETRIC, 8), (UNBOUNDED_WEIGHT, 6)] {
+        check_all_settings(src, |threads| {
+            let mut opts = AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: unfold,
+                    ..Default::default()
+                },
+                threads,
+                ..Default::default()
+            };
+            opts.bounds.splits = 8;
+            Analyzer::from_source(src, opts).unwrap()
+        });
+    }
+}
+
+/// The memo cache must be invisible: a warm analyzer answers with the
+/// same bits as a cold one, under any thread count.
+#[test]
+fn cache_reuse_is_bit_identical_across_thread_counts() {
+    let src = "let x = sample in (if x <= 0.5 then score(2 * x) else score(1)); x";
+    let u = Interval::new(0.1, 0.6);
+    let cold = analyzer(src, Threads::Off, Method::Auto).denotation_bounds(u);
+    for &threads in SETTINGS {
+        let a = analyzer(src, threads, Method::Auto);
+        let first = a.denotation_bounds(u);
+        let warm = a.denotation_bounds(u);
+        let (hits, _) = a.cache_stats();
+        assert!(hits >= a.paths().len() as u64, "second query must hit");
+        assert_bits_eq(cold, first, "cold query");
+        assert_bits_eq(cold, warm, "warm query");
+    }
+}

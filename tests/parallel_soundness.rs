@@ -1,0 +1,156 @@
+//! Stress test: Monte-Carlo estimates vs the parallel engine's bounds.
+//!
+//! Corollary 6.3 under concurrency — many importance-sampling and MH
+//! estimates, across seeds, on the paper's models must all fall inside
+//! the `[lo, hi]` bounds computed with `Threads::Fixed(4)` (and those
+//! bounds must themselves agree bit-for-bit with the sequential engine,
+//! which `tests/parallel_determinism.rs` checks separately).
+
+use gubpi_core::{AnalysisOptions, Analyzer, Threads};
+use gubpi_inference::importance::{importance_sample, ImportanceOptions};
+use gubpi_inference::mh::{mh_sample, MhOptions};
+use gubpi_interval::Interval;
+use gubpi_lang::parse;
+use gubpi_symbolic::SymExecOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(source, query, unfold)` — the paper-example zoo: branching,
+/// scoring, observation, recursion (pedestrian), unbounded weights.
+const MODELS: &[(&str, (f64, f64), u32)] = &[
+    ("sample", (0.2, 0.7), 2),
+    ("let x = sample in score(x); x", (0.3, 0.9), 2),
+    (
+        "observe 0.4 from normal(sample, 0.3); sample",
+        (0.0, 0.5),
+        2,
+    ),
+    (
+        "if sample <= 0.3 then sample else 2 * sample",
+        (0.4, 1.1),
+        2,
+    ),
+    (
+        "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0",
+        (-0.5, 1.5),
+        8,
+    ),
+    (
+        // The pedestrian (Fig. 1) at a shallow unfolding depth: many
+        // paths, mixed linear/grid bounding, truncated tails.
+        "let start = 3 * sample uniform(0, 1) in
+         let rec walk x =
+           if x <= 0 then 0 else
+             let step = sample uniform(0, 1) in
+             if sample <= 0.5 then step + walk (x + step)
+             else step + walk (x - step)
+         in
+         let d = walk start in
+         observe d from normal(1.1, 0.1);
+         start",
+        (0.0, 1.0),
+        3,
+    ),
+];
+
+/// Test threads get 2 MiB stacks; the pedestrian's deep recursive runs
+/// (evaluator depth up to 700) need more in debug builds.
+fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn test worker")
+        .join()
+        .expect("test worker panicked");
+}
+
+fn parallel_analyzer(src: &str, unfold: u32) -> Analyzer {
+    let mut opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: unfold,
+            ..Default::default()
+        },
+        threads: Threads::Fixed(4),
+        ..Default::default()
+    };
+    opts.bounds.splits = 16;
+    Analyzer::from_source(src, opts).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+/// Importance sampling across many seeds: every posterior estimate must
+/// land inside the parallel bounds (1.5% slack for 40k-sample MC noise,
+/// as in `tests/soundness.rs`).
+#[test]
+fn importance_sampling_estimates_fall_inside_parallel_bounds() {
+    with_big_stack(|| {
+        for (i, (src, (a, b), unfold)) in MODELS.iter().enumerate() {
+            let u = Interval::new(*a, *b);
+            let analyzer = parallel_analyzer(src, *unfold);
+            let (lo, hi) = analyzer.posterior_probability(u);
+            assert!(lo <= hi + 1e-12, "{src}: inverted bounds [{lo}, {hi}]");
+            let program = parse(src).unwrap();
+            for seed in 0..5u64 {
+                let mut rng = StdRng::seed_from_u64(1_000 * (i as u64 + 1) + seed);
+                let ws =
+                    importance_sample(&program, 40_000, ImportanceOptions::default(), &mut rng);
+                let mc = ws.probability_in(u.lo(), u.hi());
+                assert!(
+                    lo - 0.015 <= mc && mc <= hi + 0.015,
+                    "{src} (seed {seed}): IS estimate {mc} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    });
+}
+
+/// The same contract for trace MH (wider slack: MH samples are
+/// autocorrelated, so the effective sample size is smaller).
+#[test]
+fn mh_estimates_fall_inside_parallel_bounds() {
+    with_big_stack(|| {
+        for (i, (src, (a, b), unfold)) in MODELS.iter().enumerate() {
+            let u = Interval::new(*a, *b);
+            let analyzer = parallel_analyzer(src, *unfold);
+            let (lo, hi) = analyzer.posterior_probability(u);
+            let program = parse(src).unwrap();
+            for seed in 0..3u64 {
+                let mut rng = StdRng::seed_from_u64(9_000 * (i as u64 + 1) + seed);
+                let chain = mh_sample(&program, 6_000, MhOptions::default(), &mut rng);
+                assert!(!chain.values.is_empty(), "{src}: MH found no start state");
+                let inside = chain
+                    .values
+                    .iter()
+                    .filter(|v| u.lo() <= **v && **v <= u.hi())
+                    .count();
+                let mc = inside as f64 / chain.values.len() as f64;
+                assert!(
+                    lo - 0.05 <= mc && mc <= hi + 0.05,
+                    "{src} (seed {seed}): MH estimate {mc} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    });
+}
+
+/// Evidence (normalising-constant) estimates vs the parallel engine's
+/// `Z` bounds, across seeds.
+#[test]
+fn evidence_estimates_fall_inside_parallel_z_bounds() {
+    with_big_stack(|| {
+        for (i, (src, _, unfold)) in MODELS.iter().enumerate() {
+            let analyzer = parallel_analyzer(src, *unfold);
+            let (z_lo, z_hi) = analyzer.normalizing_constant();
+            let program = parse(src).unwrap();
+            for seed in 0..3u64 {
+                let mut rng = StdRng::seed_from_u64(5_000 * (i as u64 + 1) + seed);
+                let ws =
+                    importance_sample(&program, 40_000, ImportanceOptions::default(), &mut rng);
+                let z_mc = ws.evidence_estimate();
+                assert!(
+                    z_lo - 0.02 <= z_mc && z_mc <= z_hi + 0.02 * (1.0 + z_hi.abs()),
+                    "{src} (seed {seed}): Ẑ = {z_mc} outside [{z_lo}, {z_hi}]"
+                );
+            }
+        }
+    });
+}

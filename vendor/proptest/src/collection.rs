@@ -52,11 +52,41 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = self.size.hi - self.size.lo + 1;
         let len = self.size.lo + (rng.next_u64() % span as u64) as usize;
         (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+
+    /// Shrinks structurally (toward the minimum length: halve the tail,
+    /// drop the last element, drop the first element) and element-wise
+    /// (first shrink candidate per position).
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.size.lo;
+        let len = value.len();
+        if len > min {
+            let half = min + (len - min) / 2;
+            if half < len - 1 {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..len - 1].to_vec());
+            let mut no_first = value.clone();
+            no_first.remove(0);
+            out.push(no_first);
+        }
+        for i in 0..len {
+            if let Some(cand) = self.element.shrink(&value[i]).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

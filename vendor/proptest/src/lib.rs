@@ -14,9 +14,14 @@
 //!
 //! Differences from the real crate: generation is deterministic per test
 //! (the RNG is seeded from the test name, so runs are reproducible), and
-//! there is **no shrinking** — a failing case reports its inputs via the
-//! assertion message instead. See `vendor/README.md` for the replacement
-//! policy.
+//! shrinking is **basic**: on failure the runner greedily applies
+//! [`Strategy::shrink`] candidates (numeric ranges shrink toward their
+//! lower endpoint, tuples shrink componentwise, `collection::vec`
+//! shrinks both length and elements) and reports the smallest input that
+//! still fails. `prop_map`, `prop_oneof!` and string-pattern strategies
+//! pass through unshrunk — a mapped/unioned value cannot be soundly
+//! projected back through its generator in this stand-in. See
+//! `vendor/README.md` for the replacement policy.
 
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
@@ -88,6 +93,15 @@ pub trait Strategy {
     /// Generates one value.
     fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" candidates derived from a failing
+    /// `value` (basic shrinking). The runner greedily accepts the first
+    /// candidate that still fails and recurses; strategies that cannot
+    /// shrink soundly (maps, unions, patterns) return no candidates.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -154,6 +168,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn gen_value(&self, rng: &mut TestRng) -> T {
         self.inner.gen_value(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.inner.shrink(value)
+    }
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
@@ -206,6 +223,25 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Shared integral shrink order: the lower endpoint first (the simplest
+/// value), then the midpoint (binary search), then one step down.
+fn shrink_int<T>(lo: i128, v: i128, back: impl Fn(i128) -> T) -> Vec<T> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(back(lo));
+    let mid = lo + (v - lo) / 2;
+    if mid != lo && mid != v {
+        out.push(back(mid));
+    }
+    let dec = v - 1;
+    if dec != lo && dec != mid {
+        out.push(back(dec));
+    }
+    out
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -214,6 +250,9 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u128;
                 (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128, |x| x as $t)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -224,11 +263,32 @@ macro_rules! int_range_strategy {
                 let span = (end as i128 - start as i128) as u128 + 1;
                 (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128, |x| x as $t)
+            }
         }
     )*};
 }
 
 int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Shared float shrink order: the lower endpoint, zero (when interior),
+/// then the midpoint toward the lower endpoint.
+fn shrink_float<T: PartialOrd + Copy>(lo: f64, v: f64, back: impl Fn(f64) -> T) -> Vec<T> {
+    let mut out = Vec::new();
+    if v.is_nan() || v <= lo {
+        return out; // at the minimum already (or NaN)
+    }
+    out.push(back(lo));
+    if lo < 0.0 && v > 0.0 {
+        out.push(back(0.0));
+    }
+    let mid = lo + (v - lo) / 2.0;
+    if mid != lo && mid != v {
+        out.push(back(mid));
+    }
+    out
+}
 
 macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
@@ -238,6 +298,9 @@ macro_rules! float_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + (rng.next_f64() as $t) * (self.end - self.start)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(self.start as f64, *value as f64, |x| x as $t)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -245,6 +308,9 @@ macro_rules! float_range_strategy {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty range strategy");
                 start + (rng.next_f64() as $t) * (end - start)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(*self.start() as f64, *value as f64, |x| x as $t)
             }
         }
     )*};
@@ -254,10 +320,24 @@ float_range_strategy!(f64, f32);
 
 macro_rules! tuple_strategy {
     ($(($($n:ident $idx:tt),+))*) => {$(
-        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+        impl<$($n: Strategy),+> Strategy for ($($n,)+)
+        where
+            $($n::Value: Clone,)+
+        {
             type Value = ($($n::Value,)+);
             fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.gen_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -369,8 +449,79 @@ fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
     out
 }
 
+/// Drives one generated case: runs `f`, and on failure greedily shrinks
+/// the input via [`Strategy::shrink`] before reporting the smallest
+/// still-failing input. Called by the [`proptest!`] macro.
+#[doc(hidden)]
+pub fn run_case<S, F>(strat: &S, input: S::Value, f: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    let Some(first_msg) = run_catching(&f, input.clone()) else {
+        return;
+    };
+    // Shrink attempts reuse the panic machinery; silence the hook for
+    // candidate runs so they do not spam stderr. The panic hook is
+    // process-global and libtest runs tests concurrently, so (a) the
+    // swap is serialised — without the guard, two concurrently-shrinking
+    // properties could each take the other's silencer as "previous" and
+    // leave it installed permanently — and (b) the silencer only mutes
+    // *this* thread, delegating to the previous hook for every other
+    // thread so unrelated failing tests keep their diagnostics.
+    static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_hook: std::sync::Arc<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync> =
+        std::sync::Arc::from(std::panic::take_hook());
+    let shrinking_thread = std::thread::current().id();
+    {
+        let prev_hook = std::sync::Arc::clone(&prev_hook);
+        std::panic::set_hook(Box::new(move |info| {
+            if std::thread::current().id() != shrinking_thread {
+                prev_hook(info);
+            }
+        }));
+    }
+    let mut cur = input;
+    let mut msg = first_msg;
+    let mut shrinks = 0usize;
+    'outer: while shrinks < 1_000 {
+        for cand in strat.shrink(&cur) {
+            if let Some(m) = run_catching(&f, cand.clone()) {
+                cur = cand;
+                msg = m;
+                shrinks += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    // Restore the previous behaviour for all threads (re-wrapped in a
+    // closure; the original box was shared with the silencer above).
+    std::panic::set_hook(Box::new(move |info| prev_hook(info)));
+    drop(guard);
+    panic!(
+        "property failed after {shrinks} shrink step(s)\n  minimal input: {cur:?}\n  cause: {msg}"
+    );
+}
+
+fn run_catching<V>(f: &impl Fn(V), v: V) -> Option<String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+        Ok(()) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic payload".to_owned()),
+        ),
+    }
+}
+
 /// Declares property tests: each `fn name(pat in strategy, …) { body }`
-/// becomes a `#[test]` that generates `cases` inputs and runs the body.
+/// becomes a `#[test]` that generates `cases` inputs and runs the body,
+/// shrinking failing inputs before reporting.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -392,9 +543,10 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let __strategy = ($($s,)+);
                 for __case in 0..cfg.cases {
-                    $(let $p = $crate::Strategy::gen_value(&($s), &mut rng);)+
-                    $body
+                    let __input = $crate::Strategy::gen_value(&__strategy, &mut rng);
+                    $crate::run_case(&__strategy, __input, |($($p,)+)| $body);
                 }
             }
         )*
@@ -522,5 +674,64 @@ mod tests {
             prop_assert_eq!(c.min(2), c.min(2));
             prop_assert_ne!(c + 1, 0);
         }
+    }
+
+    fn failure_message(go: impl Fn() + std::panic::UnwindSafe) -> String {
+        let payload = std::panic::catch_unwind(go).expect_err("property must fail");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panic payload")
+    }
+
+    #[test]
+    fn shrinking_minimises_integer_range_failures() {
+        // `v < 50` fails from 999; greedy binary shrinking must land on
+        // the boundary value exactly.
+        let strat = (0u32..1000,);
+        let msg = failure_message(|| {
+            run_case(&strat, (999,), |(v,)| assert!(v < 50, "too big: {v}"));
+        });
+        assert!(msg.contains("minimal input: (50,)"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimises_vec_length() {
+        // "No vec of length ≥ 3" must shrink to exactly length 3.
+        let strat = (collection::vec(0u32..100, 0..10),);
+        let failing: Vec<u32> = vec![7, 3, 9, 4, 2, 8, 6];
+        let msg = failure_message(|| {
+            run_case(&strat, (failing.clone(),), |(v,)| {
+                assert!(v.len() < 3, "len {}", v.len());
+            });
+        });
+        // All elements also shrink to the range minimum.
+        assert!(msg.contains("minimal input: ([0, 0, 0],)"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_is_componentwise_on_tuples() {
+        let strat = (0u32..100, 0u32..100);
+        let msg = failure_message(|| {
+            run_case(&strat, (90, 7), |(a, _b)| assert!(a < 20, "a = {a}"));
+        });
+        // The failing component reaches its boundary; the passing one
+        // shrinks all the way to the range minimum.
+        assert!(msg.contains("minimal input: (20, 0)"), "{msg}");
+    }
+
+    #[test]
+    fn float_ranges_shrink_toward_the_lower_endpoint() {
+        let s = -1.0f64..1.0;
+        let cands = s.shrink(&0.5);
+        assert!(cands.contains(&-1.0));
+        assert!(cands.contains(&0.0));
+        assert!(s.shrink(&-1.0).is_empty());
+    }
+
+    #[test]
+    fn passing_properties_never_shrink() {
+        let strat = (0u32..10,);
+        run_case(&strat, (5,), |(v,)| assert!(v < 10));
     }
 }
