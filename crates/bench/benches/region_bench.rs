@@ -1,0 +1,149 @@
+//! Region-level vs path-level parallelism.
+//!
+//! Path-level parallelism (PR 2) cannot beat the cost of the single
+//! most expensive path: a model dominated by one deep path — the
+//! pedestrian's deepest grid path is the canonical case — serialises on
+//! whichever worker drew it. Region-level parallelism splits the work
+//! *inside* that path (§6.3 grid cells, §6.4 chunk combinations)
+//! across the pool, so it engages exactly where path-level parallelism
+//! cannot. Bounds are bit-identical across every configuration (see
+//! `tests/parallel_determinism.rs`); only wall time may differ.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::models;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gubpi_core::{
+    bound_path_query_threaded, AnalysisOptions, Analyzer, Method, PathBoundOptions, Threads,
+};
+use gubpi_interval::Interval;
+use gubpi_symbolic::{SymExecOptions, SymPath};
+
+const SETTINGS: &[(&str, Threads)] = &[
+    ("seq", Threads::Off),
+    ("t2", Threads::Fixed(2)),
+    ("t4", Threads::Fixed(4)),
+];
+
+fn pedestrian_analyzer(threads: Threads) -> Analyzer {
+    let mut opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: 4,
+            ..Default::default()
+        },
+        threads,
+        ..Default::default()
+    };
+    opts.bounds.splits = 8;
+    Analyzer::from_source(models::PEDESTRIAN, opts).expect("pedestrian compiles")
+}
+
+/// The single most expensive pedestrian path: the deepest grid path (most
+/// sample dimensions ⇒ `splits^n` cells).
+fn dominant_path(a: &Analyzer) -> SymPath {
+    a.paths()
+        .iter()
+        .max_by_key(|p| p.n_samples)
+        .expect("pedestrian has paths")
+        .clone()
+}
+
+fn bench_region(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region");
+    group.sample_size(10);
+
+    // (1) One dominant path in isolation: path-level parallelism has a
+    // single job and degrades to sequential by construction; only the
+    // region grain can split the `splits^n` grid cells.
+    let a = pedestrian_analyzer(Threads::Off);
+    let dominant = dominant_path(&a);
+    let opts = PathBoundOptions {
+        splits: 8,
+        ..Default::default()
+    };
+    let u = Interval::new(0.0, 1.5);
+    for &(label, threads) in SETTINGS {
+        group.bench_function(format!("pedestrian-dominant-path/{label}"), |bencher| {
+            bencher.iter(|| {
+                black_box(bound_path_query_threaded(
+                    black_box(&dominant),
+                    u,
+                    opts,
+                    threads,
+                ))
+            });
+        });
+    }
+
+    // (2) Whole-model comparison on table2-grass under the grid
+    // semantics: the analyzer picks the grain automatically from the
+    // worker/path ratio.
+    let grass = models::table2()
+        .into_iter()
+        .find(|b| b.name == "grass")
+        .expect("table2 has grass")
+        .source;
+    for &(label, threads) in SETTINGS {
+        let mut opts = AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: 8,
+                ..Default::default()
+            },
+            threads,
+            method: Method::Grid,
+            ..Default::default()
+        };
+        opts.bounds.splits = 8;
+        let a = Analyzer::from_source(grass, opts).expect("grass compiles");
+        group.bench_function(format!("table2-grass-grid/{label}"), |bencher| {
+            bencher.iter(|| {
+                a.clear_cache(); // time cold queries, not cache hits
+                black_box(a.posterior_probability(Interval::new(0.5, 1.5)))
+            });
+        });
+    }
+
+    group.finish();
+    summary();
+}
+
+/// Headline numbers: per-grain wall time on the pedestrian's dominant
+/// path (mean of 5 runs after warm-up). On a single hardware thread the
+/// determinism guarantee still holds but wall time cannot improve;
+/// region-level speedups need ≥ 2 cores.
+fn summary() {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let a = pedestrian_analyzer(Threads::Off);
+    let dominant = dominant_path(&a);
+    let opts = PathBoundOptions {
+        splits: 8,
+        ..Default::default()
+    };
+    let u = Interval::new(0.0, 1.5);
+    let time = |threads: Threads| {
+        let _ = bound_path_query_threaded(&dominant, u, opts, threads);
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            black_box(bound_path_query_threaded(&dominant, u, opts, threads));
+        }
+        t0.elapsed().as_secs_f64() / 5.0
+    };
+    let seq = time(Threads::Off);
+    let region4 = time(Threads::Fixed(4));
+    println!(
+        "pedestrian dominant path ({} samples): sequential {:.1} ms; \
+         region-parallel x4 {:.1} ms -> {:.2}x speedup. Path-level \
+         parallelism is structurally 1.00x here (one path = one job). \
+         ({hw} hardware thread(s) available)",
+        dominant.n_samples,
+        seq * 1e3,
+        region4 * 1e3,
+        seq / region4
+    );
+}
+
+criterion_group!(benches, bench_region);
+criterion_main!(benches);

@@ -37,7 +37,10 @@ fn main() {
             }
             other => {
                 let got = other.unwrap_or("<missing>");
-                eprintln!("--threads expects a worker count, `auto` or `off`; got `{got}`");
+                eprintln!(
+                    "--threads expects a positive worker count, `auto` or `off`; got `{got}` \
+                     (use `off` for sequential execution, not `0`)"
+                );
                 std::process::exit(2);
             }
         }
@@ -59,8 +62,8 @@ fn main() {
                  ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep\n  \
                  all           everything above (the default)\n\n\
                  OPTIONS:\n  \
-                 --threads N|auto|off   worker threads for per-path bounding\n                         \
-                 (same as GUBPI_THREADS; results are bit-identical)"
+                 --threads N|auto|off   worker threads for the bounding engine (N > 0;\n                         \
+                 same as GUBPI_THREADS; results are bit-identical)"
             );
         }
         "table1" | "table4" => table1(),

@@ -41,6 +41,23 @@ fn repro_rejects_unknown_commands() {
 }
 
 #[test]
+fn repro_rejects_zero_threads() {
+    // Regression: `--threads 0` used to be accepted as Fixed(0) and
+    // silently clamped to one sequential worker. It must now be a hard
+    // usage error pointing at `off`.
+    let out = Command::new(REPRO)
+        .args(["--threads", "0", "table2"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "zero workers must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("positive worker count") && err.contains("`off`"),
+        "stderr must explain the fix: {err}"
+    );
+}
+
+#[test]
 fn tiny_model_end_to_end() {
     // The smallest interesting model: a uniform prior scored to the
     // upper half. The unnormalised mass of [0.5, 1] is exactly 1/2, and

@@ -1,8 +1,9 @@
 //! The analyzer facade (Algorithm 1).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gubpi_interval::Interval;
 use gubpi_lang::{infer, parse, LangError, Program, TypeMap};
@@ -12,8 +13,8 @@ use gubpi_types::{infer_interval_types, IntervalTyping};
 use crate::histogram::HistogramBounds;
 use crate::parallel::{map_paths, Threads};
 use crate::pathbounds::{
-    bound_path, bound_path_grid_only, bound_path_query, linear_applicable, PathBoundOptions,
-    SingleQuery,
+    bound_path_grid_only_threaded, bound_path_query_threaded, bound_path_threaded,
+    linear_applicable, PathBoundOptions, SingleQuery,
 };
 
 /// Which per-path semantics to use.
@@ -40,26 +41,174 @@ pub struct AnalysisOptions {
     pub threads: Threads,
 }
 
-/// `(path index, path fingerprint, query lo bits, query hi bits,
-/// bounding options, method)`. The index makes keys collision-proof
-/// within one analyzer (the cache never outlives its path set); the
-/// structural fingerprint documents *what* was bounded and keeps
-/// entries honest if the key ever travels across analyzers; the option
-/// values are keyed exactly (derived `Eq`/`Hash`), so differing
-/// configurations can never alias — even ones added to
-/// [`PathBoundOptions`] later.
-type QueryKey = (u64, u64, u64, u64, PathBoundOptions, Method);
+/// `(path fingerprint, query lo bits, query hi bits, bounding options,
+/// method)`. The fingerprint is a 64-bit structural hash, so every
+/// cached result additionally stores the [`SymPath`] it was computed
+/// for and lookups verify **structural equality** before reusing an
+/// entry — a fingerprint collision costs one extra bucket entry, never
+/// a wrong bound. The option values are keyed exactly (derived
+/// `Eq`/`Hash`), so differing configurations can never alias — even
+/// ones added to [`PathBoundOptions`] later.
+type QueryKey = (u64, u64, u64, PathBoundOptions, Method);
 
-/// Memo cache for per-path query bounds, shared across worker threads.
+/// One verified cache entry: the path the result belongs to, plus the
+/// `(lo, hi)` bounds.
+type CacheEntry = (SymPath, (f64, f64));
+
+/// Memo cache for per-path query bounds, shared across worker threads
+/// (and, via [`SharedQueryCache`], across `Analyzer` instances).
 ///
 /// Per-path bounding is pure, so a hit returns exactly the value a
 /// recomputation would — caching cannot perturb the determinism
 /// guarantee.
 #[derive(Default)]
 struct QueryCache {
-    map: Mutex<HashMap<QueryKey, (f64, f64)>>,
+    map: Mutex<HashMap<QueryKey, Vec<CacheEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// A handle to a per-path memo cache that can be shared across
+/// [`Analyzer`] instances (the cheap `Clone` copies the handle, not the
+/// cache).
+///
+/// Analyzing the same program — or programs sharing structurally equal
+/// paths — under several analyzers (one per thread, one per request,
+/// re-parsed from source, …) normally recomputes every path bound.
+/// Constructing the analyzers with [`Analyzer::from_source_with_cache`]
+/// instead lets later instances hit the warm entries:
+///
+/// ```
+/// use gubpi_core::{AnalysisOptions, Analyzer, SharedQueryCache};
+/// use gubpi_interval::Interval;
+///
+/// let cache = SharedQueryCache::new();
+/// let opts = AnalysisOptions::default();
+/// let a = Analyzer::from_source_with_cache("sample", opts, &cache).unwrap();
+/// let b = Analyzer::from_source_with_cache("sample", opts, &cache).unwrap();
+/// let u = Interval::new(0.0, 0.5);
+/// let ra = a.denotation_bounds(u); // computes, fills the cache
+/// let rb = b.denotation_bounds(u); // hits the shared entries
+/// assert_eq!(ra, rb);
+/// assert!(cache.stats().0 > 0, "second analyzer must hit");
+/// ```
+///
+/// Entries are verified by structural path equality before reuse (see
+/// [`QueryKey`]), so sharing is sound even across unrelated programs.
+/// Hit/miss counters live in the shared cache: each per-path lookup is
+/// counted exactly once, no matter which analyzer issued it.
+#[derive(Clone, Default)]
+pub struct SharedQueryCache {
+    inner: Arc<QueryCache>,
+}
+
+impl SharedQueryCache {
+    /// A fresh, empty cache.
+    pub fn new() -> SharedQueryCache {
+        SharedQueryCache::default()
+    }
+
+    /// `(hits, misses)` accumulated by every analyzer attached to this
+    /// cache.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoised `(path, query, options)` results.
+    pub fn entry_count(&self) -> usize {
+        self.inner
+            .map
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Drops every memoised result and resets the counters. Affects
+    /// every analyzer sharing the cache; results are unaffected because
+    /// bounding is pure.
+    pub fn clear(&self) {
+        self.inner.map.lock().expect("cache poisoned").clear();
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A query whose parameters cannot denote a valid measurable set, caught
+/// at the [`Analyzer`] API boundary.
+///
+/// Raw endpoints arrive from CLIs, config files and remote requests;
+/// without this validation a `NaN` or inverted pair would reach
+/// `Interval::new` and panic deep inside the analysis — possibly
+/// unwinding a worker thread mid-pool. The `try_*` query methods reject
+/// such inputs up front with a typed, recoverable error.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// The endpoints do not form an interval (`NaN`, or `lo > hi`).
+    InvalidInterval {
+        /// Requested lower endpoint.
+        lo: f64,
+        /// Requested upper endpoint.
+        hi: f64,
+    },
+    /// A histogram domain must be bounded with positive width.
+    InvalidDomain {
+        /// Requested lower edge.
+        lo: f64,
+        /// Requested upper edge.
+        hi: f64,
+    },
+    /// A histogram needs at least one bin.
+    NoBins,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid query interval endpoints [{lo}, {hi}]")
+            }
+            QueryError::InvalidDomain { lo, hi } => write!(
+                f,
+                "histogram domain [{lo}, {hi}] must be bounded with positive width"
+            ),
+            QueryError::NoBins => write!(f, "histogram needs at least one bin"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validates raw query endpoints into an [`Interval`].
+fn valid_interval(lo: f64, hi: f64) -> Result<Interval, QueryError> {
+    Interval::try_new(lo, hi).ok_or(QueryError::InvalidInterval { lo, hi })
+}
+
+/// Structural path equality with an `Arc` pointer fast path.
+///
+/// Cache entries cloned from an analyzer's own path share every inner
+/// `Arc` with it, so a same-analyzer re-lookup short-circuits on
+/// pointer identity (O(#constraints + #scores) pointer compares) and
+/// only genuinely cross-analyzer hits pay the deep `SymVal` walk —
+/// important because the comparison runs under the cache mutex.
+fn same_path(a: &SymPath, b: &SymPath) -> bool {
+    let arc_eq = |x: &Arc<gubpi_symbolic::SymVal>, y: &Arc<gubpi_symbolic::SymVal>| {
+        Arc::ptr_eq(x, y) || x == y
+    };
+    a.n_samples == b.n_samples
+        && a.truncated == b.truncated
+        && a.constraints.len() == b.constraints.len()
+        && a.scores.len() == b.scores.len()
+        && arc_eq(&a.result, &b.result)
+        && a.constraints
+            .iter()
+            .zip(&b.constraints)
+            .all(|(x, y)| x.dir == y.dir && arc_eq(&x.value, &y.value))
+        && a.scores.iter().zip(&b.scores).all(|(x, y)| arc_eq(x, y))
 }
 
 /// A prepared analysis: program parsed, typed, symbolically executed.
@@ -75,7 +224,7 @@ pub struct Analyzer {
     paths: Vec<SymPath>,
     /// `paths[i].fingerprint()`, precomputed once for the memo cache.
     fingerprints: Vec<u64>,
-    cache: QueryCache,
+    cache: SharedQueryCache,
     opts: AnalysisOptions,
 }
 
@@ -90,15 +239,50 @@ impl Analyzer {
         Analyzer::from_program(program, opts)
     }
 
+    /// [`Analyzer::from_source`] attached to a [`SharedQueryCache`], so
+    /// repeated queries across analyzer instances reuse warm per-path
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexing, parsing and simple-type errors.
+    pub fn from_source_with_cache(
+        source: &str,
+        opts: AnalysisOptions,
+        cache: &SharedQueryCache,
+    ) -> Result<Analyzer, LangError> {
+        let program = parse(source)?;
+        Analyzer::from_program_with_cache(program, opts, cache)
+    }
+
     /// Analysis of an already-parsed program.
     ///
     /// # Errors
     ///
     /// Propagates simple-type errors.
     pub fn from_program(program: Program, opts: AnalysisOptions) -> Result<Analyzer, LangError> {
+        Analyzer::from_program_with_cache(program, opts, &SharedQueryCache::new())
+    }
+
+    /// [`Analyzer::from_program`] attached to a [`SharedQueryCache`].
+    ///
+    /// Symbolic execution shards its branch frontier over the worker
+    /// count resolved from `opts.threads` (the path set is identical for
+    /// every setting; see `gubpi_symbolic`'s docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simple-type errors.
+    pub fn from_program_with_cache(
+        program: Program,
+        opts: AnalysisOptions,
+        cache: &SharedQueryCache,
+    ) -> Result<Analyzer, LangError> {
         let simple = infer(&program)?;
         let typing = infer_interval_types(&program, &simple);
-        let paths = symbolic_paths(&program, &typing, opts.sym);
+        let mut sym = opts.sym;
+        sym.frontier_workers = opts.threads.worker_count(usize::MAX);
+        let paths = symbolic_paths(&program, &typing, sym);
         let fingerprints = paths.iter().map(SymPath::fingerprint).collect();
         Ok(Analyzer {
             program,
@@ -106,9 +290,15 @@ impl Analyzer {
             typing,
             paths,
             fingerprints,
-            cache: QueryCache::default(),
+            cache: cache.clone(),
             opts,
         })
+    }
+
+    /// The memo cache this analyzer reads and fills; hand the clone to
+    /// [`Analyzer::from_source_with_cache`] to share warm entries.
+    pub fn shared_cache(&self) -> SharedQueryCache {
+        self.cache.clone()
     }
 
     /// The analysed program.
@@ -136,20 +326,18 @@ impl Analyzer {
         self.paths.iter().filter(|p| linear_applicable(p)).count()
     }
 
-    /// `(hits, misses)` of the per-path query memo cache so far.
+    /// `(hits, misses)` of the per-path query memo cache so far. With a
+    /// shared cache the counters aggregate over every attached analyzer
+    /// (each per-path lookup is counted exactly once).
     pub fn cache_stats(&self) -> (u64, u64) {
-        (
-            self.cache.hits.load(Ordering::Relaxed),
-            self.cache.misses.load(Ordering::Relaxed),
-        )
+        self.cache.stats()
     }
 
     /// Drops every memoised per-path result (used by benchmarks to time
     /// cold queries; results are unaffected because bounding is pure).
+    /// With a shared cache this clears it for every attached analyzer.
     pub fn clear_cache(&self) {
-        self.cache.map.lock().expect("cache poisoned").clear();
-        self.cache.hits.store(0, Ordering::Relaxed);
-        self.cache.misses.store(0, Ordering::Relaxed);
+        self.cache.clear();
     }
 
     /// Guaranteed bounds on the **unnormalised** denotation `⟦P⟧(U)`
@@ -165,7 +353,6 @@ impl Analyzer {
         let method = self.opts.method;
         let key = |i: usize| -> QueryKey {
             (
-                i as u64,
                 self.fingerprints[i],
                 u.lo().to_bits(),
                 u.hi().to_bits(),
@@ -175,10 +362,19 @@ impl Analyzer {
         };
         // One lock for the whole lookup pass: cached results are read
         // out before dispatch, so workers never contend on the cache.
+        // Fingerprint hits are verified by structural path equality
+        // before reuse (the cache may be shared across analyzers).
         let cached: Vec<Option<(f64, f64)>> = {
-            let map = self.cache.map.lock().expect("cache poisoned");
+            let map = self.cache.inner.map.lock().expect("cache poisoned");
             (0..self.paths.len())
-                .map(|i| map.get(&key(i)).copied())
+                .map(|i| {
+                    map.get(&key(i)).and_then(|bucket| {
+                        bucket
+                            .iter()
+                            .find(|(p, _)| same_path(p, &self.paths[i]))
+                            .map(|&(_, v)| v)
+                    })
+                })
                 .collect()
         };
         let misses: Vec<(usize, &SymPath)> = cached
@@ -188,22 +384,42 @@ impl Analyzer {
             .map(|(i, _)| (i, &self.paths[i]))
             .collect();
         let hits = (self.paths.len() - misses.len()) as u64;
-        self.cache.hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache.inner.hits.fetch_add(hits, Ordering::Relaxed);
         self.cache
+            .inner
             .misses
             .fetch_add(misses.len() as u64, Ordering::Relaxed);
-        let computed = map_paths(self.opts.threads, &misses, |_, &(_, p)| match method {
-            Method::Auto => bound_path_query(p, u, bounds),
-            Method::Grid => {
-                let mut sink = SingleQuery::new(u);
-                bound_path_grid_only(p, bounds, &mut sink);
-                (sink.lo, sink.hi)
+        // Pick the parallelism grain: with fewer missing paths than
+        // would keep the pool busy, parallelise *inside* each path
+        // (grid cells / chunk combinations) instead of across paths.
+        // Either grain produces bit-identical bounds.
+        let threads = self.opts.threads;
+        let workers = threads.worker_count(usize::MAX);
+        let bound_one = |p: &SymPath, inner: Threads| -> (f64, f64) {
+            match method {
+                Method::Auto => bound_path_query_threaded(p, u, bounds, inner),
+                Method::Grid => {
+                    let mut sink = SingleQuery::new(u);
+                    bound_path_grid_only_threaded(p, bounds, inner, &mut sink);
+                    (sink.lo, sink.hi)
+                }
             }
-        });
+        };
+        let computed: Vec<(f64, f64)> = if workers > 1 && misses.len() < workers * 2 {
+            misses.iter().map(|&(_, p)| bound_one(p, threads)).collect()
+        } else {
+            map_paths(threads, &misses, |_, &(_, p)| bound_one(p, Threads::Off))
+        };
         {
-            let mut map = self.cache.map.lock().expect("cache poisoned");
+            let mut map = self.cache.inner.map.lock().expect("cache poisoned");
             for (&(i, _), &v) in misses.iter().zip(&computed) {
-                map.insert(key(i), v);
+                let bucket = map.entry(key(i)).or_default();
+                // A racing analyzer may have inserted the same path
+                // meanwhile; bounding is pure, so skipping the duplicate
+                // loses nothing.
+                if !bucket.iter().any(|(p, _)| same_path(p, &self.paths[i])) {
+                    bucket.push((self.paths[i].clone(), v));
+                }
             }
         }
         let mut per_path = cached;
@@ -277,14 +493,30 @@ impl Analyzer {
     pub fn histogram(&self, domain: Interval, bins: usize) -> HistogramBounds {
         let method = self.opts.method;
         let bounds = self.opts.bounds;
-        let partials = map_paths(self.opts.threads, &self.paths, |_i, p| {
-            let mut h = HistogramBounds::new(domain, bins);
-            match method {
-                Method::Auto => bound_path(p, bounds, &mut h),
-                Method::Grid => bound_path_grid_only(p, bounds, &mut h),
-            }
-            h
-        });
+        let threads = self.opts.threads;
+        let workers = threads.worker_count(usize::MAX);
+        let bound_into = |p: &SymPath, inner: Threads, h: &mut HistogramBounds| match method {
+            Method::Auto => bound_path_threaded(p, bounds, inner, h),
+            Method::Grid => bound_path_grid_only_threaded(p, bounds, inner, h),
+        };
+        // Same grain policy as the queries: few paths ⇒ parallelise the
+        // regions inside each path instead of across paths.
+        let partials: Vec<HistogramBounds> = if workers > 1 && self.paths.len() < workers * 2 {
+            self.paths
+                .iter()
+                .map(|p| {
+                    let mut h = HistogramBounds::new(domain, bins);
+                    bound_into(p, threads, &mut h);
+                    h
+                })
+                .collect()
+        } else {
+            map_paths(threads, &self.paths, |_i, p| {
+                let mut h = HistogramBounds::new(domain, bins);
+                bound_into(p, Threads::Off, &mut h);
+                h
+            })
+        };
         let mut h = HistogramBounds::new(domain, bins);
         for part in &partials {
             h.merge_from(part);
@@ -305,6 +537,75 @@ impl Analyzer {
         h.right_tail = self.denotation_bounds(Interval::new(domain.hi(), f64::INFINITY));
         h
     }
+
+    // ----------------------------------------------------------------
+    // Validated query API: raw endpoints in, typed errors out
+    // ----------------------------------------------------------------
+
+    /// [`Analyzer::denotation_bounds`] on raw endpoints, validating them
+    /// instead of panicking deep inside the analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidInterval`] when an endpoint is `NaN` or
+    /// `lo > hi`.
+    pub fn try_denotation_bounds(&self, lo: f64, hi: f64) -> Result<(f64, f64), QueryError> {
+        Ok(self.denotation_bounds(valid_interval(lo, hi)?))
+    }
+
+    /// [`Analyzer::posterior_probability`] on raw endpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidInterval`] when an endpoint is `NaN` or
+    /// `lo > hi`.
+    pub fn try_posterior_probability(&self, lo: f64, hi: f64) -> Result<(f64, f64), QueryError> {
+        Ok(self.posterior_probability(valid_interval(lo, hi)?))
+    }
+
+    /// [`Analyzer::histogram`] on raw domain edges, validating the
+    /// domain (bounded, positive width) and bin count.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidInterval`] for `NaN`/inverted endpoints,
+    /// [`QueryError::InvalidDomain`] for unbounded or zero-width
+    /// domains, [`QueryError::NoBins`] for `bins == 0`.
+    pub fn try_histogram(
+        &self,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<HistogramBounds, QueryError> {
+        Ok(self.histogram(valid_domain(lo, hi, bins)?, bins))
+    }
+
+    /// [`Analyzer::histogram_exact`] on raw domain edges; same
+    /// validation as [`Analyzer::try_histogram`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::try_histogram`].
+    pub fn try_histogram_exact(
+        &self,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<HistogramBounds, QueryError> {
+        Ok(self.histogram_exact(valid_domain(lo, hi, bins)?, bins))
+    }
+}
+
+/// Validates raw histogram parameters.
+fn valid_domain(lo: f64, hi: f64, bins: usize) -> Result<Interval, QueryError> {
+    let domain = valid_interval(lo, hi)?;
+    if !domain.is_finite() || domain.width() <= 0.0 {
+        return Err(QueryError::InvalidDomain { lo, hi });
+    }
+    if bins == 0 {
+        return Err(QueryError::NoBins);
+    }
+    Ok(domain)
 }
 
 #[cfg(test)]
@@ -471,6 +772,55 @@ mod tests {
         assert_eq!(a.denotation_bounds_with(u, fine), f1);
         let (hits, _) = a.cache_stats();
         assert_eq!(hits, 2 * a.paths().len() as u64);
+    }
+
+    #[test]
+    fn invalid_query_endpoints_yield_typed_errors() {
+        let a = analyzer("sample");
+        assert_eq!(
+            a.try_denotation_bounds(1.0, 0.0),
+            Err(QueryError::InvalidInterval { lo: 1.0, hi: 0.0 })
+        );
+        assert!(matches!(
+            a.try_denotation_bounds(f64::NAN, 1.0),
+            Err(QueryError::InvalidInterval { .. })
+        ));
+        assert!(matches!(
+            a.try_posterior_probability(0.5, f64::NAN),
+            Err(QueryError::InvalidInterval { .. })
+        ));
+        assert!(matches!(
+            a.try_histogram(0.0, f64::INFINITY, 4),
+            Err(QueryError::InvalidDomain { .. })
+        ));
+        assert!(matches!(
+            a.try_histogram(0.5, 0.5, 4),
+            Err(QueryError::InvalidDomain { .. })
+        ));
+        assert_eq!(a.try_histogram(0.0, 1.0, 0).err(), Some(QueryError::NoBins));
+        assert!(matches!(
+            a.try_histogram_exact(2.0, 1.0, 4),
+            Err(QueryError::InvalidInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_raw_endpoints_match_the_interval_api() {
+        let a = analyzer("let x = sample in score(x); x");
+        let u = Interval::new(0.25, 0.75);
+        assert_eq!(
+            a.try_denotation_bounds(0.25, 0.75),
+            Ok(a.denotation_bounds(u))
+        );
+        assert_eq!(
+            a.try_posterior_probability(0.25, 0.75),
+            Ok(a.posterior_probability(u))
+        );
+        let h = a.try_histogram(0.0, 1.0, 4).unwrap();
+        let href = a.histogram(Interval::new(0.0, 1.0), 4);
+        for i in 0..4 {
+            assert_eq!(h.unnormalized(i), href.unnormalized(i));
+        }
     }
 
     #[test]

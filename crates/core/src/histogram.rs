@@ -89,9 +89,12 @@ impl HistogramBounds {
     }
 
     /// Accumulates another histogram's bounds into this one (bin by bin,
-    /// plus tails). The parallel engine's reduce step: per-path partial
-    /// histograms are merged **in path order**, fixing the float
-    /// summation order independently of the thread count.
+    /// plus tails). The parallel engine's path-level reduce step:
+    /// per-path partial histograms are merged **in path order**, fixing
+    /// the float summation order independently of the thread count.
+    /// (Region-level parallelism *inside* one path needs no histogram
+    /// machinery: buffered region contributions are replayed into the
+    /// sink in index order — see `gubpi_core::pathbounds`.)
     ///
     /// # Panics
     ///

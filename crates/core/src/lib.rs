@@ -44,11 +44,12 @@ pub mod parallel;
 mod pathbounds;
 mod report;
 
-pub use analyze::{AnalysisOptions, Analyzer, Method};
+pub use analyze::{AnalysisOptions, Analyzer, Method, QueryError, SharedQueryCache};
 pub use histogram::{HistogramBounds, NormalizedBin};
 pub use parallel::Threads;
 pub use pathbounds::{
-    bound_path, bound_path_grid_only, bound_path_query, linear_applicable, BoundSink,
-    PathBoundOptions, SingleQuery,
+    bound_path, bound_path_grid_only, bound_path_grid_only_threaded, bound_path_query,
+    bound_path_query_threaded, bound_path_threaded, grid_splits, linear_applicable, BoundSink,
+    PathBoundOptions, Region, SingleQuery,
 };
 pub use report::render_histogram;

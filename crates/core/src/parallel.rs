@@ -1,24 +1,31 @@
-//! Parallel per-path bounding (the scaling half of Algorithm 1).
+//! Parallel bounding engine (the scaling half of Algorithm 1).
 //!
-//! After symbolic execution the algorithm is embarrassingly parallel:
-//! each `SymPath` is bounded independently and the per-path results are
-//! summed. This module provides the worker pool that exploits that —
-//! scoped `std::thread` workers claiming chunks of the path set from a
-//! shared atomic queue (chunked work-stealing; no external deps, per the
-//! offline `vendor/` policy) — together with the [`Threads`] knob that
-//! selects the degree of parallelism.
+//! After symbolic execution the algorithm is embarrassingly parallel at
+//! two granularities: *across* paths (each `SymPath` is bounded
+//! independently and the per-path results are summed) and *within* one
+//! path (the §6.3 grid cells and §6.4 chunk combinations are
+//! independent regions of one index space). This module provides the
+//! worker pool that exploits both — scoped `std::thread` workers
+//! claiming chunks of a job set from a shared atomic queue (chunked
+//! work-stealing; no external deps, per the offline `vendor/` policy) —
+//! via [`map_paths`] (one result per item) and [`map_ranges`] (one
+//! partial result per contiguous index range), together with the
+//! [`Threads`] knob that selects the degree of parallelism.
 //!
 //! # Determinism guarantee
 //!
 //! Guaranteed bounds must not depend on the thread count, so the engine
 //! never reduces in completion order: [`map_paths`] returns one result
-//! *per path, in path order*, and every caller folds that vector
-//! sequentially. Per-path computations are pure, so the floating-point
-//! summation order — and therefore every reported bound, bit for bit —
-//! is identical under [`Threads::Off`], [`Threads::Fixed`] and
-//! [`Threads::Auto`]. The `tests/parallel_determinism.rs` suite holds
-//! this line.
+//! *per path, in path order*, [`map_ranges`] returns one partial *per
+//! range, in index order* (and the range decomposition itself is a pure
+//! function of the index-space size), and every caller folds those
+//! vectors sequentially. Per-path and per-region computations are pure,
+//! so the floating-point summation order — and therefore every reported
+//! bound, bit for bit — is identical under [`Threads::Off`],
+//! [`Threads::Fixed`] and [`Threads::Auto`]. The
+//! `tests/parallel_determinism.rs` suite holds this line.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Degree of parallelism for per-path bounding.
@@ -41,12 +48,24 @@ pub enum Threads {
 
 impl Threads {
     /// Parses a `GUBPI_THREADS`-style string (`"off"`, `"auto"`, or a
-    /// worker count).
+    /// **positive** worker count).
+    ///
+    /// `"0"` is rejected rather than parsed as `Fixed(0)`: `Fixed(0)`
+    /// silently clamps to one worker, so accepting it would make
+    /// `GUBPI_THREADS=0` (or `repro --threads 0`) run sequentially while
+    /// looking like a valid parallel setting. The CLI surfaces the
+    /// `None` as an explicit error; the `GUBPI_THREADS` fallback inside
+    /// [`Threads::worker_count`] degrades invalid values to sequential
+    /// (never to full fan-out). Spell sequential as `off`.
     pub fn parse(s: &str) -> Option<Threads> {
         match s.trim().to_ascii_lowercase().as_str() {
             "off" | "seq" | "sequential" => Some(Threads::Off),
             "auto" | "" => Some(Threads::Auto),
-            n => n.parse::<usize>().ok().map(Threads::Fixed),
+            n => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(Threads::Fixed),
         }
     }
 
@@ -57,9 +76,14 @@ impl Threads {
             Threads::Fixed(n) => n.max(1),
             Threads::Auto => match std::env::var("GUBPI_THREADS") {
                 Ok(v) => match Threads::parse(&v) {
-                    Some(Threads::Auto) | None => hardware_threads(),
+                    Some(Threads::Auto) => hardware_threads(),
                     Some(Threads::Off) => 1,
                     Some(Threads::Fixed(n)) => n.max(1),
+                    // An explicitly set but invalid GUBPI_THREADS
+                    // (including "0") must not silently fan out to every
+                    // core: degrade to sequential, the conservative
+                    // reading of "the user tried to restrict threading".
+                    None => 1,
                 },
                 Err(_) => hardware_threads(),
             },
@@ -139,6 +163,45 @@ where
         .collect()
 }
 
+/// Splits the index space `0..total` into contiguous ranges and applies
+/// `f` to every range, returning the partial results **in index order**
+/// regardless of which worker computed what.
+///
+/// This is the region-level (intra-path) counterpart of [`map_paths`]:
+/// `bound_grid`'s cell space and `bound_linear`'s chunk-combination
+/// space are flat index spaces whose per-index work is pure, so a
+/// caller can compute one partial sink per range and replay the
+/// partials in range order — the concatenation visits every index in
+/// `0..total` order, making the reduce bit-identical to a sequential
+/// sweep for every thread count.
+///
+/// The range decomposition depends only on `total` and the resolved
+/// worker count — never on scheduling — and a resolved worker count of
+/// 1 degrades to a single `f(0..total)` call on the calling thread.
+pub fn map_ranges<R, F>(threads: Threads, total: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let workers = threads.worker_count(total);
+    if workers <= 1 || total <= 1 {
+        return vec![f(0..total)];
+    }
+    // ~4 ranges per worker keeps the load balanced when per-region costs
+    // are skewed (feasibility pruning makes some ranges near-free).
+    let n_ranges = (workers * 4).min(total);
+    let base = total / n_ranges;
+    let rem = total % n_ranges;
+    let mut ranges = Vec::with_capacity(n_ranges);
+    let mut start = 0;
+    for i in 0..n_ranges {
+        let len = base + usize::from(i < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    map_paths(threads, &ranges, |_, r| f(r.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +242,41 @@ mod tests {
         assert_eq!(Threads::parse("4"), Some(Threads::Fixed(4)));
         assert_eq!(Threads::parse(" 2 "), Some(Threads::Fixed(2)));
         assert_eq!(Threads::parse("bogus"), None);
+    }
+
+    #[test]
+    fn parse_rejects_zero_workers() {
+        // Regression: "0" used to parse as Fixed(0), which worker_count
+        // silently clamps to 1 — a parallel-looking setting that ran
+        // sequentially. Zero must be an error; sequential is "off".
+        assert_eq!(Threads::parse("0"), None);
+        assert_eq!(Threads::parse(" 0 "), None);
+        assert_eq!(Threads::parse("00"), None);
+    }
+
+    #[test]
+    fn map_ranges_covers_the_index_space_in_order() {
+        for total in [0usize, 1, 2, 7, 64, 1000] {
+            for threads in [Threads::Off, Threads::Fixed(1), Threads::Fixed(3)] {
+                let partials = map_ranges(threads, total, |r| r.collect::<Vec<usize>>());
+                let flat: Vec<usize> = partials.into_iter().flatten().collect();
+                assert_eq!(
+                    flat,
+                    (0..total).collect::<Vec<usize>>(),
+                    "total={total}, {threads:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_ranges_decomposition_is_a_pure_function_of_total() {
+        // Same thread setting ⇒ same ranges; and the *concatenation* is
+        // independent of the setting (that is what the determinism
+        // guarantee reduces over).
+        let a = map_ranges(Threads::Fixed(4), 103, |r| vec![r]);
+        let b = map_ranges(Threads::Fixed(4), 103, |r| vec![r]);
+        assert_eq!(a, b);
     }
 
     #[test]

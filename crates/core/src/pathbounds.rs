@@ -1,8 +1,22 @@
-//! Bounding the denotation of one symbolic interval path (§6.3–6.4).
+//! Bounding the denotation of one symbolic interval path (§6.3–6.4),
+//! sequentially or region-parallel.
+//!
+//! The hard models (pedestrian, random walks) are dominated by a few
+//! deep paths, so per-path parallelism alone leaves workers idle. The
+//! `*_threaded` entry points split the work *inside* one path — the
+//! §6.3 grid's n-dimensional cell space and the §6.4 chunk-combination
+//! product are flat index spaces of pure region computations — across
+//! the worker pool via [`crate::parallel::map_ranges`]: each range
+//! produces a buffered list of region contributions which are replayed
+//! into the caller's sink in index order, so the sink sees exactly the
+//! sequential call sequence and every bound stays bit-identical across
+//! thread counts.
 
 use gubpi_interval::{BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
 use gubpi_symbolic::SymPath;
+
+use crate::parallel::{map_ranges, Threads};
 
 /// Where per-region contributions are accumulated.
 ///
@@ -49,6 +63,18 @@ impl BoundSink for SingleQuery {
     }
 }
 
+/// One buffered region contribution `(value_range, lo_mass, hi_mass)`.
+///
+/// The region-parallel engine records these per index range and replays
+/// them into the real sink in index order.
+pub type Region = (Interval, f64, f64);
+
+impl BoundSink for Vec<Region> {
+    fn add(&mut self, value_range: Interval, lo_mass: f64, hi_mass: f64) {
+        self.push((value_range, lo_mass, hi_mass));
+    }
+}
+
 /// Options for per-path bound computation.
 ///
 /// `Eq`/`Hash` are derived so the analyzer's memo cache can key on the
@@ -59,7 +85,8 @@ pub struct PathBoundOptions {
     /// chunks", §6.4) and per grid dimension (§6.3).
     pub splits: usize,
     /// Upper bound on the total number of regions per path; the grid
-    /// semantics reduces per-dimension splits to stay below it.
+    /// semantics (§6.3) reduces per-dimension splits and the linear
+    /// semantics (§6.4) reduces per-expression chunks to stay below it.
     pub region_budget: usize,
     /// Number of linear expressions boxed simultaneously (Cartesian
     /// product of chunks); beyond this, extra expressions are bounded by
@@ -95,6 +122,18 @@ impl Default for PathBoundOptions {
 /// (the 𝔓_lb / 𝔓_ub of §6.4), which avoids any boundary slack: the
 /// membership test becomes part of the volume computation.
 pub fn bound_path_query(path: &SymPath, u: Interval, opts: PathBoundOptions) -> (f64, f64) {
+    bound_path_query_threaded(path, u, opts, Threads::Off)
+}
+
+/// [`bound_path_query`] with the path's regions (grid cells / chunk
+/// combinations) bounded on `threads` workers. Bit-identical to the
+/// sequential result for every `threads` value.
+pub fn bound_path_query_threaded(
+    path: &SymPath,
+    u: Interval,
+    opts: PathBoundOptions,
+    threads: Threads,
+) -> (f64, f64) {
     if path.n_samples == 0 {
         let mut sink = SingleQuery::new(u);
         bound_sampleless(path, &mut sink);
@@ -103,14 +142,20 @@ pub fn bound_path_query(path: &SymPath, u: Interval, opts: PathBoundOptions) -> 
     if linear_applicable(path) {
         let mut lo = 0.0;
         let mut hi = 0.0;
-        bound_linear(path, opts, ResultMode::Query(u), &mut |_vr, l, h| {
-            lo += l;
-            hi += h;
-        });
+        bound_linear(
+            path,
+            opts,
+            ResultMode::Query(u),
+            threads,
+            &mut |_vr, l, h| {
+                lo += l;
+                hi += h;
+            },
+        );
         (lo, hi)
     } else {
         let mut sink = SingleQuery::new(u);
-        bound_grid(path, opts, &mut sink);
+        bound_grid(path, opts, threads, &mut sink);
         (sink.lo, sink.hi)
     }
 }
@@ -121,26 +166,48 @@ pub fn bound_path_query(path: &SymPath, u: Interval, opts: PathBoundOptions) -> 
 /// result are interval-linear (§6.4), otherwise to the standard grid
 /// semantics (§6.3).
 pub fn bound_path(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
+    bound_path_threaded(path, opts, Threads::Off, sink);
+}
+
+/// [`bound_path`] with region-level parallelism; the sink receives the
+/// region contributions in the sequential order regardless of the
+/// thread count.
+pub fn bound_path_threaded(
+    path: &SymPath,
+    opts: PathBoundOptions,
+    threads: Threads,
+    sink: &mut impl BoundSink,
+) {
     if path.n_samples == 0 {
         bound_sampleless(path, sink);
         return;
     }
     if linear_applicable(path) {
-        bound_linear(path, opts, ResultMode::Boxed, &mut |vr, l, h| {
+        bound_linear(path, opts, ResultMode::Boxed, threads, &mut |vr, l, h| {
             sink.add(vr, l, h)
         });
     } else {
-        bound_grid(path, opts, sink);
+        bound_grid(path, opts, threads, sink);
     }
 }
 
 /// Like [`bound_path`] but always uses the grid semantics — the §6.3 vs
 /// §6.4 ablation baseline.
 pub fn bound_path_grid_only(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
+    bound_path_grid_only_threaded(path, opts, Threads::Off, sink);
+}
+
+/// [`bound_path_grid_only`] with region-level parallelism.
+pub fn bound_path_grid_only_threaded(
+    path: &SymPath,
+    opts: PathBoundOptions,
+    threads: Threads,
+    sink: &mut impl BoundSink,
+) {
     if path.n_samples == 0 {
         bound_sampleless(path, sink);
     } else {
-        bound_grid(path, opts, sink);
+        bound_grid(path, opts, threads, sink);
     }
 }
 
@@ -171,33 +238,106 @@ fn bound_sampleless(path: &SymPath, sink: &mut impl BoundSink) {
 // Standard interval trace semantics on a path (§6.3)
 // --------------------------------------------------------------------
 
+/// The per-dimension split count for an `n`-dimensional grid under a
+/// region budget: the largest `k ≤ splits` with `k == 1` or
+/// `k^n ≤ budget`, decided in **exact integer arithmetic**.
+///
+/// Invariants (regression-tested at the budget boundary): the result is
+/// always ≥ 1, and whenever it exceeds 1 its `n`-th power fits the
+/// budget exactly — the old `f64::powi` comparison could misclassify
+/// `k^n` near the boundary once the power left the 2⁵³ exact-integer
+/// range.
+pub fn grid_splits(splits: usize, n: usize, budget: usize) -> usize {
+    let fits = |k: usize| -> bool {
+        let mut acc: u128 = 1;
+        for _ in 0..n {
+            acc = acc.saturating_mul(k as u128);
+            if acc > budget as u128 {
+                return false;
+            }
+        }
+        true
+    };
+    let splits = splits.max(1);
+    if fits(splits) {
+        return splits;
+    }
+    // Binary search the largest fitting k in [1, splits); `fits` is
+    // monotone in k, and fits(1) always holds.
+    let (mut lo, mut hi) = (1usize, splits);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 /// Grid splitting of `[0,1]^n`: every cell is checked against `Δ`
 /// (∀ for the lower, ∃ for the upper bound), weighted by the interval
 /// product of `Ξ`, and reported with the result range.
-fn bound_grid(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
+///
+/// Cells are indexed linearly (dimension 0 fastest) so the index space
+/// can be carved into contiguous ranges for the worker pool; partial
+/// buffers are replayed in range order, reproducing the sequential
+/// `sink.add` sequence bit for bit.
+fn bound_grid(path: &SymPath, opts: PathBoundOptions, threads: Threads, sink: &mut impl BoundSink) {
     let n = path.n_samples;
-    // Choose per-dimension splits within the region budget.
-    let mut k = opts.splits.max(1);
-    while k > 1 && (k as f64).powi(n as i32) > opts.region_budget as f64 {
-        k -= 1;
-    }
-    let mut idx = vec![0usize; n];
+    let k = grid_splits(opts.splits, n, opts.region_budget);
     let cell_edges: Vec<Vec<Interval>> = (0..n).map(|_| Interval::UNIT.split(k)).collect();
-    'outer: loop {
-        let cell: BoxN = idx
-            .iter()
-            .enumerate()
-            .map(|(d, &i)| cell_edges[d][i])
-            .collect();
-        process_region(path, &cell, sink);
-        for slot in idx.iter_mut() {
-            *slot += 1;
-            if *slot < k {
-                continue 'outer;
+    // k^n ≤ region_budget ≤ usize::MAX whenever k > 1, and 1 otherwise.
+    let total = k.pow(n as u32);
+    let cell_at = |mut ci: usize| -> BoxN {
+        (0..n)
+            .map(|d| {
+                let i = ci % k;
+                ci /= k;
+                cell_edges[d][i]
+            })
+            .collect()
+    };
+    sweep_regions(
+        threads,
+        total,
+        |ci, buf| process_region(path, &cell_at(ci), buf),
+        &mut |v, lo, hi| sink.add(v, lo, hi),
+    );
+}
+
+/// Shared scaffolding of the region-parallel sweeps: runs the pure
+/// `process(index, buffer)` for every index in `0..total` — on the
+/// calling thread when one worker resolves, otherwise via
+/// [`map_ranges`] — and forwards the buffered region triples to `emit`
+/// **in index order** either way, so callers observe the sequential
+/// emit sequence bit for bit regardless of the thread count.
+fn sweep_regions(
+    threads: Threads,
+    total: usize,
+    process: impl Fn(usize, &mut Vec<Region>) + Sync,
+    emit: &mut impl FnMut(Interval, f64, f64),
+) {
+    if threads.worker_count(total) <= 1 {
+        let mut buf: Vec<Region> = Vec::new();
+        for ci in 0..total {
+            process(ci, &mut buf);
+            for (v, lo, hi) in buf.drain(..) {
+                emit(v, lo, hi);
             }
-            *slot = 0;
         }
-        break;
+        return;
+    }
+    let partials = map_ranges(threads, total, |range| {
+        let mut buf: Vec<Region> = Vec::new();
+        for ci in range {
+            process(ci, &mut buf);
+        }
+        buf
+    });
+    for (v, lo, hi) in partials.into_iter().flatten() {
+        emit(v, lo, hi);
     }
 }
 
@@ -231,6 +371,7 @@ fn bound_linear(
     path: &SymPath,
     opts: PathBoundOptions,
     mode: ResultMode,
+    threads: Threads,
     emit: &mut impl FnMut(Interval, f64, f64),
 ) {
     let n = path.n_samples;
@@ -355,6 +496,13 @@ fn bound_linear(
     }
 
     // Ranges of the boxed expressions over 𝔓_ub, split into chunks.
+    // The per-expression chunk count honours the region budget exactly
+    // like the grid does: `region_budget` is documented as the cap on
+    // regions *per path*, and bounding it here also keeps the linear
+    // combination count below `usize::MAX` — a raw `splits^boxed`
+    // product could overflow the flat index space and silently skip
+    // combinations, i.e. report unsound upper bounds.
+    let per_expr_chunks = grid_splits(opts.splits, boxed.len(), opts.region_budget);
     let mut chunkings: Vec<Vec<Interval>> = Vec::new();
     for lin in &boxed {
         let range = match p_ub.range_of(lin) {
@@ -364,7 +512,7 @@ fn bound_linear(
         if range.width() == 0.0 {
             chunkings.push(vec![range]);
         } else {
-            chunkings.push(range.split(opts.splits.max(1)));
+            chunkings.push(range.split(per_expr_chunks));
         }
     }
 
@@ -374,13 +522,22 @@ fn bound_linear(
         opts.exact_dim_cap
     };
 
-    // Cartesian iteration over chunk combinations.
-    let mut idx = vec![0usize; boxed.len()];
-    loop {
-        let chunks: Vec<Interval> = idx
+    // Cartesian sweep over chunk combinations, addressed by a linear
+    // mixed-radix index (expression 0 fastest) so the combination space
+    // can be range-partitioned across workers. Each combination's work
+    // is pure; per-range buffers replayed in range order reproduce the
+    // sequential emit sequence exactly. The product cannot overflow:
+    // every chunking has ≤ per_expr_chunks entries, whose boxed-count
+    // power grid_splits bounded by the region budget.
+    let total: usize = chunkings.iter().map(Vec::len).product();
+    let eval_combo = |mut ci: usize, buf: &mut Vec<Region>| {
+        let chunks: Vec<Interval> = chunkings
             .iter()
-            .enumerate()
-            .map(|(i, &j)| chunkings[i][j])
+            .map(|chunking| {
+                let j = ci % chunking.len();
+                ci /= chunking.len();
+                chunking[j]
+            })
             .collect();
 
         // Clip both polytopes to the chunks.
@@ -400,9 +557,6 @@ fn bound_linear(
         // boxed expressions co-vary, so the Cartesian grid is sparse);
         // q_lb ⊆ q_ub, so an empty q_ub kills both volumes.
         if q_ub.is_empty() {
-            if advance(&mut idx, &chunkings) {
-                continue;
-            }
             return;
         }
         let (vol_lb, _) = q_lb.volume_range(exact_cap, opts.volume_budget);
@@ -432,30 +586,11 @@ fn bound_linear(
             };
             let lo_mass = if const_in_lo { vol_lb * w.lo() } else { 0.0 };
             let hi_mass = if const_in_hi { vol_ub * w.hi() } else { 0.0 };
-            emit(value_range, lo_mass, hi_mass);
+            buf.push((value_range, lo_mass, hi_mass));
         }
+    };
 
-        if !advance(&mut idx, &chunkings) {
-            return;
-        }
-    }
-}
-
-/// Advances a mixed-radix index vector; `false` when iteration is done.
-#[allow(clippy::needless_range_loop)]
-fn advance(idx: &mut [usize], chunkings: &[Vec<Interval>]) -> bool {
-    let mut d = 0;
-    loop {
-        if d == idx.len() {
-            return false;
-        }
-        idx[d] += 1;
-        if idx[d] < chunkings[d].len() {
-            return true;
-        }
-        idx[d] = 0;
-        d += 1;
-    }
+    sweep_regions(threads, total, eval_combo, emit);
 }
 
 #[cfg(test)]
@@ -584,6 +719,125 @@ mod tests {
         );
         assert!(lo <= 0.28125 && 0.28125 <= hi, "[{lo}, {hi}]");
         assert!(hi - lo < 0.1);
+    }
+
+    #[test]
+    fn grid_splits_is_exact_at_the_budget_boundary() {
+        // k^n exactly equal to the budget must be kept ...
+        assert_eq!(grid_splits(10, 2, 100), 10);
+        assert_eq!(grid_splits(7, 3, 343), 7);
+        assert_eq!(grid_splits(32, 1, 32), 32);
+        // ... and one below the boundary must drop k.
+        assert_eq!(grid_splits(10, 2, 99), 9);
+        assert_eq!(grid_splits(7, 3, 342), 6);
+        assert_eq!(grid_splits(32, 1, 31), 31);
+        // The budget only ever *reduces* the requested splits.
+        assert_eq!(grid_splits(4, 2, 1_000_000), 4);
+        // k ≥ 1 for every n, even when k = 1 still overshoots the budget.
+        assert_eq!(grid_splits(1, 5, 1), 1);
+        assert_eq!(grid_splits(0, 3, 0), 1);
+        assert_eq!(grid_splits(1000, 64, 1), 1);
+        // Powers beyond u128 saturate instead of wrapping.
+        assert_eq!(grid_splits(2, 200, usize::MAX), 1);
+        // Near the 2^53 f64-exactness cliff the integer check stays
+        // exact: 94906266² = 9007199326062756 > 2^53, and its f64
+        // rounding hides the difference from a one-off budget.
+        let k = 94_906_266usize;
+        assert_eq!(grid_splits(k, 2, k * k), k);
+        assert_eq!(grid_splits(k, 2, k * k - 1), k - 1);
+    }
+
+    #[test]
+    fn grid_splits_invariants_hold_for_every_n() {
+        for n in 1..=12usize {
+            for budget in [1usize, 2, 63, 64, 65, 4095, 4096, 100_000] {
+                let k = grid_splits(32, n, budget);
+                assert!(k >= 1, "n={n} budget={budget}");
+                if k > 1 {
+                    let pow = (k as u128).checked_pow(n as u32).expect("small");
+                    assert!(pow <= budget as u128, "n={n} budget={budget} k={k}");
+                    // Maximality: k+1 (when allowed by splits) overshoots.
+                    if k < 32 {
+                        let next = ((k + 1) as u128).saturating_pow(n as u32);
+                        assert!(next > budget as u128, "n={n} budget={budget} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_parallel_grid_is_bit_identical() {
+        // Non-linear path: 3-sample grid, 8³ = 512 cells.
+        let src = "let x = sample in let y = sample in
+                   if x * y <= 0.25 then sample else 2";
+        let opts = PathBoundOptions {
+            splits: 8,
+            ..Default::default()
+        };
+        for p in paths(src).iter().filter(|p| !linear_applicable(p)) {
+            let mut seq: Vec<Region> = Vec::new();
+            bound_path_threaded(p, opts, Threads::Off, &mut seq);
+            for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Fixed(16)] {
+                let mut par: Vec<Region> = Vec::new();
+                bound_path_threaded(p, opts, threads, &mut par);
+                assert_eq!(seq.len(), par.len());
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "lower mass bits");
+                    assert_eq!(a.2.to_bits(), b.2.to_bits(), "upper mass bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_split_requests_stay_within_the_region_budget() {
+        // Regression: splits^boxed used to be computed as a raw usize
+        // product, so absurd-but-reachable options (splits = 2^16 with
+        // two boxed expressions = 2^32 combos; worse with more) could
+        // overflow the flat index space and silently skip combinations —
+        // unsound upper bounds. The budget now caps the chunk count, so
+        // the sweep stays finite and the bounds stay sound.
+        let src = "let x = sample in let y = sample in score(x + y); score(2 - x); x + y";
+        let opts = PathBoundOptions {
+            splits: 1 << 16,
+            region_budget: 4_096,
+            ..Default::default()
+        };
+        // ⟦P⟧([0, 1]) = ∫∫_{x+y ≤ 1} (x+y)(2−x) over the unit square plus
+        // the [1, 2] part clipped to U = [0, 1]: just require soundness
+        // via a Monte-Carlo-free sanity envelope and finite runtime.
+        let (lo, hi) = query(src, Interval::new(0.0, 2.0), opts);
+        // Total mass: ∫₀¹∫₀¹ (x+y)(2−x) dx dy = 4/3 − 1/6 − ... compute:
+        // ∫(x+y)(2−x) = ∫ 2x − x² + 2y − xy dx over [0,1] = 1 − 1/3 + 2y − y/2
+        // ⇒ ∫₀¹ (2/3 + 3y/2) dy = 2/3 + 3/4 = 17/12 ≈ 1.41667.
+        let truth = 17.0 / 12.0;
+        assert!(
+            lo <= truth + 1e-9 && truth <= hi + 1e-9,
+            "truth {truth} outside [{lo}, {hi}]"
+        );
+        assert!(hi - lo < 0.5, "budgeted chunks must stay informative");
+    }
+
+    #[test]
+    fn region_parallel_linear_is_bit_identical() {
+        // Linear path with two boxed score expressions: splits² combos.
+        let src = "let x = sample in let y = sample in
+                   score(x + y); score(2 - x); x + y";
+        let opts = PathBoundOptions {
+            splits: 16,
+            ..Default::default()
+        };
+        for p in &paths(src) {
+            assert!(linear_applicable(p));
+            let seq = bound_path_query_threaded(p, Interval::UNIT, opts, Threads::Off);
+            for threads in [Threads::Fixed(2), Threads::Fixed(4)] {
+                let par = bound_path_query_threaded(p, Interval::UNIT, opts, threads);
+                assert_eq!(seq.0.to_bits(), par.0.to_bits());
+                assert_eq!(seq.1.to_bits(), par.1.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -14,12 +14,12 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::prim::PrimOp;
 
 /// An interned variable name.
-pub type Name = Rc<str>;
+pub type Name = Arc<str>;
 
 /// A unique identifier for every AST node, assigned by the [`AstBuilder`].
 ///
@@ -219,7 +219,7 @@ impl AstBuilder {
     pub fn fresh_name(&mut self, hint: &str) -> Name {
         let n = self.next_fresh;
         self.next_fresh += 1;
-        Rc::from(format!("${hint}{n}").as_str())
+        Arc::from(format!("${hint}{n}").as_str())
     }
 
     /// Number of node ids allocated so far.
@@ -265,8 +265,8 @@ mod tests {
     #[test]
     fn free_vars_respect_binders() {
         let mut bld = b();
-        let x: Name = Rc::from("x");
-        let y: Name = Rc::from("y");
+        let x: Name = Arc::from("x");
+        let y: Name = Arc::from("y");
         // λx. x + y
         let body = {
             let vx = bld.mk(ExprKind::Var(x.clone()), Span::default());
@@ -282,8 +282,8 @@ mod tests {
     #[test]
     fn fix_binds_both_names() {
         let mut bld = b();
-        let f: Name = Rc::from("f");
-        let x: Name = Rc::from("x");
+        let f: Name = Arc::from("f");
+        let x: Name = Arc::from("x");
         let body = {
             let vf = bld.mk(ExprKind::Var(f.clone()), Span::default());
             let vx = bld.mk(ExprKind::Var(x.clone()), Span::default());
@@ -307,7 +307,7 @@ mod tests {
     #[test]
     fn mk_let_desugars_to_application() {
         let mut bld = b();
-        let x: Name = Rc::from("x");
+        let x: Name = Arc::from("x");
         let one = bld.mk_const(1.0, Span::default());
         let body = bld.mk(ExprKind::Var(x.clone()), Span::default());
         let e = bld.mk_let(x, one, body, Span::default());

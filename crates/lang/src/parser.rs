@@ -35,7 +35,7 @@
 //! | `flip(p)` / `bern(p)`        | `if(sample − p, 1, 0)`                    |
 //! | `fail`                       | `score(0)`                                |
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{AstBuilder, Expr, ExprKind, Name, Program, Span};
 use crate::error::{LangError, Phase};
@@ -124,7 +124,7 @@ impl Parser {
             TokenKind::Ident(s) => {
                 let sp = self.span();
                 self.bump();
-                Ok((Rc::from(s.as_str()), sp))
+                Ok((Arc::from(s.as_str()), sp))
             }
             other => Err(LangError::new(
                 Phase::Parse,

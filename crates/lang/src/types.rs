@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Expr, ExprKind, Name, NodeId, Program, Span};
 use crate::error::{LangError, Phase};
@@ -21,7 +21,7 @@ pub enum SimpleTy {
     /// The ground type of reals.
     Real,
     /// A function type.
-    Fun(Rc<SimpleTy>, Rc<SimpleTy>),
+    Fun(Arc<SimpleTy>, Arc<SimpleTy>),
 }
 
 impl SimpleTy {
@@ -210,7 +210,9 @@ impl Infer {
         let r = self.find(i);
         match self.term[r as usize].clone() {
             TyTerm::Var | TyTerm::Real => SimpleTy::Real,
-            TyTerm::Fun(a, b) => SimpleTy::Fun(Rc::new(self.resolve(a)), Rc::new(self.resolve(b))),
+            TyTerm::Fun(a, b) => {
+                SimpleTy::Fun(Arc::new(self.resolve(a)), Arc::new(self.resolve(b)))
+            }
         }
     }
 }
@@ -342,7 +344,7 @@ mod tests {
         let tm = infer(&p).unwrap();
         assert!(tm.ty(p.root.id).is_real());
         // Some node must have type R -> R (the function f).
-        let fun = SimpleTy::Fun(Rc::new(SimpleTy::Real), Rc::new(SimpleTy::Real));
+        let fun = SimpleTy::Fun(Arc::new(SimpleTy::Real), Arc::new(SimpleTy::Real));
         let mut found = false;
         p.root.walk(&mut |e| {
             if tm.get(e.id) == Some(&fun) {
@@ -366,15 +368,15 @@ mod tests {
         let p = parse("let twice f x = f (f x) in twice (fn y -> y + 1) 0").unwrap();
         let tm = infer(&p).unwrap();
         // twice : (R→R) → R → R must appear in the program.
-        let rr = Rc::new(SimpleTy::Fun(
-            Rc::new(SimpleTy::Real),
-            Rc::new(SimpleTy::Real),
+        let rr = Arc::new(SimpleTy::Fun(
+            Arc::new(SimpleTy::Real),
+            Arc::new(SimpleTy::Real),
         ));
         let twice_ty = SimpleTy::Fun(
             rr.clone(),
-            Rc::new(SimpleTy::Fun(
-                Rc::new(SimpleTy::Real),
-                Rc::new(SimpleTy::Real),
+            Arc::new(SimpleTy::Fun(
+                Arc::new(SimpleTy::Real),
+                Arc::new(SimpleTy::Real),
             )),
         );
         let mut found = false;

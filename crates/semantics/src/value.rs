@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn lookup_finds_innermost() {
-        let x: Name = Rc::from("x");
+        let x: Name = Name::from("x");
         let env = Env::empty()
             .bind(x.clone(), Value::Real(1.0))
             .bind(x.clone(), Value::Real(2.0));
@@ -151,9 +151,9 @@ mod tests {
 
     #[test]
     fn bind_is_persistent() {
-        let x: Name = Rc::from("x");
+        let x: Name = Name::from("x");
         let base = Env::empty().bind(x.clone(), Value::Real(1.0));
-        let extended = base.bind(Rc::from("y"), Value::Real(2.0));
+        let extended = base.bind(Name::from("y"), Value::Real(2.0));
         assert_eq!(base.len(), 1);
         assert_eq!(extended.len(), 2);
         assert_eq!(base.lookup("x").and_then(Value::as_real), Some(1.0));

@@ -1,6 +1,34 @@
-//! The symbolic executor (Fig. 8 + Algorithm 1's path accumulation).
+//! The symbolic executor (Fig. 8 + Algorithm 1's path accumulation),
+//! with a shardable branch frontier.
+//!
+//! # Frontier sharding and determinism
+//!
+//! Exploration is a tree walk whose only branch points are `if`
+//! expressions with undecidable guards. Evaluation is *pure*: the
+//! executor carries no mutable global state, every branch owns its
+//! [`PState`], and the two sides of a fork are combined in fixed
+//! (then-before-else) order. Independent branch continuations can
+//! therefore be claimed by worker threads
+//! ([`SymExecOptions::frontier_workers`]) without changing the produced
+//! path set — the result is the concatenation of the subtree results in
+//! program order no matter which thread computed what.
+//!
+//! The one global resource, the path cap [`SymExecOptions::max_paths`],
+//! is made scheduling-independent by **deterministic budget splitting**:
+//! each state carries a `path_budget` (max leaves its subtree may
+//! produce) and every uncertain branch divides the budget between its
+//! two sides *before* any evaluation happens. A branch whose expression
+//! is syntactically linear (no `if`, no application anywhere in its
+//! subtree) can produce few leaves on its own, so it is assigned a small
+//! fixed reserve and the bulk of the budget follows the branchy side —
+//! this keeps deep one-sided recursions (geometric, random walks) at
+//! full depth while balanced recursion trees degrade exactly like a
+//! global cap (a budget `B` supports `log₂ B` levels of halving). A
+//! subtree whose budget reaches 1 at a fork is closed off by a single ⊤
+//! path, which soundly covers both branches.
 
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use gubpi_interval::Interval;
@@ -16,13 +44,22 @@ pub struct SymExecOptions {
     /// The depth limit `D` of Algorithm 1: fixpoint unfoldings allowed
     /// per path before `approxFix` replaces further applications.
     pub max_fix_unfoldings: u32,
-    /// Cap on the number of paths; exceeding it yields ⊤ paths (sound but
-    /// infinitely wide upper bounds).
+    /// Path budget: an upper bound on the number of paths, enforced by
+    /// deterministic budget splitting at every uncertain branch (see the
+    /// module docs). Subtrees whose budget is exhausted are closed off
+    /// by ⊤ paths (sound but infinitely wide upper bounds).
     pub max_paths: usize,
     /// Evaluation fuel shared along each path.
     pub fuel: u64,
     /// Rust-stack recursion guard.
     pub max_depth: u32,
+    /// Worker threads allowed to claim independent branch continuations
+    /// of the symbolic-execution frontier. `0` and `1` both mean
+    /// sequential. The produced path set is **identical** for every
+    /// value (pure evaluation + pre-split budgets); only wall time may
+    /// change. [`Analyzer`](../gubpi_core/struct.Analyzer.html) wires
+    /// this from its `threads` knob.
+    pub frontier_workers: usize,
 }
 
 impl Default for SymExecOptions {
@@ -32,9 +69,19 @@ impl Default for SymExecOptions {
             max_paths: 20_000,
             fuel: 5_000_000,
             max_depth: 1_200,
+            frontier_workers: 1,
         }
     }
 }
+
+/// Budget reserved for a syntactically linear branch (see module docs):
+/// enough for a little post-branch fan-out in its continuation without
+/// starving the branchy side.
+const LINEAR_BRANCH_RESERVE: usize = 16;
+
+/// Minimum per-side budget before a fork is worth shipping to another
+/// worker thread (forking is free to skip: results do not depend on it).
+const FORK_MIN_BUDGET: usize = 16;
 
 /// Runs symbolic execution from `(P, 0, ∅, ∅)`, returning all finished
 /// symbolic (interval) paths.
@@ -47,11 +94,14 @@ pub fn symbolic_paths(
     typing: &IntervalTyping,
     opts: SymExecOptions,
 ) -> Vec<SymPath> {
-    let mut ex = Executor {
+    let workers = opts.frontier_workers.max(1);
+    let mut linear = HashMap::new();
+    mark_linear(&program.root, &mut linear);
+    let ex = Executor {
         typing,
         opts,
-        paths: Vec::new(),
-        depth: 0,
+        linear,
+        idle_workers: AtomicUsize::new(workers - 1),
     };
     let st = PState {
         n: 0,
@@ -60,21 +110,22 @@ pub fn symbolic_paths(
         unfoldings: opts.max_fix_unfoldings,
         truncated: false,
         fuel: opts.fuel,
+        path_budget: opts.max_paths.max(1),
     };
-    let leaves = ex.eval(&program.root, &SEnv::empty(), st);
-    for (v, st) in leaves {
-        match v {
-            Some(SValue::Sym(result)) => ex.paths.push(SymPath {
+    let leaves = ex.eval(&program.root, &SEnv::empty(), st, 0);
+    leaves
+        .into_iter()
+        .map(|(v, st)| match v {
+            Some(SValue::Sym(result)) => SymPath {
                 result,
                 n_samples: st.n,
                 constraints: st.constraints,
                 scores: st.scores,
                 truncated: st.truncated,
-            }),
-            _ => ex.paths.push(top_path(st)),
-        }
-    }
-    ex.paths
+            },
+            _ => top_path(st),
+        })
+        .collect()
 }
 
 /// A sound "anything can happen beyond this point" path.
@@ -90,20 +141,57 @@ fn top_path(st: PState) -> SymPath {
     }
 }
 
+/// Marks every node whose subtree is *syntactically linear*: free of
+/// `if` and of application, hence guaranteed to evaluate to a single
+/// branch. Used by the budget splitter; node ids survive the executor's
+/// body clones, so one pre-pass covers all evaluated expressions.
+fn mark_linear(e: &Expr, map: &mut HashMap<NodeId, bool>) -> bool {
+    let linear = match &e.kind {
+        ExprKind::Var(_) | ExprKind::Const(_) | ExprKind::Sample => true,
+        // A λ/μ *value* is a single branch; its body only runs when
+        // applied, and applications make the applying context branchy.
+        ExprKind::Lam(_, body) | ExprKind::Fix(_, _, body) => {
+            mark_linear(body, map);
+            true
+        }
+        ExprKind::App(f, a) => {
+            mark_linear(f, map);
+            mark_linear(a, map);
+            false
+        }
+        ExprKind::If(c, t, els) => {
+            mark_linear(c, map);
+            mark_linear(t, map);
+            mark_linear(els, map);
+            false
+        }
+        ExprKind::Prim(_, args) => {
+            let mut all = true;
+            for a in args {
+                all &= mark_linear(a, map);
+            }
+            all
+        }
+        ExprKind::Score(m) => mark_linear(m, map),
+    };
+    map.insert(e.id, linear);
+    linear
+}
+
 /// Symbolic runtime values.
 #[derive(Clone)]
 enum SValue {
     Sym(Arc<SymVal>),
     Closure {
         param: Name,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: SEnv,
     },
     Fix {
         node: NodeId,
         fname: Name,
         param: Name,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: SEnv,
     },
     /// A higher-order `approxFix` stub: behaves as
@@ -115,9 +203,10 @@ enum SValue {
     },
 }
 
-/// Persistent environment.
+/// Persistent environment (`Arc`-linked so branch continuations can be
+/// claimed by other worker threads).
 #[derive(Clone, Default)]
-struct SEnv(Option<Rc<SNode>>);
+struct SEnv(Option<Arc<SNode>>);
 
 struct SNode {
     name: Name,
@@ -130,7 +219,7 @@ impl SEnv {
         SEnv(None)
     }
     fn bind(&self, name: Name, value: SValue) -> SEnv {
-        SEnv(Some(Rc::new(SNode {
+        SEnv(Some(Arc::new(SNode {
             name,
             value,
             rest: self.clone(),
@@ -157,6 +246,9 @@ struct PState {
     unfoldings: u32,
     truncated: bool,
     fuel: u64,
+    /// Maximum number of leaves this state's subtree may produce.
+    /// Divided deterministically at every uncertain branch; always ≥ 1.
+    path_budget: usize,
 }
 
 type Branches = Vec<(Option<SValue>, PState)>;
@@ -164,23 +256,22 @@ type Branches = Vec<(Option<SValue>, PState)>;
 struct Executor<'a> {
     typing: &'a IntervalTyping,
     opts: SymExecOptions,
-    paths: Vec<SymPath>,
-    depth: u32,
+    /// `NodeId →` "subtree is syntactically linear" (see [`mark_linear`]).
+    linear: HashMap<NodeId, bool>,
+    /// Spare worker slots for frontier sharding; claiming one lets a
+    /// fork evaluate its else-branch on a fresh thread.
+    idle_workers: AtomicUsize,
 }
 
 impl Executor<'_> {
-    fn eval(&mut self, e: &Expr, env: &SEnv, st: PState) -> Branches {
-        self.depth += 1;
-        let r = if self.depth > self.opts.max_depth {
-            vec![(None, st)]
-        } else {
-            self.eval_inner(e, env, st)
-        };
-        self.depth -= 1;
-        r
+    fn eval(&self, e: &Expr, env: &SEnv, st: PState, depth: u32) -> Branches {
+        if depth >= self.opts.max_depth {
+            return vec![(None, st)];
+        }
+        self.eval_inner(e, env, st, depth + 1)
     }
 
-    fn eval_inner(&mut self, e: &Expr, env: &SEnv, mut st: PState) -> Branches {
+    fn eval_inner(&self, e: &Expr, env: &SEnv, mut st: PState, depth: u32) -> Branches {
         if st.fuel == 0 {
             return vec![(None, st)];
         }
@@ -199,7 +290,7 @@ impl Executor<'_> {
             ExprKind::Lam(param, body) => vec![(
                 Some(SValue::Closure {
                     param: param.clone(),
-                    body: Rc::new((**body).clone()),
+                    body: Arc::new((**body).clone()),
                     env: env.clone(),
                 }),
                 st,
@@ -209,20 +300,20 @@ impl Executor<'_> {
                     node: e.id,
                     fname: fname.clone(),
                     param: param.clone(),
-                    body: Rc::new((**body).clone()),
+                    body: Arc::new((**body).clone()),
                     env: env.clone(),
                 }),
                 st,
             )],
             ExprKind::App(f, a) => {
-                let fs = self.eval(f, env, st);
+                let fs = self.eval(f, env, st, depth);
                 self.bind(fs, |ex, fv, st1| {
-                    let args = ex.eval(a, env, st1);
-                    ex.bind(args, |ex, av, st2| ex.apply(fv.clone(), av, st2))
+                    let args = ex.eval(a, env, st1, depth);
+                    ex.bind(args, |ex, av, st2| ex.apply(fv.clone(), av, st2, depth))
                 })
             }
             ExprKind::If(c, t, els) => {
-                let cs = self.eval(c, env, st);
+                let cs = self.eval(c, env, st, depth);
                 self.bind(cs, |ex, cv, st1| {
                     let guard = match cv {
                         SValue::Sym(v) => v,
@@ -230,52 +321,61 @@ impl Executor<'_> {
                     };
                     let range = guard.crude_range(st1.n);
                     if range.hi() <= 0.0 {
-                        ex.eval(t, env, st1)
+                        ex.eval(t, env, st1, depth)
                     } else if range.lo() > 0.0 {
-                        ex.eval(els, env, st1)
+                        ex.eval(els, env, st1, depth)
                     } else {
+                        if st1.path_budget <= 1 {
+                            // No budget to represent both branches: one ⊤
+                            // path soundly covers the whole subtree.
+                            return vec![(None, st1)];
+                        }
+                        let (b_then, b_else) = ex.split_budget(st1.path_budget, t, els);
                         let mut st_then = st1.clone();
+                        st_then.path_budget = b_then;
                         st_then.constraints.push(SymConstraint {
                             value: guard.clone(),
                             dir: CmpDir::LeZero,
                         });
                         let mut st_else = st1;
+                        st_else.path_budget = b_else;
                         st_else.constraints.push(SymConstraint {
                             value: guard,
                             dir: CmpDir::GtZero,
                         });
-                        let mut out = ex.eval(t, env, st_then);
-                        out.extend(ex.eval(els, env, st_else));
-                        out
+                        ex.eval_fork(t, els, env, st_then, st_else, depth)
                     }
                 })
             }
             ExprKind::Prim(op, args) => {
                 let mut partial: Vec<(Vec<Arc<SymVal>>, PState)> = vec![(Vec::new(), st)];
+                let mut dead: Vec<PState> = Vec::new();
                 for a in args {
                     let mut next = Vec::new();
                     for (prefix, stp) in partial {
-                        for (v, stn) in self.eval(a, env, stp) {
+                        for (v, stn) in self.eval(a, env, stp, depth) {
                             match v {
                                 Some(SValue::Sym(sv)) => {
                                     let mut p2 = prefix.clone();
                                     p2.push(sv);
                                     next.push((p2, stn));
                                 }
-                                _ => self.emit_top(stn),
+                                _ => dead.push(stn),
                             }
                         }
                     }
                     partial = next;
                 }
                 let op = *op;
-                partial
+                let mut out: Branches = partial
                     .into_iter()
                     .map(|(argv, stn)| (Some(SValue::Sym(SymVal::prim(op, argv))), stn))
-                    .collect()
+                    .collect();
+                out.extend(dead.into_iter().map(|stn| (None, stn)));
+                out
             }
             ExprKind::Score(m) => {
-                let ms = self.eval(m, env, st);
+                let ms = self.eval(m, env, st, depth);
                 self.bind(ms, |_ex, mv, mut st1| {
                     let v = match mv {
                         SValue::Sym(v) => v,
@@ -297,11 +397,76 @@ impl Executor<'_> {
         }
     }
 
-    fn apply(&mut self, f: SValue, a: SValue, st: PState) -> Branches {
+    /// Splits a branch budget `b ≥ 2` between the two sides of a fork.
+    ///
+    /// A syntactically linear side ([`mark_linear`]) gets a small fixed
+    /// reserve and the branchy side inherits the rest, so one-sided
+    /// recursions keep (nearly) full depth; otherwise the budget is
+    /// halved. Both sides always receive ≥ 1 and the shares sum to `b`,
+    /// which is what makes `max_paths` a hard cap on the leaf count.
+    fn split_budget(&self, b: usize, t: &Expr, els: &Expr) -> (usize, usize) {
+        let lin = |e: &Expr| self.linear.get(&e.id).copied().unwrap_or(false);
+        let reserve = LINEAR_BRANCH_RESERVE.min(b / 2).max(1);
+        match (lin(t), lin(els)) {
+            (true, false) => (reserve, b - reserve),
+            (false, true) => (b - reserve, reserve),
+            _ => (b - b / 2, b / 2),
+        }
+    }
+
+    /// Evaluates the two sides of an uncertain branch, shipping the
+    /// else-side to an idle worker when one is available and the fork is
+    /// big enough to amortise a thread spawn. Purity + pre-split budgets
+    /// make the result independent of the fork decision, so the claim
+    /// heuristic cannot perturb the path set.
+    fn eval_fork(
+        &self,
+        t: &Expr,
+        els: &Expr,
+        env: &SEnv,
+        st_then: PState,
+        st_else: PState,
+        depth: u32,
+    ) -> Branches {
+        let parallel =
+            st_then.path_budget.min(st_else.path_budget) >= FORK_MIN_BUDGET && self.claim_worker();
+        if parallel {
+            let (then_out, else_out) = std::thread::scope(|scope| {
+                let handle = scope.spawn(|| self.eval(els, env, st_else, depth));
+                let then_out = self.eval(t, env, st_then, depth);
+                (then_out, handle.join())
+            });
+            self.release_worker();
+            match else_out {
+                Ok(else_out) => {
+                    let mut out = then_out;
+                    out.extend(else_out);
+                    out
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        } else {
+            let mut out = self.eval(t, env, st_then, depth);
+            out.extend(self.eval(els, env, st_else, depth));
+            out
+        }
+    }
+
+    fn claim_worker(&self) -> bool {
+        self.idle_workers
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1))
+            .is_ok()
+    }
+
+    fn release_worker(&self) {
+        self.idle_workers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn apply(&self, f: SValue, a: SValue, st: PState, depth: u32) -> Branches {
         match f {
             SValue::Closure { param, body, env } => {
                 let env2 = env.bind(param, a);
-                self.eval(&body, &env2, st)
+                self.eval(&body, &env2, st, depth)
             }
             SValue::Fix {
                 node,
@@ -323,7 +488,7 @@ impl Executor<'_> {
                     env: env.clone(),
                 };
                 let env2 = env.bind(fname, rec).bind(param, a);
-                self.eval(&body, &env2, st2)
+                self.eval(&body, &env2, st2, depth)
             }
             SValue::ApproxFun {
                 remaining,
@@ -352,7 +517,7 @@ impl Executor<'_> {
     /// `approxFix` (§6.2): replace the application of an exhausted
     /// fixpoint by `λ_…λ_. score([e, f]); [c, d]` from its interval type
     /// (curried fixpoints keep absorbing arguments until ground).
-    fn approx_fix(&mut self, node: NodeId, mut st: PState) -> Branches {
+    fn approx_fix(&self, node: NodeId, mut st: PState) -> Branches {
         let (extra, value, weight) =
             self.typing
                 .fix_apply_chain(node)
@@ -381,21 +546,13 @@ impl Executor<'_> {
         vec![(Some(SValue::Sym(Arc::new(SymVal::Interval(value)))), st)]
     }
 
-    fn emit_top(&mut self, st: PState) {
-        self.paths.push(top_path(st));
-    }
-
     fn bind(
-        &mut self,
+        &self,
         branches: Branches,
-        mut f: impl FnMut(&mut Self, SValue, PState) -> Branches,
+        mut f: impl FnMut(&Self, SValue, PState) -> Branches,
     ) -> Branches {
         let mut out = Branches::new();
         for (v, st) in branches {
-            if self.paths.len() + out.len() > self.opts.max_paths {
-                out.push((None, st));
-                continue;
-            }
             match v {
                 Some(v) => out.extend(f(self, v, st)),
                 None => out.push((None, st)),
@@ -412,17 +569,20 @@ mod tests {
     use gubpi_types::infer_interval_types;
 
     fn paths_for(src: &str, unfold: u32) -> Vec<SymPath> {
-        let p = parse(src).unwrap();
-        let simple = infer(&p).unwrap();
-        let typing = infer_interval_types(&p, &simple);
-        symbolic_paths(
-            &p,
-            &typing,
+        paths_with(
+            src,
             SymExecOptions {
                 max_fix_unfoldings: unfold,
                 ..Default::default()
             },
         )
+    }
+
+    fn paths_with(src: &str, opts: SymExecOptions) -> Vec<SymPath> {
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        symbolic_paths(&p, &typing, opts)
     }
 
     #[test]
@@ -527,5 +687,123 @@ mod tests {
         let ps = paths_for("let app f x = f x in app (fn y -> y + sample) 1", 4);
         assert_eq!(ps.len(), 1);
         assert_eq!(ps[0].n_samples, 1);
+    }
+
+    #[test]
+    fn deep_one_sided_recursion_keeps_full_depth() {
+        // A geometric chain splits once per unfolding, always with a
+        // syntactically linear terminating side: the budget splitter must
+        // not halve it away. 64 unfoldings ⇒ 65 paths (64 exact + one
+        // approxFix truncation), far deeper than log₂(max_paths).
+        let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let ps = paths_for(src, 64);
+        assert_eq!(ps.len(), 65);
+        assert_eq!(ps.iter().filter(|p| p.truncated).count(), 1);
+    }
+
+    #[test]
+    fn path_budget_caps_leaves_deterministically() {
+        // A full binary tree of coin flips: depth 6 ⇒ 64 leaves
+        // unconstrained. With max_paths = 8 the budget splitter must cap
+        // the leaf count at 8 (⊤ paths closing off the cut subtrees) and
+        // produce the same path set for every worker count.
+        let src = "
+            let rec flips n =
+              if n <= 0 then 0
+              else if sample <= 0.5 then flips (n - 1)
+              else 1 + flips (n - 1)
+            in flips 6";
+        let full = paths_for(src, 8);
+        assert_eq!(full.iter().filter(|p| !p.truncated).count(), 64);
+        let capped = paths_with(
+            src,
+            SymExecOptions {
+                max_fix_unfoldings: 8,
+                max_paths: 8,
+                ..Default::default()
+            },
+        );
+        assert!(
+            capped.len() <= 8,
+            "budget must cap leaves: {}",
+            capped.len()
+        );
+        assert!(capped.iter().any(|p| p.truncated));
+    }
+
+    #[test]
+    fn frontier_sharding_preserves_the_path_set() {
+        let models: &[(&str, u32)] = &[
+            (
+                "let start = 3 * sample in
+                 let rec walk x =
+                   if x <= 0 then 0 else
+                     let step = sample in
+                     if sample <= 0.5 then step + walk (x + step)
+                     else step + walk (x - step)
+                 in
+                 let d = walk start in
+                 observe d from normal(1.1, 0.1);
+                 start",
+                4,
+            ),
+            (
+                "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0",
+                10,
+            ),
+            ("if sample + sample <= 0.75 then sample else 1 - sample", 2),
+        ];
+        for &(src, unfold) in models {
+            let base = paths_with(
+                src,
+                SymExecOptions {
+                    max_fix_unfoldings: unfold,
+                    frontier_workers: 1,
+                    ..Default::default()
+                },
+            );
+            for workers in [2usize, 4, 8] {
+                let sharded = paths_with(
+                    src,
+                    SymExecOptions {
+                        max_fix_unfoldings: unfold,
+                        frontier_workers: workers,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    base.len(),
+                    sharded.len(),
+                    "{src}: path count under {workers} workers"
+                );
+                for (i, (a, b)) in base.iter().zip(&sharded).enumerate() {
+                    assert_eq!(a, b, "{src}: path {i} differs under {workers} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_execution_with_tight_budget_is_deterministic() {
+        // Budget splitting must interact with sharding without any
+        // scheduling dependence, even when truncation actually triggers.
+        let src = "
+            let rec flips n =
+              if n <= 0 then 0
+              else if sample <= 0.5 then flips (n - 1)
+              else 1 + flips (n - 1)
+            in flips 8";
+        let opts = |workers| SymExecOptions {
+            max_fix_unfoldings: 10,
+            max_paths: 40,
+            frontier_workers: workers,
+            ..Default::default()
+        };
+        let base = paths_with(src, opts(1));
+        assert!(base.len() <= 40);
+        for workers in [2usize, 4] {
+            let sharded = paths_with(src, opts(workers));
+            assert_eq!(base, sharded, "path set depends on {workers} workers");
+        }
     }
 }

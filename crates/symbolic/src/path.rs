@@ -19,7 +19,7 @@ pub enum CmpDir {
 }
 
 /// A symbolic constraint `V ≤ 0` or `V > 0` recorded in `Δ`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SymConstraint {
     /// The symbolic value being compared against 0.
     pub value: Arc<SymVal>,
@@ -58,7 +58,13 @@ impl fmt::Display for SymConstraint {
 }
 
 /// A finished symbolic (interval) path `Ψ = (V, n, Δ, Ξ)`.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is structural (float literals compare by value, so two
+/// paths differing only in `0.0` vs `-0.0` compare equal — both denote
+/// the same measure). The analyzer's shared memo cache uses it to
+/// verify [`SymPath::fingerprint`] matches before reusing an entry
+/// across `Analyzer` instances.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SymPath {
     /// The result value `V`.
     pub result: Arc<SymVal>,

@@ -1,0 +1,159 @@
+//! Cross-`Analyzer` memo-cache sharing and cache behaviour under
+//! concurrent mixed queries.
+//!
+//! The shared cache ([`SharedQueryCache`]) must be: *sound* (entries are
+//! verified by structural path equality before reuse), *race-free*
+//! (concurrent analyzers never double-insert an entry or lose a counter
+//! update), and *invisible* (warm answers are bit-identical to cold
+//! ones).
+
+use gubpi_core::{AnalysisOptions, Analyzer, SharedQueryCache, Threads};
+use gubpi_interval::Interval;
+
+const SRC: &str = "let x = sample in (if x <= 0.5 then score(2 * x) else score(1)); x";
+
+fn opts(threads: Threads) -> AnalysisOptions {
+    AnalysisOptions {
+        threads,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn cross_analyzer_sharing_hits_warm_entries() {
+    let cache = SharedQueryCache::new();
+    let a = Analyzer::from_source_with_cache(SRC, opts(Threads::Off), &cache).unwrap();
+    let n_paths = a.paths().len() as u64;
+    let u = Interval::new(0.1, 0.6);
+
+    let ra = a.denotation_bounds(u);
+    assert_eq!(
+        cache.stats(),
+        (0, n_paths),
+        "first analyzer fills the cache"
+    );
+    assert_eq!(cache.entry_count() as u64, n_paths);
+
+    // A second analyzer over the same source re-executes symbolically but
+    // reuses every per-path bound.
+    let b = Analyzer::from_source_with_cache(SRC, opts(Threads::Off), &cache).unwrap();
+    let rb = b.denotation_bounds(u);
+    assert_eq!(ra.0.to_bits(), rb.0.to_bits());
+    assert_eq!(ra.1.to_bits(), rb.1.to_bits());
+    assert_eq!(
+        cache.stats(),
+        (n_paths, n_paths),
+        "second analyzer must hit every entry exactly once"
+    );
+    assert_eq!(
+        cache.entry_count() as u64,
+        n_paths,
+        "hits must not re-insert entries"
+    );
+
+    // `shared_cache` hands out the same cache.
+    let c = Analyzer::from_source_with_cache(SRC, opts(Threads::Off), &a.shared_cache()).unwrap();
+    let rc = c.denotation_bounds(u);
+    assert_eq!(ra, rc);
+    assert_eq!(cache.stats(), (2 * n_paths, n_paths));
+}
+
+#[test]
+fn unrelated_programs_share_a_cache_without_aliasing() {
+    let cache = SharedQueryCache::new();
+    let a = Analyzer::from_source_with_cache("sample", opts(Threads::Off), &cache).unwrap();
+    let b = Analyzer::from_source_with_cache("2 * sample - 1", opts(Threads::Off), &cache).unwrap();
+    let u = Interval::new(0.0, 0.5);
+    let (a_lo, a_hi) = a.denotation_bounds(u);
+    let (b_lo, b_hi) = b.denotation_bounds(u);
+    // P(sample ∈ [0, 0.5]) = 0.5; P(2·sample − 1 ∈ [0, 0.5]) = 0.25.
+    assert!((a_lo - 0.5).abs() < 1e-9 && (a_hi - 0.5).abs() < 1e-9);
+    assert!((b_lo - 0.25).abs() < 1e-9 && (b_hi - 0.25).abs() < 1e-9);
+    let (hits, misses) = cache.stats();
+    assert_eq!(hits, 0, "structurally different paths must not alias");
+    assert_eq!(misses, 2);
+}
+
+#[test]
+fn concurrent_mixed_queries_keep_the_cache_consistent() {
+    let cache = SharedQueryCache::new();
+    let a = Analyzer::from_source_with_cache(SRC, opts(Threads::Fixed(2)), &cache).unwrap();
+    let b = Analyzer::from_source_with_cache(SRC, opts(Threads::Fixed(2)), &cache).unwrap();
+    let n_paths = a.paths().len() as u64;
+    let queries = [
+        Interval::new(0.0, 0.25),
+        Interval::new(0.25, 0.5),
+        Interval::new(0.5, 1.0),
+        Interval::new(0.0, 1.0),
+    ];
+
+    // Reference bits from a cold sequential analyzer.
+    let reference = Analyzer::from_source(SRC, opts(Threads::Off)).unwrap();
+    let expected: Vec<(f64, f64)> = queries
+        .iter()
+        .map(|&u| reference.denotation_bounds(u))
+        .collect();
+
+    // Two analyzers hammer the shared cache from two threads, walking
+    // the query list in opposite orders so lookups and inserts overlap.
+    let results = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| queries.map(|u| a.denotation_bounds(u)));
+        let hb = scope.spawn(|| {
+            let mut out = queries.map(|_u| (0.0, 0.0));
+            for (i, &u) in queries.iter().enumerate().rev() {
+                out[i] = b.denotation_bounds(u);
+            }
+            out
+        });
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    for (i, &(lo, hi)) in expected.iter().enumerate() {
+        for got in [results.0[i], results.1[i]] {
+            assert_eq!(lo.to_bits(), got.0.to_bits(), "query {i} lower bound");
+            assert_eq!(hi.to_bits(), got.1.to_bits(), "query {i} upper bound");
+        }
+    }
+
+    // Counter totals are exact (each per-path lookup counted once), and
+    // racing inserts never duplicate an entry.
+    let (hits, misses) = cache.stats();
+    let total = 2 * n_paths * queries.len() as u64;
+    assert_eq!(hits + misses, total, "every lookup counted exactly once");
+    assert!(
+        misses >= n_paths * queries.len() as u64,
+        "each query must be computed at least once"
+    );
+    assert_eq!(
+        cache.entry_count() as u64,
+        n_paths * queries.len() as u64,
+        "no double inserts under concurrency"
+    );
+}
+
+#[test]
+fn shared_clear_cache_affects_every_analyzer_but_no_result() {
+    let cache = SharedQueryCache::new();
+    let a = Analyzer::from_source_with_cache(SRC, opts(Threads::Off), &cache).unwrap();
+    let b = Analyzer::from_source_with_cache(SRC, opts(Threads::Off), &cache).unwrap();
+    let u = Interval::new(0.2, 0.8);
+    let r1 = a.denotation_bounds(u);
+    b.clear_cache();
+    assert_eq!(cache.stats(), (0, 0));
+    assert_eq!(cache.entry_count(), 0);
+    let r2 = a.denotation_bounds(u);
+    assert_eq!(r1, r2, "clearing must never change bounds");
+    assert_eq!(cache.stats(), (0, a.paths().len() as u64));
+}
+
+#[test]
+fn default_analyzers_keep_private_caches() {
+    // Without an explicit shared cache, two analyzers never see each
+    // other's entries (the PR-2 behaviour, preserved).
+    let a = Analyzer::from_source(SRC, opts(Threads::Off)).unwrap();
+    let b = Analyzer::from_source(SRC, opts(Threads::Off)).unwrap();
+    let u = Interval::new(0.1, 0.9);
+    let _ = a.denotation_bounds(u);
+    let _ = b.denotation_bounds(u);
+    assert_eq!(a.cache_stats().0, 0);
+    assert_eq!(b.cache_stats().0, 0, "no cross-talk between private caches");
+}

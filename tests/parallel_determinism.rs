@@ -13,10 +13,14 @@ use gubpi_interval::Interval;
 use gubpi_symbolic::SymExecOptions;
 use proptest::prelude::*;
 
-/// Every `Threads` setting the engine must agree across.
+/// Every `Threads` setting the engine must agree across. `Fixed(2)`
+/// matters: with fewer workers than paths or chunks, the engine mixes
+/// grains (path-level vs region-level) and the frontier sharder leaves
+/// some forks sequential — all of which must stay invisible.
 const SETTINGS: &[Threads] = &[
     Threads::Off,
     Threads::Fixed(1),
+    Threads::Fixed(2),
     Threads::Fixed(4),
     Threads::Auto,
 ];
@@ -156,6 +160,64 @@ fn paper_example_models_bound_identically_across_thread_counts() {
             opts.bounds.splits = 8;
             Analyzer::from_source(src, opts).unwrap()
         });
+    }
+}
+
+/// Region-level parallelism: a model with one dominant (or unique) path
+/// gives path-level parallelism nothing to split, so the engine bounds
+/// the path's grid cells / chunk combinations on the pool instead. The
+/// bounds must not betray which grain ran.
+#[test]
+fn single_dominant_path_models_bound_identically_across_thread_counts() {
+    // One path, non-linear result: §6.3 grid with splits³ cells.
+    const NONLINEAR_SINGLE: &str =
+        "let x = sample in let y = sample in let z = sample in score(sigmoid(x * y + z)); x * y";
+    // One path, two boxed score expressions: §6.4 chunk product.
+    const LINEAR_SINGLE: &str =
+        "let x = sample in let y = sample in score(x + y); score(2 - x); x + y";
+    for src in [NONLINEAR_SINGLE, LINEAR_SINGLE] {
+        for method in [Method::Auto, Method::Grid] {
+            let probe = analyzer(src, Threads::Off, method);
+            assert_eq!(probe.paths().len(), 1, "{src}: must be a single path");
+            check_all_settings(src, |threads| analyzer(src, threads, method));
+        }
+    }
+}
+
+/// The frontier sharder must not change the *path set* either — this is
+/// implied by `check_all_settings`'s path-count assertion, but pin the
+/// stronger structural property on the recursive pedestrian.
+#[test]
+fn frontier_sharding_keeps_paths_structurally_identical() {
+    const SRC: &str = "
+        let start = 3 * sample in
+        let rec walk x =
+          if x <= 0 then 0 else
+            let step = sample in
+            if sample <= 0.5 then step + walk (x + step)
+            else step + walk (x - step)
+        in
+        let d = walk start in
+        observe d from normal(1.1, 0.1);
+        start";
+    let build = |threads| {
+        let opts = AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: 4,
+                ..Default::default()
+            },
+            threads,
+            ..Default::default()
+        };
+        Analyzer::from_source(SRC, opts).unwrap()
+    };
+    let reference = build(Threads::Off);
+    for &threads in SETTINGS {
+        let a = build(threads);
+        assert_eq!(reference.paths().len(), a.paths().len());
+        for (i, (p, q)) in reference.paths().iter().zip(a.paths()).enumerate() {
+            assert_eq!(p, q, "path {i} differs under {threads:?}");
+        }
     }
 }
 
