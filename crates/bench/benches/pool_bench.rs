@@ -1,0 +1,120 @@
+//! Scheduler overhead: per-call scoped spawns vs the persistent pool.
+//!
+//! PRs 2–3 spawned scoped `std::thread` workers on *every* parallel
+//! call; PR 4's persistent executor parks warm workers between calls.
+//! This bench isolates exactly that difference: both sides execute the
+//! same trivial chunk-claiming loop over a small index space, so the
+//! measured gap is dispatch machinery (thread spawn + join vs condvar
+//! wake + latch), not bounding work. CI runs this as a smoke invocation
+//! so scheduler regressions surface in the logs.
+//!
+//! Results are scheduling-only: the deterministic reduce makes bound
+//! *values* identical no matter which engine ran (see
+//! `tests/parallel_determinism.rs`).
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gubpi_core::pool::{run_jobs_with, PathJob, WorkerPool};
+
+/// Work shape: `paths` jobs of `regions` trivial regions each.
+const SHAPES: &[(&str, usize, usize)] = &[("64x16", 64, 16), ("4x1024", 4, 1024)];
+const WORKERS: usize = 4;
+
+/// The PR-2/PR-3 baseline, reconstructed locally: spawn `WORKERS`
+/// scoped threads per call, claim chunks of the flat job space from an
+/// atomic cursor, join. (The real engine did this once per query.)
+fn scoped_spawn_baseline(paths: usize, regions: usize) -> u64 {
+    let total = paths * regions;
+    let cursor = AtomicUsize::new(0);
+    let acc = AtomicU64::new(0);
+    let chunk = (total / (WORKERS * 4)).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= total {
+                    break;
+                }
+                let end = (start + chunk).min(total);
+                let mut local = 0u64;
+                for i in start..end {
+                    local += black_box(i as u64);
+                }
+                acc.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+/// The same work as pool jobs: one sweep per path, trivial regions.
+fn pool_run(pool: &WorkerPool, paths: usize, regions: usize) -> u64 {
+    let jobs: Vec<PathJob<'_, u64>> = (0..paths)
+        .map(|p| PathJob::Sweep {
+            total: regions,
+            process: Box::new(move |ci, buf: &mut Vec<u64>| {
+                buf.push(black_box((p * regions + ci) as u64));
+            }),
+        })
+        .collect();
+    let mut acc = 0u64;
+    run_jobs_with(pool, WORKERS, jobs, |_, v| acc += v);
+    acc
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    group.sample_size(50);
+
+    let pool = WorkerPool::new();
+    // Warm the pool once so the (one-off) lazy spawns are not billed to
+    // the first sample — the whole point is steady-state dispatch cost.
+    let _ = pool_run(&pool, 4, 64);
+
+    for &(shape, paths, regions) in SHAPES {
+        let expected: u64 = (0..(paths * regions) as u64).sum();
+        group.bench_function(format!("scoped-spawn/{shape}"), |b| {
+            b.iter(|| {
+                let got = scoped_spawn_baseline(black_box(paths), black_box(regions));
+                assert_eq!(got, expected);
+                got
+            })
+        });
+        group.bench_function(format!("persistent-pool/{shape}"), |b| {
+            b.iter(|| {
+                let got = pool_run(&pool, black_box(paths), black_box(regions));
+                assert_eq!(got, expected);
+                got
+            })
+        });
+    }
+    group.finish();
+
+    // One-line overhead summary for CI logs: mean dispatch cost of each
+    // engine on the small shape, and the ratio.
+    let reps = 200;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(scoped_spawn_baseline(64, 16));
+    }
+    let scoped = t0.elapsed().as_secs_f64() / reps as f64;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        black_box(pool_run(&pool, 64, 16));
+    }
+    let pooled = t1.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "pool-summary: scoped-spawn {:.1}µs/dispatch, persistent-pool {:.1}µs/dispatch \
+         ({:.2}x) over {reps} dispatches of 64x16 trivial regions [{} workers spawned]",
+        scoped * 1e6,
+        pooled * 1e6,
+        scoped / pooled.max(1e-12),
+        pool.spawned_workers(),
+    );
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -14,8 +14,11 @@
 use std::time::Instant;
 
 use bench::models;
-use bench::{analyze_prob_benchmark, analyzer_for_figure, baseline56_bounds, mc_probability};
-use gubpi_core::{render_histogram, AnalysisOptions, Analyzer, Method};
+use bench::{
+    analyze_prob_benchmark, analyzer_for_figure, baseline56_bounds, mc_probability,
+    shared_analysis_cache, shared_analyzer,
+};
+use gubpi_core::{render_histogram, AnalysisOptions, Method, WorkerPool};
 use gubpi_inference::hmc::{hmc_sample, HmcOptions};
 use gubpi_inference::importance::{importance_sample, ImportanceOptions};
 use gubpi_inference::sbc::{run_sbc, SbcConfig};
@@ -46,12 +49,43 @@ fn main() {
         }
         args.drain(i..=i + 1);
     }
+    // `--cache-cap N` bounds the shared per-path query cache at N
+    // entries (coarse-LRU eviction) — equivalent to setting
+    // GUBPI_CACHE_CAP, which the harness cache honours. Results are
+    // bit-identical (bounding is pure); only recompute time changes.
+    if let Some(i) = args.iter().position(|a| a == "--cache-cap") {
+        match args
+            .get(i + 1)
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&cap| cap > 0)
+        {
+            Some(_) => {
+                std::env::set_var("GUBPI_CACHE_CAP", args[i + 1].clone());
+            }
+            None => {
+                let got = args.get(i + 1).map(String::as_str).unwrap_or("<missing>");
+                eprintln!(
+                    "--cache-cap expects a positive entry count; got `{got}` \
+                     (omit the flag for an unbounded cache)"
+                );
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    // `--stats` prints cache and pool counters after the run.
+    let print_stats = if let Some(i) = args.iter().position(|a| a == "--stats") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
         "--help" | "-h" | "help" => {
             println!(
                 "repro — regenerates the tables and figures of the GuBPI paper\n\n\
-                 USAGE: repro [--threads N|auto|off] [COMMAND]\n\n\
+                 USAGE: repro [--threads N|auto|off] [--cache-cap N] [--stats] [COMMAND]\n\n\
                  COMMANDS:\n  \
                  table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
                  table2        Table 2: discrete models vs exact posteriors\n  \
@@ -63,7 +97,10 @@ fn main() {
                  all           everything above (the default)\n\n\
                  OPTIONS:\n  \
                  --threads N|auto|off   worker threads for the bounding engine (N > 0;\n                         \
-                 same as GUBPI_THREADS; results are bit-identical)"
+                 same as GUBPI_THREADS; results are bit-identical)\n  \
+                 --cache-cap N          bound the shared per-path query cache at N entries\n                         \
+                 (coarse-LRU eviction; same as GUBPI_CACHE_CAP)\n  \
+                 --stats                print cache and worker-pool counters after the run"
             );
         }
         "table1" | "table4" => table1(),
@@ -87,6 +124,41 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if print_stats {
+        stats();
+    }
+}
+
+/// `--stats`: per-path cache and persistent-pool counters for the run.
+fn stats() {
+    let cache = shared_analysis_cache();
+    let s = cache.stats();
+    println!("== Run statistics ====================================================");
+    let cap = match cache.capacity() {
+        Some(cap) => format!("{cap}"),
+        None => "unbounded".to_owned(),
+    };
+    println!(
+        "cache: {} hits, {} misses, {} evictions, {} entries resident (cap {cap})",
+        s.hits,
+        s.misses,
+        s.evictions,
+        cache.entry_count()
+    );
+    let p = WorkerPool::global().stats();
+    println!(
+        "pool:  {} workers spawned, {} dispatches, {} inline runs",
+        p.spawned_workers, p.dispatches, p.inline_runs
+    );
+    println!(
+        "tasks: {} path, {} region chunks; steals: {} path, {} region; forks: {} pooled, {} inline",
+        p.path_tasks,
+        p.region_tasks,
+        p.path_steals,
+        p.region_steals,
+        p.forks_parallel,
+        p.forks_inline
+    );
 }
 
 /// Table 1 / Table 4: per-query bounds and times, baseline vs GuBPI,
@@ -134,7 +206,7 @@ fn table2() {
             },
             ..Default::default()
         };
-        let a = Analyzer::from_source(b.source, opts).expect("model compiles");
+        let a = shared_analyzer(b.source, opts);
         let (lo, hi) = a.posterior_probability(Interval::new(0.5, 1.5));
         let t = t0.elapsed().as_secs_f64();
         let tight = if hi - lo < 1e-3 { "yes" } else { "~" };
@@ -260,7 +332,7 @@ fn pedestrian() {
         ..Default::default()
     };
     opts.bounds.splits = 16;
-    let a = Analyzer::from_source(src, opts).expect("pedestrian compiles");
+    let a = shared_analyzer(src, opts);
     let h = a.histogram(domain, bins);
     println!(
         "GuBPI bounds ({} paths, {:.1}s):",
@@ -375,14 +447,13 @@ fn ablation() {
     let src = "let x = sample in let y = sample in score(x + y); x";
     for (label, method) in [("linear", Method::Auto), ("grid", Method::Grid)] {
         let t0 = Instant::now();
-        let a = Analyzer::from_source(
+        let a = shared_analyzer(
             src,
             AnalysisOptions {
                 method,
                 ..Default::default()
             },
-        )
-        .expect("model compiles");
+        );
         let (lo, hi) = a.denotation_bounds(Interval::new(0.0, 0.5));
         println!(
             "{label:>7}: [{lo:.5}, {hi:.5}] width {:.5} in {:.2}s",
@@ -402,7 +473,7 @@ fn ablation() {
             ..Default::default()
         };
         opts.bounds.splits = 16;
-        let a = Analyzer::from_source(models::PEDESTRIAN, opts).expect("pedestrian compiles");
+        let a = shared_analyzer(models::PEDESTRIAN, opts);
         let (zlo, zhi) = a.normalizing_constant();
         println!(
             "depth {depth}: Z in [{zlo:.4}, {zhi:.4}] ({} paths, {:.1}s)",

@@ -1,12 +1,43 @@
 //! Shared benchmark runners.
 
-use gubpi_core::{AnalysisOptions, Analyzer};
+use std::sync::OnceLock;
+
+use gubpi_core::{AnalysisOptions, Analyzer, SharedQueryCache};
 use gubpi_interval::Interval;
 use gubpi_symbolic::SymExecOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::models::{FigureBenchmark, ProbBenchmark};
+
+/// The query cache shared by every analyzer the harness builds over one
+/// process (so a whole `repro` run reuses warm per-path bounds — sound
+/// across unrelated models because hits re-verify paths structurally).
+///
+/// Bounded when `GUBPI_CACHE_CAP` is set to a positive entry count
+/// (`repro --cache-cap N` wires the flag to the env var, mirroring
+/// `--threads` / `GUBPI_THREADS`); unbounded otherwise. Invalid values
+/// degrade to unbounded rather than aborting a long benchmark run.
+pub fn shared_analysis_cache() -> &'static SharedQueryCache {
+    static CACHE: OnceLock<SharedQueryCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        match std::env::var("GUBPI_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&cap| cap > 0)
+        {
+            Some(cap) => SharedQueryCache::with_capacity(cap),
+            None => SharedQueryCache::new(),
+        }
+    })
+}
+
+/// Builds an analyzer attached to the harness-wide shared cache (and
+/// therefore the process-global persistent worker pool).
+pub fn shared_analyzer(source: &str, opts: AnalysisOptions) -> Analyzer {
+    Analyzer::from_source_with_cache(source, opts, shared_analysis_cache())
+        .expect("benchmark must compile")
+}
 
 /// Runs the GuBPI analyzer on a Table 1 benchmark, returning the
 /// guaranteed bounds on `P(result ∈ U)`.
@@ -18,8 +49,7 @@ pub fn analyze_prob_benchmark(b: &ProbBenchmark) -> (f64, f64) {
         },
         ..Default::default()
     };
-    let a = Analyzer::from_source(b.source, opts).expect("benchmark must compile");
-    a.denotation_bounds(b.u)
+    shared_analyzer(b.source, opts).denotation_bounds(b.u)
 }
 
 /// Builds an analyzer configured for a figure benchmark.
@@ -32,7 +62,7 @@ pub fn analyzer_for_figure(b: &FigureBenchmark) -> Analyzer {
         ..Default::default()
     };
     opts.bounds.splits = b.splits;
-    Analyzer::from_source(b.source, opts).expect("benchmark must compile")
+    shared_analyzer(b.source, opts)
 }
 
 /// Monte-Carlo estimate of `P(result ∈ U)` by likelihood weighting —

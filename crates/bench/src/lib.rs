@@ -18,4 +18,7 @@ pub mod models;
 
 pub use baseline56::{baseline56_bounds, BaselineOptions};
 pub use groundtruth::Ratio;
-pub use harness::{analyze_prob_benchmark, analyzer_for_figure, mc_probability};
+pub use harness::{
+    analyze_prob_benchmark, analyzer_for_figure, mc_probability, shared_analysis_cache,
+    shared_analyzer,
+};

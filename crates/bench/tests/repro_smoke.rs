@@ -77,3 +77,44 @@ fn tiny_model_end_to_end() {
     assert!(lo >= 0.0 && hi <= 1.0, "weights are a sub-probability here");
     assert!(hi - lo < 0.45, "bounds [{lo}, {hi}] should be informative");
 }
+
+#[test]
+fn repro_rejects_invalid_cache_caps() {
+    // `--cache-cap 0` would be a cache that evicts every insert
+    // immediately; like `--threads 0` it must be a hard usage error, as
+    // must non-numeric caps. Both exit before any analysis starts.
+    for bad in ["0", "lots"] {
+        let out = Command::new(REPRO)
+            .args(["--cache-cap", bad, "table2"])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--cache-cap {bad} must be rejected"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("positive entry count"),
+            "stderr must explain the fix: {err}"
+        );
+    }
+    // A missing value is also a usage error, not a silent default.
+    let out = Command::new(REPRO)
+        .arg("--cache-cap")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn repro_help_documents_the_new_flags() {
+    let out = Command::new(REPRO)
+        .arg("--help")
+        .output()
+        .expect("repro binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--cache-cap", "--stats", "GUBPI_CACHE_CAP"] {
+        assert!(text.contains(needle), "usage text missing {needle:?}");
+    }
+}

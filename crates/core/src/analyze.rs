@@ -7,14 +7,14 @@ use std::sync::{Arc, Mutex};
 
 use gubpi_interval::Interval;
 use gubpi_lang::{infer, parse, LangError, Program, TypeMap};
-use gubpi_symbolic::{symbolic_paths, SymExecOptions, SymPath};
+use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
+use gubpi_symbolic::{symbolic_paths_in, SymExecOptions, SymPath};
 use gubpi_types::{infer_interval_types, IntervalTyping};
 
 use crate::histogram::HistogramBounds;
-use crate::parallel::{map_paths, Threads};
 use crate::pathbounds::{
-    bound_path_grid_only_threaded, bound_path_query_threaded, bound_path_threaded,
-    linear_applicable, PathBoundOptions, SingleQuery,
+    linear_applicable, plan_path, plan_path_grid_only, plan_path_query, BoundSink,
+    PathBoundOptions, QueryFold, Region,
 };
 
 /// Which per-path semantics to use.
@@ -36,8 +36,8 @@ pub struct AnalysisOptions {
     pub bounds: PathBoundOptions,
     /// Semantics selection.
     pub method: Method,
-    /// Worker threads for per-path bounding. Bounds are bit-identical
-    /// across every setting (see [`crate::parallel`]).
+    /// Participation width on the persistent worker pool. Bounds are
+    /// bit-identical across every setting (see `gubpi_core::pool`).
     pub threads: Threads,
 }
 
@@ -51,9 +51,43 @@ pub struct AnalysisOptions {
 /// ones added to [`PathBoundOptions`] later.
 type QueryKey = (u64, u64, u64, PathBoundOptions, Method);
 
-/// One verified cache entry: the path the result belongs to, plus the
-/// `(lo, hi)` bounds.
-type CacheEntry = (SymPath, (f64, f64));
+/// One verified cache entry.
+struct CacheEntry {
+    /// The path the result belongs to (hits re-verify it structurally).
+    path: SymPath,
+    /// The memoised `(lo, hi)` bounds.
+    bounds: (f64, f64),
+    /// Last-access stamp for the coarse-LRU eviction policy; refreshed
+    /// on every hit, consulted only when the entry cap overflows.
+    stamp: u64,
+}
+
+/// Hit/miss/eviction counters of a (possibly shared) query cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Per-path lookups answered from the cache.
+    pub hits: u64,
+    /// Per-path lookups that had to compute.
+    pub misses: u64,
+    /// Entries dropped by the bounded mode's coarse-LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// The `(hits, misses)` pair (the PR-2 counter shape).
+    pub fn hit_miss(self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The mutex-protected cache storage plus a running entry count, so
+/// the under-cap check at insert time is O(1) instead of a full map
+/// scan under the global cache mutex.
+#[derive(Default)]
+struct CacheMap {
+    buckets: HashMap<QueryKey, Vec<CacheEntry>>,
+    entries: usize,
+}
 
 /// Memo cache for per-path query bounds, shared across worker threads
 /// (and, via [`SharedQueryCache`], across `Analyzer` instances).
@@ -63,9 +97,15 @@ type CacheEntry = (SymPath, (f64, f64));
 /// guarantee.
 #[derive(Default)]
 struct QueryCache {
-    map: Mutex<HashMap<QueryKey, Vec<CacheEntry>>>,
+    map: Mutex<CacheMap>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Monotone access clock feeding the entry stamps (always advanced
+    /// under the map mutex, so stamps are unique and ordered).
+    clock: AtomicU64,
+    /// Entry cap; `None` is the unbounded PR-3 behaviour.
+    cap: Option<usize>,
 }
 
 /// A handle to a per-path memo cache that can be shared across
@@ -90,51 +130,119 @@ struct QueryCache {
 /// let ra = a.denotation_bounds(u); // computes, fills the cache
 /// let rb = b.denotation_bounds(u); // hits the shared entries
 /// assert_eq!(ra, rb);
-/// assert!(cache.stats().0 > 0, "second analyzer must hit");
+/// assert!(cache.stats().hits > 0, "second analyzer must hit");
 /// ```
 ///
 /// Entries are verified by structural path equality before reuse (see
 /// [`QueryKey`]), so sharing is sound even across unrelated programs.
 /// Hit/miss counters live in the shared cache: each per-path lookup is
 /// counted exactly once, no matter which analyzer issued it.
+///
+/// # Bounded mode
+///
+/// A persistent engine turns an unbounded memo cache into a slow leak,
+/// so [`SharedQueryCache::with_capacity`] installs an entry cap with
+/// **deterministic coarse-LRU eviction**: every entry carries a
+/// last-access stamp (refreshed once per query lookup pass), and when
+/// an insert pass overflows the cap, exactly the oldest-stamped surplus
+/// entries are dropped in one batch. Eviction is a pure function of the
+/// access sequence, and purity of bounding means a re-query after
+/// eviction recomputes bit-identical values — capacity can change
+/// wall-clock time, never a result. Evictions are counted in
+/// [`SharedQueryCache::stats`].
 #[derive(Clone, Default)]
 pub struct SharedQueryCache {
     inner: Arc<QueryCache>,
 }
 
 impl SharedQueryCache {
-    /// A fresh, empty cache.
+    /// A fresh, empty, **unbounded** cache.
     pub fn new() -> SharedQueryCache {
         SharedQueryCache::default()
     }
 
-    /// `(hits, misses)` accumulated by every analyzer attached to this
-    /// cache.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.inner.hits.load(Ordering::Relaxed),
-            self.inner.misses.load(Ordering::Relaxed),
-        )
+    /// A fresh cache holding at most `cap` memoised per-path results,
+    /// evicting the least-recently-used entries (coarse, batched) on
+    /// overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` — a cache that can hold nothing would evict
+    /// every insert immediately; disable caching by not sharing the
+    /// cache instead.
+    pub fn with_capacity(cap: usize) -> SharedQueryCache {
+        assert!(cap > 0, "cache capacity must be positive");
+        SharedQueryCache {
+            inner: Arc::new(QueryCache {
+                cap: Some(cap),
+                ..QueryCache::default()
+            }),
+        }
+    }
+
+    /// The entry cap, if this cache is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.cap
+    }
+
+    /// Counters accumulated by every analyzer attached to this cache.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of memoised `(path, query, options)` results.
     pub fn entry_count(&self) -> usize {
-        self.inner
-            .map
-            .lock()
-            .expect("cache poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.inner.map.lock().expect("cache poisoned").entries
     }
 
     /// Drops every memoised result and resets the counters. Affects
     /// every analyzer sharing the cache; results are unaffected because
     /// bounding is pure.
     pub fn clear(&self) {
-        self.inner.map.lock().expect("cache poisoned").clear();
+        {
+            let mut map = self.inner.map.lock().expect("cache poisoned");
+            map.buckets.clear();
+            map.entries = 0;
+        }
         self.inner.hits.store(0, Ordering::Relaxed);
         self.inner.misses.store(0, Ordering::Relaxed);
+        self.inner.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Batch-evicts the oldest-stamped entries until the cap is met.
+    /// Must be called with the map mutex held (`map` proves it).
+    fn enforce_cap(&self, map: &mut CacheMap) {
+        let Some(cap) = self.inner.cap else { return };
+        if map.entries <= cap {
+            return;
+        }
+        let overflow = map.entries - cap;
+        // Stamps are unique (the clock only advances under this mutex),
+        // so the `overflow`-th smallest stamp is an exact cutoff.
+        let mut stamps: Vec<u64> = map
+            .buckets
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|e| e.stamp))
+            .collect();
+        let (_, cutoff, _) = stamps.select_nth_unstable(overflow - 1);
+        let cutoff = *cutoff;
+        map.buckets.retain(|_, bucket| {
+            bucket.retain(|e| e.stamp > cutoff);
+            !bucket.is_empty()
+        });
+        map.entries -= overflow;
+        self.inner
+            .evictions
+            .fetch_add(overflow as u64, Ordering::Relaxed);
+    }
+
+    /// Next access stamp; call only with the map mutex held.
+    fn tick(&self) -> u64 {
+        self.inner.clock.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -192,23 +300,29 @@ fn valid_interval(lo: f64, hi: f64) -> Result<Interval, QueryError> {
 ///
 /// Cache entries cloned from an analyzer's own path share every inner
 /// `Arc` with it, so a same-analyzer re-lookup short-circuits on
-/// pointer identity (O(#constraints + #scores) pointer compares) and
-/// only genuinely cross-analyzer hits pay the deep `SymVal` walk —
-/// important because the comparison runs under the cache mutex.
+/// pointer identity (O(#constraints + #scores) pointer compares) —
+/// important because the comparison runs under the cache mutex. Only
+/// genuinely cross-analyzer hits fall through to the derived
+/// `SymPath::eq`, which stays the single source of truth: a field
+/// added to `SymPath` later is automatically part of the verification,
+/// never silently ignored.
 fn same_path(a: &SymPath, b: &SymPath) -> bool {
-    let arc_eq = |x: &Arc<gubpi_symbolic::SymVal>, y: &Arc<gubpi_symbolic::SymVal>| {
-        Arc::ptr_eq(x, y) || x == y
-    };
-    a.n_samples == b.n_samples
+    let arc_identical =
+        |x: &Arc<gubpi_symbolic::SymVal>, y: &Arc<gubpi_symbolic::SymVal>| Arc::ptr_eq(x, y);
+    let identical = a.n_samples == b.n_samples
         && a.truncated == b.truncated
         && a.constraints.len() == b.constraints.len()
         && a.scores.len() == b.scores.len()
-        && arc_eq(&a.result, &b.result)
+        && arc_identical(&a.result, &b.result)
         && a.constraints
             .iter()
             .zip(&b.constraints)
-            .all(|(x, y)| x.dir == y.dir && arc_eq(&x.value, &y.value))
-        && a.scores.iter().zip(&b.scores).all(|(x, y)| arc_eq(x, y))
+            .all(|(x, y)| x.dir == y.dir && arc_identical(&x.value, &y.value))
+        && a.scores
+            .iter()
+            .zip(&b.scores)
+            .all(|(x, y)| arc_identical(x, y));
+    identical || a == b
 }
 
 /// A prepared analysis: program parsed, typed, symbolically executed.
@@ -216,7 +330,10 @@ fn same_path(a: &SymPath, b: &SymPath) -> bool {
 /// Queries and histograms reuse the path set, so asking many questions of
 /// one program costs one symbolic execution; repeated or overlapping
 /// queries additionally hit a per-path memo cache (see
-/// [`Analyzer::cache_stats`]).
+/// [`Analyzer::cache_stats`]). All parallel work — symbolic frontier
+/// forks and region sweeps alike — runs on a persistent
+/// [`WorkerPool`] (the process-global pool unless an explicit one is
+/// supplied via [`Analyzer::from_source_with`]).
 pub struct Analyzer {
     program: Program,
     simple: TypeMap,
@@ -225,6 +342,7 @@ pub struct Analyzer {
     /// `paths[i].fingerprint()`, precomputed once for the memo cache.
     fingerprints: Vec<u64>,
     cache: SharedQueryCache,
+    pool: WorkerPool,
     opts: AnalysisOptions,
 }
 
@@ -251,8 +369,24 @@ impl Analyzer {
         opts: AnalysisOptions,
         cache: &SharedQueryCache,
     ) -> Result<Analyzer, LangError> {
+        Analyzer::from_source_with(source, opts, cache, WorkerPool::global())
+    }
+
+    /// [`Analyzer::from_source_with_cache`] on an explicit persistent
+    /// [`WorkerPool`] — share one pool (and one cache) across many
+    /// analyzers to keep workers hot between queries and requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexing, parsing and simple-type errors.
+    pub fn from_source_with(
+        source: &str,
+        opts: AnalysisOptions,
+        cache: &SharedQueryCache,
+        pool: &WorkerPool,
+    ) -> Result<Analyzer, LangError> {
         let program = parse(source)?;
-        Analyzer::from_program_with_cache(program, opts, cache)
+        Analyzer::from_program_with(program, opts, cache, pool)
     }
 
     /// Analysis of an already-parsed program.
@@ -266,10 +400,6 @@ impl Analyzer {
 
     /// [`Analyzer::from_program`] attached to a [`SharedQueryCache`].
     ///
-    /// Symbolic execution shards its branch frontier over the worker
-    /// count resolved from `opts.threads` (the path set is identical for
-    /// every setting; see `gubpi_symbolic`'s docs).
-    ///
     /// # Errors
     ///
     /// Propagates simple-type errors.
@@ -278,11 +408,30 @@ impl Analyzer {
         opts: AnalysisOptions,
         cache: &SharedQueryCache,
     ) -> Result<Analyzer, LangError> {
+        Analyzer::from_program_with(program, opts, cache, WorkerPool::global())
+    }
+
+    /// [`Analyzer::from_program_with_cache`] on an explicit persistent
+    /// [`WorkerPool`].
+    ///
+    /// Symbolic execution submits its frontier forks to the pool at the
+    /// width resolved from `opts.threads` (the path set is identical for
+    /// every setting; see `gubpi_symbolic`'s docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simple-type errors.
+    pub fn from_program_with(
+        program: Program,
+        opts: AnalysisOptions,
+        cache: &SharedQueryCache,
+        pool: &WorkerPool,
+    ) -> Result<Analyzer, LangError> {
         let simple = infer(&program)?;
         let typing = infer_interval_types(&program, &simple);
         let mut sym = opts.sym;
         sym.frontier_workers = opts.threads.worker_count(usize::MAX);
-        let paths = symbolic_paths(&program, &typing, sym);
+        let paths = symbolic_paths_in(&program, &typing, sym, pool);
         let fingerprints = paths.iter().map(SymPath::fingerprint).collect();
         Ok(Analyzer {
             program,
@@ -291,6 +440,7 @@ impl Analyzer {
             paths,
             fingerprints,
             cache: cache.clone(),
+            pool: pool.clone(),
             opts,
         })
     }
@@ -299,6 +449,12 @@ impl Analyzer {
     /// [`Analyzer::from_source_with_cache`] to share warm entries.
     pub fn shared_cache(&self) -> SharedQueryCache {
         self.cache.clone()
+    }
+
+    /// The persistent worker pool this analyzer schedules on; hand it to
+    /// [`Analyzer::from_source_with`] to share warm workers.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// The analysed program.
@@ -326,10 +482,10 @@ impl Analyzer {
         self.paths.iter().filter(|p| linear_applicable(p)).count()
     }
 
-    /// `(hits, misses)` of the per-path query memo cache so far. With a
-    /// shared cache the counters aggregate over every attached analyzer
-    /// (each per-path lookup is counted exactly once).
-    pub fn cache_stats(&self) -> (u64, u64) {
+    /// Counters of the per-path query memo cache so far. With a shared
+    /// cache they aggregate over every attached analyzer (each per-path
+    /// lookup is counted exactly once).
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
@@ -363,16 +519,21 @@ impl Analyzer {
         // One lock for the whole lookup pass: cached results are read
         // out before dispatch, so workers never contend on the cache.
         // Fingerprint hits are verified by structural path equality
-        // before reuse (the cache may be shared across analyzers).
+        // before reuse (the cache may be shared across analyzers), and
+        // every hit refreshes the entry's coarse-LRU stamp.
         let cached: Vec<Option<(f64, f64)>> = {
-            let map = self.cache.inner.map.lock().expect("cache poisoned");
+            let mut map = self.cache.inner.map.lock().expect("cache poisoned");
             (0..self.paths.len())
                 .map(|i| {
-                    map.get(&key(i)).and_then(|bucket| {
+                    let stamp = self.cache.tick();
+                    map.buckets.get_mut(&key(i)).and_then(|bucket| {
                         bucket
-                            .iter()
-                            .find(|(p, _)| same_path(p, &self.paths[i]))
-                            .map(|&(_, v)| v)
+                            .iter_mut()
+                            .find(|e| same_path(&e.path, &self.paths[i]))
+                            .map(|e| {
+                                e.stamp = stamp;
+                                e.bounds
+                            })
                     })
                 })
                 .collect()
@@ -389,38 +550,47 @@ impl Analyzer {
             .inner
             .misses
             .fetch_add(misses.len() as u64, Ordering::Relaxed);
-        // Pick the parallelism grain: with fewer missing paths than
-        // would keep the pool busy, parallelise *inside* each path
-        // (grid cells / chunk combinations) instead of across paths.
-        // Either grain produces bit-identical bounds.
-        let threads = self.opts.threads;
-        let workers = threads.worker_count(usize::MAX);
-        let bound_one = |p: &SymPath, inner: Threads| -> (f64, f64) {
-            match method {
-                Method::Auto => bound_path_query_threaded(p, u, bounds, inner),
-                Method::Grid => {
-                    let mut sink = SingleQuery::new(u);
-                    bound_path_grid_only_threaded(p, bounds, inner, &mut sink);
-                    (sink.lo, sink.hi)
-                }
-            }
-        };
-        let computed: Vec<(f64, f64)> = if workers > 1 && misses.len() < workers * 2 {
-            misses.iter().map(|&(_, p)| bound_one(p, threads)).collect()
-        } else {
-            map_paths(threads, &misses, |_, &(_, p)| bound_one(p, Threads::Off))
-        };
-        {
+        // Unified scheduling: every missing path becomes a region-sweep
+        // plan and the pool works path- and region-grain *at once* —
+        // workers that drain the shallow paths steal region chunks from
+        // still-running dominant ones. The fold below replays every
+        // contribution in (path, region) order, so the bounds are
+        // bit-identical for every width and steal schedule.
+        let mut jobs: Vec<PathJob<'_, Region>> = Vec::with_capacity(misses.len());
+        let mut folds: Vec<QueryFold> = Vec::with_capacity(misses.len());
+        for &(_, p) in &misses {
+            let (job, fold) = match method {
+                Method::Auto => plan_path_query(p, u, bounds),
+                Method::Grid => (plan_path_grid_only(p, bounds), QueryFold::Filter(u)),
+            };
+            jobs.push(job);
+            folds.push(fold);
+        }
+        let mut computed: Vec<(f64, f64)> = vec![(0.0, 0.0); misses.len()];
+        run_jobs_with(
+            &self.pool,
+            self.opts.threads.worker_count(usize::MAX),
+            jobs,
+            |i, region| folds[i].apply(&mut computed[i], region),
+        );
+        if !misses.is_empty() {
             let mut map = self.cache.inner.map.lock().expect("cache poisoned");
             for (&(i, _), &v) in misses.iter().zip(&computed) {
-                let bucket = map.entry(key(i)).or_default();
+                let stamp = self.cache.tick();
+                let bucket = map.buckets.entry(key(i)).or_default();
                 // A racing analyzer may have inserted the same path
                 // meanwhile; bounding is pure, so skipping the duplicate
                 // loses nothing.
-                if !bucket.iter().any(|(p, _)| same_path(p, &self.paths[i])) {
-                    bucket.push((self.paths[i].clone(), v));
+                if !bucket.iter().any(|e| same_path(&e.path, &self.paths[i])) {
+                    bucket.push(CacheEntry {
+                        path: self.paths[i].clone(),
+                        bounds: v,
+                        stamp,
+                    });
+                    map.entries += 1;
                 }
             }
+            self.cache.enforce_cap(&mut map);
         }
         let mut per_path = cached;
         for (&(i, _), &v) in misses.iter().zip(&computed) {
@@ -488,35 +658,32 @@ impl Analyzer {
     /// slightly conservative). Use [`Analyzer::histogram_exact`] for
     /// per-bin query precision.
     ///
-    /// Paths are bounded in parallel into per-path partial histograms,
-    /// merged in path order (same determinism guarantee as the queries).
+    /// Every path is a region-sweep plan on the pool (same unified
+    /// scheduling and stealing as the queries); contributions land in
+    /// per-path partial histograms in region order, merged in path
+    /// order — the same determinism guarantee as the queries.
     pub fn histogram(&self, domain: Interval, bins: usize) -> HistogramBounds {
         let method = self.opts.method;
         let bounds = self.opts.bounds;
-        let threads = self.opts.threads;
-        let workers = threads.worker_count(usize::MAX);
-        let bound_into = |p: &SymPath, inner: Threads, h: &mut HistogramBounds| match method {
-            Method::Auto => bound_path_threaded(p, bounds, inner, h),
-            Method::Grid => bound_path_grid_only_threaded(p, bounds, inner, h),
-        };
-        // Same grain policy as the queries: few paths ⇒ parallelise the
-        // regions inside each path instead of across paths.
-        let partials: Vec<HistogramBounds> = if workers > 1 && self.paths.len() < workers * 2 {
-            self.paths
-                .iter()
-                .map(|p| {
-                    let mut h = HistogramBounds::new(domain, bins);
-                    bound_into(p, threads, &mut h);
-                    h
-                })
-                .collect()
-        } else {
-            map_paths(threads, &self.paths, |_i, p| {
-                let mut h = HistogramBounds::new(domain, bins);
-                bound_into(p, Threads::Off, &mut h);
-                h
+        let jobs: Vec<PathJob<'_, Region>> = self
+            .paths
+            .iter()
+            .map(|p| match method {
+                Method::Auto => plan_path(p, bounds),
+                Method::Grid => plan_path_grid_only(p, bounds),
             })
-        };
+            .collect();
+        let mut partials: Vec<HistogramBounds> = self
+            .paths
+            .iter()
+            .map(|_| HistogramBounds::new(domain, bins))
+            .collect();
+        run_jobs_with(
+            &self.pool,
+            self.opts.threads.worker_count(usize::MAX),
+            jobs,
+            |i, (v, lo, hi)| partials[i].add(v, lo, hi),
+        );
         let mut h = HistogramBounds::new(domain, bins);
         for part in &partials {
             h.merge_from(part);
@@ -732,19 +899,18 @@ mod tests {
     fn repeated_queries_hit_the_memo_cache() {
         let a = analyzer("if sample <= 0.5 then sample else 1 - sample");
         let n_paths = a.paths().len() as u64;
-        assert_eq!(a.cache_stats(), (0, 0));
+        assert_eq!(a.cache_stats().hit_miss(), (0, 0));
         let first = a.denotation_bounds(Interval::new(0.0, 0.5));
-        let (h0, m0) = a.cache_stats();
-        assert_eq!((h0, m0), (0, n_paths));
+        assert_eq!(a.cache_stats().hit_miss(), (0, n_paths));
         let second = a.denotation_bounds(Interval::new(0.0, 0.5));
-        let (h1, m1) = a.cache_stats();
-        assert_eq!((h1, m1), (n_paths, n_paths));
+        assert_eq!(a.cache_stats().hit_miss(), (n_paths, n_paths));
         assert_eq!(first, second, "cache must return bit-identical bounds");
         // A different query misses again.
         let _ = a.denotation_bounds(Interval::new(0.25, 0.75));
-        let (h2, m2) = a.cache_stats();
-        assert_eq!(h2, n_paths);
-        assert_eq!(m2, 2 * n_paths);
+        let s = a.cache_stats();
+        assert_eq!(s.hits, n_paths);
+        assert_eq!(s.misses, 2 * n_paths);
+        assert_eq!(s.evictions, 0, "unbounded caches never evict");
     }
 
     #[test]
@@ -764,14 +930,91 @@ mod tests {
         // Different options must not alias: the fine query recomputes
         // rather than reusing the coarse result.
         assert!(f1.1 - f1.0 < c1.1 - c1.0, "fine {f1:?} vs coarse {c1:?}");
-        let (hits, misses) = a.cache_stats();
-        assert_eq!(hits, 0);
-        assert_eq!(misses, 2 * a.paths().len() as u64);
+        let s = a.cache_stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2 * a.paths().len() as u64);
         // Re-asking each configuration hits its own entry.
         assert_eq!(a.denotation_bounds_with(u, coarse), c1);
         assert_eq!(a.denotation_bounds_with(u, fine), f1);
-        let (hits, _) = a.cache_stats();
-        assert_eq!(hits, 2 * a.paths().len() as u64);
+        assert_eq!(a.cache_stats().hits, 2 * a.paths().len() as u64);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_entries_and_stays_correct() {
+        // 2 paths per query; a cap of 4 holds exactly two queries' worth
+        // of entries. Warm more than that, check the cap holds, evictions
+        // are counted, and a re-query of an evicted interval recomputes
+        // bit-identical bounds.
+        let src = "if sample <= 0.5 then sample else 1 - sample";
+        let queries: Vec<Interval> = (0..5)
+            .map(|i| Interval::new(0.0, 0.1 + 0.1 * i as f64))
+            .collect();
+        let unbounded = Analyzer::from_source(src, AnalysisOptions::default()).unwrap();
+        let reference: Vec<(f64, f64)> = queries
+            .iter()
+            .map(|&u| unbounded.denotation_bounds(u))
+            .collect();
+
+        let cache = SharedQueryCache::with_capacity(4);
+        assert_eq!(cache.capacity(), Some(4));
+        let a = Analyzer::from_source_with_cache(src, AnalysisOptions::default(), &cache).unwrap();
+        let n_paths = a.paths().len();
+        assert_eq!(n_paths, 2);
+        for (&u, &r) in queries.iter().zip(&reference) {
+            assert_eq!(a.denotation_bounds(u), r);
+            assert!(
+                cache.entry_count() <= 4,
+                "cap violated: {} entries",
+                cache.entry_count()
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 10, "5 queries × 2 paths all missed");
+        assert_eq!(
+            s.evictions,
+            (queries.len() * n_paths - 4) as u64,
+            "everything beyond the cap was evicted exactly once"
+        );
+        // The two most recent queries are still resident (LRU kept the
+        // newest stamps) ...
+        let before = cache.stats();
+        assert_eq!(a.denotation_bounds(queries[4]), reference[4]);
+        assert_eq!(cache.stats().hits, before.hits + 2);
+        // ... and an evicted query recomputes, bit-identical.
+        let before = cache.stats();
+        assert_eq!(a.denotation_bounds(queries[0]), reference[0]);
+        let after = cache.stats();
+        assert_eq!(after.misses, before.misses + 2, "evicted ⇒ recompute");
+        assert!(cache.entry_count() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_caches_are_rejected() {
+        let _ = SharedQueryCache::with_capacity(0);
+    }
+
+    #[test]
+    fn lru_refresh_protects_hot_entries() {
+        // Cap 2, one path per query. Warm A, B (cache full: A older than
+        // B), touch A (refresh), insert C ⇒ B must be the victim.
+        let src = "sample";
+        let cache = SharedQueryCache::with_capacity(2);
+        let a = Analyzer::from_source_with_cache(src, AnalysisOptions::default(), &cache).unwrap();
+        assert_eq!(a.paths().len(), 1);
+        let qa = Interval::new(0.0, 0.25);
+        let qb = Interval::new(0.0, 0.5);
+        let qc = Interval::new(0.0, 0.75);
+        let _ = a.denotation_bounds(qa);
+        let _ = a.denotation_bounds(qb);
+        let _ = a.denotation_bounds(qa); // refresh A
+        let _ = a.denotation_bounds(qc); // evicts B, the oldest stamp
+        let before = cache.stats();
+        let _ = a.denotation_bounds(qa);
+        assert_eq!(cache.stats().hits, before.hits + 1, "A survived");
+        let before = cache.stats();
+        let _ = a.denotation_bounds(qb);
+        assert_eq!(cache.stats().misses, before.misses + 1, "B was evicted");
     }
 
     #[test]
@@ -829,11 +1072,11 @@ mod tests {
         let u = Interval::new(0.1, 0.9);
         let r1 = a.denotation_bounds(u);
         a.clear_cache();
-        assert_eq!(a.cache_stats(), (0, 0));
+        assert_eq!(a.cache_stats(), CacheStats::default());
         let r2 = a.denotation_bounds(u);
         assert_eq!(r1, r2);
-        let (hits, misses) = a.cache_stats();
-        assert_eq!(hits, 0);
-        assert_eq!(misses, a.paths().len() as u64);
+        let s = a.cache_stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, a.paths().len() as u64);
     }
 }

@@ -40,16 +40,25 @@
 
 mod analyze;
 mod histogram;
-pub mod parallel;
 mod pathbounds;
 mod report;
 
-pub use analyze::{AnalysisOptions, Analyzer, Method, QueryError, SharedQueryCache};
+/// The persistent executor subsystem: one long-lived work-stealing
+/// worker pool shared across queries and `Analyzer` instances, with the
+/// unified deterministic task model (`Task::Path` / `Task::Regions`).
+/// Re-exported from the bottom-of-stack `gubpi_pool` crate so the
+/// symbolic executor schedules on the same pool.
+pub mod pool {
+    pub use gubpi_pool::{run_jobs_with, PathJob, PoolStats, Task, Threads, WorkerPool};
+}
+
+pub use analyze::{AnalysisOptions, Analyzer, CacheStats, Method, QueryError, SharedQueryCache};
 pub use histogram::{HistogramBounds, NormalizedBin};
-pub use parallel::Threads;
 pub use pathbounds::{
     bound_path, bound_path_grid_only, bound_path_grid_only_threaded, bound_path_query,
-    bound_path_query_threaded, bound_path_threaded, grid_splits, linear_applicable, BoundSink,
-    PathBoundOptions, Region, SingleQuery,
+    bound_path_query_threaded, bound_path_threaded, grid_splits, linear_applicable, plan_path,
+    plan_path_grid_only, plan_path_query, BoundSink, PathBoundOptions, QueryFold, Region,
+    SingleQuery,
 };
+pub use pool::{PoolStats, Threads, WorkerPool};
 pub use report::render_histogram;

@@ -1,22 +1,26 @@
 //! Bounding the denotation of one symbolic interval path (§6.3–6.4),
-//! sequentially or region-parallel.
+//! sequentially or on the persistent worker pool.
 //!
 //! The hard models (pedestrian, random walks) are dominated by a few
-//! deep paths, so per-path parallelism alone leaves workers idle. The
-//! `*_threaded` entry points split the work *inside* one path — the
-//! §6.3 grid's n-dimensional cell space and the §6.4 chunk-combination
-//! product are flat index spaces of pure region computations — across
-//! the worker pool via [`crate::parallel::map_ranges`]: each range
-//! produces a buffered list of region contributions which are replayed
-//! into the caller's sink in index order, so the sink sees exactly the
-//! sequential call sequence and every bound stays bit-identical across
-//! thread counts.
+//! deep paths, so per-path parallelism alone leaves workers idle. Each
+//! path's work — the §6.3 grid's n-dimensional cell space or the §6.4
+//! chunk-combination product — is a flat index space of pure region
+//! computations, which this module exposes as a *plan*
+//! ([`plan_path_query`] / [`plan_path`] / [`plan_path_grid_only`]
+//! returning a [`PathJob`] over buffered [`Region`] triples). The
+//! unified scheduler (`gubpi_pool::run_jobs_with`) executes the plans
+//! of a whole query at once: workers adopt paths, drain their region
+//! spaces chunk by chunk, and **steal chunks from still-running
+//! dominant paths**, while every buffered contribution is replayed
+//! into the caller's sink in (path index, region index) order — so the
+//! sink sees exactly the sequential call sequence and every bound
+//! stays bit-identical across thread counts and steal schedules.
 
 use gubpi_interval::{BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
 use gubpi_symbolic::SymPath;
 
-use crate::parallel::{map_ranges, Threads};
+use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
 
 /// Where per-region contributions are accumulated.
 ///
@@ -65,13 +69,48 @@ impl BoundSink for SingleQuery {
 
 /// One buffered region contribution `(value_range, lo_mass, hi_mass)`.
 ///
-/// The region-parallel engine records these per index range and replays
-/// them into the real sink in index order.
+/// The scheduler records these per claimed chunk and replays them into
+/// the real sink in (path, region) order.
 pub type Region = (Interval, f64, f64);
 
 impl BoundSink for Vec<Region> {
     fn add(&mut self, value_range: Interval, lo_mass: f64, hi_mass: f64) {
         self.push((value_range, lo_mass, hi_mass));
+    }
+}
+
+/// How a plan's [`Region`] stream folds into `(lo, hi)` query bounds.
+///
+/// The linear semantics in query mode bakes `result ∈ U` into the
+/// polytopes, so its masses sum directly; the grid semantics (and
+/// sampleless paths) report raw value ranges that the fold must still
+/// classify against `U` — exactly what [`SingleQuery`] does.
+#[derive(Copy, Clone, Debug)]
+pub enum QueryFold {
+    /// Sum the masses as-is (membership already folded into the plan).
+    Direct,
+    /// Classify each region's value range against `U` before summing.
+    Filter(Interval),
+}
+
+impl QueryFold {
+    /// Folds one region into a `(lo, hi)` accumulator.
+    #[inline]
+    pub fn apply(self, acc: &mut (f64, f64), (v, lo, hi): Region) {
+        match self {
+            QueryFold::Direct => {
+                acc.0 += lo;
+                acc.1 += hi;
+            }
+            QueryFold::Filter(u) => {
+                if v.subset_of(&u) {
+                    acc.0 += lo;
+                }
+                if v.intersects(&u) {
+                    acc.1 += hi;
+                }
+            }
+        }
     }
 }
 
@@ -116,99 +155,129 @@ impl Default for PathBoundOptions {
     }
 }
 
-/// Bounds `⟦Ψ⟧(U)` for one path directly.
+// --------------------------------------------------------------------
+// Plans: each path as a schedulable region sweep
+// --------------------------------------------------------------------
+
+/// Plans the bounding of `⟦Ψ⟧(U)` for one path, together with the fold
+/// that turns its region stream into `(lo, hi)`.
 ///
 /// For linear paths the query set `U` is folded into the polytopes
 /// (the 𝔓_lb / 𝔓_ub of §6.4), which avoids any boundary slack: the
-/// membership test becomes part of the volume computation.
+/// membership test becomes part of the volume computation (hence
+/// [`QueryFold::Direct`]).
+pub fn plan_path_query(
+    path: &SymPath,
+    u: Interval,
+    opts: PathBoundOptions,
+) -> (PathJob<'_, Region>, QueryFold) {
+    if path.n_samples == 0 {
+        (plan_sampleless(path), QueryFold::Filter(u))
+    } else if linear_applicable(path) {
+        (
+            plan_linear(path, opts, ResultMode::Query(u)),
+            QueryFold::Direct,
+        )
+    } else {
+        (plan_grid(path, opts), QueryFold::Filter(u))
+    }
+}
+
+/// Plans the full region stream of one path for histogram-shaped sinks.
+///
+/// Dispatches to the linear semantics when the path's constraints and
+/// result are interval-linear (§6.4), otherwise to the standard grid
+/// semantics (§6.3).
+pub fn plan_path(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
+    if path.n_samples == 0 {
+        plan_sampleless(path)
+    } else if linear_applicable(path) {
+        plan_linear(path, opts, ResultMode::Boxed)
+    } else {
+        plan_grid(path, opts)
+    }
+}
+
+/// Like [`plan_path`] but always uses the grid semantics — the §6.3 vs
+/// §6.4 ablation baseline.
+pub fn plan_path_grid_only(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
+    if path.n_samples == 0 {
+        plan_sampleless(path)
+    } else {
+        plan_grid(path, opts)
+    }
+}
+
+// --------------------------------------------------------------------
+// Direct (single-path) entry points on top of the plans
+// --------------------------------------------------------------------
+
+/// Bounds `⟦Ψ⟧(U)` for one path directly, on the calling thread.
 pub fn bound_path_query(path: &SymPath, u: Interval, opts: PathBoundOptions) -> (f64, f64) {
     bound_path_query_threaded(path, u, opts, Threads::Off)
 }
 
 /// [`bound_path_query`] with the path's regions (grid cells / chunk
-/// combinations) bounded on `threads` workers. Bit-identical to the
-/// sequential result for every `threads` value.
+/// combinations) bounded on the persistent pool at width `threads`.
+/// Bit-identical to the sequential result for every `threads` value.
 pub fn bound_path_query_threaded(
     path: &SymPath,
     u: Interval,
     opts: PathBoundOptions,
     threads: Threads,
 ) -> (f64, f64) {
-    if path.n_samples == 0 {
-        let mut sink = SingleQuery::new(u);
-        bound_sampleless(path, &mut sink);
-        return (sink.lo, sink.hi);
-    }
-    if linear_applicable(path) {
-        let mut lo = 0.0;
-        let mut hi = 0.0;
-        bound_linear(
-            path,
-            opts,
-            ResultMode::Query(u),
-            threads,
-            &mut |_vr, l, h| {
-                lo += l;
-                hi += h;
-            },
-        );
-        (lo, hi)
-    } else {
-        let mut sink = SingleQuery::new(u);
-        bound_grid(path, opts, threads, &mut sink);
-        (sink.lo, sink.hi)
-    }
+    let (job, fold) = plan_path_query(path, u, opts);
+    let mut acc = (0.0, 0.0);
+    run_jobs_with(
+        WorkerPool::global(),
+        threads.worker_count(usize::MAX),
+        vec![job],
+        |_, region| fold.apply(&mut acc, region),
+    );
+    acc
 }
 
 /// Bounds `⟦Ψ⟧` for one path, feeding regions into the sink.
-///
-/// Dispatches to the linear semantics when the path's constraints and
-/// result are interval-linear (§6.4), otherwise to the standard grid
-/// semantics (§6.3).
 pub fn bound_path(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
     bound_path_threaded(path, opts, Threads::Off, sink);
 }
 
-/// [`bound_path`] with region-level parallelism; the sink receives the
-/// region contributions in the sequential order regardless of the
-/// thread count.
+/// [`bound_path`] with region-level parallelism on the persistent pool;
+/// the sink receives the region contributions in the sequential order
+/// regardless of the thread count.
 pub fn bound_path_threaded(
     path: &SymPath,
     opts: PathBoundOptions,
     threads: Threads,
     sink: &mut impl BoundSink,
 ) {
-    if path.n_samples == 0 {
-        bound_sampleless(path, sink);
-        return;
-    }
-    if linear_applicable(path) {
-        bound_linear(path, opts, ResultMode::Boxed, threads, &mut |vr, l, h| {
-            sink.add(vr, l, h)
-        });
-    } else {
-        bound_grid(path, opts, threads, sink);
-    }
+    run_jobs_with(
+        WorkerPool::global(),
+        threads.worker_count(usize::MAX),
+        vec![plan_path(path, opts)],
+        |_, (v, lo, hi)| sink.add(v, lo, hi),
+    );
 }
 
-/// Like [`bound_path`] but always uses the grid semantics — the §6.3 vs
-/// §6.4 ablation baseline.
+/// Like [`bound_path`] but always uses the grid semantics.
 pub fn bound_path_grid_only(path: &SymPath, opts: PathBoundOptions, sink: &mut impl BoundSink) {
     bound_path_grid_only_threaded(path, opts, Threads::Off, sink);
 }
 
-/// [`bound_path_grid_only`] with region-level parallelism.
+/// [`bound_path_grid_only`] with region-level parallelism on the
+/// persistent pool.
 pub fn bound_path_grid_only_threaded(
     path: &SymPath,
     opts: PathBoundOptions,
     threads: Threads,
     sink: &mut impl BoundSink,
 ) {
-    if path.n_samples == 0 {
-        bound_sampleless(path, sink);
-    } else {
-        bound_grid(path, opts, threads, sink);
-    }
+    run_jobs_with(
+        WorkerPool::global(),
+        threads.worker_count(usize::MAX),
+        vec![plan_path_grid_only(path, opts)],
+        |_, (v, lo, hi)| sink.add(v, lo, hi),
+    );
 }
 
 /// Is the linear semantics applicable (linear constraints and result)?
@@ -221,17 +290,19 @@ pub fn linear_applicable(path: &SymPath) -> bool {
             .all(|c| c.value.linear_form(n).is_some())
 }
 
-/// Paths without samples: a single region of measure 1.
-fn bound_sampleless(path: &SymPath, sink: &mut impl BoundSink) {
+/// Paths without samples: a single region of measure 1, precomputed at
+/// plan time (nothing to schedule).
+fn plan_sampleless(path: &SymPath) -> PathJob<'static, Region> {
+    let mut buf: Vec<Region> = Vec::new();
     let empty = BoxN::empty();
     let def = path.constraints_on_box(&empty, true);
     let pos = path.constraints_on_box(&empty, false);
-    if !pos {
-        return;
+    if pos {
+        let w = path.weight_range_over_box(&empty);
+        let v = path.result.range_over_box(&empty);
+        buf.add(v, if def { w.lo() } else { 0.0 }, w.hi());
     }
-    let w = path.weight_range_over_box(&empty);
-    let v = path.result.range_over_box(&empty);
-    sink.add(v, if def { w.lo() } else { 0.0 }, w.hi());
+    PathJob::Ready(buf)
 }
 
 // --------------------------------------------------------------------
@@ -281,63 +352,29 @@ pub fn grid_splits(splits: usize, n: usize, budget: usize) -> usize {
 /// product of `Ξ`, and reported with the result range.
 ///
 /// Cells are indexed linearly (dimension 0 fastest) so the index space
-/// can be carved into contiguous ranges for the worker pool; partial
-/// buffers are replayed in range order, reproducing the sequential
-/// `sink.add` sequence bit for bit.
-fn bound_grid(path: &SymPath, opts: PathBoundOptions, threads: Threads, sink: &mut impl BoundSink) {
+/// can be carved into contiguous chunks by the scheduler; chunk buffers
+/// are replayed in index order, reproducing the sequential `sink.add`
+/// sequence bit for bit.
+fn plan_grid(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
     let n = path.n_samples;
     let k = grid_splits(opts.splits, n, opts.region_budget);
-    let cell_edges: Vec<Vec<Interval>> = (0..n).map(|_| Interval::UNIT.split(k)).collect();
+    // Every dimension splits the same [0, 1], so one edge vector serves
+    // all of them.
+    let cell_edges: Vec<Interval> = Interval::UNIT.split(k);
     // k^n ≤ region_budget ≤ usize::MAX whenever k > 1, and 1 otherwise.
     let total = k.pow(n as u32);
-    let cell_at = |mut ci: usize| -> BoxN {
-        (0..n)
-            .map(|d| {
-                let i = ci % k;
-                ci /= k;
-                cell_edges[d][i]
-            })
-            .collect()
-    };
-    sweep_regions(
-        threads,
+    PathJob::Sweep {
         total,
-        |ci, buf| process_region(path, &cell_at(ci), buf),
-        &mut |v, lo, hi| sink.add(v, lo, hi),
-    );
-}
-
-/// Shared scaffolding of the region-parallel sweeps: runs the pure
-/// `process(index, buffer)` for every index in `0..total` — on the
-/// calling thread when one worker resolves, otherwise via
-/// [`map_ranges`] — and forwards the buffered region triples to `emit`
-/// **in index order** either way, so callers observe the sequential
-/// emit sequence bit for bit regardless of the thread count.
-fn sweep_regions(
-    threads: Threads,
-    total: usize,
-    process: impl Fn(usize, &mut Vec<Region>) + Sync,
-    emit: &mut impl FnMut(Interval, f64, f64),
-) {
-    if threads.worker_count(total) <= 1 {
-        let mut buf: Vec<Region> = Vec::new();
-        for ci in 0..total {
-            process(ci, &mut buf);
-            for (v, lo, hi) in buf.drain(..) {
-                emit(v, lo, hi);
-            }
-        }
-        return;
-    }
-    let partials = map_ranges(threads, total, |range| {
-        let mut buf: Vec<Region> = Vec::new();
-        for ci in range {
-            process(ci, &mut buf);
-        }
-        buf
-    });
-    for (v, lo, hi) in partials.into_iter().flatten() {
-        emit(v, lo, hi);
+        process: Box::new(move |mut ci, buf| {
+            let cell: BoxN = (0..n)
+                .map(|_| {
+                    let i = ci % k;
+                    ci /= k;
+                    cell_edges[i]
+                })
+                .collect();
+            process_region(path, &cell, buf);
+        }),
     }
 }
 
@@ -367,14 +404,9 @@ enum ResultMode {
     Query(Interval),
 }
 
-fn bound_linear(
-    path: &SymPath,
-    opts: PathBoundOptions,
-    mode: ResultMode,
-    threads: Threads,
-    emit: &mut impl FnMut(Interval, f64, f64),
-) {
+fn plan_linear(path: &SymPath, opts: PathBoundOptions, mode: ResultMode) -> PathJob<'_, Region> {
     let n = path.n_samples;
+    let nothing = || PathJob::Ready(Vec::new());
 
     // 𝔓_lb: constraints hold for *all* refinements of interval parts;
     // 𝔓_ub: for *some* refinement.
@@ -427,7 +459,7 @@ fn bound_linear(
                 const_in_lo = const_value_range.subset_of(&u);
                 const_in_hi = const_value_range.intersects(&u);
                 if !const_in_hi {
-                    return;
+                    return nothing();
                 }
             } else {
                 // V ⊆ U for the lower bound:
@@ -454,14 +486,14 @@ fn bound_linear(
                 if u.lo().is_finite() && res_iv.hi().is_finite() {
                     p_ub.add_ge_zero(&(&res_lin + &LinExpr::constant(n, res_iv.hi() - u.lo())));
                 }
-                // Report the full possible value range; the sink closure
-                // for queries ignores it.
+                // Report the full possible value range; the query fold
+                // is Direct, so the range is never consulted.
                 const_value_range = Interval::REAL;
             }
         }
     }
     if p_ub.is_empty() {
-        return;
+        return nothing();
     }
 
     // Boxed expressions: the result (when boxed) first, then the linear
@@ -507,7 +539,7 @@ fn bound_linear(
     for lin in &boxed {
         let range = match p_ub.range_of(lin) {
             Some(r) if r.is_finite() => r,
-            _ => return,
+            _ => return nothing(),
         };
         if range.width() == 0.0 {
             chunkings.push(vec![range]);
@@ -524,13 +556,13 @@ fn bound_linear(
 
     // Cartesian sweep over chunk combinations, addressed by a linear
     // mixed-radix index (expression 0 fastest) so the combination space
-    // can be range-partitioned across workers. Each combination's work
-    // is pure; per-range buffers replayed in range order reproduce the
+    // can be chunk-partitioned across workers. Each combination's work
+    // is pure; chunk buffers replayed in index order reproduce the
     // sequential emit sequence exactly. The product cannot overflow:
     // every chunking has ≤ per_expr_chunks entries, whose boxed-count
     // power grid_splits bounded by the region budget.
     let total: usize = chunkings.iter().map(Vec::len).product();
-    let eval_combo = |mut ci: usize, buf: &mut Vec<Region>| {
+    let eval_combo = move |mut ci: usize, buf: &mut Vec<Region>| {
         let chunks: Vec<Interval> = chunkings
             .iter()
             .map(|chunking| {
@@ -590,7 +622,10 @@ fn bound_linear(
         }
     };
 
-    sweep_regions(threads, total, eval_combo, emit);
+    PathJob::Sweep {
+        total,
+        process: Box::new(eval_combo),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,26 @@
+//! `gubpi-pool` — the persistent work-stealing executor behind the
+//! GuBPI analysis engine.
+//!
+//! One long-lived [`WorkerPool`] (shared process-wide by default, or
+//! explicitly across `Analyzer` instances like a shared query cache)
+//! executes a unified deterministic task model: [`Task::Path`] adopts a
+//! whole symbolic path, [`Task::Regions`] processes one contiguous
+//! chunk of a path's region space, and idle workers **steal** region
+//! chunks from still-running dominant paths. All partial results are
+//! replayed in (path index, region index) order, so every reported
+//! bound is bit-identical across thread counts and steal schedules —
+//! see [`run_jobs_with`] for the full argument.
+//!
+//! The crate sits at the bottom of the workspace (std only) so both the
+//! symbolic executor (frontier forking via [`WorkerPool::fork_join`])
+//! and the core analyzer (query scheduling via [`run_jobs_with`]) can
+//! share one set of warm workers. `gubpi_core::pool` re-exports this
+//! API.
+
+mod pool;
+mod sched;
+mod threads;
+
+pub use pool::{PoolStats, WorkerPool};
+pub use sched::{run_jobs_with, PathJob, RegionFn, Task};
+pub use threads::Threads;

@@ -1,0 +1,684 @@
+//! The persistent worker pool.
+//!
+//! PRs 2–3 parallelised with *per-call scoped spawns*: every query (and
+//! every big symbolic fork) paid a thread spawn + join. This module
+//! replaces that machinery with one long-lived executor: OS threads are
+//! spawned **lazily** the first time a caller asks for width > 1, then
+//! parked on a condvar between queries, so a production service keeps
+//! its workers hot across requests. One pool is shared process-wide by
+//! default ([`WorkerPool::global`]) and explicit pools can be shared
+//! across `Analyzer` instances exactly like a `SharedQueryCache`.
+//!
+//! Two primitives cover every consumer:
+//!
+//! * [`WorkerPool::run_quota`] — enlist up to `extra` pool workers to
+//!   run a work-claiming closure alongside the caller (used by the
+//!   deterministic task scheduler in [`crate::sched`]). The caller
+//!   always participates; queued helper slots that no worker picks up
+//!   before the work runs dry are cancelled, so a small query never
+//!   blocks on pool capacity.
+//! * [`WorkerPool::fork_join`] — run `f` on the calling thread and `g`
+//!   on an idle worker when one is available (inline otherwise); used by
+//!   the symbolic-execution frontier. Join steals the task back if no
+//!   worker claimed it yet, so a join never waits on *unstarted* work —
+//!   the chain of waiters always ends at a thread making progress,
+//!   which rules out deadlock by construction.
+//!
+//! # Safety
+//!
+//! Both primitives hand the pool **borrowed** closures through a raw
+//! `*const dyn Fn` (the workers are long-lived, so `std::thread::scope`
+//! cannot tie the lifetimes). The invariant that makes this sound is
+//! enforced in exactly two places: `run_quota` returns only after every
+//! claimed helper slot has finished and every unclaimed slot has been
+//! purged from the queue (both transitions happen under the pool
+//! mutex), and `fork_join` returns only after the forked task was
+//! either stolen back (under the same mutex) or reported `Done` by the
+//! worker running it. Either way no worker can touch the closure after
+//! the owning frame unwinds. Panics inside tasks are caught, carried
+//! across the latch and resumed on the caller.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on threads a single pool will ever spawn — a backstop
+/// against pathological width requests, far above any real worker
+/// count.
+const MAX_POOL_THREADS: usize = 256;
+
+/// A borrowed task closure smuggled to long-lived workers; see the
+/// module-level safety contract.
+#[derive(Copy, Clone)]
+struct RawTask(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the
+// run_quota/fork_join latches guarantee it outlives every call.
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+impl RawTask {
+    /// SAFETY: caller guarantees the closure outlives every call (the
+    /// run_quota / fork_join latches; see the module docs).
+    unsafe fn new(task: &(dyn Fn() + Sync)) -> RawTask {
+        let short: *const (dyn Fn() + Sync + '_) = task;
+        RawTask(std::mem::transmute::<
+            *const (dyn Fn() + Sync + '_),
+            *const (dyn Fn() + Sync + 'static),
+        >(short))
+    }
+
+    /// SAFETY: caller must uphold the module-level liveness contract.
+    unsafe fn call(self) {
+        (*self.0)()
+    }
+}
+
+/// One helper slot of a [`WorkerPool::run_quota`] call.
+struct QuotaJob {
+    task: RawTask,
+    /// Set (under the pool mutex) once the caller finished its own pass;
+    /// queued slots observing it are dropped instead of run.
+    cancelled: AtomicBool,
+    /// Helpers currently *running* the task; incremented under the pool
+    /// mutex at claim time so cancellation can never race a startup.
+    active: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A forked task (symbolic-frontier else-continuation) waiting for a
+/// worker, for steal-back, or for completion.
+struct ForkJob {
+    task: RawTask,
+    /// `false` until a worker (or the joining caller) claimed the task.
+    claimed: AtomicBool,
+    finished: Mutex<bool>,
+    done: Condvar,
+}
+
+enum Assignment {
+    Slot(Arc<QuotaJob>),
+    Fork(Arc<ForkJob>),
+}
+
+struct State {
+    queue: VecDeque<Assignment>,
+    /// Threads spawned so far (monotone; workers never exit before
+    /// shutdown).
+    spawned: usize,
+    /// Workers currently parked on the condvar.
+    idle: usize,
+    /// Largest participation width ever requested (`reserve`); bounds
+    /// lazy spawning so a width-2 analysis never inflates the pool to
+    /// hardware size.
+    width_hint: usize,
+    shutdown: bool,
+}
+
+/// Monotone counters describing what the executor has done — the
+/// observability hooks the scheduler tests assert against.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// OS threads spawned over the pool's lifetime.
+    pub spawned_workers: u64,
+    /// Parallel task-set dispatches (`run_quota` with helpers enlisted).
+    pub dispatches: u64,
+    /// Task sets resolved inline on the caller (width or work ≤ 1) —
+    /// the clamp that keeps a 1-job query from waking an 8-worker pool.
+    pub inline_runs: u64,
+    /// `Task::Path` adoptions (a participant took ownership of a path).
+    pub path_tasks: u64,
+    /// `Task::Regions` executions (one contiguous chunk of one path's
+    /// region space).
+    pub region_tasks: u64,
+    /// Paths popped from *another* participant's deque.
+    pub path_steals: u64,
+    /// Region chunks claimed from a path first claimed by another
+    /// participant — cross-path work stealing actually happening.
+    pub region_steals: u64,
+    /// Symbolic-frontier forks shipped to a pool worker.
+    pub forks_parallel: u64,
+    /// Symbolic-frontier forks run inline (no idle worker, or stolen
+    /// back at join).
+    pub forks_inline: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct StatsCells {
+    spawned_workers: AtomicU64,
+    dispatches: AtomicU64,
+    inline_runs: AtomicU64,
+    pub(crate) path_tasks: AtomicU64,
+    pub(crate) region_tasks: AtomicU64,
+    pub(crate) path_steals: AtomicU64,
+    pub(crate) region_steals: AtomicU64,
+    forks_parallel: AtomicU64,
+    forks_inline: AtomicU64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Workers park here waiting for assignments.
+    work: Condvar,
+    pub(crate) stats: StatsCells,
+    /// Live `WorkerPool` handles; the last one to drop shuts the
+    /// workers down (worker threads hold `Arc<Inner>` but no handle).
+    handles: AtomicUsize,
+}
+
+/// A handle to a persistent worker pool. Cloning is cheap (handle
+/// copy); the threads shut down when the last handle drops.
+///
+/// ```
+/// use gubpi_pool::WorkerPool;
+///
+/// let pool = WorkerPool::new();
+/// let (a, b) = pool.fork_join(|| 1 + 1, || 2 + 2);
+/// assert_eq!((a, b), (2, 4));
+/// ```
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl Clone for WorkerPool {
+    fn clone(&self) -> WorkerPool {
+        self.inner.handles.fetch_add(1, Ordering::Relaxed);
+        WorkerPool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if self.inner.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut st = self.inner.state.lock().expect("pool poisoned");
+            st.shutdown = true;
+            self.inner.work.notify_all();
+        }
+    }
+}
+
+impl WorkerPool {
+    /// A fresh pool with **zero** threads; workers are spawned lazily
+    /// when a caller first asks for parallel width.
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    spawned: 0,
+                    idle: 0,
+                    width_hint: 1,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                stats: StatsCells::default(),
+                handles: AtomicUsize::new(1),
+            }),
+        }
+    }
+
+    /// The process-wide default pool, shared by every `Analyzer` that
+    /// is not constructed with an explicit pool. Never shuts down.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Records that callers may ask for up to `width` participants,
+    /// allowing the pool to grow to `width − 1` threads on demand. Does
+    /// not spawn anything by itself.
+    pub fn reserve(&self, width: usize) {
+        let mut st = self.inner.state.lock().expect("pool poisoned");
+        st.width_hint = st.width_hint.max(width.min(MAX_POOL_THREADS + 1));
+    }
+
+    /// Counter snapshot (monotone; see [`PoolStats`]).
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.inner.stats;
+        PoolStats {
+            spawned_workers: s.spawned_workers.load(Ordering::Relaxed),
+            dispatches: s.dispatches.load(Ordering::Relaxed),
+            inline_runs: s.inline_runs.load(Ordering::Relaxed),
+            path_tasks: s.path_tasks.load(Ordering::Relaxed),
+            region_tasks: s.region_tasks.load(Ordering::Relaxed),
+            path_steals: s.path_steals.load(Ordering::Relaxed),
+            region_steals: s.region_steals.load(Ordering::Relaxed),
+            forks_parallel: s.forks_parallel.load(Ordering::Relaxed),
+            forks_inline: s.forks_inline.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of worker threads spawned so far.
+    pub fn spawned_workers(&self) -> usize {
+        self.inner.state.lock().expect("pool poisoned").spawned
+    }
+
+    /// Do two handles drive the same underlying pool? (Handles are
+    /// distinct structs, so pointer-comparing them says nothing.)
+    pub fn same_pool(&self, other: &WorkerPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    pub(crate) fn note_inline_run(&self) {
+        self.inner.stats.inline_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats_cells(&self) -> &StatsCells {
+        &self.inner.stats
+    }
+
+    /// Runs `task` on the calling thread **and** on up to `extra` pool
+    /// workers concurrently, returning once every participant is done.
+    ///
+    /// `task` must be a work-claiming loop: participants race to claim
+    /// units from shared state and return when nothing is left, so a
+    /// helper that arrives late (or never) is harmless. With
+    /// `extra == 0` this is a plain inline call.
+    ///
+    /// Panics in any participant are propagated to the caller (after
+    /// all participants finished, so the borrowed closure stays valid).
+    pub(crate) fn run_quota(&self, extra: usize, task: &(dyn Fn() + Sync)) {
+        if extra == 0 {
+            task();
+            return;
+        }
+        let job = Arc::new(QuotaJob {
+            // SAFETY: `task` outlives this call; see the latch protocol.
+            task: unsafe { RawTask::new(task) },
+            cancelled: AtomicBool::new(false),
+            active: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = self.inner.state.lock().expect("pool poisoned");
+            st.width_hint = st.width_hint.max((extra + 1).min(MAX_POOL_THREADS + 1));
+            let cap = st.width_hint.saturating_sub(1).min(MAX_POOL_THREADS);
+            let missing = extra.min(cap).saturating_sub(st.idle);
+            for _ in 0..missing {
+                if st.spawned >= cap {
+                    break;
+                }
+                self.spawn_worker(&mut st);
+            }
+            for _ in 0..extra {
+                st.queue.push_back(Assignment::Slot(Arc::clone(&job)));
+            }
+            self.inner.work.notify_all();
+            self.inner.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+        // The caller is always a participant.
+        let caller_panic = catch_unwind(AssertUnwindSafe(task)).err();
+        // Purge helper slots nobody claimed; claimed ones are tracked by
+        // `active` and awaited below.
+        {
+            let mut st = self.inner.state.lock().expect("pool poisoned");
+            job.cancelled.store(true, Ordering::Relaxed);
+            st.queue
+                .retain(|a| !matches!(a, Assignment::Slot(j) if Arc::ptr_eq(j, &job)));
+        }
+        let mut active = job.active.lock().expect("pool poisoned");
+        while *active > 0 {
+            active = job.done.wait(active).expect("pool poisoned");
+        }
+        drop(active);
+        if let Some(p) = caller_panic {
+            resume_unwind(p);
+        }
+        let helper_panic = job.panic.lock().expect("pool poisoned").take();
+        if let Some(p) = helper_panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Runs `f` on the calling thread and `g` on an idle pool worker
+    /// when one is available (inline otherwise), returning both results
+    /// as `(f(), g())`.
+    ///
+    /// Used by the symbolic-execution frontier: purity plus pre-split
+    /// path budgets make the result independent of whether the fork was
+    /// actually shipped, so the availability heuristic can never
+    /// perturb the produced path set.
+    pub fn fork_join<A, B: Send>(
+        &self,
+        f: impl FnOnce() -> A,
+        g: impl FnOnce() -> B + Send,
+    ) -> (A, B) {
+        // Admission under the lock: ship only when an idle worker is not
+        // already promised to queued work, or when the pool may still
+        // grow within its width hint.
+        let accepted = {
+            let mut st = self.inner.state.lock().expect("pool poisoned");
+            if st.shutdown {
+                false
+            } else if st.idle > st.queue.len() {
+                true
+            } else if st.spawned < st.width_hint.saturating_sub(1).min(MAX_POOL_THREADS) {
+                self.spawn_worker(&mut st);
+                true
+            } else {
+                false
+            }
+        };
+        if !accepted {
+            self.inner
+                .stats
+                .forks_inline
+                .fetch_add(1, Ordering::Relaxed);
+            let a = f();
+            let b = g();
+            return (a, b);
+        }
+
+        // Output slot + one-shot claim cell for the FnOnce.
+        let result: Mutex<Option<std::thread::Result<B>>> = Mutex::new(None);
+        let pending: Mutex<Option<_>> = Mutex::new(Some(g));
+        let job_holder: Mutex<Option<Arc<ForkJob>>> = Mutex::new(None);
+        let runner = || {
+            let Some(g) = pending.lock().expect("fork poisoned").take() else {
+                return;
+            };
+            let r = catch_unwind(AssertUnwindSafe(g));
+            *result.lock().expect("fork poisoned") = Some(r);
+            // Signal completion on the job handle.
+            let job = job_holder
+                .lock()
+                .expect("fork poisoned")
+                .clone()
+                .expect("job registered before dispatch");
+            let mut fin = job.finished.lock().expect("fork poisoned");
+            *fin = true;
+            job.done.notify_all();
+        };
+        let job = Arc::new(ForkJob {
+            // SAFETY: `runner` outlives this call; see the join protocol.
+            task: unsafe { RawTask::new(&runner) },
+            claimed: AtomicBool::new(false),
+            finished: Mutex::new(false),
+            done: Condvar::new(),
+        });
+        *job_holder.lock().expect("fork poisoned") = Some(Arc::clone(&job));
+        {
+            let mut st = self.inner.state.lock().expect("pool poisoned");
+            st.queue.push_back(Assignment::Fork(Arc::clone(&job)));
+            self.inner.work.notify_one();
+        }
+
+        // Join: steal the task back if nobody claimed it yet (under the
+        // pool mutex, so the claim cannot race), otherwise wait for the
+        // running worker to report completion.
+        let join = || {
+            let stolen = {
+                let mut st = self.inner.state.lock().expect("pool poisoned");
+                if job.claimed.load(Ordering::Relaxed) {
+                    false
+                } else {
+                    job.claimed.store(true, Ordering::Relaxed);
+                    st.queue
+                        .retain(|x| !matches!(x, Assignment::Fork(j) if Arc::ptr_eq(j, &job)));
+                    true
+                }
+            };
+            if stolen {
+                self.inner
+                    .stats
+                    .forks_inline
+                    .fetch_add(1, Ordering::Relaxed);
+                runner();
+            } else {
+                self.inner
+                    .stats
+                    .forks_parallel
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut fin = job.finished.lock().expect("fork poisoned");
+                while !*fin {
+                    fin = job.done.wait(fin).expect("fork poisoned");
+                }
+            }
+        };
+
+        // `f` may panic; the borrowed runner must be joined *before* the
+        // unwind leaves this frame, or a worker could touch freed stack.
+        let a = match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(a) => {
+                join();
+                a
+            }
+            Err(p) => {
+                join();
+                resume_unwind(p);
+            }
+        };
+        let r = result
+            .lock()
+            .expect("fork poisoned")
+            .take()
+            .expect("fork task ran to completion");
+        match r {
+            Ok(b) => (a, b),
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Spawns one worker thread. Must be called with the state lock
+    /// held (`st` proves it).
+    fn spawn_worker(&self, st: &mut State) {
+        let inner = Arc::clone(&self.inner);
+        st.spawned += 1;
+        self.inner
+            .stats
+            .spawned_workers
+            .fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name("gubpi-pool-worker".to_owned())
+            .spawn(move || worker_loop(&inner))
+            .expect("worker thread spawns");
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let assignment = {
+            let mut st = inner.state.lock().expect("pool poisoned");
+            loop {
+                match st.queue.pop_front() {
+                    Some(Assignment::Slot(job)) => {
+                        if job.cancelled.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        // Claim under the pool mutex: cancellation
+                        // (also under the mutex) either removed this
+                        // slot or will await this increment.
+                        *job.active.lock().expect("pool poisoned") += 1;
+                        break Some(Assignment::Slot(job));
+                    }
+                    Some(Assignment::Fork(job)) => {
+                        if job.claimed.swap(true, Ordering::Relaxed) {
+                            continue; // stolen back by the joiner
+                        }
+                        break Some(Assignment::Fork(job));
+                    }
+                    None => {
+                        if st.shutdown {
+                            break None;
+                        }
+                        st.idle += 1;
+                        st = inner.work.wait(st).expect("pool poisoned");
+                        st.idle -= 1;
+                    }
+                }
+            }
+        };
+        let Some(assignment) = assignment else { return };
+        match assignment {
+            Assignment::Slot(job) => {
+                // SAFETY: `active > 0` holds until the decrement below,
+                // and run_quota waits for it before invalidating `task`.
+                let r = catch_unwind(AssertUnwindSafe(|| unsafe { job.task.call() }));
+                if let Err(p) = r {
+                    let mut slot = job.panic.lock().expect("pool poisoned");
+                    slot.get_or_insert(p);
+                }
+                let mut active = job.active.lock().expect("pool poisoned");
+                *active -= 1;
+                if *active == 0 {
+                    job.done.notify_all();
+                }
+            }
+            Assignment::Fork(job) => {
+                // SAFETY: fork_join waits for `finished` (set by the
+                // runner itself) before invalidating `task`; the runner
+                // catches panics internally.
+                unsafe { job.task.call() }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_quota_zero_extra_is_inline() {
+        let pool = WorkerPool::new();
+        let hits = AtomicUsize::new(0);
+        pool.run_quota(0, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.spawned_workers(), 0, "no threads for inline work");
+    }
+
+    #[test]
+    fn run_quota_enlists_helpers_and_completes() {
+        let pool = WorkerPool::new();
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        pool.run_quota(3, &|| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= 1000 {
+                break;
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 1000);
+        assert!(pool.spawned_workers() <= 3);
+        // The pool persists: a second dispatch reuses the workers.
+        let before = pool.spawned_workers();
+        cursor.store(0, Ordering::Relaxed);
+        pool.run_quota(3, &|| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= 100 {
+                break;
+            }
+        });
+        assert_eq!(pool.spawned_workers(), before, "workers are reused");
+    }
+
+    #[test]
+    fn run_quota_propagates_panics() {
+        let pool = WorkerPool::new();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_quota(2, &|| panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // The pool survives a panicking task set.
+        let ok = AtomicUsize::new(0);
+        pool.run_quota(2, &|| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(ok.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn fork_join_runs_both_sides() {
+        let pool = WorkerPool::new();
+        pool.reserve(2);
+        for i in 0..32 {
+            let (a, b) = pool.fork_join(|| i * 2, || i * 3);
+            assert_eq!((a, b), (i * 2, i * 3));
+        }
+        let s = pool.stats();
+        assert_eq!(s.forks_parallel + s.forks_inline, 32);
+    }
+
+    #[test]
+    fn fork_join_without_reserve_stays_inline() {
+        let pool = WorkerPool::new();
+        let (a, b) = pool.fork_join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(pool.spawned_workers(), 0);
+        assert_eq!(pool.stats().forks_inline, 1);
+    }
+
+    #[test]
+    fn fork_join_propagates_child_panics() {
+        let pool = WorkerPool::new();
+        pool.reserve(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.fork_join(|| 1, || -> i32 { panic!("child boom") })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fork_join_joins_the_child_before_a_caller_panic_unwinds() {
+        // If `f` panics while `g` is in flight on a worker, the unwind
+        // must not leave the frame before the child finished — the
+        // worker borrows the caller's stack. The child's side effect
+        // proves it ran to completion.
+        let pool = WorkerPool::new();
+        pool.reserve(2);
+        for _ in 0..16 {
+            let child_ran = AtomicUsize::new(0);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.fork_join(
+                    || -> i32 { panic!("caller boom") },
+                    || child_ran.fetch_add(1, Ordering::Relaxed),
+                )
+            }));
+            assert!(r.is_err());
+            assert_eq!(child_ran.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn nested_forks_terminate() {
+        // A fork tree deeper than the worker count must resolve inline
+        // past capacity instead of deadlocking.
+        let pool = WorkerPool::new();
+        pool.reserve(3);
+        fn tree(pool: &WorkerPool, depth: u32) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = pool.fork_join(|| tree(pool, depth - 1), || tree(pool, depth - 1));
+            a + b
+        }
+        assert_eq!(tree(&pool, 8), 256);
+    }
+
+    #[test]
+    fn dropping_the_last_handle_shuts_down() {
+        let pool = WorkerPool::new();
+        pool.run_quota(2, &|| {});
+        let clone = pool.clone();
+        drop(pool);
+        // Still alive through the second handle.
+        clone.run_quota(2, &|| {});
+        drop(clone); // workers asked to exit; nothing to assert beyond "no hang"
+    }
+}

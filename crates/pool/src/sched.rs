@@ -1,0 +1,423 @@
+//! The unified deterministic task model.
+//!
+//! A bounding query is a set of per-path jobs; each job is either a
+//! precomputed item stream ([`PathJob::Ready`]) or a *sweep* — a flat
+//! index space of pure region computations ([`PathJob::Sweep`]). The
+//! scheduler executes two kinds of [`Task`]:
+//!
+//! * [`Task::Path`] — a participant adopts a whole path and drains its
+//!   region space chunk by chunk;
+//! * [`Task::Regions`] — one contiguous chunk of one path's region
+//!   space, the unit in which idle participants **steal work from
+//!   still-running paths**.
+//!
+//! Paths are dealt round-robin into per-participant deques. A
+//! participant pops its own deque front; when empty it steals a path
+//! from the back of another deque; when no unclaimed path remains it
+//! claims region chunks from any unfinished sweep — so a query no
+//! longer chooses path-grain *or* region-grain, and workers that finish
+//! the shallow paths converge on the dominant one.
+//!
+//! # Determinism guarantee
+//!
+//! Every sweep's chunk boundaries are a pure function of its size and
+//! the resolved width (all claims go through one shared cursor with one
+//! chunk size), so the *partition* of the index space is identical no
+//! matter which participant claimed which chunk. Each chunk's item
+//! buffer is recorded with its start index, and [`run_jobs_with`]
+//! replays all buffers to the caller's fold in **(path index, region
+//! index) order** — the concatenation visits every region of every path
+//! exactly as a sequential sweep would, so every reported bound is
+//! bit-identical across thread counts and steal schedules. With a
+//! resolved width of 1 (or ≤ 1 unit of work) the scheduler degrades to
+//! a streaming sequential sweep on the calling thread: no buffering, no
+//! pool wake-up, no empty partials.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::WorkerPool;
+
+/// One schedulable unit of the unified task model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Task {
+    /// Adopt path `idx`: drain its region space chunk by chunk.
+    Path(usize),
+    /// Process one contiguous chunk of path `path`'s region space.
+    Regions {
+        /// Index of the path whose space the chunk belongs to.
+        path: usize,
+        /// Half-open region-index range of the chunk.
+        range: Range<usize>,
+    },
+}
+
+/// The pure per-index computation of a sweep: `process(i, buf)`
+/// appends index `i`'s items (possibly none) to `buf`.
+pub type RegionFn<'a, T> = Box<dyn Fn(usize, &mut Vec<T>) + Sync + 'a>;
+
+/// One per-path job handed to the scheduler.
+pub enum PathJob<'a, T> {
+    /// The item stream is already known (sampleless paths, infeasible
+    /// polytopes): nothing to schedule, the items are folded directly.
+    Ready(Vec<T>),
+    /// A flat index space of pure region computations.
+    Sweep {
+        /// Size of the index space (`0..total`).
+        total: usize,
+        /// The pure per-index computation.
+        process: RegionFn<'a, T>,
+    },
+}
+
+/// Per-sweep shared claiming state.
+struct Space {
+    total: usize,
+    chunk: usize,
+    cursor: AtomicUsize,
+    /// First participant to claim a chunk (`usize::MAX` while
+    /// unclaimed); later claims by other participants are steals.
+    owner: AtomicUsize,
+}
+
+/// Local steal/task counters, flushed into the pool stats once per run.
+#[derive(Default)]
+struct RunCounters {
+    path_tasks: AtomicU64,
+    region_tasks: AtomicU64,
+    path_steals: AtomicU64,
+    region_steals: AtomicU64,
+}
+
+/// Executes `jobs` on up to `width` participants (the caller plus pool
+/// workers) and folds every produced item into `fold` in deterministic
+/// **(path index, region index) order**.
+///
+/// `fold(path_idx, item)` always runs on the calling thread.
+pub fn run_jobs_with<T: Send + Sync>(
+    pool: &WorkerPool,
+    width: usize,
+    jobs: Vec<PathJob<'_, T>>,
+    mut fold: impl FnMut(usize, T),
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    // Deterministic chunk size per sweep: aim for ~4 chunks per
+    // participant so steals stay meaningful without drowning the run in
+    // atomic traffic. The value only shapes scheduling — the folded
+    // item stream is partition-independent.
+    let width = width.max(1);
+    let spaces: Vec<Option<Space>> = jobs
+        .iter()
+        .map(|j| match j {
+            PathJob::Ready(_) => None,
+            PathJob::Sweep { total, .. } if *total == 0 => None,
+            PathJob::Sweep { total, .. } => Some(Space {
+                total: *total,
+                chunk: (*total / (width * 4)).max(1),
+                cursor: AtomicUsize::new(0),
+                owner: AtomicUsize::new(usize::MAX),
+            }),
+        })
+        .collect();
+    // Units of schedulable work decide the effective width (the clamp
+    // that keeps a 1-job query from waking an 8-worker pool).
+    let units: usize = spaces
+        .iter()
+        .flatten()
+        .map(|s| s.total.div_ceil(s.chunk))
+        .sum();
+    let width = width.min(units.max(1));
+    if width <= 1 {
+        pool.note_inline_run();
+        run_sequential(jobs, fold);
+        return;
+    }
+
+    let deques: Vec<Mutex<VecDeque<Task>>> =
+        (0..width).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (next, i) in (0..jobs.len()).filter(|&i| spaces[i].is_some()).enumerate() {
+        deques[next % width]
+            .lock()
+            .expect("deque poisoned")
+            .push_back(Task::Path(i));
+    }
+    let out: Mutex<Vec<(usize, usize, Vec<T>)>> = Mutex::new(Vec::new());
+    let counters = RunCounters::default();
+    let next_participant = AtomicUsize::new(0);
+    let participant = || {
+        let me = next_participant.fetch_add(1, Ordering::Relaxed) % width;
+        participant_loop(me, width, &jobs, &spaces, &deques, &out, &counters);
+    };
+    pool.run_quota(width - 1, &participant);
+    flush_counters(pool, &counters);
+
+    // Deterministic reduce: group chunk buffers per path, order them by
+    // region start, and replay — (path index, region index) order, bit
+    // for bit the sequential sweep.
+    let mut per_path: Vec<Vec<(usize, Vec<T>)>> = Vec::with_capacity(jobs.len());
+    per_path.resize_with(jobs.len(), Vec::new);
+    for (path, start, items) in out.into_inner().expect("out poisoned") {
+        per_path[path].push((start, items));
+    }
+    for (i, (job, mut partials)) in jobs.into_iter().zip(per_path).enumerate() {
+        match job {
+            PathJob::Ready(items) => {
+                for item in items {
+                    fold(i, item);
+                }
+            }
+            PathJob::Sweep { .. } => {
+                partials.sort_unstable_by_key(|&(start, _)| start);
+                for (_, items) in partials {
+                    for item in items {
+                        fold(i, item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The width-1 fast path: stream every job straight into the fold, in
+/// order, with a single reused buffer — no partials, no pool.
+fn run_sequential<T>(jobs: Vec<PathJob<'_, T>>, mut fold: impl FnMut(usize, T)) {
+    let mut buf = Vec::new();
+    for (i, job) in jobs.into_iter().enumerate() {
+        match job {
+            PathJob::Ready(items) => {
+                for item in items {
+                    fold(i, item);
+                }
+            }
+            PathJob::Sweep { total, process } => {
+                for ci in 0..total {
+                    process(ci, &mut buf);
+                    for item in buf.drain(..) {
+                        fold(i, item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn participant_loop<T: Send + Sync>(
+    me: usize,
+    width: usize,
+    jobs: &[PathJob<'_, T>],
+    spaces: &[Option<Space>],
+    deques: &[Mutex<VecDeque<Task>>],
+    out: &Mutex<Vec<(usize, usize, Vec<T>)>>,
+    counters: &RunCounters,
+) {
+    loop {
+        // 1. Own deque, front.
+        let own = deques[me].lock().expect("deque poisoned").pop_front();
+        if let Some(task) = own {
+            counters.path_tasks.fetch_add(1, Ordering::Relaxed);
+            run_task(task, me, jobs, spaces, out, counters);
+            continue;
+        }
+        // 2. Steal a path from the back of another participant's deque.
+        let stolen = (1..width).find_map(|k| {
+            deques[(me + k) % width]
+                .lock()
+                .expect("deque poisoned")
+                .pop_back()
+        });
+        if let Some(task) = stolen {
+            counters.path_tasks.fetch_add(1, Ordering::Relaxed);
+            counters.path_steals.fetch_add(1, Ordering::Relaxed);
+            run_task(task, me, jobs, spaces, out, counters);
+            continue;
+        }
+        // 3. No unclaimed path anywhere: steal region chunks from a
+        // still-running sweep (the dominant-path case).
+        let chunk = spaces.iter().enumerate().find_map(|(p, sp)| {
+            let sp = sp.as_ref()?;
+            (sp.cursor.load(Ordering::Relaxed) < sp.total)
+                .then(|| claim_chunk(p, sp))
+                .flatten()
+        });
+        if let Some(task) = chunk {
+            run_task(task, me, jobs, spaces, out, counters);
+            continue;
+        }
+        // 4. Every deque empty, every cursor exhausted (work is never
+        // added after start, so this is a stable condition): done.
+        break;
+    }
+}
+
+/// Claims the next chunk of `sp`'s region space, if any is left.
+fn claim_chunk(path: usize, sp: &Space) -> Option<Task> {
+    let start = sp.cursor.fetch_add(sp.chunk, Ordering::Relaxed);
+    if start >= sp.total {
+        None
+    } else {
+        Some(Task::Regions {
+            path,
+            range: start..(start + sp.chunk).min(sp.total),
+        })
+    }
+}
+
+fn run_task<T: Send + Sync>(
+    task: Task,
+    me: usize,
+    jobs: &[PathJob<'_, T>],
+    spaces: &[Option<Space>],
+    out: &Mutex<Vec<(usize, usize, Vec<T>)>>,
+    counters: &RunCounters,
+) {
+    match task {
+        Task::Path(p) => {
+            let sp = spaces[p].as_ref().expect("scheduled paths have spaces");
+            while let Some(chunk) = claim_chunk(p, sp) {
+                run_task(chunk, me, jobs, spaces, out, counters);
+            }
+        }
+        Task::Regions { path, range } => {
+            let sp = spaces[path].as_ref().expect("scheduled paths have spaces");
+            let first =
+                sp.owner
+                    .compare_exchange(usize::MAX, me, Ordering::Relaxed, Ordering::Relaxed);
+            if first.is_err_and(|owner| owner != me) {
+                counters.region_steals.fetch_add(1, Ordering::Relaxed);
+            }
+            counters.region_tasks.fetch_add(1, Ordering::Relaxed);
+            let PathJob::Sweep { process, .. } = &jobs[path] else {
+                unreachable!("spaces exist only for sweeps");
+            };
+            let mut items = Vec::new();
+            for ci in range.clone() {
+                process(ci, &mut items);
+            }
+            out.lock()
+                .expect("out poisoned")
+                .push((path, range.start, items));
+        }
+    }
+}
+
+fn flush_counters(pool: &WorkerPool, c: &RunCounters) {
+    let s = pool.stats_cells();
+    s.path_tasks
+        .fetch_add(c.path_tasks.load(Ordering::Relaxed), Ordering::Relaxed);
+    s.region_tasks
+        .fetch_add(c.region_tasks.load(Ordering::Relaxed), Ordering::Relaxed);
+    s.path_steals
+        .fetch_add(c.path_steals.load(Ordering::Relaxed), Ordering::Relaxed);
+    s.region_steals
+        .fetch_add(c.region_steals.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity sweeps: every region index yields itself.
+    fn sweep_jobs(sizes: &[usize]) -> Vec<PathJob<'static, usize>> {
+        sizes
+            .iter()
+            .map(|&n| PathJob::Sweep {
+                total: n,
+                process: Box::new(|ci, buf| buf.push(ci)),
+            })
+            .collect()
+    }
+
+    fn collect(
+        pool: &WorkerPool,
+        width: usize,
+        jobs: Vec<PathJob<'_, usize>>,
+    ) -> Vec<(usize, usize)> {
+        let mut got = Vec::new();
+        run_jobs_with(pool, width, jobs, |p, item| got.push((p, item)));
+        got
+    }
+
+    #[test]
+    fn items_fold_in_path_then_region_order() {
+        let pool = WorkerPool::new();
+        let reference = collect(&pool, 1, sweep_jobs(&[5, 0, 3, 1000, 2]));
+        for width in [2usize, 3, 4, 8] {
+            let got = collect(&pool, width, sweep_jobs(&[5, 0, 3, 1000, 2]));
+            assert_eq!(got, reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn ready_jobs_fold_without_scheduling() {
+        let pool = WorkerPool::new();
+        let jobs = vec![
+            PathJob::Ready(vec![10usize, 11]),
+            PathJob::Sweep {
+                total: 3,
+                process: Box::new(|ci, buf| buf.push(ci)),
+            },
+            PathJob::Ready(vec![99]),
+        ];
+        let got = collect(&pool, 4, jobs);
+        assert_eq!(got, vec![(0, 10), (0, 11), (1, 0), (1, 1), (1, 2), (2, 99)]);
+    }
+
+    #[test]
+    fn tiny_work_runs_inline_without_waking_the_pool() {
+        let pool = WorkerPool::new();
+        let before = pool.stats();
+        let got = collect(&pool, 8, sweep_jobs(&[1]));
+        assert_eq!(got, vec![(0, 0)]);
+        let after = pool.stats();
+        assert_eq!(after.dispatches, before.dispatches, "no dispatch");
+        assert_eq!(after.inline_runs, before.inline_runs + 1);
+        assert_eq!(pool.spawned_workers(), 0, "no threads for a 1-unit query");
+    }
+
+    #[test]
+    fn dominant_sweep_is_stolen_from() {
+        // One huge path and several trivial ones: participants that
+        // drain the trivial paths must steal chunks of the dominant
+        // sweep. With 4 participants and ~16 chunks the steal counter
+        // must move (every participant starts on its own deque, so at
+        // least the three non-owners end up claiming foreign chunks).
+        let pool = WorkerPool::new();
+        let before = pool.stats();
+        let got = collect(&pool, 4, sweep_jobs(&[100_000, 1, 1, 1]));
+        assert_eq!(got.len(), 100_003);
+        let after = pool.stats();
+        assert!(after.dispatches > before.dispatches);
+        assert_eq!(
+            after.region_tasks - before.region_tasks,
+            100_000usize.div_ceil(100_000 / 16) as u64 + 3,
+            "chunk partition is a pure function of total and width"
+        );
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let pool = WorkerPool::new();
+        let before = pool.stats();
+        run_jobs_with(&pool, 8, Vec::<PathJob<'_, usize>>::new(), |_, _: usize| {
+            panic!("no items")
+        });
+        assert_eq!(pool.stats(), before);
+    }
+
+    #[test]
+    fn panics_inside_sweeps_propagate() {
+        let pool = WorkerPool::new();
+        let jobs: Vec<PathJob<'_, usize>> = vec![PathJob::Sweep {
+            total: 1000,
+            process: Box::new(|ci, _| assert!(ci != 999, "boom")),
+        }];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs_with(&pool, 4, jobs, |_, _: usize| {});
+        }));
+        assert!(r.is_err());
+    }
+}

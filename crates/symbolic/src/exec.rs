@@ -26,6 +26,12 @@
 //! global cap (a budget `B` supports `log₂ B` levels of halving). A
 //! subtree whose budget reaches 1 at a fork is closed off by a single ⊤
 //! path, which soundly covers both branches.
+//!
+//! Since PR 4, big forks are no longer shipped via per-call scoped
+//! thread spawns: else-continuations are submitted as tasks to the
+//! persistent [`WorkerPool`] ([`WorkerPool::fork_join`]), so repeated
+//! symbolic executions reuse the same warm workers as the bounding
+//! engine.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +39,7 @@ use std::sync::Arc;
 
 use gubpi_interval::Interval;
 use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
+use gubpi_pool::WorkerPool;
 use gubpi_types::IntervalTyping;
 
 use crate::path::{CmpDir, SymConstraint, SymPath};
@@ -94,14 +101,29 @@ pub fn symbolic_paths(
     typing: &IntervalTyping,
     opts: SymExecOptions,
 ) -> Vec<SymPath> {
+    symbolic_paths_in(program, typing, opts, WorkerPool::global())
+}
+
+/// [`symbolic_paths`] on an explicit persistent worker pool (the
+/// process-global pool is used otherwise). Frontier forks become pool
+/// tasks; the produced path set is identical for every pool and worker
+/// count.
+pub fn symbolic_paths_in(
+    program: &Program,
+    typing: &IntervalTyping,
+    opts: SymExecOptions,
+    pool: &WorkerPool,
+) -> Vec<SymPath> {
     let workers = opts.frontier_workers.max(1);
+    pool.reserve(workers);
     let mut linear = HashMap::new();
     mark_linear(&program.root, &mut linear);
     let ex = Executor {
         typing,
         opts,
         linear,
-        idle_workers: AtomicUsize::new(workers - 1),
+        pool,
+        fork_budget: AtomicUsize::new(workers - 1),
     };
     let st = PState {
         n: 0,
@@ -258,9 +280,12 @@ struct Executor<'a> {
     opts: SymExecOptions,
     /// `NodeId →` "subtree is syntactically linear" (see [`mark_linear`]).
     linear: HashMap<NodeId, bool>,
-    /// Spare worker slots for frontier sharding; claiming one lets a
-    /// fork evaluate its else-branch on a fresh thread.
-    idle_workers: AtomicUsize,
+    /// The persistent executor that runs claimed else-continuations.
+    pool: &'a WorkerPool,
+    /// Spare fork slots for frontier sharding (`frontier_workers − 1`):
+    /// caps how many else-continuations this execution may have in
+    /// flight on the pool, independent of the pool's own size.
+    fork_budget: AtomicUsize,
 }
 
 impl Executor<'_> {
@@ -414,11 +439,11 @@ impl Executor<'_> {
         }
     }
 
-    /// Evaluates the two sides of an uncertain branch, shipping the
-    /// else-side to an idle worker when one is available and the fork is
-    /// big enough to amortise a thread spawn. Purity + pre-split budgets
-    /// make the result independent of the fork decision, so the claim
-    /// heuristic cannot perturb the path set.
+    /// Evaluates the two sides of an uncertain branch, submitting the
+    /// else-continuation as a persistent-pool task when a fork slot is
+    /// free and the fork is big enough to amortise the hand-off. Purity
+    /// plus pre-split budgets make the result independent of the fork
+    /// decision, so the claim heuristic cannot perturb the path set.
     fn eval_fork(
         &self,
         t: &Expr,
@@ -429,22 +454,16 @@ impl Executor<'_> {
         depth: u32,
     ) -> Branches {
         let parallel =
-            st_then.path_budget.min(st_else.path_budget) >= FORK_MIN_BUDGET && self.claim_worker();
+            st_then.path_budget.min(st_else.path_budget) >= FORK_MIN_BUDGET && self.claim_slot();
         if parallel {
-            let (then_out, else_out) = std::thread::scope(|scope| {
-                let handle = scope.spawn(|| self.eval(els, env, st_else, depth));
-                let then_out = self.eval(t, env, st_then, depth);
-                (then_out, handle.join())
-            });
-            self.release_worker();
-            match else_out {
-                Ok(else_out) => {
-                    let mut out = then_out;
-                    out.extend(else_out);
-                    out
-                }
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
+            let (then_out, else_out) = self.pool.fork_join(
+                || self.eval(t, env, st_then, depth),
+                || self.eval(els, env, st_else, depth),
+            );
+            self.release_slot();
+            let mut out = then_out;
+            out.extend(else_out);
+            out
         } else {
             let mut out = self.eval(t, env, st_then, depth);
             out.extend(self.eval(els, env, st_else, depth));
@@ -452,14 +471,14 @@ impl Executor<'_> {
         }
     }
 
-    fn claim_worker(&self) -> bool {
-        self.idle_workers
+    fn claim_slot(&self) -> bool {
+        self.fork_budget
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1))
             .is_ok()
     }
 
-    fn release_worker(&self) {
-        self.idle_workers.fetch_add(1, Ordering::Relaxed);
+    fn release_slot(&self) {
+        self.fork_budget.fetch_add(1, Ordering::Relaxed);
     }
 
     fn apply(&self, f: SValue, a: SValue, st: PState, depth: u32) -> Branches {
@@ -729,6 +748,46 @@ mod tests {
             capped.len()
         );
         assert!(capped.iter().any(|p| p.truncated));
+    }
+
+    #[test]
+    fn budget_split_truncation_profile_on_sequential_composition() {
+        // ROADMAP "Budget-split truncation profile": a *sequential
+        // composition* of two deep recursions (`walk a + walk b`) can
+        // truncate the second recursion harder than the old first-come
+        // global counter did, because the first recursion's
+        // syntactically linear `then` sides carry only the fixed
+        // LINEAR_BRANCH_RESERVE (16) into their continuation — and that
+        // continuation is the whole second recursion. This test pins
+        // today's counts so any future continuation-aware reserve (or
+        // surplus restoration after a subtree finishes) shows up as a
+        // deliberate diff here, not as silent drift.
+        let compose = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0 + geo 0";
+        let single = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let opts = |max_paths| SymExecOptions {
+            max_fix_unfoldings: 8,
+            max_paths,
+            ..Default::default()
+        };
+        // One geo alone keeps full depth: 8 exact leaves + 1 approxFix.
+        let alone = paths_with(single, opts(20_000));
+        assert_eq!(alone.len(), 9);
+        assert_eq!(alone.iter().filter(|p| p.truncated).count(), 1);
+        // A first-come global cap of 20 000 would admit the full
+        // 9 × 9 = 81 product paths; the deterministic split instead
+        // caps every linear-side continuation at the 16-entry reserve,
+        // truncating the *second* geo early: 31 paths, 9 of them ⊤/
+        // approxFix-truncated. The profile is budget-independent until
+        // the cap actually binds (same counts at 1 000 and 20 000).
+        for cap in [1_000usize, 20_000] {
+            let ps = paths_with(compose, opts(cap));
+            assert_eq!(ps.len(), 31, "cap={cap}");
+            assert_eq!(
+                ps.iter().filter(|p| p.truncated).count(),
+                9,
+                "cap={cap}: second-walk truncation profile"
+            );
+        }
     }
 
     #[test]

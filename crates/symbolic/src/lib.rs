@@ -46,6 +46,7 @@ mod exec;
 mod path;
 mod symval;
 
-pub use exec::{symbolic_paths, SymExecOptions};
+pub use exec::{symbolic_paths, symbolic_paths_in, SymExecOptions};
+pub use gubpi_pool::WorkerPool;
 pub use path::{CmpDir, SymConstraint, SymPath};
 pub use symval::SymVal;

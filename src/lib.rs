@@ -5,6 +5,7 @@
 //! roof so downstream users (and the top-level integration tests and
 //! examples) can depend on a single crate. The layers, bottom to top:
 //!
+//! * [`pool`] — the persistent work-stealing executor;
 //! * [`interval`] — interval arithmetic, boxes, the bound lattice;
 //! * [`dist`] — validated distributions and special functions;
 //! * [`lang`] — the SPCF front end (lexer, parser, types, primitives);
@@ -23,6 +24,7 @@ pub use gubpi_inference as inference;
 pub use gubpi_interval as interval;
 pub use gubpi_lang as lang;
 pub use gubpi_polytope as polytope;
+pub use gubpi_pool as pool;
 pub use gubpi_semantics as semantics;
 pub use gubpi_symbolic as symbolic;
 pub use gubpi_types as types;

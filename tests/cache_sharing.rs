@@ -28,7 +28,7 @@ fn cross_analyzer_sharing_hits_warm_entries() {
 
     let ra = a.denotation_bounds(u);
     assert_eq!(
-        cache.stats(),
+        cache.stats().hit_miss(),
         (0, n_paths),
         "first analyzer fills the cache"
     );
@@ -41,7 +41,7 @@ fn cross_analyzer_sharing_hits_warm_entries() {
     assert_eq!(ra.0.to_bits(), rb.0.to_bits());
     assert_eq!(ra.1.to_bits(), rb.1.to_bits());
     assert_eq!(
-        cache.stats(),
+        cache.stats().hit_miss(),
         (n_paths, n_paths),
         "second analyzer must hit every entry exactly once"
     );
@@ -55,7 +55,7 @@ fn cross_analyzer_sharing_hits_warm_entries() {
     let c = Analyzer::from_source_with_cache(SRC, opts(Threads::Off), &a.shared_cache()).unwrap();
     let rc = c.denotation_bounds(u);
     assert_eq!(ra, rc);
-    assert_eq!(cache.stats(), (2 * n_paths, n_paths));
+    assert_eq!(cache.stats().hit_miss(), (2 * n_paths, n_paths));
 }
 
 #[test]
@@ -69,7 +69,7 @@ fn unrelated_programs_share_a_cache_without_aliasing() {
     // P(sample ∈ [0, 0.5]) = 0.5; P(2·sample − 1 ∈ [0, 0.5]) = 0.25.
     assert!((a_lo - 0.5).abs() < 1e-9 && (a_hi - 0.5).abs() < 1e-9);
     assert!((b_lo - 0.25).abs() < 1e-9 && (b_hi - 0.25).abs() < 1e-9);
-    let (hits, misses) = cache.stats();
+    let (hits, misses) = cache.stats().hit_miss();
     assert_eq!(hits, 0, "structurally different paths must not alias");
     assert_eq!(misses, 2);
 }
@@ -116,7 +116,7 @@ fn concurrent_mixed_queries_keep_the_cache_consistent() {
 
     // Counter totals are exact (each per-path lookup counted once), and
     // racing inserts never duplicate an entry.
-    let (hits, misses) = cache.stats();
+    let (hits, misses) = cache.stats().hit_miss();
     let total = 2 * n_paths * queries.len() as u64;
     assert_eq!(hits + misses, total, "every lookup counted exactly once");
     assert!(
@@ -138,11 +138,11 @@ fn shared_clear_cache_affects_every_analyzer_but_no_result() {
     let u = Interval::new(0.2, 0.8);
     let r1 = a.denotation_bounds(u);
     b.clear_cache();
-    assert_eq!(cache.stats(), (0, 0));
+    assert_eq!(cache.stats(), gubpi_core::CacheStats::default());
     assert_eq!(cache.entry_count(), 0);
     let r2 = a.denotation_bounds(u);
     assert_eq!(r1, r2, "clearing must never change bounds");
-    assert_eq!(cache.stats(), (0, a.paths().len() as u64));
+    assert_eq!(cache.stats().hit_miss(), (0, a.paths().len() as u64));
 }
 
 #[test]
@@ -154,6 +154,10 @@ fn default_analyzers_keep_private_caches() {
     let u = Interval::new(0.1, 0.9);
     let _ = a.denotation_bounds(u);
     let _ = b.denotation_bounds(u);
-    assert_eq!(a.cache_stats().0, 0);
-    assert_eq!(b.cache_stats().0, 0, "no cross-talk between private caches");
+    assert_eq!(a.cache_stats().hits, 0);
+    assert_eq!(
+        b.cache_stats().hits,
+        0,
+        "no cross-talk between private caches"
+    );
 }
