@@ -55,8 +55,11 @@ fn pool_run(pool: &WorkerPool, paths: usize, regions: usize) -> u64 {
     let jobs: Vec<PathJob<'_, u64>> = (0..paths)
         .map(|p| PathJob::Sweep {
             total: regions,
-            process: Box::new(move |ci, buf: &mut Vec<u64>| {
-                buf.push(black_box((p * regions + ci) as u64));
+            cost: 1,
+            process: Box::new(move |range, buf: &mut Vec<u64>| {
+                for ci in range {
+                    buf.push(black_box((p * regions + ci) as u64));
+                }
             }),
         })
         .collect();

@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn main() {
+    let t_start = Instant::now();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N|auto|off` pins the parallel engine's worker count for
     // every analysis below — equivalent to setting GUBPI_THREADS, which
@@ -73,7 +74,15 @@ fn main() {
         }
         args.drain(i..=i + 1);
     }
-    // `--stats` prints cache and pool counters after the run.
+    // `--no-kernel` forces the tree-walking interpreter instead of the
+    // compiled interval-tape kernel — equivalent to GUBPI_NO_KERNEL=1.
+    // Bounds are bit-identical either way; the flag exists so kernel
+    // regressions are diagnosable in the field with one switch.
+    if let Some(i) = args.iter().position(|a| a == "--no-kernel") {
+        std::env::set_var("GUBPI_NO_KERNEL", "1");
+        args.remove(i);
+    }
+    // `--stats` prints cache, pool and kernel counters after the run.
     let print_stats = if let Some(i) = args.iter().position(|a| a == "--stats") {
         args.remove(i);
         true
@@ -85,7 +94,7 @@ fn main() {
         "--help" | "-h" | "help" => {
             println!(
                 "repro — regenerates the tables and figures of the GuBPI paper\n\n\
-                 USAGE: repro [--threads N|auto|off] [--cache-cap N] [--stats] [COMMAND]\n\n\
+                 USAGE: repro [--threads N|auto|off] [--cache-cap N] [--no-kernel] [--stats] [COMMAND]\n\n\
                  COMMANDS:\n  \
                  table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
                  table2        Table 2: discrete models vs exact posteriors\n  \
@@ -94,18 +103,25 @@ fn main() {
                  fig5          Fig. 5a-5d: non-recursive histogram bounds\n  \
                  fig6          Fig. 6a-6f: recursive histogram bounds\n  \
                  ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep\n  \
+                 smoke         one tiny model end to end (seconds; for diagnosing\n                \
+                 an installation together with --stats / --no-kernel)\n  \
                  all           everything above (the default)\n\n\
                  OPTIONS:\n  \
                  --threads N|auto|off   worker threads for the bounding engine (N > 0;\n                         \
                  same as GUBPI_THREADS; results are bit-identical)\n  \
                  --cache-cap N          bound the shared per-path query cache at N entries\n                         \
                  (coarse-LRU eviction; same as GUBPI_CACHE_CAP)\n  \
-                 --stats                print cache and worker-pool counters after the run"
+                 --no-kernel            force the tree-walking interpreter instead of the\n                         \
+                 compiled interval-tape kernel (same as GUBPI_NO_KERNEL=1;\n                         \
+                 bounds are bit-identical, only speed changes)\n  \
+                 --stats                print cache, worker-pool and kernel counters after\n                         \
+                 the run (tape length, CSE savings, cells/sec)"
             );
         }
         "table1" | "table4" => table1(),
         "table2" => table2(),
         "table3" => table3(),
+        "smoke" => smoke(),
         "pedestrian" | "fig1" | "fig7" => pedestrian(),
         "fig5" => fig5(),
         "fig6" => fig6(),
@@ -125,12 +141,13 @@ fn main() {
         }
     }
     if print_stats {
-        stats();
+        stats(t_start.elapsed().as_secs_f64());
     }
 }
 
-/// `--stats`: per-path cache and persistent-pool counters for the run.
-fn stats() {
+/// `--stats`: per-path cache, persistent-pool and compiled-kernel
+/// counters for the run.
+fn stats(elapsed_s: f64) {
     let cache = shared_analysis_cache();
     let s = cache.stats();
     println!("== Run statistics ====================================================");
@@ -147,8 +164,8 @@ fn stats() {
     );
     let p = WorkerPool::global().stats();
     println!(
-        "pool:  {} workers spawned, {} dispatches, {} inline runs",
-        p.spawned_workers, p.dispatches, p.inline_runs
+        "pool:  {} workers spawned, {} dispatches, {} inline runs, last chunk width {}",
+        p.spawned_workers, p.dispatches, p.inline_runs, p.last_chunk_width
     );
     println!(
         "tasks: {} path, {} region chunks; steals: {} path, {} region; forks: {} pooled, {} inline",
@@ -159,6 +176,44 @@ fn stats() {
         p.forks_parallel,
         p.forks_inline
     );
+    let k = gubpi_symbolic::kernel_stats();
+    if k.tapes == 0 {
+        println!("kernel: disabled (tree-walking interpreter; GUBPI_NO_KERNEL)");
+    } else {
+        let saved = k.tree_nodes.saturating_sub(k.tape_instrs);
+        let pct = if k.tree_nodes > 0 {
+            100.0 * saved as f64 / k.tree_nodes as f64
+        } else {
+            0.0
+        };
+        println!(
+            "kernel: {} tapes, {} instrs (CSE + folding saved {} of {} tree ops, {:.1}%), \
+             {} cells at {:.0} cells/s over the whole run",
+            k.tapes,
+            k.tape_instrs,
+            saved,
+            k.tree_nodes,
+            pct,
+            k.cells,
+            k.cells as f64 / elapsed_s.max(1e-9),
+        );
+    }
+}
+
+/// `smoke`: one tiny model end to end — seconds even in debug builds,
+/// so `repro [--no-kernel] --stats smoke` is the cheapest way to check
+/// an installation (and whether the compiled kernel is active).
+fn smoke() {
+    println!("== Smoke: one tiny model end to end ==================================");
+    let src = "let x = sample in let y = sample in score(x + y); if x * y <= 0.25 then x else y";
+    let a = shared_analyzer(src, AnalysisOptions::default());
+    let (lo, hi) = a.denotation_bounds(Interval::new(0.0, 0.5));
+    println!(
+        "{} paths; unnormalised mass of [0, 0.5] in [{lo:.5}, {hi:.5}]",
+        a.paths().len()
+    );
+    assert!(lo <= hi && hi > 0.0, "smoke bounds must be non-trivial");
+    println!();
 }
 
 /// Table 1 / Table 4: per-query bounds and times, baseline vs GuBPI,

@@ -114,7 +114,49 @@ fn repro_help_documents_the_new_flags() {
         .output()
         .expect("repro binary runs");
     let text = String::from_utf8_lossy(&out.stdout);
-    for needle in ["--cache-cap", "--stats", "GUBPI_CACHE_CAP"] {
+    for needle in [
+        "--cache-cap",
+        "--stats",
+        "GUBPI_CACHE_CAP",
+        "--no-kernel",
+        "GUBPI_NO_KERNEL",
+    ] {
         assert!(text.contains(needle), "usage text missing {needle:?}");
     }
+}
+
+#[test]
+fn repro_accepts_no_kernel_and_reports_kernel_stats() {
+    // `--no-kernel` must be accepted anywhere in the argument list (it
+    // is stripped before command dispatch) ...
+    let out = Command::new(REPRO)
+        .args(["--no-kernel", "--help"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "--no-kernel --help must exit 0");
+    // ... and force the tree-walking interpreter: the kernel line of
+    // `--stats` reports it disabled after a real (tiny) analysis run.
+    let out = Command::new(REPRO)
+        .args(["--no-kernel", "--stats", "smoke"])
+        .env_remove("GUBPI_NO_KERNEL")
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("kernel: disabled"),
+        "stats must report the interpreter fallback:\n{text}"
+    );
+    // With the kernel on, the same command reports tape statistics.
+    let out = Command::new(REPRO)
+        .args(["--stats", "smoke"])
+        .env_remove("GUBPI_NO_KERNEL")
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("kernel:") && text.contains("tapes") && text.contains("cells/s"),
+        "stats must report tape length / CSE / cells-per-second:\n{text}"
+    );
 }

@@ -16,9 +16,11 @@
 //! sink sees exactly the sequential call sequence and every bound
 //! stays bit-identical across thread counts and steal schedules.
 
+use std::ops::Range;
+
 use gubpi_interval::{BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
-use gubpi_symbolic::SymPath;
+use gubpi_symbolic::{note_kernel_cells, SymPath, Tape, LANES};
 
 use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
 
@@ -140,6 +142,14 @@ pub struct PathBoundOptions {
     /// Largest *coupled* dimension for which the exact Lasserre volume is
     /// used; beyond it, certified box bounds take over.
     pub exact_dim_cap: usize,
+    /// Evaluate region sweeps through the compiled interval-tape kernel
+    /// (`gubpi_symbolic::kernel`) instead of the tree-walking
+    /// interpreter. Bounds are **bit-identical** either way (enforced by
+    /// `tests/kernel_differential.rs`); the kernel is only faster. The
+    /// default honours the `GUBPI_NO_KERNEL` escape hatch (`repro
+    /// --no-kernel`), so field regressions are diagnosable by flipping
+    /// one env var.
+    pub use_kernel: bool,
 }
 
 impl Default for PathBoundOptions {
@@ -151,8 +161,15 @@ impl Default for PathBoundOptions {
             certified_volumes: false,
             volume_budget: 4_000,
             exact_dim_cap: 7,
+            use_kernel: !kernel_disabled(std::env::var("GUBPI_NO_KERNEL").ok().as_deref()),
         }
     }
+}
+
+/// Does a `GUBPI_NO_KERNEL` value disable the compiled kernel? Any
+/// non-empty value other than `"0"` counts as "disable".
+fn kernel_disabled(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
 }
 
 // --------------------------------------------------------------------
@@ -172,7 +189,7 @@ pub fn plan_path_query(
     opts: PathBoundOptions,
 ) -> (PathJob<'_, Region>, QueryFold) {
     if path.n_samples == 0 {
-        (plan_sampleless(path), QueryFold::Filter(u))
+        (plan_sampleless(path, opts), QueryFold::Filter(u))
     } else if linear_applicable(path) {
         (
             plan_linear(path, opts, ResultMode::Query(u)),
@@ -190,7 +207,7 @@ pub fn plan_path_query(
 /// semantics (§6.3).
 pub fn plan_path(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
     if path.n_samples == 0 {
-        plan_sampleless(path)
+        plan_sampleless(path, opts)
     } else if linear_applicable(path) {
         plan_linear(path, opts, ResultMode::Boxed)
     } else {
@@ -202,7 +219,7 @@ pub fn plan_path(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> 
 /// §6.4 ablation baseline.
 pub fn plan_path_grid_only(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
     if path.n_samples == 0 {
-        plan_sampleless(path)
+        plan_sampleless(path, opts)
     } else {
         plan_grid(path, opts)
     }
@@ -292,17 +309,78 @@ pub fn linear_applicable(path: &SymPath) -> bool {
 
 /// Paths without samples: a single region of measure 1, precomputed at
 /// plan time (nothing to schedule).
-fn plan_sampleless(path: &SymPath) -> PathJob<'static, Region> {
+///
+/// With the kernel enabled this is **one** fused tape evaluation over
+/// the empty box; the interpreter preamble used to walk the constraint
+/// trees twice (∃ then ∀) and the weight and result trees separately.
+fn plan_sampleless(path: &SymPath, opts: PathBoundOptions) -> PathJob<'static, Region> {
     let mut buf: Vec<Region> = Vec::new();
-    let empty = BoxN::empty();
-    let def = path.constraints_on_box(&empty, true);
-    let pos = path.constraints_on_box(&empty, false);
-    if pos {
-        let w = path.weight_range_over_box(&empty);
-        let v = path.result.range_over_box(&empty);
-        buf.add(v, if def { w.lo() } else { 0.0 }, w.hi());
+    if opts.use_kernel {
+        let tape = Tape::for_path(path);
+        note_kernel_cells(1);
+        if let Some(cell) = tape.eval_cell(&[], &mut tape.scratch()) {
+            let lo = if cell.definite { cell.weight.lo() } else { 0.0 };
+            buf.add(cell.value, lo, cell.weight.hi());
+        }
+    } else {
+        let empty = BoxN::empty();
+        let def = path.constraints_on_box(&empty, true);
+        let pos = path.constraints_on_box(&empty, false);
+        if pos {
+            let w = path.weight_range_over_box(&empty);
+            let v = path.result.range_over_box(&empty);
+            buf.add(v, if def { w.lo() } else { 0.0 }, w.hi());
+        }
     }
     PathJob::Ready(buf)
+}
+
+/// Incremental mixed-radix decoding of a flat region index: digit `d`
+/// cycles fastest through `radix(d)` values. Replaces the per-region
+/// `div`/`mod` chain — one division chain seeds the start of a chunk,
+/// then every step is a carry walk.
+struct Odometer {
+    digits: Vec<usize>,
+}
+
+impl Odometer {
+    /// Digits of `index` in the mixed radix given by `radix(d)`.
+    fn at(n: usize, mut index: usize, radix: impl Fn(usize) -> usize) -> Odometer {
+        let digits = (0..n)
+            .map(|d| {
+                let r = radix(d);
+                let digit = index % r;
+                index /= r;
+                digit
+            })
+            .collect();
+        Odometer { digits }
+    }
+
+    /// Advances to the next index (digit 0 fastest).
+    fn step(&mut self, radix: impl Fn(usize) -> usize) {
+        for (d, digit) in self.digits.iter_mut().enumerate() {
+            *digit += 1;
+            if *digit < radix(d) {
+                return;
+            }
+            *digit = 0;
+        }
+    }
+}
+
+/// Per-region cost of a tree-walking sweep: the op applications all
+/// four walks perform per cell (`SymVal::prim_op_count`, the same
+/// counter behind the kernel's pre-CSE `tree_nodes` baseline).
+fn tree_walk_cost(path: &SymPath) -> u64 {
+    let constraint_ops: u64 = path
+        .constraints
+        .iter()
+        .map(|c| c.value.prim_op_count())
+        .sum();
+    let score_ops: u64 = path.scores.iter().map(|w| w.prim_op_count()).sum();
+    // ∃ + ∀ over the constraints, one weight walk, one result walk.
+    2 * constraint_ops + score_ops + path.result.prim_op_count() + 1
 }
 
 // --------------------------------------------------------------------
@@ -355,6 +433,12 @@ pub fn grid_splits(splits: usize, n: usize, budget: usize) -> usize {
 /// can be carved into contiguous chunks by the scheduler; chunk buffers
 /// are replayed in index order, reproducing the sequential `sink.add`
 /// sequence bit for bit.
+///
+/// With `opts.use_kernel` the path is lowered once into a compiled
+/// interval tape and each claimed chunk is evaluated in lane blocks
+/// with zero per-cell allocations; cells are decoded by an incremental
+/// odometer instead of per-dimension `div`/`mod`. The emitted region
+/// stream is bit-identical to the tree-walking interpreter's.
 fn plan_grid(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
     let n = path.n_samples;
     let k = grid_splits(opts.splits, n, opts.region_budget);
@@ -363,18 +447,63 @@ fn plan_grid(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
     let cell_edges: Vec<Interval> = Interval::UNIT.split(k);
     // k^n ≤ region_budget ≤ usize::MAX whenever k > 1, and 1 otherwise.
     let total = k.pow(n as u32);
+    if !opts.use_kernel {
+        return PathJob::Sweep {
+            total,
+            cost: tree_walk_cost(path),
+            process: Box::new(move |range: Range<usize>, buf| {
+                let mut odo = Odometer::at(n, range.start, |_| k);
+                for _ in range {
+                    let cell: BoxN = (0..n).map(|d| cell_edges[odo.digits[d]]).collect();
+                    process_region(path, &cell, buf);
+                    odo.step(|_| k);
+                }
+            }),
+        };
+    }
+
+    let tape = Tape::for_path(path);
+    let cost = tape.cost();
+    // Cell widths mirror `BoxN::volume`'s per-dimension factors; the
+    // product below multiplies them in dimension order starting from
+    // 1.0, exactly like `Iterator::product` over `Interval::width`.
+    let edge_widths: Vec<f64> = cell_edges.iter().map(Interval::width).collect();
+    let process = move |range: Range<usize>, buf: &mut Vec<Region>| {
+        note_kernel_cells(range.len() as u64);
+        let mut scratch = tape.scratch();
+        let mut odo = Odometer::at(n, range.start, |_| k);
+        let mut vols = [0.0f64; LANES];
+        let mut idx = range.start;
+        while idx < range.end {
+            let lanes = LANES.min(range.end - idx);
+            for (lane, vol_slot) in vols.iter_mut().enumerate().take(lanes) {
+                let mut vol = 1.0;
+                for (d, &e) in odo.digits.iter().enumerate() {
+                    scratch.set_input(d, lane, cell_edges[e]);
+                    vol *= edge_widths[e];
+                }
+                *vol_slot = vol;
+                odo.step(|_| k);
+            }
+            if tape.eval_block(&mut scratch, lanes) {
+                for (lane, &vol) in vols.iter().enumerate().take(lanes) {
+                    if let Some(cell) = scratch.lane(lane) {
+                        let lo = if cell.definite {
+                            vol * cell.weight.lo()
+                        } else {
+                            0.0
+                        };
+                        buf.push((cell.value, lo, vol * cell.weight.hi()));
+                    }
+                }
+            }
+            idx += lanes;
+        }
+    };
     PathJob::Sweep {
         total,
-        process: Box::new(move |mut ci, buf| {
-            let cell: BoxN = (0..n)
-                .map(|_| {
-                    let i = ci % k;
-                    ci /= k;
-                    cell_edges[i]
-                })
-                .collect();
-            process_region(path, &cell, buf);
-        }),
+        cost,
+        process: Box::new(process),
     }
 }
 
@@ -554,77 +683,107 @@ fn plan_linear(path: &SymPath, opts: PathBoundOptions, mode: ResultMode) -> Path
         opts.exact_dim_cap
     };
 
+    // Score-decomposition skeletons compiled to value tapes: the combo
+    // loop below evaluates each skeleton once per combination, and the
+    // tree walk (with its per-`Prim` argument vectors) is the only
+    // allocating part of that loop. Bit-identical to
+    // `eval_with_part_ranges` (same DAG, same `eval_interval` calls).
+    let skel_tapes: Option<Vec<Tape>> = opts.use_kernel.then(|| {
+        decomps
+            .iter()
+            .map(|d| Tape::for_value(d.parts.len(), &d.skeleton))
+            .collect()
+    });
+
     // Cartesian sweep over chunk combinations, addressed by a linear
     // mixed-radix index (expression 0 fastest) so the combination space
-    // can be chunk-partitioned across workers. Each combination's work
-    // is pure; chunk buffers replayed in index order reproduce the
-    // sequential emit sequence exactly. The product cannot overflow:
-    // every chunking has ≤ per_expr_chunks entries, whose boxed-count
-    // power grid_splits bounded by the region budget.
+    // can be chunk-partitioned across workers; chunks are decoded by an
+    // incremental odometer. Each combination's work is pure; chunk
+    // buffers replayed in index order reproduce the sequential emit
+    // sequence exactly. The product cannot overflow: every chunking has
+    // ≤ per_expr_chunks entries, whose boxed-count power grid_splits
+    // bounded by the region budget.
     let total: usize = chunkings.iter().map(Vec::len).product();
-    let eval_combo = move |mut ci: usize, buf: &mut Vec<Region>| {
-        let chunks: Vec<Interval> = chunkings
+    // Per-combination cost estimate (seeds the adaptive chunk width):
+    // two polytope clones, the chunk clips, an LP feasibility check and
+    // the volume bounds all scale with the dimension and constraint
+    // count. A pure function of the plan, like the grid's tape cost.
+    let cost = 64 * (n as u64 + 1) * (path.constraints.len() as u64 + boxed.len() as u64 + 1);
+    let eval_range = move |range: Range<usize>, buf: &mut Vec<Region>| {
+        let radix = |d: usize| chunkings[d].len();
+        let mut odo = Odometer::at(chunkings.len(), range.start, radix);
+        let mut chunks = vec![Interval::ZERO; chunkings.len()];
+        let mut part_ranges: Vec<Interval> = Vec::new();
+        let mut scratches: Vec<_> = skel_tapes
+            .as_deref()
+            .unwrap_or_default()
             .iter()
-            .map(|chunking| {
-                let j = ci % chunking.len();
-                ci /= chunking.len();
-                chunking[j]
-            })
+            .map(Tape::scratch)
             .collect();
-
-        // Clip both polytopes to the chunks.
-        let mut q_lb = p_lb.clone();
-        let mut q_ub = p_ub.clone();
-        for (lin, ch) in boxed.iter().zip(&chunks) {
-            // ch.lo ≤ lin ≤ ch.hi
-            let upper = &(lin.clone()) + &LinExpr::constant(n, -ch.hi());
-            let lower = &(lin.clone()) + &LinExpr::constant(n, -ch.lo());
-            q_lb.add_le_zero(&upper);
-            q_lb.add_ge_zero(&lower);
-            q_ub.add_le_zero(&upper);
-            q_ub.add_ge_zero(&lower);
-        }
-
-        // One LP feasibility check prunes most chunk combinations (the
-        // boxed expressions co-vary, so the Cartesian grid is sparse);
-        // q_lb ⊆ q_ub, so an empty q_ub kills both volumes.
-        if q_ub.is_empty() {
-            return;
-        }
-        let (vol_lb, _) = q_lb.volume_range(exact_cap, opts.volume_budget);
-        let (_, vol_ub) = q_ub.volume_range(exact_cap, opts.volume_budget);
-
-        if vol_ub > 0.0 || vol_lb > 0.0 {
-            // Weight interval: product over scores of the skeleton
-            // evaluated with each part pinned to its chunk (+ interval
-            // slack) or fixed LP range.
-            let mut w = Interval::ONE;
-            for (s, d) in decomps.iter().enumerate() {
-                let ranges: Vec<Interval> = d
-                    .parts
-                    .iter()
-                    .enumerate()
-                    .map(|(pi, (_, iv))| match part_source[s][pi] {
-                        Ok(bi) => chunks[bi] + *iv,
-                        Err(fixed) => fixed,
-                    })
-                    .collect();
-                w = w * d.eval_with_part_ranges(&ranges).clamp_non_neg();
+        for _ in range {
+            for (ch, (chunking, &digit)) in chunks.iter_mut().zip(chunkings.iter().zip(&odo.digits))
+            {
+                *ch = chunking[digit];
             }
-            let value_range = if result_boxed {
-                chunks[0] + res_iv
-            } else {
-                const_value_range
-            };
-            let lo_mass = if const_in_lo { vol_lb * w.lo() } else { 0.0 };
-            let hi_mass = if const_in_hi { vol_ub * w.hi() } else { 0.0 };
-            buf.push((value_range, lo_mass, hi_mass));
+            odo.step(radix);
+
+            // Clip both polytopes to the chunks.
+            let mut q_lb = p_lb.clone();
+            let mut q_ub = p_ub.clone();
+            for (lin, ch) in boxed.iter().zip(&chunks) {
+                // ch.lo ≤ lin ≤ ch.hi
+                let upper = &(lin.clone()) + &LinExpr::constant(n, -ch.hi());
+                let lower = &(lin.clone()) + &LinExpr::constant(n, -ch.lo());
+                q_lb.add_le_zero(&upper);
+                q_lb.add_ge_zero(&lower);
+                q_ub.add_le_zero(&upper);
+                q_ub.add_ge_zero(&lower);
+            }
+
+            // One LP feasibility check prunes most chunk combinations
+            // (the boxed expressions co-vary, so the Cartesian grid is
+            // sparse); q_lb ⊆ q_ub, so an empty q_ub kills both volumes.
+            if q_ub.is_empty() {
+                continue;
+            }
+            let (vol_lb, _) = q_lb.volume_range(exact_cap, opts.volume_budget);
+            let (_, vol_ub) = q_ub.volume_range(exact_cap, opts.volume_budget);
+
+            if vol_ub > 0.0 || vol_lb > 0.0 {
+                // Weight interval: product over scores of the skeleton
+                // evaluated with each part pinned to its chunk (+
+                // interval slack) or fixed LP range.
+                let mut w = Interval::ONE;
+                for (s, d) in decomps.iter().enumerate() {
+                    part_ranges.clear();
+                    part_ranges.extend(d.parts.iter().enumerate().map(|(pi, (_, iv))| {
+                        match part_source[s][pi] {
+                            Ok(bi) => chunks[bi] + *iv,
+                            Err(fixed) => fixed,
+                        }
+                    }));
+                    let factor = match &skel_tapes {
+                        Some(tapes) => tapes[s].eval_value(&part_ranges, &mut scratches[s]),
+                        None => d.eval_with_part_ranges(&part_ranges),
+                    };
+                    w = w * factor.clamp_non_neg();
+                }
+                let value_range = if result_boxed {
+                    chunks[0] + res_iv
+                } else {
+                    const_value_range
+                };
+                let lo_mass = if const_in_lo { vol_lb * w.lo() } else { 0.0 };
+                let hi_mass = if const_in_hi { vol_ub * w.hi() } else { 0.0 };
+                buf.push((value_range, lo_mass, hi_mass));
+            }
         }
     };
 
     PathJob::Sweep {
         total,
-        process: Box::new(eval_combo),
+        cost,
+        process: Box::new(eval_range),
     }
 }
 
@@ -883,5 +1042,96 @@ mod tests {
             PathBoundOptions::default(),
         );
         assert!((lo - 0.25).abs() < 1e-12 && (hi - 0.25).abs() < 1e-12);
+    }
+
+    /// The compiled kernel and the tree-walking interpreter must emit
+    /// **the same region stream, bit for bit** — same regions, same
+    /// order, same masses — for every plan shape (grid, linear,
+    /// sampleless) and every thread count.
+    #[test]
+    fn kernel_and_interpreter_emit_identical_region_streams() {
+        let sources = [
+            // Non-linear: §6.3 grid.
+            "let x = sample in let y = sample in
+             if x * y <= 0.25 then sample else 2",
+            // Linear with two boxed score expressions: §6.4 chunks.
+            "let x = sample in let y = sample in score(x + y); score(2 - x); x + y",
+            // Sampleless.
+            "score(0.25); 2",
+            // Mixed constraints + pdf scores.
+            "let x = sample in observe 0.4 from normal(x, 0.25);
+             if x <= 0.5 then x else 1 - x",
+        ];
+        for src in sources {
+            for p in &paths(src) {
+                let kernel_opts = PathBoundOptions {
+                    splits: 8,
+                    use_kernel: true,
+                    ..Default::default()
+                };
+                let interp_opts = PathBoundOptions {
+                    use_kernel: false,
+                    ..kernel_opts
+                };
+                let mut with_kernel: Vec<Region> = Vec::new();
+                let mut with_interp: Vec<Region> = Vec::new();
+                bound_path(p, kernel_opts, &mut with_kernel);
+                bound_path(p, interp_opts, &mut with_interp);
+                assert_eq!(with_kernel.len(), with_interp.len(), "{src}");
+                for (a, b) in with_kernel.iter().zip(&with_interp) {
+                    assert_eq!(a.0, b.0, "{src}: value range");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "{src}: lower mass bits");
+                    assert_eq!(a.2.to_bits(), b.2.to_bits(), "{src}: upper mass bits");
+                }
+                // And through the threaded query entry point.
+                let u = Interval::new(0.0, 1.0);
+                let kq = bound_path_query_threaded(p, u, kernel_opts, Threads::Fixed(4));
+                let iq = bound_path_query(p, u, interp_opts);
+                assert_eq!(kq.0.to_bits(), iq.0.to_bits(), "{src}");
+                assert_eq!(kq.1.to_bits(), iq.1.to_bits(), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_kernel_env_values_parse() {
+        assert!(!kernel_disabled(None));
+        assert!(!kernel_disabled(Some("")));
+        assert!(!kernel_disabled(Some("0")));
+        assert!(kernel_disabled(Some("1")));
+        assert!(kernel_disabled(Some("true")));
+        assert!(kernel_disabled(Some("yes")));
+    }
+
+    #[test]
+    fn grid_sweeps_carry_the_tape_cost_estimate() {
+        let src = "let x = sample in let y = sample in
+                   if x * y <= 0.25 then sample else 2";
+        for p in paths(src).iter().filter(|p| !linear_applicable(p)) {
+            let opts = PathBoundOptions {
+                splits: 8,
+                use_kernel: true,
+                ..Default::default()
+            };
+            let PathJob::Sweep { total, cost, .. } = plan_path(p, opts) else {
+                panic!("grid paths plan as sweeps");
+            };
+            assert_eq!(total, 8usize.pow(p.n_samples as u32));
+            let tape = gubpi_symbolic::Tape::for_path(p);
+            assert_eq!(cost, tape.cost(), "cost must be the tape's estimate");
+            // The interpreter fallback carries its own (tree-size)
+            // estimate; both are pure functions of the plan.
+            let interp = PathBoundOptions {
+                use_kernel: false,
+                ..opts
+            };
+            let PathJob::Sweep {
+                cost: tree_cost, ..
+            } = plan_path(p, interp)
+            else {
+                panic!("grid paths plan as sweeps");
+            };
+            assert!(tree_cost > 0);
+        }
     }
 }

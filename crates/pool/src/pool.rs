@@ -144,6 +144,10 @@ pub struct PoolStats {
     /// Symbolic-frontier forks run inline (no idle worker, or stolen
     /// back at join).
     pub forks_inline: u64,
+    /// Chunk width chosen for the most recently planned region sweep —
+    /// a gauge (not monotone) exposing the adaptive, cost-seeded
+    /// chunking decision (`gubpi_pool::chunk_width`).
+    pub last_chunk_width: u64,
 }
 
 #[derive(Default)]
@@ -157,6 +161,7 @@ pub(crate) struct StatsCells {
     pub(crate) region_steals: AtomicU64,
     forks_parallel: AtomicU64,
     forks_inline: AtomicU64,
+    pub(crate) last_chunk_width: AtomicU64,
 }
 
 struct Inner {
@@ -256,6 +261,7 @@ impl WorkerPool {
             region_steals: s.region_steals.load(Ordering::Relaxed),
             forks_parallel: s.forks_parallel.load(Ordering::Relaxed),
             forks_inline: s.forks_inline.load(Ordering::Relaxed),
+            last_chunk_width: s.last_chunk_width.load(Ordering::Relaxed),
         }
     }
 

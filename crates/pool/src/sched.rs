@@ -54,9 +54,13 @@ pub enum Task {
     },
 }
 
-/// The pure per-index computation of a sweep: `process(i, buf)`
-/// appends index `i`'s items (possibly none) to `buf`.
-pub type RegionFn<'a, T> = Box<dyn Fn(usize, &mut Vec<T>) + Sync + 'a>;
+/// The pure batched computation of a sweep: `process(range, buf)`
+/// appends the items of every index in `range` (possibly none per
+/// index) to `buf`, **in increasing index order**. Handing whole ranges
+/// to the plan lets it amortise per-chunk setup (kernel scratch
+/// allocation, incremental odometer decoding, lane-blocked evaluation)
+/// across thousands of regions instead of paying it per cell.
+pub type RegionFn<'a, T> = Box<dyn Fn(Range<usize>, &mut Vec<T>) + Sync + 'a>;
 
 /// One per-path job handed to the scheduler.
 pub enum PathJob<'a, T> {
@@ -67,9 +71,38 @@ pub enum PathJob<'a, T> {
     Sweep {
         /// Size of the index space (`0..total`).
         total: usize,
-        /// The pure per-index computation.
+        /// Deterministic per-region cost estimate (e.g. the compiled
+        /// tape length); seeds the adaptive chunk width. Must be a pure
+        /// function of the plan — never of timing or thread identity.
+        cost: u64,
+        /// The pure batched computation over an index range.
         process: RegionFn<'a, T>,
     },
+}
+
+/// Deterministic chunk width of a region sweep: a **pure function of
+/// `(total, width, cost)`**, so the partition of the index space — and
+/// therefore every replayed bound — is bit-identical across runs, steal
+/// schedules and pool states.
+///
+/// The width adapts to the plan's per-region cost estimate: expensive
+/// regions (long tapes, high-dimensional volumes) get smaller chunks so
+/// idle workers can steal meaningful work, cheap regions get larger
+/// chunks so the scheduler's atomic traffic and buffer overhead stay
+/// negligible. Two guards bracket the cost-derived width: at most ~4
+/// chunks per participant of headroom is kept (the PR-4 fairness
+/// split), and a sweep never shatters into more than `MAX_CHUNKS`
+/// (4096) chunks no matter how expensive its regions look.
+pub fn chunk_width(total: usize, width: usize, cost: u64) -> usize {
+    /// Target work units (cost × regions) per chunk.
+    const TARGET_CHUNK_COST: u64 = 1 << 20;
+    /// Upper bound on chunks per sweep (caps buffer/replay overhead).
+    const MAX_CHUNKS: usize = 4096;
+    let fair = total.div_ceil(width.max(1) * 4).max(1);
+    let by_cost = usize::try_from(TARGET_CHUNK_COST / cost.max(1))
+        .unwrap_or(usize::MAX)
+        .max(1);
+    by_cost.min(fair).max(total.div_ceil(MAX_CHUNKS)).max(1)
 }
 
 /// Per-sweep shared claiming state.
@@ -105,22 +138,27 @@ pub fn run_jobs_with<T: Send + Sync>(
     if jobs.is_empty() {
         return;
     }
-    // Deterministic chunk size per sweep: aim for ~4 chunks per
-    // participant so steals stay meaningful without drowning the run in
-    // atomic traffic. The value only shapes scheduling — the folded
-    // item stream is partition-independent.
+    // Deterministic chunk size per sweep, seeded from the plan's cost
+    // estimate (see `chunk_width`). The value only shapes scheduling —
+    // the folded item stream is partition-independent.
     let width = width.max(1);
     let spaces: Vec<Option<Space>> = jobs
         .iter()
         .map(|j| match j {
             PathJob::Ready(_) => None,
             PathJob::Sweep { total, .. } if *total == 0 => None,
-            PathJob::Sweep { total, .. } => Some(Space {
-                total: *total,
-                chunk: (*total / (width * 4)).max(1),
-                cursor: AtomicUsize::new(0),
-                owner: AtomicUsize::new(usize::MAX),
-            }),
+            PathJob::Sweep { total, cost, .. } => {
+                let chunk = chunk_width(*total, width, *cost);
+                pool.stats_cells()
+                    .last_chunk_width
+                    .store(chunk as u64, Ordering::Relaxed);
+                Some(Space {
+                    total: *total,
+                    chunk,
+                    cursor: AtomicUsize::new(0),
+                    owner: AtomicUsize::new(usize::MAX),
+                })
+            }
         })
         .collect();
     // Units of schedulable work decide the effective width (the clamp
@@ -183,7 +221,9 @@ pub fn run_jobs_with<T: Send + Sync>(
 }
 
 /// The width-1 fast path: stream every job straight into the fold, in
-/// order, with a single reused buffer — no partials, no pool.
+/// order, with a single reused buffer — no partials, no pool. Sweeps
+/// stream chunk by chunk (same width-1 chunking as the parallel
+/// partition) so the buffer stays bounded on huge region spaces.
 fn run_sequential<T>(jobs: Vec<PathJob<'_, T>>, mut fold: impl FnMut(usize, T)) {
     let mut buf = Vec::new();
     for (i, job) in jobs.into_iter().enumerate() {
@@ -193,12 +233,20 @@ fn run_sequential<T>(jobs: Vec<PathJob<'_, T>>, mut fold: impl FnMut(usize, T)) 
                     fold(i, item);
                 }
             }
-            PathJob::Sweep { total, process } => {
-                for ci in 0..total {
-                    process(ci, &mut buf);
+            PathJob::Sweep {
+                total,
+                cost,
+                process,
+            } => {
+                let chunk = chunk_width(total, 1, cost);
+                let mut start = 0;
+                while start < total {
+                    let end = (start + chunk).min(total);
+                    process(start..end, &mut buf);
                     for item in buf.drain(..) {
                         fold(i, item);
                     }
+                    start = end;
                 }
             }
         }
@@ -294,12 +342,9 @@ fn run_task<T: Send + Sync>(
                 unreachable!("spaces exist only for sweeps");
             };
             let mut items = Vec::new();
-            for ci in range.clone() {
-                process(ci, &mut items);
-            }
-            out.lock()
-                .expect("out poisoned")
-                .push((path, range.start, items));
+            let start = range.start;
+            process(range, &mut items);
+            out.lock().expect("out poisoned").push((path, start, items));
         }
     }
 }
@@ -326,7 +371,8 @@ mod tests {
             .iter()
             .map(|&n| PathJob::Sweep {
                 total: n,
-                process: Box::new(|ci, buf| buf.push(ci)),
+                cost: 1,
+                process: Box::new(|range, buf| buf.extend(range)),
             })
             .collect()
     }
@@ -358,7 +404,8 @@ mod tests {
             PathJob::Ready(vec![10usize, 11]),
             PathJob::Sweep {
                 total: 3,
-                process: Box::new(|ci, buf| buf.push(ci)),
+                cost: 1,
+                process: Box::new(|range, buf| buf.extend(range)),
             },
             PathJob::Ready(vec![99]),
         ];
@@ -393,9 +440,51 @@ mod tests {
         assert!(after.dispatches > before.dispatches);
         assert_eq!(
             after.region_tasks - before.region_tasks,
-            100_000usize.div_ceil(100_000 / 16) as u64 + 3,
-            "chunk partition is a pure function of total and width"
+            100_000usize.div_ceil(chunk_width(100_000, 4, 1)) as u64 + 3,
+            "chunk partition is a pure function of (total, width, cost)"
         );
+        assert_eq!(
+            after.last_chunk_width,
+            chunk_width(1, 4, 1) as u64,
+            "gauge reflects the most recently planned sweep (the trailing 1-region paths)"
+        );
+    }
+
+    #[test]
+    fn chunk_width_is_pure_and_cost_adaptive() {
+        // Cheap regions reproduce the fairness split (~4 chunks/worker).
+        assert_eq!(chunk_width(100_000, 4, 1), 6250);
+        // Expensive regions shrink the chunk toward the cost target ...
+        let heavy = chunk_width(100_000, 4, 1 << 12);
+        assert!(heavy < 6250, "heavy regions must chunk finer: {heavy}");
+        assert_eq!(heavy, (1usize << 20) >> 12);
+        // ... but never below the 4096-chunk cap or one region.
+        assert_eq!(chunk_width(1 << 20, 4, u64::MAX), (1usize << 20) / 4096);
+        assert_eq!(chunk_width(10, 4, u64::MAX), 1);
+        // Monotone determinism: same inputs, same width — every call.
+        for &(t, w, c) in &[(1usize, 1usize, 1u64), (12345, 3, 77), (1 << 20, 8, 500)] {
+            assert_eq!(chunk_width(t, w, c), chunk_width(t, w, c));
+            assert!(chunk_width(t, w, c) >= 1);
+        }
+    }
+
+    #[test]
+    fn cost_changes_chunking_but_not_the_folded_stream() {
+        let pool = WorkerPool::new();
+        let jobs_with_cost = |cost: u64| -> Vec<PathJob<'static, usize>> {
+            vec![PathJob::Sweep {
+                total: 50_000,
+                cost,
+                process: Box::new(|range, buf| buf.extend(range)),
+            }]
+        };
+        let reference = collect(&pool, 1, jobs_with_cost(1));
+        for cost in [1u64, 64, 4096, u64::MAX] {
+            for width in [2usize, 4] {
+                let got = collect(&pool, width, jobs_with_cost(cost));
+                assert_eq!(got, reference, "cost {cost} width {width}");
+            }
+        }
     }
 
     #[test]
@@ -413,7 +502,8 @@ mod tests {
         let pool = WorkerPool::new();
         let jobs: Vec<PathJob<'_, usize>> = vec![PathJob::Sweep {
             total: 1000,
-            process: Box::new(|ci, _| assert!(ci != 999, "boom")),
+            cost: 1,
+            process: Box::new(|range, _| assert!(!range.contains(&999), "boom")),
         }];
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_jobs_with(&pool, 4, jobs, |_, _: usize| {});

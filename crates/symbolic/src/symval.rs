@@ -74,6 +74,18 @@ impl SymVal {
         self.max_sample().is_some()
     }
 
+    /// Number of primitive applications a recursive walk evaluates —
+    /// shared `Arc`s count once per *occurrence*, because a tree walk
+    /// re-descends into them every time it meets one. This is both the
+    /// kernel's pre-CSE baseline and the per-cell cost of the
+    /// tree-walking interpreter.
+    pub fn prim_op_count(&self) -> u64 {
+        match self {
+            SymVal::Const(_) | SymVal::Interval(_) | SymVal::Sample(_) => 0,
+            SymVal::Prim(_, args) => 1 + args.iter().map(|a| a.prim_op_count()).sum::<u64>(),
+        }
+    }
+
     /// Does the value contain interval literals (i.e. was `approxFix`
     /// involved)?
     pub fn has_intervals(&self) -> bool {

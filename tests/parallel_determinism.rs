@@ -378,6 +378,57 @@ fn widths_one_through_eight_are_bit_identical() {
     assert_bits_eq(reference, build(Threads::Auto).denotation_bounds(u), "Auto");
 }
 
+/// The compiled interval-tape kernel vs the tree-walking interpreter:
+/// same bounds, **bit for bit**, on every query shape and under every
+/// thread count (CI runs this whole file under `GUBPI_THREADS` ∈
+/// {2, 4, 8}, so the comparison also covers steal schedules).
+#[test]
+fn kernel_and_interpreter_report_identical_bits() {
+    let sources = [
+        // Non-linear single path: pure §6.3 grid sweep.
+        "let x = sample in let y = sample in let z = sample in score(sigmoid(x * y + z)); x * y",
+        // Linear with boxed scores: §6.4 chunk combinations.
+        "let x = sample in let y = sample in score(x + y); score(2 - x); x + y",
+        // Recursive: mixed path set with approxFix interval literals.
+        "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0",
+    ];
+    for src in sources {
+        let build = |threads: Threads, use_kernel: bool| {
+            let mut opts = AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: 6,
+                    ..Default::default()
+                },
+                threads,
+                ..Default::default()
+            };
+            opts.bounds.splits = 8;
+            opts.bounds.use_kernel = use_kernel;
+            Analyzer::from_source(src, opts).unwrap()
+        };
+        let u = Interval::new(0.0, 1.5);
+        let reference = build(Threads::Off, false);
+        let ref_den = reference.denotation_bounds(u);
+        let ref_hist = reference.histogram(Interval::new(-1.0, 3.0), 5);
+        for &threads in SETTINGS {
+            let a = build(threads, true);
+            assert_bits_eq(
+                ref_den,
+                a.denotation_bounds(u),
+                &format!("{src}: kernel under {threads:?} vs interpreter"),
+            );
+            let h = a.histogram(Interval::new(-1.0, 3.0), 5);
+            for b in 0..h.bins() {
+                assert_bits_eq(
+                    ref_hist.unnormalized(b),
+                    h.unnormalized(b),
+                    &format!("{src}: kernel histogram bin {b} under {threads:?}"),
+                );
+            }
+        }
+    }
+}
+
 /// The worker-count clamp: a query with a single unit of work on a wide
 /// setting must run inline — no pool dispatch, no empty partials, no
 /// threads spawned for nothing.
