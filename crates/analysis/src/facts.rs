@@ -1,0 +1,816 @@
+//! The abstract interpreter and its result table, [`ProgramFacts`].
+//!
+//! One environment-based pass over the program in the interval domain,
+//! mirroring the symbolic executor's shape (call-by-value, both branches
+//! of an undecidable `if`, `approxFix` via the weight-aware interval
+//! types) but with *intervals* in place of symbolic values. Every
+//! evaluation of a node joins into a per-[`NodeId`] table, so the facts
+//! cover all runtime environments the executor can reach:
+//!
+//! * **value facts** — an interval enclosing every value the subterm can
+//!   evaluate to (exactly the `eval_interval` primitives the path-bound
+//!   kernel trusts);
+//! * **weight facts** — per `score` node, an enclosure of the scored
+//!   value: can this weight ever be 0, is it bounded above;
+//! * **branch flow** — which sides of each `if` were statically
+//!   possible;
+//! * **contraction facts** — per `μ` node, the weight a full application
+//!   chain multiplies in (off the interval types), the estimate for
+//!   whether budget truncation can dominate the bounds.
+//!
+//! # Soundness under recursion
+//!
+//! A fixpoint is unfolded [`FactsOptions::max_fix_unfoldings`] times;
+//! when the budget runs out the call returns the `approxFix` interval
+//! from the typing *and* the body is re-evaluated once in a **widened**
+//! environment (parameter bound to its interval *type*, recursive calls
+//! answered by the typing directly). The widened pass makes the
+//! per-node joins cover every deeper unfolding, so value facts stay
+//! conservative inside `μ`-bodies too. If the interpreter ever has to
+//! abort (depth or fuel exhausted — not reachable for any model in this
+//! repository), all interpreter-derived tables are dropped and only the
+//! syntactic and typing-derived facts remain: consumers degrade to "no
+//! information", never to wrong information.
+//!
+//! # The pruning contract
+//!
+//! [`ProgramFacts::score_is_zero`] and [`ProgramFacts::dead_branch_cost`]
+//! are the two facts the executor may act on, and both are deliberately
+//! much stronger than "statically zero". A score node qualifies only if
+//! its argument is built from constants and primitives alone (no
+//! variables, no samples): the symbolic value the executor pushes for it
+//! is then the *same* constant computation, so its range over **any**
+//! box is exactly `[0, 0]` and the path's contribution to both the lower
+//! and the upper bound is exactly `0.0` — dropping it keeps every bound
+//! bit-identical. A branch qualifies as dead only if it must execute
+//! such a score and contains no `if` and no application, so the only
+//! ways it could end *before* scoring are fuel or stack exhaustion —
+//! which the executor rules out at prune time via the recorded
+//! evaluation cost.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use gubpi_interval::Interval;
+use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program, Span};
+use gubpi_types::{ITy, IntervalTyping};
+
+/// Options controlling the abstract interpretation.
+#[derive(Copy, Clone, Debug)]
+pub struct FactsOptions {
+    /// Fixpoint unfoldings before the typing-based approximation (plus
+    /// one widened pass) takes over. Small values lose little: the
+    /// widened pass covers the tail.
+    pub max_fix_unfoldings: u32,
+    /// Recursion guard for the interpreter's own stack.
+    pub max_depth: u32,
+    /// Step budget; exhausting it aborts the interpretation (see the
+    /// module docs — aborted runs keep only syntactic facts).
+    pub fuel: u64,
+}
+
+impl Default for FactsOptions {
+    fn default() -> FactsOptions {
+        FactsOptions {
+            max_fix_unfoldings: 3,
+            max_depth: 400,
+            fuel: 2_000_000,
+        }
+    }
+}
+
+/// Which sides of an `if` the abstract interpreter saw taken.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchFlow {
+    /// The `≤ 0` side was statically possible.
+    pub then_taken: bool,
+    /// The `> 0` side was statically possible.
+    pub else_taken: bool,
+}
+
+/// A `let`-bound variable that is never used although its definition
+/// draws samples (the draw still counts towards the trace, so this is
+/// usually a modelling mistake).
+#[derive(Clone, Debug)]
+pub struct UnusedSample {
+    /// The binder name.
+    pub name: Name,
+    /// Source location of the binding application.
+    pub span: Span,
+}
+
+/// Static facts about one program, produced by [`ProgramFacts::compute`].
+#[derive(Clone, Debug, Default)]
+pub struct ProgramFacts {
+    values: HashMap<NodeId, Interval>,
+    score_args: HashMap<NodeId, Interval>,
+    flows: HashMap<NodeId, BranchFlow>,
+    evaluated: HashSet<NodeId>,
+    zero_scores: HashSet<NodeId>,
+    dead_branches: HashMap<NodeId, u64>,
+    contraction: HashMap<NodeId, Interval>,
+    fix_values: HashMap<NodeId, Interval>,
+    unused_samples: Vec<UnusedSample>,
+    constant_pool: Vec<Interval>,
+    aborted: bool,
+}
+
+impl ProgramFacts {
+    /// Runs the abstract interpreter with default options.
+    pub fn compute(program: &Program, typing: &IntervalTyping) -> ProgramFacts {
+        ProgramFacts::compute_with(program, typing, FactsOptions::default())
+    }
+
+    /// [`ProgramFacts::compute`] with explicit options.
+    pub fn compute_with(
+        program: &Program,
+        typing: &IntervalTyping,
+        opts: FactsOptions,
+    ) -> ProgramFacts {
+        let mut interp = Interp {
+            typing,
+            opts,
+            facts: ProgramFacts::default(),
+            widened: HashSet::new(),
+            fuel: opts.fuel,
+            aborted: false,
+        };
+        interp.eval(&program.root, &AEnv::empty(), opts.max_fix_unfoldings, 0);
+        let mut facts = interp.facts;
+        if interp.aborted {
+            // Partial joins under-approximate; keep nothing the
+            // interpreter produced.
+            facts.values.clear();
+            facts.score_args.clear();
+            facts.flows.clear();
+            facts.evaluated.clear();
+            facts.aborted = true;
+        }
+        facts.finish(program, typing);
+        facts
+    }
+
+    /// Joined post-pass: derive the executor-facing facts and the
+    /// syntactic lint inputs from the raw evaluation tables.
+    fn finish(&mut self, program: &Program, typing: &IntervalTyping) {
+        let mut pool: Vec<Interval> = Vec::new();
+        let mut seen = HashSet::new();
+        let mut push = |pool: &mut Vec<Interval>, i: Interval| {
+            if seen.insert((i.lo().to_bits(), i.hi().to_bits())) {
+                pool.push(i);
+            }
+        };
+        program.root.walk(&mut |e| match &e.kind {
+            ExprKind::Score(arg)
+                if self.score_args.get(&e.id) == Some(&Interval::ZERO)
+                    && substitution_stable(arg) =>
+            {
+                self.zero_scores.insert(e.id);
+            }
+            ExprKind::Fix(..) => {
+                if let Some((_, value, weight)) = typing.fix_apply_chain(e.id) {
+                    self.contraction.insert(e.id, weight);
+                    self.fix_values.insert(e.id, value);
+                }
+            }
+            ExprKind::App(f, arg) => {
+                if let ExprKind::Lam(x, body) = &f.kind {
+                    if !x.starts_with('$') && contains_sample(arg) && !body.free_vars().contains(x)
+                    {
+                        self.unused_samples.push(UnusedSample {
+                            name: x.clone(),
+                            span: e.span,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        });
+        // Dead branches need the zero-score set, so a second walk.
+        let mut dead = Vec::new();
+        program.root.walk(&mut |e| {
+            if let ExprKind::If(_, t, els) = &e.kind {
+                for side in [t, els] {
+                    if branch_is_inert(side) && self.must_score_zero(side) {
+                        dead.push((side.id, side.size() as u64));
+                    }
+                }
+            }
+        });
+        self.dead_branches.extend(dead);
+        // Deterministic constant pool for kernel seeding: program
+        // literals first, then the approxFix intervals, in preorder.
+        program.root.walk(&mut |e| {
+            if let ExprKind::Const(r) = e.kind {
+                push(&mut pool, Interval::point(r));
+            }
+        });
+        program.root.walk(&mut |e| {
+            if let ExprKind::Fix(..) = e.kind {
+                if let Some((_, value, weight)) = typing.fix_apply_chain(e.id) {
+                    push(&mut pool, value);
+                    push(&mut pool, weight.clamp_non_neg());
+                }
+            }
+        });
+        self.constant_pool = pool;
+    }
+
+    /// Does evaluating `e` necessarily push a provably-zero score before
+    /// doing anything that could fork or truncate? (`e` is known inert.)
+    fn must_score_zero(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Score(m) => self.zero_scores.contains(&e.id) || self.must_score_zero(m),
+            ExprKind::Prim(_, args) => args.iter().any(|a| self.must_score_zero(a)),
+            _ => false,
+        }
+    }
+
+    /// The interval enclosing every value this node can evaluate to
+    /// (absent for unevaluated nodes and non-numeric results).
+    pub fn value(&self, id: NodeId) -> Option<Interval> {
+        self.values.get(&id).copied()
+    }
+
+    /// Per `score` node: the enclosure of the scored value (the factor
+    /// this node multiplies into the path weight).
+    pub fn score_weight(&self, id: NodeId) -> Option<Interval> {
+        self.score_args.get(&id).copied()
+    }
+
+    /// True when this `score` node provably multiplies the weight by an
+    /// exact 0 on every run — substitution-stable, so the executor may
+    /// drop the path without perturbing any bound (see module docs).
+    pub fn score_is_zero(&self, id: NodeId) -> bool {
+        self.zero_scores.contains(&id)
+    }
+
+    /// For a branch root of an `if`: `Some(cost)` when the branch is
+    /// provably zero-mass and inert, with `cost` an upper bound on the
+    /// fuel and stack depth its evaluation could consume. The executor
+    /// may skip the branch whenever its remaining fuel and depth exceed
+    /// `cost` (otherwise the unpruned run could have truncated *inside*
+    /// the branch before scoring, producing a ⊤ path with real mass).
+    pub fn dead_branch_cost(&self, id: NodeId) -> Option<u64> {
+        self.dead_branches.get(&id).copied()
+    }
+
+    /// Which sides of an evaluated `if` were statically possible.
+    pub fn branch_flow(&self, id: NodeId) -> Option<BranchFlow> {
+        self.flows.get(&id).copied()
+    }
+
+    /// Per `μ` node: the weight a full application chain multiplies in
+    /// (`[e,f]` of §6.2). A high endpoint `≥ 1` means unfolding makes no
+    /// provable progress in weight — budget truncation risk.
+    pub fn contraction(&self, id: NodeId) -> Option<Interval> {
+        self.contraction.get(&id).copied()
+    }
+
+    /// Per `μ` node: the value interval of its ground result.
+    pub fn fix_value(&self, id: NodeId) -> Option<Interval> {
+        self.fix_values.get(&id).copied()
+    }
+
+    /// Did the abstract interpreter reach this node at least once?
+    pub fn was_evaluated(&self, id: NodeId) -> bool {
+        self.evaluated.contains(&id)
+    }
+
+    /// Unused `let`-bindings whose definitions draw samples.
+    pub fn unused_samples(&self) -> &[UnusedSample] {
+        &self.unused_samples
+    }
+
+    /// The deduplicated interval constants the paths over this program
+    /// can mention (literals and approxFix replacements), in a
+    /// deterministic order — the kernel pre-interns these.
+    pub fn constant_pool(&self) -> &[Interval] {
+        &self.constant_pool
+    }
+
+    /// Number of provably-zero score nodes.
+    pub fn zero_score_count(&self) -> usize {
+        self.zero_scores.len()
+    }
+
+    /// Number of provably-dead branch roots.
+    pub fn dead_branch_count(&self) -> usize {
+        self.dead_branches.len()
+    }
+
+    /// True when the interpreter aborted and only syntactic facts
+    /// remain (never the case for this repository's models).
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+}
+
+/// Only constants and primitives: the symbolic value the executor builds
+/// for such a term repeats the identical constant computation, so its
+/// interval over any box equals the static interval bit-for-bit.
+fn substitution_stable(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Const(_) => true,
+        ExprKind::Prim(_, args) => args.iter().all(substitution_stable),
+        _ => false,
+    }
+}
+
+/// No `if` and no application anywhere in the evaluated spine: the
+/// executor can neither fork nor enter a function body here, so
+/// evaluation runs straight through (λ/μ values are inert — their bodies
+/// only run when applied, and applications are excluded).
+fn branch_is_inert(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::If(..) | ExprKind::App(..) => false,
+        ExprKind::Var(_) | ExprKind::Const(_) | ExprKind::Sample => true,
+        ExprKind::Lam(..) | ExprKind::Fix(..) => true,
+        ExprKind::Prim(_, args) => args.iter().all(branch_is_inert),
+        ExprKind::Score(m) => branch_is_inert(m),
+    }
+}
+
+/// Does the evaluated spine of `e` draw samples?
+fn contains_sample(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Sample => true,
+        ExprKind::Var(_) | ExprKind::Const(_) => false,
+        // Inert values: their bodies do not run here.
+        ExprKind::Lam(..) | ExprKind::Fix(..) => false,
+        ExprKind::App(f, a) => contains_sample(f) || contains_sample(a),
+        ExprKind::If(c, t, els) => contains_sample(c) || contains_sample(t) || contains_sample(els),
+        ExprKind::Prim(_, args) => args.iter().any(contains_sample),
+        ExprKind::Score(m) => contains_sample(m),
+    }
+}
+
+/// Abstract runtime values.
+#[derive(Clone)]
+enum AbsVal<'a> {
+    Num(Interval),
+    Closure {
+        param: &'a Name,
+        body: &'a Expr,
+        env: AEnv<'a>,
+    },
+    Fix {
+        node: NodeId,
+        fname: &'a Name,
+        param: &'a Name,
+        body: &'a Expr,
+        env: AEnv<'a>,
+    },
+    /// A curried `approxFix` stub still absorbing arguments.
+    ApproxFun {
+        remaining: u32,
+        value: Interval,
+    },
+    /// An exhausted fixpoint inside its own widened pass: applications
+    /// answer with the typing approximation and never re-enter the body.
+    FixStub {
+        node: NodeId,
+    },
+    /// No information (also: any non-representable join).
+    Top,
+}
+
+/// Persistent environment, `Rc`-linked like the executor's.
+#[derive(Clone, Default)]
+struct AEnv<'a>(Option<Rc<ANode<'a>>>);
+
+struct ANode<'a> {
+    name: &'a str,
+    value: AbsVal<'a>,
+    rest: AEnv<'a>,
+}
+
+impl<'a> AEnv<'a> {
+    fn empty() -> AEnv<'a> {
+        AEnv(None)
+    }
+    fn bind(&self, name: &'a str, value: AbsVal<'a>) -> AEnv<'a> {
+        AEnv(Some(Rc::new(ANode {
+            name,
+            value,
+            rest: self.clone(),
+        })))
+    }
+    fn lookup(&self, name: &str) -> Option<&AbsVal<'a>> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+/// Join in the abstract domain; anything without a representable join
+/// collapses to `Top` (sound: consumers treat `Top` as "no fact").
+fn join<'a>(a: AbsVal<'a>, b: AbsVal<'a>) -> AbsVal<'a> {
+    use AbsVal::*;
+    match (a, b) {
+        (Num(x), Num(y)) => Num(x.join(y)),
+        (
+            ApproxFun {
+                remaining: r1,
+                value: v1,
+            },
+            ApproxFun {
+                remaining: r2,
+                value: v2,
+            },
+        ) if r1 == r2 => ApproxFun {
+            remaining: r1,
+            value: v1.join(v2),
+        },
+        (FixStub { node: n1 }, FixStub { node: n2 }) if n1 == n2 => FixStub { node: n1 },
+        (
+            Closure {
+                param: p1,
+                body: b1,
+                env: e1,
+            },
+            Closure {
+                param: _,
+                body: b2,
+                env: e2,
+            },
+        ) if b1.id == b2.id => match join_env(&e1, &e2) {
+            Some(env) => Closure {
+                param: p1,
+                body: b1,
+                env,
+            },
+            None => Top,
+        },
+        (
+            Fix {
+                node: n1,
+                fname,
+                param,
+                body,
+                env: e1,
+            },
+            Fix {
+                node: n2, env: e2, ..
+            },
+        ) if n1 == n2 => match join_env(&e1, &e2) {
+            Some(env) => Fix {
+                node: n1,
+                fname,
+                param,
+                body,
+                env,
+            },
+            None => Top,
+        },
+        _ => Top,
+    }
+}
+
+/// Pointwise join of two environments of identical shape (same names in
+/// the same order — true for joins of the same closure body).
+fn join_env<'a>(a: &AEnv<'a>, b: &AEnv<'a>) -> Option<AEnv<'a>> {
+    match (&a.0, &b.0) {
+        (None, None) => Some(AEnv::empty()),
+        (Some(x), Some(y)) if x.name == y.name => {
+            if Rc::ptr_eq(x, y) {
+                return Some(a.clone());
+            }
+            let rest = join_env(&x.rest, &y.rest)?;
+            Some(rest.bind(x.name, join(x.value.clone(), y.value.clone())))
+        }
+        _ => None,
+    }
+}
+
+struct Interp<'a> {
+    typing: &'a IntervalTyping,
+    opts: FactsOptions,
+    facts: ProgramFacts,
+    /// Fix nodes whose widened pass already ran (once per node).
+    widened: HashSet<NodeId>,
+    fuel: u64,
+    aborted: bool,
+}
+
+impl<'a> Interp<'a> {
+    fn eval(&mut self, e: &'a Expr, env: &AEnv<'a>, unfold: u32, depth: u32) -> AbsVal<'a> {
+        if self.aborted {
+            return AbsVal::Top;
+        }
+        if depth >= self.opts.max_depth || self.fuel == 0 {
+            self.aborted = true;
+            return AbsVal::Top;
+        }
+        self.fuel -= 1;
+        self.facts.evaluated.insert(e.id);
+        let v = match &e.kind {
+            ExprKind::Var(x) => env.lookup(x).cloned().unwrap_or(AbsVal::Top),
+            ExprKind::Const(r) => AbsVal::Num(Interval::point(*r)),
+            ExprKind::Sample => AbsVal::Num(Interval::UNIT),
+            ExprKind::Lam(param, body) => AbsVal::Closure {
+                param,
+                body,
+                env: env.clone(),
+            },
+            ExprKind::Fix(fname, param, body) => AbsVal::Fix {
+                node: e.id,
+                fname,
+                param,
+                body,
+                env: env.clone(),
+            },
+            ExprKind::App(f, a) => {
+                let fv = self.eval(f, env, unfold, depth + 1);
+                let av = self.eval(a, env, unfold, depth + 1);
+                self.apply(fv, av, unfold, depth + 1)
+            }
+            ExprKind::If(c, t, els) => {
+                let guard = self.eval(c, env, unfold, depth + 1);
+                let range = match &guard {
+                    AbsVal::Num(i) => *i,
+                    _ => Interval::REAL,
+                };
+                let (take_then, take_else) = if range.hi() <= 0.0 {
+                    (true, false)
+                } else if range.lo() > 0.0 {
+                    (false, true)
+                } else {
+                    (true, true)
+                };
+                {
+                    let flow = self.facts.flows.entry(e.id).or_default();
+                    flow.then_taken |= take_then;
+                    flow.else_taken |= take_else;
+                }
+                match (take_then, take_else) {
+                    (true, false) => self.eval(t, env, unfold, depth + 1),
+                    (false, true) => self.eval(els, env, unfold, depth + 1),
+                    _ => {
+                        let tv = self.eval(t, env, unfold, depth + 1);
+                        let ev = self.eval(els, env, unfold, depth + 1);
+                        join(tv, ev)
+                    }
+                }
+            }
+            ExprKind::Prim(op, args) => {
+                let argv: Vec<Interval> = args
+                    .iter()
+                    .map(|a| match self.eval(a, env, unfold, depth + 1) {
+                        AbsVal::Num(i) => i,
+                        _ => Interval::REAL,
+                    })
+                    .collect();
+                AbsVal::Num(op.eval_interval(&argv))
+            }
+            ExprKind::Score(m) => {
+                let v = self.eval(m, env, unfold, depth + 1);
+                let i = match &v {
+                    AbsVal::Num(i) => *i,
+                    _ => Interval::REAL,
+                };
+                self.facts
+                    .score_args
+                    .entry(e.id)
+                    .and_modify(|old| *old = old.join(i))
+                    .or_insert(i);
+                v
+            }
+        };
+        if let AbsVal::Num(i) = v {
+            self.facts
+                .values
+                .entry(e.id)
+                .and_modify(|old| *old = old.join(i))
+                .or_insert(i);
+        }
+        v
+    }
+
+    fn apply(&mut self, f: AbsVal<'a>, a: AbsVal<'a>, unfold: u32, depth: u32) -> AbsVal<'a> {
+        match f {
+            AbsVal::Closure { param, body, env } => {
+                let env2 = env.bind(param, a);
+                self.eval(body, &env2, unfold, depth)
+            }
+            AbsVal::Fix {
+                node,
+                fname,
+                param,
+                body,
+                env,
+            } => {
+                let approx = self.approx_fix(node);
+                if unfold == 0 {
+                    // Widened pass (once per μ node): re-run the body
+                    // with the parameter at its interval *type* and
+                    // recursive calls answered by the typing, so the
+                    // per-node joins cover every deeper unfolding.
+                    if self.widened.insert(node) {
+                        let widened_arg = self.fix_param_bound(node);
+                        let env2 = env
+                            .bind(fname, AbsVal::FixStub { node })
+                            .bind(param, widened_arg);
+                        self.eval(body, &env2, 0, depth);
+                    }
+                    approx
+                } else {
+                    let rec = AbsVal::Fix {
+                        node,
+                        fname,
+                        param,
+                        body,
+                        env: env.clone(),
+                    };
+                    let env2 = env.bind(fname, rec).bind(param, a);
+                    let unfolded = self.eval(body, &env2, unfold - 1, depth);
+                    join(approx, unfolded)
+                }
+            }
+            AbsVal::ApproxFun { remaining, value } => {
+                if remaining == 0 {
+                    AbsVal::Num(value)
+                } else {
+                    AbsVal::ApproxFun {
+                        remaining: remaining - 1,
+                        value,
+                    }
+                }
+            }
+            AbsVal::FixStub { node } => self.approx_fix(node),
+            AbsVal::Num(_) | AbsVal::Top => AbsVal::Top,
+        }
+    }
+
+    /// The typing-based result of applying an exhausted fixpoint
+    /// (mirrors the executor's `approxFix`, including currying).
+    fn approx_fix(&self, node: NodeId) -> AbsVal<'a> {
+        match self.typing.fix_apply_chain(node) {
+            Some((0, value, _)) => AbsVal::Num(value),
+            Some((extra, value, _)) => AbsVal::ApproxFun {
+                remaining: extra - 1,
+                value,
+            },
+            None => AbsVal::Top,
+        }
+    }
+
+    /// The interval type of a fixpoint's parameter: a sound enclosure of
+    /// every argument any unfolding can receive.
+    fn fix_param_bound(&self, node: NodeId) -> AbsVal<'a> {
+        match self.typing.wty(node) {
+            Some(wty) => match &wty.ty {
+                ITy::Fun(param, _) => match param.as_interval() {
+                    Some(i) => AbsVal::Num(i),
+                    None => AbsVal::Top,
+                },
+                ITy::Base(_) => AbsVal::Top,
+            },
+            None => AbsVal::Top,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::{infer, parse};
+    use gubpi_types::infer_interval_types;
+
+    fn facts_for(src: &str) -> (Program, ProgramFacts) {
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let facts = ProgramFacts::compute(&p, &typing);
+        (p, facts)
+    }
+
+    fn node_of(p: &Program, pred: impl Fn(&Expr) -> bool) -> NodeId {
+        let mut found = None;
+        p.root.walk(&mut |e| {
+            if found.is_none() && pred(e) {
+                found = Some(e.id);
+            }
+        });
+        found.expect("no matching node")
+    }
+
+    #[test]
+    fn straight_line_values_are_exact() {
+        let (p, facts) = facts_for("3 * sample + 1");
+        assert!(!facts.is_aborted());
+        assert_eq!(facts.value(p.root.id), Some(Interval::new(1.0, 4.0)));
+    }
+
+    #[test]
+    fn fail_branches_are_provably_dead() {
+        let (p, facts) = facts_for("if sample <= 0.5 then sample else fail");
+        let score = node_of(&p, |e| matches!(e.kind, ExprKind::Score(_)));
+        assert!(facts.score_is_zero(score));
+        assert_eq!(facts.score_weight(score), Some(Interval::ZERO));
+        // The whole else branch (the score node) is a dead branch root.
+        assert_eq!(facts.dead_branch_cost(score), Some(2));
+        assert_eq!(facts.dead_branch_count(), 1);
+    }
+
+    #[test]
+    fn variable_scores_are_not_pruning_candidates() {
+        // Statically zero, but the argument mentions a variable: the
+        // lint may fire, the executor must not prune.
+        let (p, facts) = facts_for("let x = 0 * sample in score(x); 1");
+        let score = node_of(&p, |e| matches!(e.kind, ExprKind::Score(_)));
+        assert_eq!(facts.score_weight(score), Some(Interval::ZERO));
+        assert!(!facts.score_is_zero(score));
+        assert_eq!(facts.dead_branch_count(), 0);
+    }
+
+    #[test]
+    fn branch_flow_records_decided_and_open_guards() {
+        let (p, facts) = facts_for(
+            "let a = if 1 <= 0 then 7 else 8 in
+             if sample - 0.5 <= 0 then a else a + 1",
+        );
+        let mut flows = Vec::new();
+        p.root.walk(&mut |e| {
+            if matches!(e.kind, ExprKind::If(..)) {
+                flows.push(facts.branch_flow(e.id).unwrap());
+            }
+        });
+        assert_eq!(flows.len(), 2);
+        assert!(flows.contains(&BranchFlow {
+            then_taken: false,
+            else_taken: true,
+        }));
+        assert!(flows.contains(&BranchFlow {
+            then_taken: true,
+            else_taken: true,
+        }));
+    }
+
+    #[test]
+    fn widened_pass_keeps_fix_body_facts_sound() {
+        // With an unfolding budget of 3 the naive joins would conclude
+        // x ∈ [0, 3]; the widened pass must stretch the body facts to
+        // the parameter's interval type instead.
+        let (p, facts) =
+            facts_for("let rec count x = if 10 - x <= 0 then x else count (x + 1) in count 0");
+        let arg = node_of(&p, |e| {
+            matches!(&e.kind, ExprKind::Prim(op, args) if *op == gubpi_lang::PrimOp::Add
+                && matches!(args[0].kind, ExprKind::Var(_)))
+        });
+        let v = facts.value(arg).expect("body argument evaluated");
+        assert!(
+            v.hi() >= 11.0 || v.hi().is_infinite(),
+            "runtime reaches count(10); fact was {v:?}"
+        );
+    }
+
+    #[test]
+    fn contraction_facts_come_from_the_typing() {
+        let (p, facts) =
+            facts_for("let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1");
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        // No score inside the loop: weight [1,1], no contraction.
+        assert_eq!(facts.contraction(fix), Some(Interval::ONE));
+        assert!(facts.fix_value(fix).is_some());
+    }
+
+    #[test]
+    fn unused_sampling_bindings_are_reported() {
+        let (_, facts) = facts_for("let waste = sample in 2");
+        assert_eq!(facts.unused_samples().len(), 1);
+        assert_eq!(&*facts.unused_samples()[0].name, "waste");
+        // Internal sequencing binders are exempt.
+        let (_, clean) = facts_for("observe sample from normal(0.5, 1); 2");
+        assert!(clean.unused_samples().is_empty());
+    }
+
+    #[test]
+    fn constant_pool_is_deterministic_and_deduplicated() {
+        let (_, a) = facts_for("if sample <= 0.5 then 0.5 else 2 + 0.5");
+        let (_, b) = facts_for("if sample <= 0.5 then 0.5 else 2 + 0.5");
+        assert_eq!(a.constant_pool().len(), b.constant_pool().len());
+        assert!(a
+            .constant_pool()
+            .iter()
+            .zip(b.constant_pool())
+            .all(|(x, y)| x == y));
+        let halves = a
+            .constant_pool()
+            .iter()
+            .filter(|i| **i == Interval::point(0.5))
+            .count();
+        assert_eq!(halves, 1, "pool must deduplicate");
+    }
+
+    #[test]
+    fn higher_order_programs_do_not_confuse_the_interpreter() {
+        let (p, facts) = facts_for("let app f x = f x in app (fn y -> y + sample) 1");
+        assert_eq!(facts.value(p.root.id), Some(Interval::new(1.0, 2.0)));
+    }
+}

@@ -1,0 +1,366 @@
+//! Program lints derived from [`ProgramFacts`].
+//!
+//! Each lint points at a source span (rendered as `line:col` via
+//! [`gubpi_lang::line_col`]) and quotes the offending subterm with the
+//! pretty printer. Two severities: **warnings** flag constructs that are
+//! almost certainly modelling mistakes (zero-weight observations,
+//! out-of-domain distribution parameters, unreachable branches, unused
+//! sampling bindings), **notes** flag constructs that are legitimate but
+//! interact badly with guaranteed bounds (recursions without weight
+//! contraction, unbounded score factors). `repro analyze
+//! --deny-warnings` fails on warnings only, so the repository's models —
+//! which rely on recursion and `fail` deliberately — stay clean.
+
+use gubpi_interval::Interval;
+use gubpi_lang::{line_col, pretty, Expr, ExprKind, PrimOp, Program, Span};
+use gubpi_types::IntervalTyping;
+
+use crate::facts::ProgramFacts;
+
+/// How bad a finding is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Almost certainly a modelling mistake; `--deny-warnings` fails.
+    Warning,
+    /// Worth knowing, often deliberate.
+    Note,
+}
+
+/// The distinct kinds of findings.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A `score`/`observe` whose factor is provably 0 on every run.
+    ZeroWeightScore,
+    /// A distribution parameter provably outside its valid domain.
+    OutOfDomainParameter,
+    /// An `if` branch that can never be taken.
+    UnreachableBranch,
+    /// A `let`-bound variable that draws samples but is never used.
+    UnusedSample,
+    /// A recursion whose per-unfolding weight is not provably < 1.
+    TruncationRiskRecursion,
+    /// A score factor with no finite upper bound.
+    UnboundedScore,
+}
+
+impl LintKind {
+    /// Stable kebab-case name, used in rendered output and CI greps.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::ZeroWeightScore => "zero-weight-score",
+            LintKind::OutOfDomainParameter => "out-of-domain-parameter",
+            LintKind::UnreachableBranch => "unreachable-branch",
+            LintKind::UnusedSample => "unused-sample",
+            LintKind::TruncationRiskRecursion => "truncation-risk-recursion",
+            LintKind::UnboundedScore => "unbounded-score",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Lint {
+    /// What was found.
+    pub kind: LintKind,
+    /// Warning or note.
+    pub severity: Severity,
+    /// Where (byte span into the source).
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Lint {
+    /// Renders the lint against the program source, in the style
+    /// `3:14: warning[zero-weight-score]: …`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start as usize);
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        };
+        format!(
+            "{line}:{col}: {sev}[{}]: {}",
+            self.kind.name(),
+            self.message
+        )
+    }
+}
+
+/// Runs every lint over the program, sorted by source position (ties
+/// broken by kind) for deterministic output.
+pub fn lint_program(program: &Program, typing: &IntervalTyping, facts: &ProgramFacts) -> Vec<Lint> {
+    let _ = typing;
+    let mut lints = Vec::new();
+    program.root.walk(&mut |e| {
+        if !facts.was_evaluated(e.id) && !matches!(e.kind, ExprKind::Fix(..)) {
+            return;
+        }
+        match &e.kind {
+            ExprKind::Score(arg) => lint_score(e, arg, facts, &mut lints),
+            ExprKind::Prim(op, args) => lint_prim(*op, args, facts, &mut lints),
+            ExprKind::If(c, t, els) => lint_if(e, c, t, els, facts, &mut lints),
+            ExprKind::Fix(..) => lint_fix(e, facts, &mut lints),
+            _ => {}
+        }
+    });
+    for unused in facts.unused_samples() {
+        lints.push(Lint {
+            kind: LintKind::UnusedSample,
+            severity: Severity::Warning,
+            span: unused.span,
+            message: format!(
+                "`{}` is never used but its definition draws samples; \
+                 the draws still lengthen every trace",
+                unused.name
+            ),
+        });
+    }
+    lints.sort_by_key(|l| (l.span.start, l.span.end, l.kind.name()));
+    lints
+}
+
+fn lint_score(e: &Expr, arg: &Expr, facts: &ProgramFacts, lints: &mut Vec<Lint>) {
+    let Some(w) = facts.score_weight(e.id) else {
+        return;
+    };
+    // A literal `score(0)`/`fail` is an explicit rejection, not a
+    // mistake; everything else that is provably 0 everywhere is.
+    let literal_zero = matches!(arg.kind, ExprKind::Const(r) if r == 0.0);
+    if w == Interval::ZERO && !literal_zero {
+        lints.push(Lint {
+            kind: LintKind::ZeroWeightScore,
+            severity: Severity::Warning,
+            span: e.span,
+            message: format!(
+                "this observation has zero weight on every run: `{}` is always 0, \
+                 so the posterior conditions on an impossible event",
+                pretty(arg)
+            ),
+        });
+    }
+    if w.hi().is_infinite() {
+        lints.push(Lint {
+            kind: LintKind::UnboundedScore,
+            severity: Severity::Note,
+            span: e.span,
+            message: format!(
+                "this score factor has no finite upper bound (`{}` ranges over {w:?}); \
+                 upper posterior bounds may be infinite",
+                pretty(arg)
+            ),
+        });
+    }
+}
+
+/// `(op, index of the offending parameter)` for density/quantile
+/// primitives whose parameter interval lies entirely outside the valid
+/// domain.
+fn lint_prim(op: PrimOp, args: &[Expr], facts: &ProgramFacts, lints: &mut Vec<Lint>) {
+    let arg_value = |i: usize| facts.value(args[i].id);
+    let mut bad: Option<(usize, Interval, &str)> = None;
+    let scale_bad = |i: Interval| i.hi() <= 0.0;
+    match op {
+        PrimOp::NormalPdf | PrimOp::CauchyPdf => {
+            if let Some(s) = arg_value(1) {
+                if scale_bad(s) {
+                    bad = Some((1, s, "scale must be positive"));
+                }
+            }
+        }
+        PrimOp::ExponentialPdf => {
+            if let Some(s) = arg_value(0) {
+                if scale_bad(s) {
+                    bad = Some((0, s, "rate must be positive"));
+                }
+            }
+        }
+        PrimOp::BetaPdf | PrimOp::BetaQuantile => {
+            for i in 0..2 {
+                if let Some(s) = arg_value(i) {
+                    if scale_bad(s) {
+                        bad = Some((i, s, "shape must be positive"));
+                        break;
+                    }
+                }
+            }
+        }
+        PrimOp::UniformPdf => {
+            if let (Some(a), Some(b)) = (arg_value(0), arg_value(1)) {
+                if a.lo() >= b.hi() {
+                    bad = Some((0, a, "the support is empty (lower bound ≥ upper bound)"));
+                }
+            }
+        }
+        _ => {}
+    }
+    if let Some((i, s, why)) = bad {
+        lints.push(Lint {
+            kind: LintKind::OutOfDomainParameter,
+            severity: Severity::Warning,
+            span: args[i].span,
+            message: format!(
+                "parameter `{}` of {} is never in its valid domain ({why}; \
+                 its value is always in {s:?}), so the density is 0 everywhere",
+                pretty(&args[i]),
+                op.name(),
+            ),
+        });
+    }
+}
+
+fn lint_if(
+    e: &Expr,
+    guard: &Expr,
+    t: &Expr,
+    els: &Expr,
+    facts: &ProgramFacts,
+    lints: &mut Vec<Lint>,
+) {
+    let Some(flow) = facts.branch_flow(e.id) else {
+        return;
+    };
+    let dead = if flow.then_taken && !flow.else_taken {
+        Some((els, ">"))
+    } else if flow.else_taken && !flow.then_taken {
+        Some((t, "≤"))
+    } else {
+        None
+    };
+    if let Some((side, cmp)) = dead {
+        lints.push(Lint {
+            kind: LintKind::UnreachableBranch,
+            severity: Severity::Warning,
+            span: side.span,
+            message: format!(
+                "this branch can never be taken: `{} {cmp} 0` is impossible",
+                pretty(guard)
+            ),
+        });
+    }
+}
+
+fn lint_fix(e: &Expr, facts: &ProgramFacts, lints: &mut Vec<Lint>) {
+    let Some(w) = facts.contraction(e.id) else {
+        return;
+    };
+    if w.hi() >= 1.0 {
+        lints.push(Lint {
+            kind: LintKind::TruncationRiskRecursion,
+            severity: Severity::Note,
+            span: e.span,
+            message: format!(
+                "per-unfolding weight {w:?} is not provably below 1: truncated \
+                 recursion tails keep full mass, so deep recursions may dominate \
+                 the bound width (raise the unfolding budget if bounds look loose)"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gubpi_lang::{infer, parse};
+    use gubpi_types::infer_interval_types;
+
+    fn lints_for(src: &str) -> Vec<Lint> {
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let facts = ProgramFacts::compute(&p, &typing);
+        lint_program(&p, &typing, &facts)
+    }
+
+    fn kinds(lints: &[Lint]) -> Vec<LintKind> {
+        lints.iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn zero_weight_observation_warns_but_fail_does_not() {
+        let noisy = lints_for("observe 5 from uniform(0, 1); sample");
+        assert!(kinds(&noisy).contains(&LintKind::ZeroWeightScore));
+        let deliberate = lints_for("if sample <= 0.5 then sample else fail");
+        assert!(!kinds(&deliberate).contains(&LintKind::ZeroWeightScore));
+    }
+
+    #[test]
+    fn out_of_domain_scale_parameter_warns() {
+        let lints = lints_for("observe 0 from normal(0, 0 - 0.5); sample");
+        assert!(kinds(&lints).contains(&LintKind::OutOfDomainParameter));
+        // The same observation also has zero weight everywhere.
+        assert!(kinds(&lints).contains(&LintKind::ZeroWeightScore));
+    }
+
+    #[test]
+    fn unreachable_branch_warns_once_with_location() {
+        let src = "let a = if 1 <= 0 then 7 else 8 in a + sample";
+        let lints = lints_for(src);
+        let hits: Vec<&Lint> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::UnreachableBranch)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        let rendered = hits[0].render(src);
+        assert!(
+            rendered.starts_with("1:24: warning[unreachable-branch]"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn recursion_base_cases_are_not_unreachable() {
+        // The widened μ-body pass must keep both sides of the guard
+        // statically possible even though three unfoldings never reach
+        // the base case.
+        let lints =
+            lints_for("let rec count x = if 10 - x <= 0 then x else count (x + 1) in count 0");
+        assert!(!kinds(&lints).contains(&LintKind::UnreachableBranch));
+    }
+
+    #[test]
+    fn unused_sample_binding_warns() {
+        let lints = lints_for("let waste = sample in sample");
+        assert!(kinds(&lints).contains(&LintKind::UnusedSample));
+        assert!(lints_for("let used = sample in used").is_empty());
+    }
+
+    #[test]
+    fn truncation_risk_is_a_note_not_a_warning() {
+        let lints = lints_for("let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1");
+        let hit = lints
+            .iter()
+            .find(|l| l.kind == LintKind::TruncationRiskRecursion)
+            .expect("weight [1,1] recursion must note truncation risk");
+        assert_eq!(hit.severity, Severity::Note);
+        assert!(!lints.iter().any(|l| l.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn unbounded_scores_are_noted() {
+        let lints = lints_for("score(1 / sample); sample");
+        let hit = lints
+            .iter()
+            .find(|l| l.kind == LintKind::UnboundedScore)
+            .expect("1/sample is unbounded");
+        assert_eq!(hit.severity, Severity::Note);
+    }
+
+    #[test]
+    fn five_distinct_kinds_are_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        for src in [
+            "observe 5 from uniform(0, 1); sample",
+            "observe 0 from normal(0, 0 - 0.5); sample",
+            "let a = if 1 <= 0 then 7 else 8 in a + sample",
+            "let waste = sample in sample",
+            "let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1",
+            "score(1 / sample); sample",
+        ] {
+            for l in lints_for(src) {
+                seen.insert(l.kind);
+            }
+        }
+        assert!(seen.len() >= 5, "only {} kinds: {seen:?}", seen.len());
+    }
+}

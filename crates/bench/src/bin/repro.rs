@@ -18,7 +18,10 @@ use bench::{
     analyze_prob_benchmark, analyzer_for_figure, baseline56_bounds, mc_probability,
     shared_analysis_cache, shared_analyzer,
 };
-use gubpi_core::{render_histogram, AnalysisOptions, Method, WorkerPool};
+use gubpi_core::{
+    lint_program, render_histogram, AnalysisOptions, Analyzer, Method, ProgramFacts, Severity,
+    WorkerPool,
+};
 use gubpi_inference::hmc::{hmc_sample, HmcOptions};
 use gubpi_inference::importance::{importance_sample, ImportanceOptions};
 use gubpi_inference::sbc::{run_sbc, SbcConfig};
@@ -82,6 +85,32 @@ fn main() {
         std::env::set_var("GUBPI_NO_KERNEL", "1");
         args.remove(i);
     }
+    // `--no-prune` disables static dead-branch pruning in the symbolic
+    // executor — equivalent to GUBPI_NO_PRUNE=1. Bounds are bit-identical
+    // either way (pruned paths carry an exactly-zero score factor); the
+    // escape hatch exists so pruning regressions are diagnosable in the
+    // field with one switch, mirroring --no-kernel.
+    if let Some(i) = args.iter().position(|a| a == "--no-prune") {
+        std::env::set_var("GUBPI_NO_PRUNE", "1");
+        args.remove(i);
+    }
+    // `--lint` prints the static-analysis findings for every model a
+    // command analyzes, as the analyzers are built (GUBPI_LINT=1).
+    let lint_mode = if let Some(i) = args.iter().position(|a| a == "--lint") {
+        std::env::set_var("GUBPI_LINT", "1");
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    // `--deny-warnings` makes warning-severity lints fatal (exit 1) —
+    // with `analyze`, or with `--lint` on any other command.
+    let deny_warnings = if let Some(i) = args.iter().position(|a| a == "--deny-warnings") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     // `--stats` prints cache, pool and kernel counters after the run.
     let print_stats = if let Some(i) = args.iter().position(|a| a == "--stats") {
         args.remove(i);
@@ -94,7 +123,8 @@ fn main() {
         "--help" | "-h" | "help" => {
             println!(
                 "repro — regenerates the tables and figures of the GuBPI paper\n\n\
-                 USAGE: repro [--threads N|auto|off] [--cache-cap N] [--no-kernel] [--stats] [COMMAND]\n\n\
+                 USAGE: repro [--threads N|auto|off] [--cache-cap N] [--no-kernel] [--no-prune]\n       \
+                 [--lint] [--deny-warnings] [--stats] [COMMAND]\n\n\
                  COMMANDS:\n  \
                  table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
                  table2        Table 2: discrete models vs exact posteriors\n  \
@@ -103,6 +133,10 @@ fn main() {
                  fig5          Fig. 5a-5d: non-recursive histogram bounds\n  \
                  fig6          Fig. 6a-6f: recursive histogram bounds\n  \
                  ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep\n  \
+                 analyze [F]   static analysis only: facts + lints for every built-in\n                \
+                 model (or those whose label contains F); no execution\n  \
+                 prune-report  path counts with pruning on vs off for every Table 2\n                \
+                 model; writes the BENCH_prune.json snapshot\n  \
                  smoke         one tiny model end to end (seconds; for diagnosing\n                \
                  an installation together with --stats / --no-kernel)\n  \
                  all           everything above (the default)\n\n\
@@ -114,14 +148,23 @@ fn main() {
                  --no-kernel            force the tree-walking interpreter instead of the\n                         \
                  compiled interval-tape kernel (same as GUBPI_NO_KERNEL=1;\n                         \
                  bounds are bit-identical, only speed changes)\n  \
-                 --stats                print cache, worker-pool and kernel counters after\n                         \
-                 the run (tape length, CSE savings, cells/sec)"
+                 --no-prune             disable static dead-branch pruning in the symbolic\n                         \
+                 executor (same as GUBPI_NO_PRUNE=1; bounds are\n                         \
+                 bit-identical, only the explored path count changes)\n  \
+                 --lint                 print static-analysis findings for every model a\n                         \
+                 command analyzes (same as GUBPI_LINT=1)\n  \
+                 --deny-warnings        exit 1 on warning-severity lints (with `analyze`,\n                         \
+                 or with --lint on any other command)\n  \
+                 --stats                print cache, worker-pool, prune and kernel counters\n                         \
+                 after the run (tape length, CSE savings, cells/sec)"
             );
         }
         "table1" | "table4" => table1(),
         "table2" => table2(),
         "table3" => table3(),
         "smoke" => smoke(),
+        "analyze" => analyze(args.get(1).map(String::as_str), deny_warnings),
+        "prune-report" => prune_report(),
         "pedestrian" | "fig1" | "fig7" => pedestrian(),
         "fig5" => fig5(),
         "fig6" => fig6(),
@@ -143,6 +186,123 @@ fn main() {
     if print_stats {
         stats(t_start.elapsed().as_secs_f64());
     }
+    if lint_mode && deny_warnings {
+        let warnings = bench::lint_warnings_seen();
+        if warnings > 0 {
+            eprintln!("--deny-warnings: {warnings} warning-severity lints");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `analyze [FILTER]`: static analysis only — no symbolic execution, no
+/// bounding. Runs the pre-execution abstract interpreter over every
+/// built-in model (or those whose label contains FILTER) and prints the
+/// facts summary plus each lint at its `line:col` source location. With
+/// `--deny-warnings`, any warning-severity finding fails the run — the
+/// repository's models must stay warning-clean (notes are expected:
+/// recursion without weight contraction is deliberate here).
+fn analyze(filter: Option<&str>, deny_warnings: bool) {
+    println!("== Static analysis: interval/weight facts and lints ==================");
+    let mut matched = 0usize;
+    let mut findings = 0usize;
+    let mut warnings = 0usize;
+    for (label, src) in models::catalog() {
+        if let Some(f) = filter {
+            if !label.contains(f) {
+                continue;
+            }
+        }
+        matched += 1;
+        let program = gubpi_lang::parse(src).expect("built-in model parses");
+        let simple = gubpi_lang::infer(&program).expect("built-in model type-checks");
+        let typing = gubpi_types::infer_interval_types(&program, &simple);
+        let facts = ProgramFacts::compute(&program, &typing);
+        let lints = lint_program(&program, &typing, &facts);
+        println!(
+            "-- {label}: {} dead branches, {} zero-weight scores, {} pooled constants, \
+             {} findings",
+            facts.dead_branch_count(),
+            facts.zero_score_count(),
+            facts.constant_pool().len(),
+            lints.len()
+        );
+        for l in &lints {
+            if l.severity == Severity::Warning {
+                warnings += 1;
+            }
+            println!("   {}", l.render(src));
+        }
+        findings += lints.len();
+    }
+    if matched == 0 {
+        eprintln!(
+            "no built-in model matches `{}`; run `repro analyze` to list all",
+            filter.unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+    println!("\n{matched} models analyzed: {findings} findings, {warnings} warnings");
+    if deny_warnings && warnings > 0 {
+        eprintln!("--deny-warnings: {warnings} warning-severity lints");
+        std::process::exit(1);
+    }
+    println!();
+}
+
+/// `prune-report`: symbolic path counts for every Table 2 model with
+/// dead-branch pruning on vs off, plus the executor's prune counters.
+/// Bounds are bit-identical either way (the differential tests assert
+/// it); the report shows how much exploration pruning saves, and writes
+/// the `BENCH_prune.json` snapshot next to `BENCH_kernel.json`.
+fn prune_report() {
+    println!("== Prune report: symbolic path counts, pruning on vs off =============");
+    println!(
+        "{:<16} {:>9} {:>9} {:>15} {:>11}",
+        "model", "unpruned", "pruned", "branches cut", "zero-drops"
+    );
+    let mut rows = Vec::new();
+    for b in models::table2() {
+        let opts = |prune: bool| AnalysisOptions {
+            sym: SymExecOptions {
+                max_fix_unfoldings: 8,
+                ..Default::default()
+            },
+            prune,
+            ..Default::default()
+        };
+        let off = Analyzer::from_source(b.source, opts(false)).expect("table2 model compiles");
+        let on = Analyzer::from_source(b.source, opts(true)).expect("table2 model compiles");
+        let r = on.exec_report();
+        println!(
+            "{:<16} {:>9} {:>9} {:>15} {:>11}",
+            b.name,
+            off.paths().len(),
+            on.paths().len(),
+            r.pruned_branches,
+            r.zero_score_drops
+        );
+        rows.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"paths_unpruned\": {},\n      \
+             \"paths_pruned\": {},\n      \"pruned_branches\": {},\n      \
+             \"zero_score_drops\": {}\n    }}",
+            b.name,
+            off.paths().len(),
+            on.paths().len(),
+            r.pruned_branches,
+            r.zero_score_drops
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"prune\",\n  \"models\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_prune.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!();
 }
 
 /// `--stats`: per-path cache, persistent-pool and compiled-kernel
@@ -176,6 +336,12 @@ fn stats(elapsed_s: f64) {
         p.forks_parallel,
         p.forks_inline
     );
+    let r = bench::aggregated_exec_report();
+    println!(
+        "prune: {} dead branches skipped, {} zero-score continuations dropped, \
+         {} budget-truncated (top) paths kept",
+        r.pruned_branches, r.zero_score_drops, r.budget_truncated_paths
+    );
     let k = gubpi_symbolic::kernel_stats();
     if k.tapes == 0 {
         println!("kernel: disabled (tree-walking interpreter; GUBPI_NO_KERNEL)");
@@ -196,6 +362,11 @@ fn stats(elapsed_s: f64) {
             pct,
             k.cells,
             k.cells as f64 / elapsed_s.max(1e-9),
+        );
+        println!(
+            "seed:  {} of {} tapes compiled from a static constant pool, \
+             {} constant slots preloaded",
+            k.seeded_tapes, k.tapes, k.seed_const_hits
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Shared benchmark runners.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use gubpi_core::{AnalysisOptions, Analyzer, SharedQueryCache};
+use gubpi_core::{AnalysisOptions, Analyzer, ExecReport, Severity, SharedQueryCache};
 use gubpi_interval::Interval;
 use gubpi_symbolic::SymExecOptions;
 use rand::rngs::StdRng;
@@ -32,11 +33,61 @@ pub fn shared_analysis_cache() -> &'static SharedQueryCache {
     })
 }
 
+/// Running totals of the static-analysis effects across every analyzer
+/// the harness built this process, for the `--stats` report.
+static PRUNED_BRANCHES: AtomicUsize = AtomicUsize::new(0);
+static ZERO_SCORE_DROPS: AtomicUsize = AtomicUsize::new(0);
+static BUDGET_TRUNCATED: AtomicUsize = AtomicUsize::new(0);
+static LINT_WARNINGS: AtomicUsize = AtomicUsize::new(0);
+
+/// The [`ExecReport`] counters summed over every `shared_analyzer` call
+/// so far (one symbolic execution per analyzer).
+pub fn aggregated_exec_report() -> ExecReport {
+    ExecReport {
+        pruned_branches: PRUNED_BRANCHES.load(Ordering::Relaxed),
+        zero_score_drops: ZERO_SCORE_DROPS.load(Ordering::Relaxed),
+        budget_truncated_paths: BUDGET_TRUNCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of `Severity::Warning` lints seen across every `--lint`-mode
+/// analyzer build; `repro --lint --deny-warnings` fails if nonzero.
+pub fn lint_warnings_seen() -> usize {
+    LINT_WARNINGS.load(Ordering::Relaxed)
+}
+
 /// Builds an analyzer attached to the harness-wide shared cache (and
 /// therefore the process-global persistent worker pool).
-pub fn shared_analyzer(source: &str, opts: AnalysisOptions) -> Analyzer {
-    Analyzer::from_source_with_cache(source, opts, shared_analysis_cache())
-        .expect("benchmark must compile")
+///
+/// Two env switches mirror the `repro` CLI the way `GUBPI_THREADS`
+/// mirrors `--threads`: `GUBPI_NO_PRUNE` disables static dead-branch
+/// pruning (the `--no-prune` escape hatch; bounds are bit-identical,
+/// only the explored path count changes) and `GUBPI_LINT` prints the
+/// program's lints as the analyzer is built (`--lint`).
+pub fn shared_analyzer(source: &str, mut opts: AnalysisOptions) -> Analyzer {
+    if env_flag("GUBPI_NO_PRUNE") {
+        opts.prune = false;
+    }
+    let a = Analyzer::from_source_with_cache(source, opts, shared_analysis_cache())
+        .expect("benchmark must compile");
+    let r = a.exec_report();
+    PRUNED_BRANCHES.fetch_add(r.pruned_branches, Ordering::Relaxed);
+    ZERO_SCORE_DROPS.fetch_add(r.zero_score_drops, Ordering::Relaxed);
+    BUDGET_TRUNCATED.fetch_add(r.budget_truncated_paths, Ordering::Relaxed);
+    if env_flag("GUBPI_LINT") {
+        for lint in a.lints() {
+            if lint.severity == Severity::Warning {
+                LINT_WARNINGS.fetch_add(1, Ordering::Relaxed);
+            }
+            println!("lint: {}", lint.render(source));
+        }
+    }
+    a
+}
+
+/// `true` iff the env var is set to anything but `""` or `"0"`.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Runs the GuBPI analyzer on a Table 1 benchmark, returning the

@@ -19,6 +19,6 @@ pub mod models;
 pub use baseline56::{baseline56_bounds, BaselineOptions};
 pub use groundtruth::Ratio;
 pub use harness::{
-    analyze_prob_benchmark, analyzer_for_figure, mc_probability, shared_analysis_cache,
-    shared_analyzer,
+    aggregated_exec_report, analyze_prob_benchmark, analyzer_for_figure, lint_warnings_seen,
+    mc_probability, shared_analysis_cache, shared_analyzer,
 };

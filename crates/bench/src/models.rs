@@ -69,7 +69,7 @@ pub fn table1() -> Vec<ProbBenchmark> {
                 let b2 = flip(0.5) in
                 let rec stabilise c =
                   if c >= 3 then c else
-                  if sample <= 0.5 then c + 1 else c
+                  if sample <= 0.5 then stabilise (c + 1) else c
                 in
                 let count = if b1 + b2 >= 2 then stabilise 1 else
                             if b1 + b2 <= 0 then stabilise 1 else 0 in
@@ -598,6 +598,24 @@ pub fn figure6() -> Vec<FigureBenchmark> {
             splits: 16,
         },
     ]
+}
+
+/// Every built-in model as a `(label, source)` pair — the universe
+/// `repro analyze` lints and the prune report sweeps. Labels are unique:
+/// Table 1 entries carry their query label, figures their sub-figure id.
+pub fn catalog() -> Vec<(String, &'static str)> {
+    let mut out = Vec::new();
+    for b in table1() {
+        out.push((format!("table1/{} ({})", b.name, b.query_label), b.source));
+    }
+    for b in table2() {
+        out.push((format!("table2/{}", b.name), b.source));
+    }
+    out.push(("pedestrian".to_owned(), PEDESTRIAN));
+    for b in figure5().into_iter().chain(figure6()) {
+        out.push((format!("fig{}", b.id), b.source));
+    }
+    out
 }
 
 #[cfg(test)]

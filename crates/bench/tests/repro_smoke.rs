@@ -120,9 +120,90 @@ fn repro_help_documents_the_new_flags() {
         "GUBPI_CACHE_CAP",
         "--no-kernel",
         "GUBPI_NO_KERNEL",
+        "--no-prune",
+        "GUBPI_NO_PRUNE",
+        "--lint",
+        "--deny-warnings",
+        "analyze",
+        "prune-report",
     ] {
         assert!(text.contains(needle), "usage text missing {needle:?}");
     }
+}
+
+#[test]
+fn repro_analyze_is_warning_clean_over_all_builtin_models() {
+    // The CI lint gate: every built-in model must stay free of
+    // warning-severity findings (notes are expected — the recursive
+    // models deliberately lack weight contraction).
+    let out = Command::new(REPRO)
+        .args(["analyze", "--deny-warnings"])
+        .output()
+        .expect("repro binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "analyze --deny-warnings must exit 0:\n{text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("models analyzed") && text.contains("0 warnings"),
+        "analyze must print a warning-free summary:\n{text}"
+    );
+    // The static facts must actually see through the models: the
+    // fail-conditioned discrete models have statically-dead score zeros.
+    assert!(
+        text.contains("table2/twoCoins: 1 dead branches, 1 zero-weight scores"),
+        "facts summary missing:\n{text}"
+    );
+}
+
+#[test]
+fn repro_analyze_filters_and_rejects_unknown_models() {
+    let out = Command::new(REPRO)
+        .args(["analyze", "pedestrian"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("1 models analyzed"),
+        "filter must match exactly the pedestrian:\n{text}"
+    );
+    assert!(
+        text.contains("truncation-risk-recursion"),
+        "the pedestrian's recursion note must render:\n{text}"
+    );
+    let out = Command::new(REPRO)
+        .args(["analyze", "no-such-model"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown model filter is a usage error"
+    );
+}
+
+#[test]
+fn repro_no_prune_and_stats_report_prune_counters() {
+    // `--no-prune --stats smoke` must run and report zero prune activity;
+    // the counters line must be present either way.
+    let out = Command::new(REPRO)
+        .args(["--no-prune", "--stats", "smoke"])
+        .env_remove("GUBPI_NO_PRUNE")
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("prune: 0 dead branches skipped"),
+        "--no-prune must zero the prune counters:\n{text}"
+    );
+    assert!(
+        text.contains("seed:") && text.contains("constant slots preloaded"),
+        "stats must report kernel seeding:\n{text}"
+    );
 }
 
 #[test]

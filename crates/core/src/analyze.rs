@@ -5,16 +5,17 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use gubpi_analysis::{lint_program, Lint, ProgramFacts};
 use gubpi_interval::Interval;
 use gubpi_lang::{infer, parse, LangError, Program, TypeMap};
 use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
-use gubpi_symbolic::{symbolic_paths_in, SymExecOptions, SymPath};
+use gubpi_symbolic::{symbolic_paths_report, ExecReport, KernelSeed, SymExecOptions, SymPath};
 use gubpi_types::{infer_interval_types, IntervalTyping};
 
 use crate::histogram::HistogramBounds;
 use crate::pathbounds::{
-    linear_applicable, plan_path, plan_path_grid_only, plan_path_query, BoundSink,
-    PathBoundOptions, QueryFold, Region,
+    linear_applicable, plan_path_grid_only_seeded, plan_path_query_seeded, plan_path_seeded,
+    BoundSink, PathBoundOptions, QueryFold, Region,
 };
 
 /// Which per-path semantics to use.
@@ -28,7 +29,7 @@ pub enum Method {
 }
 
 /// End-to-end analysis options.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Debug)]
 pub struct AnalysisOptions {
     /// Symbolic execution (depth limit `D`, path caps).
     pub sym: SymExecOptions,
@@ -39,6 +40,24 @@ pub struct AnalysisOptions {
     /// Participation width on the persistent worker pool. Bounds are
     /// bit-identical across every setting (see `gubpi_core::pool`).
     pub threads: Threads,
+    /// Let the symbolic executor skip statically dead branches and
+    /// zero-score continuations (pre-execution static analysis). Pruning
+    /// only removes paths contributing exactly `0.0` to both bounds, so
+    /// disabling it (`repro --no-prune`) reproduces bit-identical bounds
+    /// with more enumerated paths — the field-regression escape hatch.
+    pub prune: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions {
+            sym: SymExecOptions::default(),
+            bounds: PathBoundOptions::default(),
+            method: Method::default(),
+            threads: Threads::default(),
+            prune: true,
+        }
+    }
 }
 
 /// `(path fingerprint, query lo bits, query hi bits, bounding options,
@@ -311,6 +330,7 @@ fn same_path(a: &SymPath, b: &SymPath) -> bool {
         |x: &Arc<gubpi_symbolic::SymVal>, y: &Arc<gubpi_symbolic::SymVal>| Arc::ptr_eq(x, y);
     let identical = a.n_samples == b.n_samples
         && a.truncated == b.truncated
+        && a.budget_truncated == b.budget_truncated
         && a.constraints.len() == b.constraints.len()
         && a.scores.len() == b.scores.len()
         && arc_identical(&a.result, &b.result)
@@ -338,6 +358,13 @@ pub struct Analyzer {
     program: Program,
     simple: TypeMap,
     typing: IntervalTyping,
+    /// Pre-execution static facts (intervals, weights, reachability) —
+    /// computed once per program, before symbolic execution.
+    facts: ProgramFacts,
+    /// Pruning / ⊤-truncation census of the symbolic execution.
+    exec_report: ExecReport,
+    /// Per-program kernel compilation seed derived from the facts.
+    seed: KernelSeed,
     paths: Vec<SymPath>,
     /// `paths[i].fingerprint()`, precomputed once for the memo cache.
     fingerprints: Vec<u64>,
@@ -429,14 +456,23 @@ impl Analyzer {
     ) -> Result<Analyzer, LangError> {
         let simple = infer(&program)?;
         let typing = infer_interval_types(&program, &simple);
+        let facts = ProgramFacts::compute(&program, &typing);
         let mut sym = opts.sym;
         sym.frontier_workers = opts.threads.worker_count(usize::MAX);
-        let paths = symbolic_paths_in(&program, &typing, sym, pool);
+        let exec_facts = if opts.prune { Some(&facts) } else { None };
+        let (paths, exec_report) = symbolic_paths_report(&program, &typing, exec_facts, sym, pool);
+        // The kernel seed is threaded regardless of `prune`: seeding
+        // only renumbers constant slots and reorders ∃-tests, both
+        // value-transparent (see `gubpi_symbolic::KernelSeed`).
+        let seed = KernelSeed::from_facts(&facts);
         let fingerprints = paths.iter().map(SymPath::fingerprint).collect();
         Ok(Analyzer {
             program,
             simple,
             typing,
+            facts,
+            exec_report,
+            seed,
             paths,
             fingerprints,
             cache: cache.clone(),
@@ -475,6 +511,27 @@ impl Analyzer {
     /// The symbolic interval paths found by Algorithm 1's exploration.
     pub fn paths(&self) -> &[SymPath] {
         &self.paths
+    }
+
+    /// The pre-execution static facts (per-subterm intervals, weight
+    /// bounds, branch reachability, contraction estimates).
+    pub fn facts(&self) -> &ProgramFacts {
+        &self.facts
+    }
+
+    /// The symbolic executor's pruning / ⊤-truncation census for this
+    /// program: skipped dead branches, zero-score drops, and how many
+    /// paths are budget-truncated ⊤ paths.
+    pub fn exec_report(&self) -> ExecReport {
+        self.exec_report
+    }
+
+    /// Program lints derived from the static facts (zero-weight
+    /// observations, out-of-domain parameters, unreachable branches,
+    /// unused samples, truncation-prone recursions), sorted by source
+    /// location.
+    pub fn lints(&self) -> Vec<Lint> {
+        lint_program(&self.program, &self.typing, &self.facts)
     }
 
     /// How many paths the linear semantics (§6.4) applies to.
@@ -560,8 +617,11 @@ impl Analyzer {
         let mut folds: Vec<QueryFold> = Vec::with_capacity(misses.len());
         for &(_, p) in &misses {
             let (job, fold) = match method {
-                Method::Auto => plan_path_query(p, u, bounds),
-                Method::Grid => (plan_path_grid_only(p, bounds), QueryFold::Filter(u)),
+                Method::Auto => plan_path_query_seeded(p, u, bounds, Some(&self.seed)),
+                Method::Grid => (
+                    plan_path_grid_only_seeded(p, bounds, Some(&self.seed)),
+                    QueryFold::Filter(u),
+                ),
             };
             jobs.push(job);
             folds.push(fold);
@@ -669,8 +729,8 @@ impl Analyzer {
             .paths
             .iter()
             .map(|p| match method {
-                Method::Auto => plan_path(p, bounds),
-                Method::Grid => plan_path_grid_only(p, bounds),
+                Method::Auto => plan_path_seeded(p, bounds, Some(&self.seed)),
+                Method::Grid => plan_path_grid_only_seeded(p, bounds, Some(&self.seed)),
             })
             .collect();
         let mut partials: Vec<HistogramBounds> = self
@@ -1064,6 +1124,66 @@ mod tests {
         for i in 0..4 {
             assert_eq!(h.unnormalized(i), href.unnormalized(i));
         }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_bounds_are_bit_identical() {
+        // Models with genuinely dead branches (`else fail` conditioning):
+        // pruning must cut the path count and change no bound bit.
+        let srcs = [
+            "let x = sample in if x <= 0.7 then x else fail",
+            "let rec walk x =
+               if x <= 0 then 0 else
+                 if sample <= 0.8 then walk (x - sample) else fail
+             in walk 1",
+        ];
+        for src in srcs {
+            let pruned = analyzer(src);
+            let unpruned = Analyzer::from_source(
+                src,
+                AnalysisOptions {
+                    prune: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                pruned.paths().len() < unpruned.paths().len(),
+                "{src}: pruning must drop paths ({} vs {})",
+                pruned.paths().len(),
+                unpruned.paths().len()
+            );
+            assert!(pruned.exec_report().pruned_branches > 0, "{src}");
+            assert_eq!(unpruned.exec_report().pruned_branches, 0, "{src}");
+            for u in [
+                Interval::new(0.0, 0.25),
+                Interval::new(0.25, 1.0),
+                Interval::REAL,
+            ] {
+                let a = pruned.denotation_bounds(u);
+                let b = unpruned.denotation_bounds(u);
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "{src}: lo on {u:?}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "{src}: hi on {u:?}");
+            }
+            let (pl, ph) = pruned.posterior_probability(Interval::new(0.0, 0.5));
+            let (ul, uh) = unpruned.posterior_probability(Interval::new(0.0, 0.5));
+            assert_eq!((pl.to_bits(), ph.to_bits()), (ul.to_bits(), uh.to_bits()));
+        }
+    }
+
+    #[test]
+    fn facts_and_lints_are_exposed() {
+        // A deliberate modelling mistake: uniform(1, 0) has an inverted
+        // support, and the `if 2 <= 1` branch is unreachable.
+        let a = analyzer("if 2 <= 1 then sample else observe sample from uniform(1, 0); sample");
+        assert!(a.facts().was_evaluated(a.program().root.id));
+        let lints = a.lints();
+        assert!(!lints.is_empty(), "expected lints, got none");
+        let kinds: Vec<&str> = lints.iter().map(|l| l.kind.name()).collect();
+        assert!(kinds.contains(&"unreachable-branch"), "{kinds:?}");
+        // Deliberately clean models stay lint-free.
+        let clean = analyzer("let x = sample in score(x); x");
+        assert!(clean.lints().is_empty(), "{:?}", clean.lints());
     }
 
     #[test]

@@ -53,12 +53,14 @@ pub mod pool {
 }
 
 pub use analyze::{AnalysisOptions, Analyzer, CacheStats, Method, QueryError, SharedQueryCache};
+pub use gubpi_analysis::{lint_program, Lint, LintKind, ProgramFacts, Severity};
+pub use gubpi_symbolic::ExecReport;
 pub use histogram::{HistogramBounds, NormalizedBin};
 pub use pathbounds::{
     bound_path, bound_path_grid_only, bound_path_grid_only_threaded, bound_path_query,
     bound_path_query_threaded, bound_path_threaded, grid_splits, linear_applicable, plan_path,
-    plan_path_grid_only, plan_path_query, BoundSink, PathBoundOptions, QueryFold, Region,
-    SingleQuery,
+    plan_path_grid_only, plan_path_grid_only_seeded, plan_path_query, plan_path_query_seeded,
+    plan_path_seeded, BoundSink, PathBoundOptions, QueryFold, Region, SingleQuery,
 };
 pub use pool::{PoolStats, Threads, WorkerPool};
 pub use report::render_histogram;

@@ -20,7 +20,7 @@ use std::ops::Range;
 
 use gubpi_interval::{BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
-use gubpi_symbolic::{note_kernel_cells, SymPath, Tape, LANES};
+use gubpi_symbolic::{note_kernel_cells, KernelSeed, SymPath, Tape, LANES};
 
 use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
 
@@ -188,15 +188,28 @@ pub fn plan_path_query(
     u: Interval,
     opts: PathBoundOptions,
 ) -> (PathJob<'_, Region>, QueryFold) {
+    plan_path_query_seeded(path, u, opts, None)
+}
+
+/// [`plan_path_query`] with an optional per-program [`KernelSeed`]: the
+/// grid tapes compile from the pre-interned static constant pool and
+/// the static constraint order instead of re-deriving both per query.
+/// Bounds are bit-identical with and without a seed.
+pub fn plan_path_query_seeded<'a>(
+    path: &'a SymPath,
+    u: Interval,
+    opts: PathBoundOptions,
+    seed: Option<&KernelSeed>,
+) -> (PathJob<'a, Region>, QueryFold) {
     if path.n_samples == 0 {
-        (plan_sampleless(path, opts), QueryFold::Filter(u))
+        (plan_sampleless(path, opts, seed), QueryFold::Filter(u))
     } else if linear_applicable(path) {
         (
             plan_linear(path, opts, ResultMode::Query(u)),
             QueryFold::Direct,
         )
     } else {
-        (plan_grid(path, opts), QueryFold::Filter(u))
+        (plan_grid(path, opts, seed), QueryFold::Filter(u))
     }
 }
 
@@ -206,22 +219,42 @@ pub fn plan_path_query(
 /// result are interval-linear (§6.4), otherwise to the standard grid
 /// semantics (§6.3).
 pub fn plan_path(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
+    plan_path_seeded(path, opts, None)
+}
+
+/// [`plan_path`] with an optional per-program [`KernelSeed`] (see
+/// [`plan_path_query_seeded`]).
+pub fn plan_path_seeded<'a>(
+    path: &'a SymPath,
+    opts: PathBoundOptions,
+    seed: Option<&KernelSeed>,
+) -> PathJob<'a, Region> {
     if path.n_samples == 0 {
-        plan_sampleless(path, opts)
+        plan_sampleless(path, opts, seed)
     } else if linear_applicable(path) {
         plan_linear(path, opts, ResultMode::Boxed)
     } else {
-        plan_grid(path, opts)
+        plan_grid(path, opts, seed)
     }
 }
 
 /// Like [`plan_path`] but always uses the grid semantics — the §6.3 vs
 /// §6.4 ablation baseline.
 pub fn plan_path_grid_only(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
+    plan_path_grid_only_seeded(path, opts, None)
+}
+
+/// [`plan_path_grid_only`] with an optional per-program [`KernelSeed`]
+/// (see [`plan_path_query_seeded`]).
+pub fn plan_path_grid_only_seeded<'a>(
+    path: &'a SymPath,
+    opts: PathBoundOptions,
+    seed: Option<&KernelSeed>,
+) -> PathJob<'a, Region> {
     if path.n_samples == 0 {
-        plan_sampleless(path, opts)
+        plan_sampleless(path, opts, seed)
     } else {
-        plan_grid(path, opts)
+        plan_grid(path, opts, seed)
     }
 }
 
@@ -313,10 +346,14 @@ pub fn linear_applicable(path: &SymPath) -> bool {
 /// With the kernel enabled this is **one** fused tape evaluation over
 /// the empty box; the interpreter preamble used to walk the constraint
 /// trees twice (∃ then ∀) and the weight and result trees separately.
-fn plan_sampleless(path: &SymPath, opts: PathBoundOptions) -> PathJob<'static, Region> {
+fn plan_sampleless(
+    path: &SymPath,
+    opts: PathBoundOptions,
+    seed: Option<&KernelSeed>,
+) -> PathJob<'static, Region> {
     let mut buf: Vec<Region> = Vec::new();
     if opts.use_kernel {
-        let tape = Tape::for_path(path);
+        let tape = Tape::for_path_seeded(path, seed);
         note_kernel_cells(1);
         if let Some(cell) = tape.eval_cell(&[], &mut tape.scratch()) {
             let lo = if cell.definite { cell.weight.lo() } else { 0.0 };
@@ -439,7 +476,11 @@ pub fn grid_splits(splits: usize, n: usize, budget: usize) -> usize {
 /// with zero per-cell allocations; cells are decoded by an incremental
 /// odometer instead of per-dimension `div`/`mod`. The emitted region
 /// stream is bit-identical to the tree-walking interpreter's.
-fn plan_grid(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
+fn plan_grid<'a>(
+    path: &'a SymPath,
+    opts: PathBoundOptions,
+    seed: Option<&KernelSeed>,
+) -> PathJob<'a, Region> {
     let n = path.n_samples;
     let k = grid_splits(opts.splits, n, opts.region_budget);
     // Every dimension splits the same [0, 1], so one edge vector serves
@@ -462,7 +503,7 @@ fn plan_grid(path: &SymPath, opts: PathBoundOptions) -> PathJob<'_, Region> {
         };
     }
 
-    let tape = Tape::for_path(path);
+    let tape = Tape::for_path_seeded(path, seed);
     let cost = tape.cost();
     // Cell widths mirror `BoxN::volume`'s per-dimension factors; the
     // product below multiplies them in dimension order starting from

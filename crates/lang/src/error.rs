@@ -45,8 +45,9 @@ impl LangError {
     }
 }
 
-/// Computes a 1-based (line, column) pair for a byte offset.
-fn line_col(source: &str, offset: usize) -> (usize, usize) {
+/// Computes a 1-based (line, column) pair for a byte offset (also used
+/// by lint renderers pointing into program source).
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
     let clamped = offset.min(source.len());
     let mut line = 1;
     let mut col = 1;

@@ -34,7 +34,7 @@ pub mod token;
 pub mod types;
 
 pub use ast::{AstBuilder, Expr, ExprKind, Name, NodeId, Program, Span};
-pub use error::{LangError, Phase};
+pub use error::{line_col, LangError, Phase};
 pub use parser::parse;
 pub use pretty::pretty;
 pub use prim::PrimOp;

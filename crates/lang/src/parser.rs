@@ -91,7 +91,11 @@ impl Parser {
     }
 
     fn peek2(&self) -> &TokenKind {
-        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        self.peek_at(1)
+    }
+
+    fn peek_at(&self, k: usize) -> &TokenKind {
+        let i = (self.pos + k).min(self.tokens.len() - 1);
         &self.tokens[i].kind
     }
 
@@ -154,7 +158,9 @@ impl Parser {
             TokenKind::Let => self.let_expr(),
             TokenKind::If => self.if_expr(),
             TokenKind::Fn => self.fn_expr(),
-            TokenKind::Score => self.score_expr(),
+            // `score(…)` is an atom, so it reaches `arith` like `sample`
+            // does — a shortcut here would orphan trailing operators in
+            // `score(x) * y`.
             TokenKind::Observe => self.observe_expr(),
             TokenKind::Fail => {
                 let sp = self.span();
@@ -162,8 +168,31 @@ impl Parser {
                 let zero = self.builder.mk_const(0.0, sp);
                 Ok(self.builder.mk(ExprKind::Score(Box::new(zero)), sp))
             }
+            TokenKind::Ident(s) if s == "mu" && self.mu_header_ahead() => self.mu_expr(),
             _ => self.arith(),
         }
+    }
+
+    /// Is the cursor at `mu f x ->`? Anything else starting with the
+    /// identifier `mu` (a plain variable, an application) parses as
+    /// before — only the full fixpoint header is claimed.
+    fn mu_header_ahead(&self) -> bool {
+        matches!(self.peek_at(1), TokenKind::Ident(_))
+            && matches!(self.peek_at(2), TokenKind::Ident(_))
+            && *self.peek_at(3) == TokenKind::Arrow
+    }
+
+    /// `mu f x -> body` — the explicit fixpoint the pretty printer emits
+    /// for `let rec` desugarings; accepting it closes the round trip.
+    fn mu_expr(&mut self) -> Result<Expr, LangError> {
+        let start = self.span();
+        self.bump(); // `mu`
+        let (f, _) = self.expect_ident()?;
+        let (x, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Arrow)?;
+        let body = self.expr()?;
+        let span = start.merge(body.span);
+        Ok(self.builder.mk(ExprKind::Fix(f, x, Box::new(body)), span))
     }
 
     fn let_expr(&mut self) -> Result<Expr, LangError> {

@@ -39,7 +39,9 @@ fn go(e: &Expr, ctx: Prec, out: &mut String) {
             let _ = write!(out, "{x}");
         }
         ExprKind::Const(r) => {
-            if *r < 0.0 {
+            // Sign-negative covers `-0.0`: printed bare in an `Atom`
+            // context it would re-parse as a subtraction of `0`.
+            if r.is_sign_negative() {
                 paren(ctx > Prec::Add, out, |out| {
                     let _ = write!(out, "{r}");
                 });
@@ -63,7 +65,9 @@ fn go(e: &Expr, ctx: Prec, out: &mut String) {
         }),
         ExprKind::If(c, t, els) => paren(ctx > Prec::Lowest, out, |out| {
             out.push_str("if ");
-            go(c, Prec::Lowest, out);
+            // The parser reads the guard with `arith`, which stops short
+            // of binder/branch forms — those need explicit parentheses.
+            go(c, Prec::Add, out);
             out.push_str(" <= 0 then ");
             go(t, Prec::Lowest, out);
             out.push_str(" else ");
@@ -85,10 +89,20 @@ fn go(e: &Expr, ctx: Prec, out: &mut String) {
                 out.push_str(if *op == PrimOp::Mul { " * " } else { " / " });
                 go(&args[1], Prec::App, out);
             }),
-            PrimOp::Neg => paren(ctx > Prec::Mul, out, |out| {
-                out.push('-');
-                go(&args[0], Prec::Atom, out);
-            }),
+            PrimOp::Neg => {
+                if matches!(args[0].kind, ExprKind::Const(_)) {
+                    // `-2` re-parses as a folded constant, not as `neg`
+                    // applied to `2`; the named form survives the trip.
+                    out.push_str("neg(");
+                    go(&args[0], Prec::Lowest, out);
+                    out.push(')');
+                } else {
+                    paren(ctx > Prec::Mul, out, |out| {
+                        out.push('-');
+                        go(&args[0], Prec::Atom, out);
+                    });
+                }
+            }
             _ => {
                 let _ = write!(out, "{}(", op.name());
                 for (i, a) in args.iter().enumerate() {

@@ -1,0 +1,233 @@
+//! Round-trip property: `parse(pretty(p))` reproduces `p` on random ASTs.
+//!
+//! Lint messages quote pretty-printed subterms, so the printer must emit
+//! text the parser maps back to a structurally identical tree (node ids
+//! and spans excepted). The generator below builds core ASTs directly —
+//! including the shapes the surface syntax never produces on its own,
+//! like `neg` of a literal or a binder in guard position.
+
+use std::sync::Arc;
+
+use gubpi_lang::{parse, pretty, AstBuilder, Expr, ExprKind, Name, PrimOp, Span};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Constants whose `Display` text re-lexes to the same bit pattern.
+const CONSTS: [f64; 10] = [0.0, -0.0, 1.0, -1.0, 0.5, 2.0, -0.25, 10.0, 0.1, 3.5];
+
+/// Function-syntax primitives across all arities (operators are covered
+/// by the dedicated generator arms).
+const NAMED: [PrimOp; 12] = [
+    PrimOp::Abs,
+    PrimOp::Min,
+    PrimOp::Max,
+    PrimOp::Exp,
+    PrimOp::Ln,
+    PrimOp::Sqrt,
+    PrimOp::Sigmoid,
+    PrimOp::Floor,
+    PrimOp::NormalPdf,
+    PrimOp::ExponentialPdf,
+    PrimOp::NormalQuantile,
+    PrimOp::BetaQuantile,
+];
+
+/// Structural equality modulo node ids and spans; float literals compare
+/// bitwise so `0.0` and `-0.0` stay distinct.
+fn same(a: &Expr, b: &Expr) -> bool {
+    match (&a.kind, &b.kind) {
+        (ExprKind::Var(x), ExprKind::Var(y)) => x == y,
+        (ExprKind::Const(x), ExprKind::Const(y)) => x.to_bits() == y.to_bits(),
+        (ExprKind::Sample, ExprKind::Sample) => true,
+        (ExprKind::Lam(x, bx), ExprKind::Lam(y, by)) => x == y && same(bx, by),
+        (ExprKind::Fix(f1, x1, b1), ExprKind::Fix(f2, x2, b2)) => {
+            f1 == f2 && x1 == x2 && same(b1, b2)
+        }
+        (ExprKind::App(f1, a1), ExprKind::App(f2, a2)) => same(f1, f2) && same(a1, a2),
+        (ExprKind::If(c1, t1, e1), ExprKind::If(c2, t2, e2)) => {
+            same(c1, c2) && same(t1, t2) && same(e1, e2)
+        }
+        (ExprKind::Score(m1), ExprKind::Score(m2)) => same(m1, m2),
+        (ExprKind::Prim(o1, a1), ExprKind::Prim(o2, a2)) => {
+            o1 == o2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| same(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// Depth-bounded random AST generator over a scope of bound variables.
+struct Gen {
+    b: AstBuilder,
+    rng: TestRng,
+    fresh: u32,
+}
+
+impl Gen {
+    fn name(&mut self, prefix: &str) -> Name {
+        let n = format!("{prefix}{}", self.fresh);
+        self.fresh += 1;
+        Arc::from(n.as_str())
+    }
+
+    fn expr(&mut self, scope: &mut Vec<Name>, depth: u32) -> Expr {
+        let sp = Span::default();
+        if depth == 0 || self.rng.below(4) == 0 {
+            return match self.rng.below(3) {
+                0 if !scope.is_empty() => {
+                    let n = scope[self.rng.below(scope.len())].clone();
+                    self.b.mk(ExprKind::Var(n), sp)
+                }
+                1 => self.b.mk(ExprKind::Sample, sp),
+                _ => {
+                    let c = CONSTS[self.rng.below(CONSTS.len())];
+                    self.b.mk_const(c, sp)
+                }
+            };
+        }
+        match self.rng.below(8) {
+            0 => {
+                let op = [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Div][self.rng.below(4)];
+                let l = self.expr(scope, depth - 1);
+                let r = self.expr(scope, depth - 1);
+                self.b.mk_prim(op, vec![l, r], sp)
+            }
+            1 => {
+                let x = self.expr(scope, depth - 1);
+                self.b.mk_prim(PrimOp::Neg, vec![x], sp)
+            }
+            2 => {
+                let op = NAMED[self.rng.below(NAMED.len())];
+                let args = (0..op.arity())
+                    .map(|_| self.expr(scope, depth - 1))
+                    .collect();
+                self.b.mk_prim(op, args, sp)
+            }
+            3 => {
+                let f = self.expr(scope, depth - 1);
+                let a = self.expr(scope, depth - 1);
+                self.b.mk(ExprKind::App(Box::new(f), Box::new(a)), sp)
+            }
+            4 => {
+                let x = self.name("v");
+                scope.push(x.clone());
+                let body = self.expr(scope, depth - 1);
+                scope.pop();
+                self.b.mk(ExprKind::Lam(x, Box::new(body)), sp)
+            }
+            5 => {
+                let f = self.name("r");
+                let x = self.name("v");
+                scope.push(f.clone());
+                scope.push(x.clone());
+                let body = self.expr(scope, depth - 1);
+                scope.pop();
+                scope.pop();
+                self.b.mk(ExprKind::Fix(f, x, Box::new(body)), sp)
+            }
+            6 => {
+                let c = self.expr(scope, depth - 1);
+                let t = self.expr(scope, depth - 1);
+                let e = self.expr(scope, depth - 1);
+                self.b
+                    .mk(ExprKind::If(Box::new(c), Box::new(t), Box::new(e)), sp)
+            }
+            _ => {
+                let m = self.expr(scope, depth - 1);
+                self.b.mk(ExprKind::Score(Box::new(m)), sp)
+            }
+        }
+    }
+}
+
+fn reparse(printed: &str) -> Expr {
+    parse(printed)
+        .unwrap_or_else(|err| panic!("`{printed}` failed to re-parse: {}", err.render(printed)))
+        .root
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    /// The tentpole property: print → parse → structurally equal tree,
+    /// and a second print reproduces the first (printing is a fixpoint).
+    #[test]
+    fn parse_pretty_roundtrips_random_asts(seed in 0u64..1_000_000) {
+        let mut g = Gen {
+            b: AstBuilder::new(),
+            rng: TestRng::from_name(&format!("ast-{seed}")),
+            fresh: 0,
+        };
+        let mut scope = Vec::new();
+        let e = g.expr(&mut scope, 4);
+        let printed = pretty(&e);
+        let back = reparse(&printed);
+        prop_assert!(same(&e, &back), "AST changed across `{printed}`");
+        prop_assert_eq!(&printed, &pretty(&back));
+    }
+}
+
+#[test]
+fn neg_of_a_literal_survives_the_roundtrip() {
+    // `-2` re-parses as a folded constant; the printer must pick the
+    // named form for `neg` applied to a literal.
+    let mut b = AstBuilder::new();
+    let sp = Span::default();
+    let two = b.mk_const(2.0, sp);
+    let e = b.mk_prim(PrimOp::Neg, vec![two], sp);
+    assert_eq!(pretty(&e), "neg(2)");
+    assert!(same(&e, &reparse("neg(2)")));
+}
+
+#[test]
+fn negative_zero_parenthesizes_in_argument_position() {
+    // `f -0` would parse as a subtraction; the printed argument needs
+    // its parentheses, and the sign bit must survive.
+    let mut b = AstBuilder::new();
+    let sp = Span::default();
+    let lam = {
+        let body = b.mk(ExprKind::Var(Arc::from("x")), sp);
+        b.mk(ExprKind::Lam(Arc::from("x"), Box::new(body)), sp)
+    };
+    let arg = b.mk_const(-0.0, sp);
+    let e = b.mk(ExprKind::App(Box::new(lam), Box::new(arg)), sp);
+    let printed = pretty(&e);
+    assert_eq!(printed, "(fn x -> x) (-0)");
+    assert!(same(&e, &reparse(&printed)));
+}
+
+#[test]
+fn branch_forms_in_guard_position_parenthesize() {
+    // A guard that is itself an `if` must print parenthesized: the
+    // parser reads guards with `arith`, which cannot start an `if`.
+    let mut b = AstBuilder::new();
+    let sp = Span::default();
+    let mk_c = |b: &mut AstBuilder, v: f64| b.mk_const(v, sp);
+    let inner = {
+        let (g, t, e) = (mk_c(&mut b, 1.0), mk_c(&mut b, 2.0), mk_c(&mut b, 3.0));
+        b.mk(ExprKind::If(Box::new(g), Box::new(t), Box::new(e)), sp)
+    };
+    let (t, e) = (mk_c(&mut b, 4.0), mk_c(&mut b, 5.0));
+    let outer = b.mk(ExprKind::If(Box::new(inner), Box::new(t), Box::new(e)), sp);
+    let printed = pretty(&outer);
+    assert_eq!(printed, "if (if 1 <= 0 then 2 else 3) <= 0 then 4 else 5");
+    assert!(same(&outer, &reparse(&printed)));
+}
+
+#[test]
+fn printed_fixpoints_reparse() {
+    // `let rec` desugars to a μ-binder, which prints as `mu f x -> …`;
+    // the parser accepts that spelling back.
+    let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+    let original = parse(src).unwrap().root;
+    let printed = pretty(&original);
+    assert!(printed.contains("mu geo x ->"), "{printed}");
+    assert!(same(&original, &reparse(&printed)));
+}
+
+#[test]
+fn mu_stays_available_as_a_plain_identifier() {
+    // Only the full `mu f x ->` header is claimed by the fixpoint form.
+    let p = parse("let mu = 1 in mu + mu").unwrap();
+    assert!(p.root.free_vars().is_empty());
+    let app = parse("let mu = fn a b -> a in mu 1 2").unwrap();
+    assert!(app.root.free_vars().is_empty());
+}

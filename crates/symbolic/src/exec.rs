@@ -37,6 +37,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use gubpi_analysis::ProgramFacts;
 use gubpi_interval::Interval;
 use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
 use gubpi_pool::WorkerPool;
@@ -90,6 +91,29 @@ const LINEAR_BRANCH_RESERVE: usize = 16;
 /// worker thread (forking is free to skip: results do not depend on it).
 const FORK_MIN_BUDGET: usize = 16;
 
+/// What the executor did beyond producing paths: pruning activity driven
+/// by static [`ProgramFacts`] and the ⊤-path truncation census.
+///
+/// Pruning never changes the posterior bounds — only which exactly-zero
+/// terms are enumerated — so these counts are the observable difference
+/// between a pruned and a `--no-prune` run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Uncertain `if` forks where one side was statically dead (every
+    /// leaf would carry an exactly-zero score) and was skipped instead
+    /// of explored. Counted per skipped side.
+    pub pruned_branches: usize,
+    /// Paths dropped at a `score` whose argument is statically the
+    /// constant `0`: every continuation leaf would contribute exactly
+    /// `0.0` to both posterior bounds.
+    pub zero_score_drops: usize,
+    /// Finished paths that are ⊤ paths
+    /// ([`SymPath::budget_truncated`]): subtrees the executor could not
+    /// afford (path budget, fuel, or stack depth), as opposed to
+    /// `approxFix` truncations which keep the path's own structure.
+    pub budget_truncated_paths: usize,
+}
+
 /// Runs symbolic execution from `(P, 0, ∅, ∅)`, returning all finished
 /// symbolic (interval) paths.
 ///
@@ -114,6 +138,37 @@ pub fn symbolic_paths_in(
     opts: SymExecOptions,
     pool: &WorkerPool,
 ) -> Vec<SymPath> {
+    symbolic_paths_report(program, typing, None, opts, pool).0
+}
+
+/// [`symbolic_paths_in`] with optional static facts and a pruning /
+/// truncation census.
+///
+/// When `facts` is supplied (and not
+/// [aborted](ProgramFacts::is_aborted)), the executor
+///
+/// * drops a path at any `score` whose argument is statically the
+///   constant `0` — the score is still *pushed* first, so the dropped
+///   subtree's every leaf carries an exactly-zero weight factor and
+///   contributes exactly `0.0` to both posterior bounds;
+/// * skips a side of an uncertain `if` fork whose every leaf would carry
+///   such a score ([`ProgramFacts::dead_branch_cost`]), but only when
+///   the remaining fuel and stack depth prove the unpruned run could not
+///   have ⊤-truncated *inside* that side before reaching the zero score
+///   (a ⊤ path cut short of the score would carry real mass). The budget
+///   split happens exactly as without facts and the dead side's share is
+///   discarded, never reallocated.
+///
+/// Both rules remove only exactly-zero terms from the bound sums, so a
+/// pruned run is bit-identical to a facts-free (`--no-prune`) run — just
+/// with fewer enumerated paths.
+pub fn symbolic_paths_report(
+    program: &Program,
+    typing: &IntervalTyping,
+    facts: Option<&ProgramFacts>,
+    opts: SymExecOptions,
+    pool: &WorkerPool,
+) -> (Vec<SymPath>, ExecReport) {
     let workers = opts.frontier_workers.max(1);
     pool.reserve(workers);
     let mut linear = HashMap::new();
@@ -121,9 +176,15 @@ pub fn symbolic_paths_in(
     let ex = Executor {
         typing,
         opts,
+        // Aborted fact tables dropped their semantic entries, so they
+        // never claim a score is zero or a branch dead — but gate here
+        // too so the contract does not depend on that.
+        facts: facts.filter(|f| !f.is_aborted()),
         linear,
         pool,
         fork_budget: AtomicUsize::new(workers - 1),
+        pruned_branches: AtomicUsize::new(0),
+        zero_score_drops: AtomicUsize::new(0),
     };
     let st = PState {
         n: 0,
@@ -135,7 +196,7 @@ pub fn symbolic_paths_in(
         path_budget: opts.max_paths.max(1),
     };
     let leaves = ex.eval(&program.root, &SEnv::empty(), st, 0);
-    leaves
+    let paths: Vec<SymPath> = leaves
         .into_iter()
         .map(|(v, st)| match v {
             Some(SValue::Sym(result)) => SymPath {
@@ -144,10 +205,17 @@ pub fn symbolic_paths_in(
                 constraints: st.constraints,
                 scores: st.scores,
                 truncated: st.truncated,
+                budget_truncated: false,
             },
             _ => top_path(st),
         })
-        .collect()
+        .collect();
+    let report = ExecReport {
+        pruned_branches: ex.pruned_branches.load(Ordering::Relaxed),
+        zero_score_drops: ex.zero_score_drops.load(Ordering::Relaxed),
+        budget_truncated_paths: paths.iter().filter(|p| p.budget_truncated).count(),
+    };
+    (paths, report)
 }
 
 /// A sound "anything can happen beyond this point" path.
@@ -160,6 +228,7 @@ fn top_path(st: PState) -> SymPath {
         constraints: st.constraints,
         scores,
         truncated: true,
+        budget_truncated: true,
     }
 }
 
@@ -278,6 +347,9 @@ type Branches = Vec<(Option<SValue>, PState)>;
 struct Executor<'a> {
     typing: &'a IntervalTyping,
     opts: SymExecOptions,
+    /// Static pre-execution facts enabling dead-branch pruning; `None`
+    /// reproduces the historical (`--no-prune`) behaviour exactly.
+    facts: Option<&'a ProgramFacts>,
     /// `NodeId →` "subtree is syntactically linear" (see [`mark_linear`]).
     linear: HashMap<NodeId, bool>,
     /// The persistent executor that runs claimed else-continuations.
@@ -286,6 +358,11 @@ struct Executor<'a> {
     /// caps how many else-continuations this execution may have in
     /// flight on the pool, independent of the pool's own size.
     fork_budget: AtomicUsize,
+    /// Skipped dead `if` sides (atomic: branch continuations may be
+    /// claimed by pool workers).
+    pruned_branches: AtomicUsize,
+    /// Paths dropped at a statically-zero `score`.
+    zero_score_drops: AtomicUsize,
 }
 
 impl Executor<'_> {
@@ -368,7 +445,28 @@ impl Executor<'_> {
                             value: guard,
                             dir: CmpDir::GtZero,
                         });
-                        ex.eval_fork(t, els, env, st_then, st_else, depth)
+                        // Dead-branch pruning: a side all of whose leaves
+                        // would carry an exactly-zero score is skipped
+                        // (its budget share is discarded, not
+                        // reallocated, so the sibling explores exactly
+                        // the same subtree as without pruning).
+                        let skip_then = ex.prunable(t.id, &st_then, depth);
+                        let skip_else = ex.prunable(els.id, &st_else, depth);
+                        match (skip_then, skip_else) {
+                            (false, false) => ex.eval_fork(t, els, env, st_then, st_else, depth),
+                            (true, false) => {
+                                ex.pruned_branches.fetch_add(1, Ordering::Relaxed);
+                                ex.eval(els, env, st_else, depth)
+                            }
+                            (false, true) => {
+                                ex.pruned_branches.fetch_add(1, Ordering::Relaxed);
+                                ex.eval(t, env, st_then, depth)
+                            }
+                            (true, true) => {
+                                ex.pruned_branches.fetch_add(2, Ordering::Relaxed);
+                                vec![]
+                            }
+                        }
                     }
                 })
             }
@@ -401,7 +499,7 @@ impl Executor<'_> {
             }
             ExprKind::Score(m) => {
                 let ms = self.eval(m, env, st, depth);
-                self.bind(ms, |_ex, mv, mut st1| {
+                self.bind(ms, |ex, mv, mut st1| {
                     let v = match mv {
                         SValue::Sym(v) => v,
                         _ => return vec![(None, st1)],
@@ -416,6 +514,16 @@ impl Executor<'_> {
                         });
                     }
                     st1.scores.push(v.clone());
+                    // Zero-score drop: once a score that is statically
+                    // the constant `0` has been *pushed*, every leaf of
+                    // the continuation — including later ⊤ paths —
+                    // carries the `[0, 0]` factor, so the whole subtree
+                    // contributes exactly `0.0` to both bounds.
+                    // Unconditionally sound; no fuel/depth guard needed.
+                    if ex.facts.is_some_and(|f| f.score_is_zero(e.id)) {
+                        ex.zero_score_drops.fetch_add(1, Ordering::Relaxed);
+                        return vec![];
+                    }
                     vec![(Some(SValue::Sym(v)), st1)]
                 })
             }
@@ -437,6 +545,27 @@ impl Executor<'_> {
             (false, true) => (b - reserve, reserve),
             _ => (b - b / 2, b / 2),
         }
+    }
+
+    /// May the side of an uncertain fork rooted at `id` be skipped
+    /// without changing the bounds?
+    ///
+    /// Requires a static dead-branch fact (every leaf of an *inert*
+    /// subtree carries an exactly-zero score) **and** enough fuel and
+    /// stack depth that the unpruned run could not have ⊤-truncated
+    /// inside the side before pushing that score — a ⊤ path cut short of
+    /// the zero score carries real mass, and pruning must stay
+    /// bit-identical to `--no-prune` even under truncation. The fact's
+    /// cost is the subtree's node count, which bounds both its fuel use
+    /// (one unit per evaluated node) and its depth growth (nesting ≤
+    /// size). Inert subtrees contain no `if`, so the path budget is
+    /// never consulted inside them.
+    fn prunable(&self, id: NodeId, st: &PState, depth: u32) -> bool {
+        self.facts
+            .and_then(|f| f.dead_branch_cost(id))
+            .is_some_and(|cost| {
+                st.fuel > cost && (depth as u64).saturating_add(cost) < self.opts.max_depth as u64
+            })
     }
 
     /// Evaluates the two sides of an uncertain branch, submitting the
@@ -788,6 +917,97 @@ mod tests {
                 "cap={cap}: second-walk truncation profile"
             );
         }
+    }
+
+    fn paths_report(src: &str, opts: SymExecOptions, prune: bool) -> (Vec<SymPath>, ExecReport) {
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let facts = ProgramFacts::compute(&p, &typing);
+        let f = if prune { Some(&facts) } else { None };
+        symbolic_paths_report(&p, &typing, f, opts, WorkerPool::global())
+    }
+
+    #[test]
+    fn dead_branch_pruning_drops_fail_paths() {
+        let src = "if sample <= 0.5 then sample else fail";
+        let (unpruned, r0) = paths_report(src, SymExecOptions::default(), false);
+        let (pruned, r1) = paths_report(src, SymExecOptions::default(), true);
+        assert_eq!(r0, ExecReport::default());
+        assert_eq!(r1.pruned_branches, 1);
+        assert_eq!(r1.zero_score_drops, 0);
+        assert_eq!(unpruned.len(), 2);
+        assert_eq!(pruned.len(), 1);
+        // The surviving path is exactly the unpruned run's live path
+        // (same budget split, the dead side's share merely discarded).
+        let live: Vec<&SymPath> = unpruned.iter().filter(|p| p.scores.is_empty()).collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(*live[0], pruned[0]);
+        // The dropped path carried an exactly-zero score.
+        let dead: Vec<&SymPath> = unpruned.iter().filter(|p| !p.scores.is_empty()).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(*dead[0].scores[0], SymVal::Const(0.0));
+    }
+
+    #[test]
+    fn statically_zero_scores_drop_their_continuation() {
+        // A `score(0)` in straight-line position: the unpruned run keeps
+        // one path whose weight factor is exactly 0; the pruned run
+        // drops it at the score (after pushing it), leaving no paths.
+        let src = "score(0); sample";
+        let (unpruned, _) = paths_report(src, SymExecOptions::default(), false);
+        let (pruned, r) = paths_report(src, SymExecOptions::default(), true);
+        assert_eq!(unpruned.len(), 1);
+        assert_eq!(*unpruned[0].scores[0], SymVal::Const(0.0));
+        assert!(pruned.is_empty());
+        assert_eq!(r.zero_score_drops, 1);
+        assert_eq!(r.pruned_branches, 0);
+    }
+
+    #[test]
+    fn pruning_is_worker_count_independent() {
+        let src = "
+            let rec walk x =
+              if x <= 0 then 0 else
+                if sample <= 0.9 then walk (x - sample) else fail
+            in walk 1";
+        let opts = |workers| SymExecOptions {
+            max_fix_unfoldings: 4,
+            frontier_workers: workers,
+            ..Default::default()
+        };
+        let (base, rb) = paths_report(src, opts(1), true);
+        assert!(rb.pruned_branches > 0);
+        for workers in [2usize, 4, 8] {
+            let (sharded, rs) = paths_report(src, opts(workers), true);
+            assert_eq!(base, sharded, "pruned path set under {workers} workers");
+            assert_eq!(rb, rs, "report under {workers} workers");
+        }
+    }
+
+    #[test]
+    fn budget_truncated_census_counts_top_paths() {
+        let src = "
+            let rec flips n =
+              if n <= 0 then 0
+              else if sample <= 0.5 then flips (n - 1)
+              else 1 + flips (n - 1)
+            in flips 6";
+        let opts = SymExecOptions {
+            max_fix_unfoldings: 8,
+            max_paths: 8,
+            ..Default::default()
+        };
+        let (paths, report) = paths_report(src, opts, false);
+        let tops = paths.iter().filter(|p| p.budget_truncated).count();
+        assert!(tops > 0, "tight budget must produce ⊤ paths");
+        assert_eq!(report.budget_truncated_paths, tops);
+        // ⊤ paths are a subset of truncated paths; approxFix-only
+        // truncations keep budget_truncated == false.
+        assert!(paths.iter().all(|p| !p.budget_truncated || p.truncated));
+        let (full, full_report) = paths_report(src, SymExecOptions::default(), false);
+        assert_eq!(full_report.budget_truncated_paths, 0);
+        assert!(full.iter().all(|p| !p.budget_truncated));
     }
 
     #[test]

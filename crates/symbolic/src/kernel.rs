@@ -43,11 +43,58 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use gubpi_analysis::ProgramFacts;
 use gubpi_interval::Interval;
 use gubpi_lang::PrimOp;
 
 use crate::path::{CmpDir, SymPath};
 use crate::symval::SymVal;
+
+/// Static compilation seed derived once per program from the
+/// pre-execution [`ProgramFacts`], shared by every tape compiled for
+/// that program's paths ([`Tape::for_path_seeded`]).
+///
+/// Seeding is **value-transparent** by construction: the pre-interned
+/// constant pool only renumbers constant slots (every constant still
+/// holds the identical bit pattern and is preloaded into its register
+/// the same way), and the static constraint order only changes *which*
+/// ∃-tests run first — short-circuiting excludes exactly the same cells
+/// in any order, and the ∀-pass always tests every check. No reported
+/// bound can differ from an unseeded compile, no matter how imprecise
+/// the facts are.
+#[derive(Clone, Debug, Default)]
+pub struct KernelSeed {
+    consts: Vec<Interval>,
+    const_ids: HashMap<(u64, u64), u32>,
+}
+
+impl KernelSeed {
+    /// Interns the program's static constant pool (every literal plus
+    /// the fixpoint summary intervals) so per-path compiles start from a
+    /// warm constant table instead of re-interning per query.
+    pub fn from_facts(facts: &ProgramFacts) -> KernelSeed {
+        let mut seed = KernelSeed::default();
+        for &iv in facts.constant_pool() {
+            let key = (iv.lo().to_bits(), iv.hi().to_bits());
+            let next = seed.consts.len() as u32;
+            if let std::collections::hash_map::Entry::Vacant(e) = seed.const_ids.entry(key) {
+                e.insert(next);
+                seed.consts.push(iv);
+            }
+        }
+        seed
+    }
+
+    /// Number of pre-interned constant slots.
+    pub fn len(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Is the seed empty (no static constants)?
+    pub fn is_empty(&self) -> bool {
+        self.consts.is_empty()
+    }
+}
 
 /// Number of cells evaluated per [`Tape::eval_block`] lane block.
 pub const LANES: usize = 16;
@@ -164,6 +211,10 @@ struct Builder {
     n_inputs: usize,
     consts: Vec<Interval>,
     const_ids: HashMap<(u64, u64), u32>,
+    /// Constant slots `[0, seed_len)` were pre-interned from a
+    /// [`KernelSeed`]; hits against them are counted as seed hits.
+    seed_len: usize,
+    seed_hits: u64,
     nodes: Vec<Node>,
     node_ids: HashMap<Node, u32>,
     /// `Arc` pointer memo: shared subterms (the values are DAGs) intern
@@ -178,6 +229,8 @@ impl Builder {
             n_inputs,
             consts: Vec::new(),
             const_ids: HashMap::new(),
+            seed_len: 0,
+            seed_hits: 0,
             nodes: Vec::new(),
             node_ids: HashMap::new(),
             ptr_memo: HashMap::new(),
@@ -185,9 +238,20 @@ impl Builder {
         }
     }
 
+    fn seeded(n_inputs: usize, seed: &KernelSeed) -> Builder {
+        let mut b = Builder::new(n_inputs);
+        b.consts = seed.consts.clone();
+        b.const_ids = seed.const_ids.clone();
+        b.seed_len = seed.consts.len();
+        b
+    }
+
     fn const_slot(&mut self, iv: Interval) -> Slot {
         let key = (iv.lo().to_bits(), iv.hi().to_bits());
         if let Some(&j) = self.const_ids.get(&key) {
+            if (j as usize) < self.seed_len {
+                self.seed_hits += 1;
+            }
             return Slot::Const(j);
         }
         let j = self.consts.len() as u32;
@@ -285,11 +349,19 @@ impl Builder {
 
 /// Compiles roots into a tape (shared by [`Tape::for_path`] and
 /// [`Tape::for_value`]).
+///
+/// `static_order`, when present, fixes the ∃-test schedule up front
+/// (seeded compiles order constraints by their static interval width
+/// once per program) instead of running the per-tape greedy
+/// cheapest-first scan. Either schedule excludes exactly the same cells
+/// — bailing order changes which work is *skipped*, never a reported
+/// value.
 fn compile(
     mut b: Builder,
     constraints: &[(Arc<SymVal>, CmpDir)],
     scores: &[Arc<SymVal>],
     result: &Arc<SymVal>,
+    static_order: Option<Vec<usize>>,
 ) -> Tape {
     // Pre-CSE baseline: the op applications a per-cell tree walk
     // performs (`SymVal::prim_op_count` counts shared `Arc`s once per
@@ -311,28 +383,38 @@ fn compile(
     let mut emitted = vec![false; n_nodes];
     let mut order: Vec<u32> = Vec::with_capacity(n_nodes);
 
-    // Cheapest-first static ordering of the ∃-tests: repeatedly pick the
-    // constraint needing the fewest additional instructions (ties broken
-    // by original index — fully deterministic).
-    let mut scheduled = vec![false; constraint_slots.len()];
     let mut picks: Vec<(usize, u32)> = Vec::with_capacity(constraint_slots.len());
-    let mut seen = vec![false; n_nodes];
-    for _ in 0..constraint_slots.len() {
-        let mut best: Option<(usize, usize)> = None;
-        for (i, &(slot, _)) in constraint_slots.iter().enumerate() {
-            if scheduled[i] {
-                continue;
-            }
-            seen.iter_mut().for_each(|s| *s = false);
-            let cost = b.count_unscheduled(slot, &emitted, &mut seen);
-            if best.is_none_or(|(_, c)| cost < c) {
-                best = Some((i, cost));
-            }
+    if let Some(sched) = static_order {
+        // Pre-computed schedule (seeded compiles): emit in the given
+        // order, no per-tape cost scan.
+        debug_assert_eq!(sched.len(), constraint_slots.len());
+        for i in sched {
+            b.emit(constraint_slots[i].0, &mut emitted, &mut order);
+            picks.push((i, order.len() as u32));
         }
-        let (i, _) = best.expect("one unscheduled constraint remains");
-        scheduled[i] = true;
-        b.emit(constraint_slots[i].0, &mut emitted, &mut order);
-        picks.push((i, order.len() as u32));
+    } else {
+        // Cheapest-first static ordering of the ∃-tests: repeatedly pick
+        // the constraint needing the fewest additional instructions
+        // (ties broken by original index — fully deterministic).
+        let mut scheduled = vec![false; constraint_slots.len()];
+        let mut seen = vec![false; n_nodes];
+        for _ in 0..constraint_slots.len() {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, &(slot, _)) in constraint_slots.iter().enumerate() {
+                if scheduled[i] {
+                    continue;
+                }
+                seen.iter_mut().for_each(|s| *s = false);
+                let cost = b.count_unscheduled(slot, &emitted, &mut seen);
+                if best.is_none_or(|(_, c)| cost < c) {
+                    best = Some((i, cost));
+                }
+            }
+            let (i, _) = best.expect("one unscheduled constraint remains");
+            scheduled[i] = true;
+            b.emit(constraint_slots[i].0, &mut emitted, &mut order);
+            picks.push((i, order.len() as u32));
+        }
     }
     for &slot in &score_slots {
         b.emit(slot, &mut emitted, &mut order);
@@ -381,6 +463,7 @@ fn compile(
             }
         })
         .collect();
+    let (seed_len, seed_hits) = (b.seed_len, b.seed_hits);
     let tape = Tape {
         n_inputs,
         n_regs: n_inputs + n_consts + instrs.len(),
@@ -398,6 +481,12 @@ fn compile(
     STATS
         .tree_nodes
         .fetch_add(tape.tree_nodes as u64, Ordering::Relaxed);
+    if seed_len > 0 {
+        STATS.seeded_tapes.fetch_add(1, Ordering::Relaxed);
+        STATS
+            .seed_const_hits
+            .fetch_add(seed_hits, Ordering::Relaxed);
+    }
     tape
 }
 
@@ -405,16 +494,49 @@ impl Tape {
     /// Lowers a whole path: constraints (with checkpoints), scores and
     /// result share one hash-consed register file.
     pub fn for_path(path: &SymPath) -> Tape {
+        Tape::for_path_seeded(path, None)
+    }
+
+    /// [`Tape::for_path`] starting from a per-program [`KernelSeed`]:
+    /// the constant table is pre-interned from the static facts and the
+    /// ∃-test schedule is fixed by the constraints' static interval
+    /// widths (narrow, cheap-to-decide guards first) instead of the
+    /// per-tape greedy instruction-cost scan. Produces bit-identical
+    /// cell bounds to an unseeded compile (see [`KernelSeed`]).
+    pub fn for_path_seeded(path: &SymPath, seed: Option<&KernelSeed>) -> Tape {
         let constraints: Vec<(Arc<SymVal>, CmpDir)> = path
             .constraints
             .iter()
             .map(|c| (c.value.clone(), c.dir))
             .collect();
+        let (builder, static_order) = match seed {
+            Some(seed) => {
+                // Width-ascending schedule; ∞ and NaN widths (unbounded
+                // guards) sort last via total_cmp. Stable sort keeps the
+                // original index as the deterministic tiebreak.
+                let width = |v: &Arc<SymVal>| {
+                    let r = v.crude_range(path.n_samples);
+                    let w = r.hi() - r.lo();
+                    if w.is_nan() {
+                        f64::INFINITY
+                    } else {
+                        w
+                    }
+                };
+                let mut sched: Vec<usize> = (0..constraints.len()).collect();
+                sched.sort_by(|&i, &j| {
+                    width(&constraints[i].0).total_cmp(&width(&constraints[j].0))
+                });
+                (Builder::seeded(path.n_samples, seed), Some(sched))
+            }
+            None => (Builder::new(path.n_samples), None),
+        };
         compile(
-            Builder::new(path.n_samples),
+            builder,
             &constraints,
             &path.scores,
             &path.result,
+            static_order,
         )
     }
 
@@ -422,7 +544,7 @@ impl Tape {
     /// (used for the linear semantics' score-decomposition skeletons,
     /// whose `Sample(k)` leaves index the decomposition parts).
     pub fn for_value(n_inputs: usize, v: &Arc<SymVal>) -> Tape {
-        compile(Builder::new(n_inputs), &[], &[], v)
+        compile(Builder::new(n_inputs), &[], &[], v, None)
     }
 
     /// Number of per-cell inputs (sample dimensions / skeleton parts).
@@ -736,6 +858,8 @@ struct StatCells {
     instrs: AtomicU64,
     tree_nodes: AtomicU64,
     cells: AtomicU64,
+    seeded_tapes: AtomicU64,
+    seed_const_hits: AtomicU64,
 }
 
 static STATS: StatCells = StatCells {
@@ -743,6 +867,8 @@ static STATS: StatCells = StatCells {
     instrs: AtomicU64::new(0),
     tree_nodes: AtomicU64::new(0),
     cells: AtomicU64::new(0),
+    seeded_tapes: AtomicU64::new(0),
+    seed_const_hits: AtomicU64::new(0),
 };
 
 /// Monotone process-wide kernel counters (`repro --stats` reports them).
@@ -758,6 +884,11 @@ pub struct KernelStats {
     pub tree_nodes: u64,
     /// Region cells evaluated through compiled tapes.
     pub cells: u64,
+    /// Tapes compiled from a per-program [`KernelSeed`].
+    pub seeded_tapes: u64,
+    /// Constant-slot interns served by a pre-seeded pool entry instead
+    /// of a fresh per-query insertion.
+    pub seed_const_hits: u64,
 }
 
 /// Snapshot of the process-wide kernel counters.
@@ -767,6 +898,8 @@ pub fn kernel_stats() -> KernelStats {
         tape_instrs: STATS.instrs.load(Ordering::Relaxed),
         tree_nodes: STATS.tree_nodes.load(Ordering::Relaxed),
         cells: STATS.cells.load(Ordering::Relaxed),
+        seeded_tapes: STATS.seeded_tapes.load(Ordering::Relaxed),
+        seed_const_hits: STATS.seed_const_hits.load(Ordering::Relaxed),
     }
 }
 
@@ -814,6 +947,7 @@ mod tests {
                 sum,
             ],
             truncated: false,
+            budget_truncated: false,
         }
     }
 
@@ -924,6 +1058,7 @@ mod tests {
             ],
             scores: vec![],
             truncated: false,
+            budget_truncated: false,
         };
         let tape = Tape::for_path(&path);
         assert_eq!(tape.checks.len(), 2);
@@ -981,6 +1116,7 @@ mod tests {
             }],
             scores: vec![c(0.25)],
             truncated: false,
+            budget_truncated: false,
         };
         let tape = Tape::for_path(&path);
         assert!(tape.is_empty(), "everything pre-folds");
@@ -988,6 +1124,72 @@ mod tests {
         assert_eq!(got.value, Interval::point(2.0));
         assert_eq!(got.weight, Interval::point(0.25));
         assert!(got.definite);
+    }
+
+    #[test]
+    fn seeded_compile_is_bit_identical_to_unseeded() {
+        use gubpi_lang::{infer, parse};
+        use gubpi_types::infer_interval_types;
+        // A program whose constants (0.5, 1.1, 0.1) also appear in the
+        // demo path's trees, so the seeded pool actually gets hits.
+        let p = parse("observe (sample + sample) from normal(1.1, 0.1); 0.5").unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let facts = ProgramFacts::compute(&p, &typing);
+        let seed = KernelSeed::from_facts(&facts);
+        assert!(!seed.is_empty());
+
+        let path = demo_path();
+        let plain = Tape::for_path(&path);
+        let seeded = Tape::for_path_seeded(&path, Some(&seed));
+        assert_eq!(plain.len(), seeded.len(), "same instructions survive");
+        let mut s_plain = plain.scratch();
+        let mut s_seeded = seeded.scratch();
+        for (alo, ahi, blo, bhi) in [
+            (0.0, 0.25, 0.5, 0.75),
+            (0.0, 1.0, 0.0, 1.0),
+            (0.75, 1.0, 0.0, 0.25),
+            (0.5, 0.5, 0.25, 0.25),
+        ] {
+            let dims = [Interval::new(alo, ahi), Interval::new(blo, bhi)];
+            assert_same(
+                seeded.eval_cell(&dims, &mut s_seeded),
+                plain.eval_cell(&dims, &mut s_plain),
+                &format!("seeded vs plain on {dims:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn seed_hits_are_counted() {
+        use gubpi_lang::{infer, parse};
+        use gubpi_types::infer_interval_types;
+        let p = parse("3 * sample + 0.5").unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let facts = ProgramFacts::compute(&p, &typing);
+        let seed = KernelSeed::from_facts(&facts);
+        let before = kernel_stats();
+        // 3·α₀ + 0.5 re-uses both seeded constants.
+        let v = SymVal::prim(
+            PrimOp::Add,
+            vec![SymVal::prim(PrimOp::Mul, vec![c(3.0), s(0)]), c(0.5)],
+        );
+        let path = SymPath {
+            result: v,
+            n_samples: 1,
+            constraints: vec![],
+            scores: vec![],
+            truncated: false,
+            budget_truncated: false,
+        };
+        let _ = Tape::for_path_seeded(&path, Some(&seed));
+        let after = kernel_stats();
+        assert_eq!(after.seeded_tapes, before.seeded_tapes + 1);
+        assert!(
+            after.seed_const_hits >= before.seed_const_hits + 2,
+            "3 and 0.5 must hit the seeded pool"
+        );
     }
 
     #[test]

@@ -47,10 +47,12 @@ pub mod kernel;
 mod path;
 mod symval;
 
-pub use exec::{symbolic_paths, symbolic_paths_in, SymExecOptions};
+pub use exec::{
+    symbolic_paths, symbolic_paths_in, symbolic_paths_report, ExecReport, SymExecOptions,
+};
 pub use gubpi_pool::WorkerPool;
 pub use kernel::{
-    kernel_stats, note_kernel_cells, CellBounds, KernelStats, Tape, TapeScratch, LANES,
+    kernel_stats, note_kernel_cells, CellBounds, KernelSeed, KernelStats, Tape, TapeScratch, LANES,
 };
 pub use path::{CmpDir, SymConstraint, SymPath};
 pub use symval::SymVal;

@@ -77,6 +77,14 @@ pub struct SymPath {
     /// Did `approxFix` (or a budget overflow) introduce interval
     /// literals? Exact-path denotations exist only when `false`.
     pub truncated: bool,
+    /// Is this a ⊤ path closing off a subtree the executor could not
+    /// afford to explore (path budget, fuel or stack depth exhausted)?
+    /// Strictly stronger than [`truncated`](SymPath::truncated): an
+    /// `approxFix` replacement keeps the path's own structure, a ⊤ path
+    /// covers *everything* beyond its cut. `repro --stats` reports the
+    /// count, separating "recursion depth hit `max_fix_unfoldings`"
+    /// from "path budget too small".
+    pub budget_truncated: bool,
 }
 
 impl SymPath {
@@ -120,6 +128,7 @@ impl SymPath {
         let mut h = DefaultHasher::new();
         self.n_samples.hash(&mut h);
         self.truncated.hash(&mut h);
+        self.budget_truncated.hash(&mut h);
         hash_symval(&self.result, &mut h);
         self.constraints.len().hash(&mut h);
         for c in &self.constraints {
@@ -235,6 +244,7 @@ mod tests {
             constraints: vec![],
             scores: vec![c(2.0), s(0)],
             truncated: false,
+            budget_truncated: false,
         };
         let b = BoxN::new(vec![Interval::new(0.25, 0.5)]);
         assert_eq!(p.weight_range_over_box(&b), Interval::new(0.5, 1.0));
@@ -251,6 +261,7 @@ mod tests {
             }],
             scores: vec![],
             truncated: false,
+            budget_truncated: false,
         };
         assert!(good.satisfies_single_use());
         let bad = SymPath {
@@ -259,6 +270,7 @@ mod tests {
             constraints: vec![],
             scores: vec![],
             truncated: false,
+            budget_truncated: false,
         };
         assert!(!bad.satisfies_single_use());
     }
@@ -280,6 +292,7 @@ mod tests {
             constraints: vec![],
             scores: vec![c(2.0)],
             truncated: false,
+            budget_truncated: false,
         };
         let same = base.clone();
         assert_eq!(base.fingerprint(), same.fingerprint());

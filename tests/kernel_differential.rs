@@ -164,6 +164,7 @@ proptest! {
             ],
             scores: vec![score],
             truncated: false,
+            budget_truncated: false,
         };
         let tape = Tape::for_path(&path);
         let mut scratch = tape.scratch();
@@ -193,6 +194,7 @@ proptest! {
             constraints: vec![SymConstraint { value: guard, dir: CmpDir::LeZero }],
             scores: vec![score],
             truncated: false,
+            budget_truncated: false,
         };
         let tape = Tape::for_path(&path);
         let mut scalar = tape.scratch();
@@ -321,6 +323,7 @@ fn interval_constraints_keep_the_forall_exists_distinction() {
         }],
         scores: vec![],
         truncated: false,
+        budget_truncated: false,
     };
     let tape = Tape::for_path(&path);
     let mut scratch = tape.scratch();
