@@ -52,7 +52,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use gubpi_interval::Interval;
-use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program, Span};
+use gubpi_lang::{Expr, ExprKind, Name, NodeId, PrimOp, Program, Span};
 use gubpi_types::{ITy, IntervalTyping};
 
 /// Options controlling the abstract interpretation.
@@ -88,6 +88,34 @@ pub struct BranchFlow {
     pub else_taken: bool,
 }
 
+/// Per `μ` node: the ingredients of a geometric tail enclosure for
+/// budget-truncated explorations of this recursion (see
+/// `gubpi_core::pathbounds`).
+///
+/// `per_step` bounds the *continue mass* of one unfolding — the
+/// expectation, over the fresh samples one body traversal draws, of the
+/// accumulated score factors restricted to executions that reach the
+/// recursive call. `continuation` bounds the product of every score
+/// factor evaluated *outside* the body (each many-shot site is required
+/// to stay ≤ 1 and contributes 1; each once-shot site contributes its
+/// static high endpoint).
+///
+/// The fact is only recorded when the remainder of a truncated
+/// exploration is provably dominated by the geometric series these two
+/// intervals define: a single recursive call per body execution path,
+/// every in-body score factor ≤ 1, and a finite continuation product.
+/// A recorded fact with `per_step.hi() ≥ 1` is still useful census data
+/// ("this loop makes no provable progress"), but consumers must then
+/// fall back to the trivial ⊤ contribution — never divide by
+/// `1 − per_step.hi()` at or past the boundary.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TailFact {
+    /// Upper enclosure of the one-unfolding continue mass `c`.
+    pub per_step: Interval,
+    /// Upper enclosure of the out-of-body score product `x` (≥ 1).
+    pub continuation: Interval,
+}
+
 /// A `let`-bound variable that is never used although its definition
 /// draws samples (the draw still counts towards the trace, so this is
 /// usually a modelling mistake).
@@ -110,6 +138,7 @@ pub struct ProgramFacts {
     dead_branches: HashMap<NodeId, u64>,
     contraction: HashMap<NodeId, Interval>,
     fix_values: HashMap<NodeId, Interval>,
+    tail_facts: HashMap<NodeId, TailFact>,
     unused_samples: Vec<UnusedSample>,
     constant_pool: Vec<Interval>,
     aborted: bool,
@@ -186,6 +215,16 @@ impl ProgramFacts {
             }
             _ => {}
         });
+        // Tail facts per μ node (needs the score-weight table).
+        let mut tails = Vec::new();
+        program.root.walk(&mut |e| {
+            if let ExprKind::Fix(fname, _, body) = &e.kind {
+                if let Some(tf) = self.tail_fact_for(program, fname, body) {
+                    tails.push((e.id, tf));
+                }
+            }
+        });
+        self.tail_facts.extend(tails);
         // Dead branches need the zero-score set, so a second walk.
         let mut dead = Vec::new();
         program.root.walk(&mut |e| {
@@ -214,6 +253,188 @@ impl ProgramFacts {
             }
         });
         self.constant_pool = pool;
+    }
+
+    /// Derives the [`TailFact`] for one `μ` node, or `None` when the
+    /// geometric-remainder argument does not apply (see [`TailFact`]).
+    fn tail_fact_for(&self, program: &Program, fname: &Name, body: &Expr) -> Option<TailFact> {
+        // Every score the body can execute must have a known static
+        // weight enclosure with high endpoint ≤ 1, so any number of
+        // body traversals multiplies the weight by at most 1.
+        let mut scores_ok = true;
+        body.walk(&mut |s| {
+            if matches!(s.kind, ExprKind::Score(_)) {
+                match self.score_weight(s.id) {
+                    Some(w) if w.hi() <= 1.0 => {}
+                    _ => scores_ok = false,
+                }
+            }
+        });
+        if !scores_ok {
+            return None;
+        }
+        let c = self.continue_mass(body, fname)?;
+        if !c.is_finite() || c < 0.0 {
+            return None;
+        }
+        let x = self.continuation_factor(program, body.id)?;
+        Some(TailFact {
+            per_step: Interval::new(0.0, c),
+            continuation: Interval::new(0.0, x),
+        })
+    }
+
+    /// Upper bound on the *continue mass* of one body traversal: the
+    /// expectation over the traversal's fresh samples of the score
+    /// factors accumulated on executions that reach the recursive call.
+    /// `None` when no finite bound applies — a bare `fname` escaping
+    /// into a value, more than one call on a single execution path, or
+    /// a call inside a guard or score argument.
+    fn continue_mass(&self, e: &Expr, fname: &Name) -> Option<f64> {
+        let mentions = |e: &Expr| e.free_vars().contains(fname);
+        if !mentions(e) {
+            return Some(0.0);
+        }
+        match &e.kind {
+            ExprKind::If(c, t, els) => {
+                if mentions(c) {
+                    return None;
+                }
+                let ct = self.continue_mass(t, fname)?;
+                let ce = self.continue_mass(els, fname)?;
+                // A fresh-coin guard splits the mass by the coin's
+                // probabilities; any other guard may deterministically
+                // select either side, so only the max is sound.
+                Some(match coin_probs(c) {
+                    Some((pt, pe)) => pt * ct + pe * ce,
+                    None => ct.max(ce),
+                })
+            }
+            ExprKind::App(f, a) => {
+                if let ExprKind::Lam(_, lam_body) = &f.kind {
+                    // `let`-style sequencing: `a` runs first, then the
+                    // body exactly once. Score factors accumulated in
+                    // `a` scale the mass that continues into the body.
+                    if mentions(a) && mentions(lam_body) {
+                        return None;
+                    }
+                    let ca = self.continue_mass(a, fname)?;
+                    let cb = self.continue_mass(lam_body, fname)?;
+                    Some(ca + self.path_weight_hi(a) * cb)
+                } else if let Some(args) = call_of(e, fname) {
+                    // The recursive call itself. Weight accumulated in
+                    // the arguments is ≤ 1 (in-body scores are ≤ 1).
+                    if args.iter().any(|arg| mentions(arg)) {
+                        return None;
+                    }
+                    Some(1.0)
+                } else {
+                    if mentions(f) && mentions(a) {
+                        return None;
+                    }
+                    Some(self.continue_mass(f, fname)? + self.continue_mass(a, fname)?)
+                }
+            }
+            ExprKind::Prim(_, args) => {
+                if args.iter().filter(|a| mentions(a)).count() > 1 {
+                    return None;
+                }
+                let mut sum = 0.0;
+                for a in args {
+                    sum += self.continue_mass(a, fname)?;
+                }
+                Some(sum)
+            }
+            // `fname` under a score, inside a λ/μ value, or as a bare
+            // reference: the single-call geometry no longer holds.
+            _ => None,
+        }
+    }
+
+    /// Upper bound (≤ 1) on the score product along *any* execution
+    /// path of the `fname`-free prefix `e` of a fix body. Score sites
+    /// of closures invoked from `e` are not traversed — sound, because
+    /// every in-body score factor is ≤ 1 and extra ≤ 1 factors only
+    /// shrink the product.
+    fn path_weight_hi(&self, e: &Expr) -> f64 {
+        match &e.kind {
+            ExprKind::Score(m) => {
+                let w = self
+                    .score_weight(e.id)
+                    .map(|w| w.hi().clamp(0.0, 1.0))
+                    .unwrap_or(1.0);
+                self.path_weight_hi(m) * w
+            }
+            ExprKind::If(c, t, els) => {
+                self.path_weight_hi(c) * self.path_weight_hi(t).max(self.path_weight_hi(els))
+            }
+            ExprKind::Prim(_, args) => args.iter().map(|a| self.path_weight_hi(a)).product(),
+            ExprKind::App(f, a) => match &f.kind {
+                ExprKind::Lam(_, b) => self.path_weight_hi(a) * self.path_weight_hi(b),
+                _ => self.path_weight_hi(f) * self.path_weight_hi(a),
+            },
+            _ => 1.0,
+        }
+    }
+
+    /// Upper bound on the product of every score factor evaluated
+    /// outside the fix body rooted at `body_id`: many-shot sites must
+    /// stay ≤ 1 (contributing 1), once-shot sites contribute their
+    /// static high endpoint. `None` when a site has no usable bound —
+    /// the sequential-composition widening of the tail enclosure.
+    fn continuation_factor(&self, program: &Program, body_id: NodeId) -> Option<f64> {
+        fn go(
+            facts: &ProgramFacts,
+            e: &Expr,
+            body_id: NodeId,
+            many: bool,
+            x: &mut f64,
+            ok: &mut bool,
+        ) {
+            if !*ok || e.id == body_id {
+                return;
+            }
+            match &e.kind {
+                ExprKind::Score(m) => {
+                    match facts.score_weight(e.id) {
+                        Some(w) if w.hi() <= 1.0 => {}
+                        Some(w) if !many && w.hi().is_finite() => *x *= w.hi().max(1.0),
+                        _ => {
+                            *ok = false;
+                            return;
+                        }
+                    }
+                    go(facts, m, body_id, many, x, ok);
+                }
+                // λ/μ bodies may run any number of times — except a
+                // `let`-style λ applied on the spot, which runs once.
+                ExprKind::Lam(_, b) | ExprKind::Fix(_, _, b) => go(facts, b, body_id, true, x, ok),
+                ExprKind::App(f, a) => {
+                    if let ExprKind::Lam(_, b) = &f.kind {
+                        go(facts, a, body_id, many, x, ok);
+                        go(facts, b, body_id, many, x, ok);
+                    } else {
+                        go(facts, f, body_id, many, x, ok);
+                        go(facts, a, body_id, many, x, ok);
+                    }
+                }
+                ExprKind::If(c, t, els) => {
+                    go(facts, c, body_id, many, x, ok);
+                    go(facts, t, body_id, many, x, ok);
+                    go(facts, els, body_id, many, x, ok);
+                }
+                ExprKind::Prim(_, args) => {
+                    for a in args {
+                        go(facts, a, body_id, many, x, ok);
+                    }
+                }
+                ExprKind::Var(_) | ExprKind::Const(_) | ExprKind::Sample => {}
+            }
+        }
+        let mut x = 1.0;
+        let mut ok = true;
+        go(self, &program.root, body_id, false, &mut x, &mut ok);
+        (ok && x.is_finite()).then_some(x)
     }
 
     /// Does evaluating `e` necessarily push a provably-zero score before
@@ -272,6 +493,19 @@ impl ProgramFacts {
         self.fix_values.get(&id).copied()
     }
 
+    /// Per `μ` node: the geometric tail-enclosure ingredients for
+    /// budget-truncated explorations of this recursion, when the
+    /// single-call/bounded-score structure admits them (see
+    /// [`TailFact`]).
+    pub fn tail_fact(&self, id: NodeId) -> Option<TailFact> {
+        self.tail_facts.get(&id).copied()
+    }
+
+    /// Number of `μ` nodes with a recorded tail fact.
+    pub fn tail_fact_count(&self) -> usize {
+        self.tail_facts.len()
+    }
+
     /// Did the abstract interpreter reach this node at least once?
     pub fn was_evaluated(&self, id: NodeId) -> bool {
         self.evaluated.contains(&id)
@@ -303,6 +537,43 @@ impl ProgramFacts {
     /// remain (never the case for this repository's models).
     pub fn is_aborted(&self) -> bool {
         self.aborted
+    }
+}
+
+/// Fresh-coin guard probabilities: for guards of the shapes the parser
+/// emits for comparisons against a constant on a *fresh* uniform sample
+/// (`sample − k`, `k − sample`, bare `sample`), the exact probability
+/// of the `≤ 0` and `> 0` sides. Boundary atoms have measure zero
+/// under the uniform draw, so the two sides partition the mass.
+fn coin_probs(guard: &Expr) -> Option<(f64, f64)> {
+    let p_then = match &guard.kind {
+        ExprKind::Sample => 0.0,
+        ExprKind::Prim(PrimOp::Sub, args) if args.len() == 2 => {
+            match (&args[0].kind, &args[1].kind) {
+                (ExprKind::Sample, ExprKind::Const(k)) if k.is_finite() => k.clamp(0.0, 1.0),
+                (ExprKind::Const(k), ExprKind::Sample) if k.is_finite() => 1.0 - k.clamp(0.0, 1.0),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    Some((p_then, 1.0 - p_then))
+}
+
+/// When `e` is an application chain headed by `Var(fname)`, the
+/// argument expressions of the chain.
+fn call_of<'a>(e: &'a Expr, fname: &Name) -> Option<Vec<&'a Expr>> {
+    let mut args = Vec::new();
+    let mut cur = e;
+    loop {
+        match &cur.kind {
+            ExprKind::App(f, a) => {
+                args.push(&**a);
+                cur = f;
+            }
+            ExprKind::Var(x) if x == fname => return Some(args),
+            _ => return None,
+        }
     }
 }
 
@@ -778,6 +1049,80 @@ mod tests {
         // No score inside the loop: weight [1,1], no contraction.
         assert_eq!(facts.contraction(fix), Some(Interval::ONE));
         assert!(facts.fix_value(fix).is_some());
+    }
+
+    #[test]
+    fn tail_facts_cover_coin_guarded_loops() {
+        // Plain geometric: continue with probability 1/2, no scores.
+        let (p, facts) =
+            facts_for("let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0");
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        let tf = facts.tail_fact(fix).expect("geo admits a tail fact");
+        assert_eq!(tf.per_step, Interval::new(0.0, 0.5));
+        assert_eq!(tf.continuation, Interval::new(0.0, 1.0));
+
+        // Scored geometric: coin 1/2 times in-body score 1/2.
+        let (p, facts) = facts_for(
+            "let rec geo x = if sample <= 0.5 then x else (score(0.5); geo (x + 1)) in geo 0",
+        );
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        let tf = facts.tail_fact(fix).expect("scored geo admits a tail fact");
+        assert_eq!(tf.per_step, Interval::new(0.0, 0.25));
+
+        // Flipped guard polarity: recurse on the `> 0` side with p 0.4.
+        let (p, facts) = facts_for(
+            "let rec go x = if sample <= 0.6 then x else go (x + sample uniform(0, 1)) in go 0",
+        );
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        let tf = facts
+            .tail_fact(fix)
+            .expect("cav-example-7 admits a tail fact");
+        assert!((tf.per_step.hi() - 0.4).abs() < 1e-12, "{tf:?}");
+    }
+
+    #[test]
+    fn data_guarded_loops_sit_at_the_tail_boundary() {
+        // The pedestrian shape: the recursion guard reads program state,
+        // so no provable per-step decay — the fact is recorded at the
+        // boundary (c = 1) and consumers must fall back to ⊤. The
+        // out-of-loop observation is a once-shot site with hi > 1.
+        let (p, facts) = facts_for(
+            "let start = 3 * sample in
+             let rec walk x =
+               if x <= 0 then 0 else
+                 let step = sample in
+                 if sample <= 0.5 then step + walk (x + step)
+                 else step + walk (x - step)
+             in
+             let d = walk start in
+             observe d from normal(1.1, 0.1); start",
+        );
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        let tf = facts.tail_fact(fix).expect("structure qualifies");
+        assert_eq!(tf.per_step.hi(), 1.0, "no provable decay");
+        assert!(tf.continuation.hi() > 1.0, "observe factor: {tf:?}");
+        assert!(tf.continuation.hi().is_finite());
+    }
+
+    #[test]
+    fn unbounded_scores_and_tree_recursion_get_no_tail_fact() {
+        // An observation *inside* the loop multiplies a factor > 1 per
+        // traversal — the geometric argument needs in-body scores ≤ 1.
+        let (p, facts) = facts_for(
+            "let rec walk x =
+               if x <= 0 then 0 else
+                 (observe x from normal(1.1, 0.1); walk (x - sample))
+             in walk 1",
+        );
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        assert_eq!(facts.tail_fact(fix), None);
+
+        // Two recursive calls on one execution path: not geometric.
+        let (p, facts) =
+            facts_for("let rec t x = if sample <= 0.5 then x else t (x + 1) + t (x + 2) in t 0");
+        let fix = node_of(&p, |e| matches!(e.kind, ExprKind::Fix(..)));
+        assert_eq!(facts.tail_fact(fix), None);
+        assert_eq!(facts.tail_fact_count(), 0);
     }
 
     #[test]

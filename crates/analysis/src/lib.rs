@@ -39,5 +39,5 @@
 pub mod facts;
 pub mod lint;
 
-pub use facts::{BranchFlow, FactsOptions, ProgramFacts, UnusedSample};
+pub use facts::{BranchFlow, FactsOptions, ProgramFacts, TailFact, UnusedSample};
 pub use lint::{lint_program, Lint, LintKind, Severity};

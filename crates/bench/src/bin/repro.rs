@@ -94,6 +94,14 @@ fn main() {
         std::env::set_var("GUBPI_NO_PRUNE", "1");
         args.remove(i);
     }
+    // `--no-tail` disables the geometric tail enclosures on budget-⊤
+    // paths — equivalent to GUBPI_NO_TAIL=1. Upper bounds revert to the
+    // bare `[0, ∞]` score placeholder (+∞ whenever a ⊤ path exists);
+    // lower bounds are bit-identical either way.
+    if let Some(i) = args.iter().position(|a| a == "--no-tail") {
+        std::env::set_var("GUBPI_NO_TAIL", "1");
+        args.remove(i);
+    }
     // `--lint` prints the static-analysis findings for every model a
     // command analyzes, as the analyzers are built (GUBPI_LINT=1).
     let lint_mode = if let Some(i) = args.iter().position(|a| a == "--lint") {
@@ -124,7 +132,7 @@ fn main() {
             println!(
                 "repro — regenerates the tables and figures of the GuBPI paper\n\n\
                  USAGE: repro [--threads N|auto|off] [--cache-cap N] [--no-kernel] [--no-prune]\n       \
-                 [--lint] [--deny-warnings] [--stats] [COMMAND]\n\n\
+                 [--no-tail] [--lint] [--deny-warnings] [--stats] [COMMAND]\n\n\
                  COMMANDS:\n  \
                  table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
                  table2        Table 2: discrete models vs exact posteriors\n  \
@@ -137,6 +145,8 @@ fn main() {
                  model (or those whose label contains F); no execution\n  \
                  prune-report  path counts with pruning on vs off for every Table 2\n                \
                  model; writes the BENCH_prune.json snapshot\n  \
+                 tail-report   upper−lower gap on Z for truncated recursions, tail\n                \
+                 enclosures on vs off; writes the BENCH_tail.json snapshot\n  \
                  smoke         one tiny model end to end (seconds; for diagnosing\n                \
                  an installation together with --stats / --no-kernel)\n  \
                  all           everything above (the default)\n\n\
@@ -151,6 +161,9 @@ fn main() {
                  --no-prune             disable static dead-branch pruning in the symbolic\n                         \
                  executor (same as GUBPI_NO_PRUNE=1; bounds are\n                         \
                  bit-identical, only the explored path count changes)\n  \
+                 --no-tail              disable geometric tail enclosures on budget-⊤ paths\n                         \
+                 (same as GUBPI_NO_TAIL=1; upper bounds revert to +∞\n                         \
+                 where a ⊤ path exists, lower bounds are bit-identical)\n  \
                  --lint                 print static-analysis findings for every model a\n                         \
                  command analyzes (same as GUBPI_LINT=1)\n  \
                  --deny-warnings        exit 1 on warning-severity lints (with `analyze`,\n                         \
@@ -165,6 +178,7 @@ fn main() {
         "smoke" => smoke(),
         "analyze" => analyze(args.get(1).map(String::as_str), deny_warnings),
         "prune-report" => prune_report(),
+        "tail-report" => tail_report(),
         "pedestrian" | "fig1" | "fig7" => pedestrian(),
         "fig5" => fig5(),
         "fig6" => fig6(),
@@ -305,6 +319,98 @@ fn prune_report() {
     println!();
 }
 
+/// A finite f64 as a JSON number, anything else as `null` (JSON has no
+/// infinities; a bare-⊤ upper bound is `+∞`).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// `tail-report`: bounds on the normalising constant `Z` for models
+/// with truncated recursions, with the geometric tail enclosures on vs
+/// off (`--no-tail`), and the gap between them. Writes the
+/// `BENCH_tail.json` snapshot next to `BENCH_prune.json`.
+///
+/// Lower bounds are asserted bit-identical across the two modes — the
+/// enclosure only tightens the ⊤ placeholder's upper end. The
+/// pedestrian row documents the `c = 1` fallback: its loop is
+/// data-guarded (the analysis cannot contract it below 1), so both
+/// modes keep the bare ⊤ and the gap stays infinite.
+fn tail_report() {
+    println!("== Tail report: Z bounds with tail enclosures vs --no-tail ===========");
+    let fig6a = models::figure6()
+        .into_iter()
+        .find(|b| b.id == "6a")
+        .expect("fig6a is in the zoo");
+    // (name, source, max_fix_unfoldings, max_paths): budgets tight
+    // enough that every model leaves ⊤ paths behind.
+    let entries: Vec<(&str, &str, u32, usize)> = vec![
+        ("geometric", models::GEOMETRIC, 16, 6),
+        ("scored-geometric", models::SCORED_GEOMETRIC, 16, 6),
+        ("fig6a", fig6a.source, 16, 6),
+        ("pedestrian", models::PEDESTRIAN, 4, 48),
+    ];
+    println!(
+        "{:<18} {:>7} {:>6} {:>11} {:>12} {:>12}",
+        "model", "top", "tails", "lo", "hi (tails)", "hi (bare)"
+    );
+    let mut rows = Vec::new();
+    for (name, source, unfold, max_paths) in entries {
+        let opts = |use_tail: bool| {
+            let mut o = AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: unfold,
+                    max_paths,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            o.bounds.splits = 8;
+            o.bounds.use_tail = use_tail;
+            o
+        };
+        let on = Analyzer::from_source(source, opts(true)).expect("zoo model compiles");
+        let off = Analyzer::from_source(source, opts(false)).expect("zoo model compiles");
+        let r = on.exec_report();
+        let (lo_on, hi_on) = on.denotation_bounds(Interval::REAL);
+        let (lo_off, hi_off) = off.denotation_bounds(Interval::REAL);
+        assert_eq!(
+            lo_on.to_bits(),
+            lo_off.to_bits(),
+            "{name}: tails must not move lower bounds"
+        );
+        println!(
+            "{:<18} {:>7} {:>6} {:>11.6} {:>12.6} {:>12.6}",
+            name, r.budget_truncated_paths, r.tail_enclosed_paths, lo_on, hi_on, hi_off
+        );
+        rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"top_paths\": {},\n      \
+             \"tail_enclosed_paths\": {},\n      \"lo\": {},\n      \"hi_tail\": {},\n      \
+             \"hi_no_tail\": {},\n      \"gap_tail\": {},\n      \"gap_no_tail\": {}\n    }}",
+            r.budget_truncated_paths,
+            r.tail_enclosed_paths,
+            json_num(lo_on),
+            json_num(hi_on),
+            json_num(hi_off),
+            json_num(hi_on - lo_on),
+            json_num(hi_off - lo_off),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"tail\",\n  \"models\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tail.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!();
+}
+
 /// `--stats`: per-path cache, persistent-pool and compiled-kernel
 /// counters for the run.
 fn stats(elapsed_s: f64) {
@@ -338,9 +444,13 @@ fn stats(elapsed_s: f64) {
     );
     let r = bench::aggregated_exec_report();
     println!(
-        "prune: {} dead branches skipped, {} zero-score continuations dropped, \
-         {} budget-truncated (top) paths kept",
-        r.pruned_branches, r.zero_score_drops, r.budget_truncated_paths
+        "prune: {} dead branches skipped, {} zero-score continuations dropped",
+        r.pruned_branches, r.zero_score_drops
+    );
+    println!(
+        "trunc: {} budget-truncated (top) paths ({} carrying tail enclosures), \
+         {} approxFix-depth-truncated paths",
+        r.budget_truncated_paths, r.tail_enclosed_paths, r.depth_truncated_paths
     );
     let k = gubpi_symbolic::kernel_stats();
     if k.tapes == 0 {

@@ -38,6 +38,8 @@ pub fn shared_analysis_cache() -> &'static SharedQueryCache {
 static PRUNED_BRANCHES: AtomicUsize = AtomicUsize::new(0);
 static ZERO_SCORE_DROPS: AtomicUsize = AtomicUsize::new(0);
 static BUDGET_TRUNCATED: AtomicUsize = AtomicUsize::new(0);
+static DEPTH_TRUNCATED: AtomicUsize = AtomicUsize::new(0);
+static TAIL_ENCLOSED: AtomicUsize = AtomicUsize::new(0);
 static LINT_WARNINGS: AtomicUsize = AtomicUsize::new(0);
 
 /// The [`ExecReport`] counters summed over every `shared_analyzer` call
@@ -47,6 +49,8 @@ pub fn aggregated_exec_report() -> ExecReport {
         pruned_branches: PRUNED_BRANCHES.load(Ordering::Relaxed),
         zero_score_drops: ZERO_SCORE_DROPS.load(Ordering::Relaxed),
         budget_truncated_paths: BUDGET_TRUNCATED.load(Ordering::Relaxed),
+        depth_truncated_paths: DEPTH_TRUNCATED.load(Ordering::Relaxed),
+        tail_enclosed_paths: TAIL_ENCLOSED.load(Ordering::Relaxed),
     }
 }
 
@@ -63,7 +67,10 @@ pub fn lint_warnings_seen() -> usize {
 /// mirrors `--threads`: `GUBPI_NO_PRUNE` disables static dead-branch
 /// pruning (the `--no-prune` escape hatch; bounds are bit-identical,
 /// only the explored path count changes) and `GUBPI_LINT` prints the
-/// program's lints as the analyzer is built (`--lint`).
+/// program's lints as the analyzer is built (`--lint`). A third,
+/// `GUBPI_NO_TAIL` (`--no-tail`), is consumed by
+/// `PathBoundOptions::default()` itself and reverts budget-⊤ paths to
+/// their bare `[0, ∞]` score placeholders.
 pub fn shared_analyzer(source: &str, mut opts: AnalysisOptions) -> Analyzer {
     if env_flag("GUBPI_NO_PRUNE") {
         opts.prune = false;
@@ -74,6 +81,8 @@ pub fn shared_analyzer(source: &str, mut opts: AnalysisOptions) -> Analyzer {
     PRUNED_BRANCHES.fetch_add(r.pruned_branches, Ordering::Relaxed);
     ZERO_SCORE_DROPS.fetch_add(r.zero_score_drops, Ordering::Relaxed);
     BUDGET_TRUNCATED.fetch_add(r.budget_truncated_paths, Ordering::Relaxed);
+    DEPTH_TRUNCATED.fetch_add(r.depth_truncated_paths, Ordering::Relaxed);
+    TAIL_ENCLOSED.fetch_add(r.tail_enclosed_paths, Ordering::Relaxed);
     if env_flag("GUBPI_LINT") {
         for lint in a.lints() {
             if lint.severity == Severity::Warning {

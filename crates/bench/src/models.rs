@@ -421,6 +421,28 @@ pub fn table2() -> Vec<DiscreteBenchmark> {
     ]
 }
 
+/// A plain geometric loop: stop with probability 1/2 per iteration,
+/// return the iteration count. No scores, so the static per-unfolding
+/// contraction is exactly the continue probability 1/2 — the canonical
+/// model for the truncated-recursion tail enclosure (`repro
+/// tail-report` and the tail soundness suite).
+pub const GEOMETRIC: &str = r#"
+    let rec geo x =
+      if sample <= 0.5 then x
+      else geo (x + 1)
+    in geo 0"#;
+
+/// A *scored* unbounded loop: each iteration both continues with
+/// probability 1/2 and pays a factor-1/2 soft conditioning score, so
+/// the per-unfolding contraction is 1/4. Exercises the score-aware
+/// side of the tail analysis (the geometric remainder must account for
+/// the in-body `score`, not just the branch probability).
+pub const SCORED_GEOMETRIC: &str = r#"
+    let rec geo x =
+      if sample <= 0.5 then x
+      else (score(0.5); geo (x + 1))
+    in geo 0"#;
+
 /// The pedestrian program of Example 1.1 (Fig. 1 / Fig. 7).
 pub const PEDESTRIAN: &str = r#"
     let start = 3 * sample uniform(0, 1) in
@@ -612,6 +634,8 @@ pub fn catalog() -> Vec<(String, &'static str)> {
         out.push((format!("table2/{}", b.name), b.source));
     }
     out.push(("pedestrian".to_owned(), PEDESTRIAN));
+    out.push(("geometric".to_owned(), GEOMETRIC));
+    out.push(("scored-geometric".to_owned(), SCORED_GEOMETRIC));
     for b in figure5().into_iter().chain(figure6()) {
         out.push((format!("fig{}", b.id), b.source));
     }
@@ -636,6 +660,8 @@ mod tests {
             sources.push(b.source.to_owned());
         }
         sources.push(super::PEDESTRIAN.to_owned());
+        sources.push(super::GEOMETRIC.to_owned());
+        sources.push(super::SCORED_GEOMETRIC.to_owned());
         for src in sources {
             let p = parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
             infer(&p).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));

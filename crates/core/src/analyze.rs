@@ -15,7 +15,7 @@ use gubpi_types::{infer_interval_types, IntervalTyping};
 use crate::histogram::HistogramBounds;
 use crate::pathbounds::{
     linear_applicable, plan_path_grid_only_seeded, plan_path_query_seeded, plan_path_seeded,
-    BoundSink, PathBoundOptions, QueryFold, Region,
+    tail_substituted, BoundSink, PathBoundOptions, QueryFold, Region,
 };
 
 /// Which per-path semantics to use.
@@ -331,6 +331,7 @@ fn same_path(a: &SymPath, b: &SymPath) -> bool {
     let identical = a.n_samples == b.n_samples
         && a.truncated == b.truncated
         && a.budget_truncated == b.budget_truncated
+        && a.tail == b.tail
         && a.constraints.len() == b.constraints.len()
         && a.scores.len() == b.scores.len()
         && arc_identical(&a.result, &b.result)
@@ -460,7 +461,12 @@ impl Analyzer {
         let mut sym = opts.sym;
         sym.frontier_workers = opts.threads.worker_count(usize::MAX);
         let exec_facts = if opts.prune { Some(&facts) } else { None };
-        let (paths, exec_report) = symbolic_paths_report(&program, &typing, exec_facts, sym, pool);
+        // Tail facts flow in unconditionally: attaching an enclosure to
+        // a ⊤ path never changes the path set (it is data on the path,
+        // consumed only behind `PathBoundOptions::use_tail`), so both
+        // `--no-prune` and `--no-tail` bit-identity are preserved.
+        let (paths, exec_report) =
+            symbolic_paths_report(&program, &typing, exec_facts, Some(&facts), sym, pool);
         // The kernel seed is threaded regardless of `prune`: seeding
         // only renumbers constant slots and reorders ∃-tests, both
         // value-transparent (see `gubpi_symbolic::KernelSeed`).
@@ -613,9 +619,18 @@ impl Analyzer {
         // still-running dominant ones. The fold below replays every
         // contribution in (path, region) order, so the bounds are
         // bit-identical for every width and steal schedule.
+        // Tail substitution happens at plan time, never on the stored
+        // path set: the cache keys carry `bounds.use_tail`, so tailed
+        // and bare results for the same path never collide, and the
+        // cache entries keep the original (bare-⊤) paths.
+        let tailed: Vec<Option<SymPath>> = misses
+            .iter()
+            .map(|&(_, p)| tail_substituted(p, &bounds))
+            .collect();
         let mut jobs: Vec<PathJob<'_, Region>> = Vec::with_capacity(misses.len());
         let mut folds: Vec<QueryFold> = Vec::with_capacity(misses.len());
-        for &(_, p) in &misses {
+        for (&(_, p), t) in misses.iter().zip(&tailed) {
+            let p = t.as_ref().unwrap_or(p);
             let (job, fold) = match method {
                 Method::Auto => plan_path_query_seeded(p, u, bounds, Some(&self.seed)),
                 Method::Grid => (
@@ -725,12 +740,24 @@ impl Analyzer {
     pub fn histogram(&self, domain: Interval, bins: usize) -> HistogramBounds {
         let method = self.opts.method;
         let bounds = self.opts.bounds;
+        // Same tail substitution as the queries (see
+        // `denotation_bounds_with`): ⊤ paths with a geometric enclosure
+        // sweep with the tightened trailing score.
+        let tailed: Vec<Option<SymPath>> = self
+            .paths
+            .iter()
+            .map(|p| tail_substituted(p, &bounds))
+            .collect();
         let jobs: Vec<PathJob<'_, Region>> = self
             .paths
             .iter()
-            .map(|p| match method {
-                Method::Auto => plan_path_seeded(p, bounds, Some(&self.seed)),
-                Method::Grid => plan_path_grid_only_seeded(p, bounds, Some(&self.seed)),
+            .zip(&tailed)
+            .map(|(p, t)| {
+                let p = t.as_ref().unwrap_or(p);
+                match method {
+                    Method::Auto => plan_path_seeded(p, bounds, Some(&self.seed)),
+                    Method::Grid => plan_path_grid_only_seeded(p, bounds, Some(&self.seed)),
+                }
             })
             .collect();
         let mut partials: Vec<HistogramBounds> = self
@@ -1169,6 +1196,63 @@ mod tests {
             let (ul, uh) = unpruned.posterior_probability(Interval::new(0.0, 0.5));
             assert_eq!((pl.to_bits(), ph.to_bits()), (ul.to_bits(), uh.to_bits()));
         }
+    }
+
+    #[test]
+    fn tail_enclosures_tighten_top_paths_and_no_tail_keeps_bare_top() {
+        // A budget too tight for `geo` produces ⊤ paths. With tail
+        // substitution the upper bounds are finite; with
+        // `use_tail: false` (the `--no-tail` escape hatch) they are the
+        // historical +∞. Lower bounds are bit-identical either way: the
+        // substitution only tightens the trailing [0, ∞] score's upper
+        // end.
+        let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let mk = |use_tail: bool| {
+            Analyzer::from_source(
+                src,
+                AnalysisOptions {
+                    sym: SymExecOptions {
+                        max_fix_unfoldings: 16,
+                        max_paths: 6,
+                        ..Default::default()
+                    },
+                    bounds: PathBoundOptions {
+                        use_tail,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert!(on.exec_report().budget_truncated_paths > 0);
+        assert!(on.exec_report().tail_enclosed_paths > 0);
+        for u in [
+            Interval::REAL,
+            Interval::new(-0.25, 0.25),
+            Interval::new(0.5, 10.0),
+        ] {
+            let (lo_on, hi_on) = on.denotation_bounds(u);
+            let (lo_off, hi_off) = off.denotation_bounds(u);
+            assert_eq!(lo_on.to_bits(), lo_off.to_bits(), "lo on {u:?}");
+            assert_eq!(hi_off, f64::INFINITY, "bare ⊤ forces +∞ on {u:?}");
+            assert!(hi_on.is_finite(), "tail-enclosed hi on {u:?}");
+        }
+        // ⟦P⟧(R) = 1 exactly: the finite upper must still cover it.
+        let (z_lo, z_hi) = on.normalizing_constant();
+        assert!(z_lo <= 1.0 && 1.0 <= z_hi, "[{z_lo}, {z_hi}]");
+        // Programs without ⊤ paths are untouched by the flag, bit for
+        // bit — including through the histogram sweep.
+        let exact = "if sample <= 0.3 then sample else 1 - sample";
+        let a = analyzer(exact);
+        assert_eq!(a.exec_report().tail_enclosed_paths, 0);
+        let h_on = on.histogram(Interval::new(0.0, 4.0), 8);
+        assert!(
+            (0..h_on.bins()).all(|i| h_on.unnormalized(i).1.is_finite()),
+            "tailed histogram bins stay finite"
+        );
     }
 
     #[test]

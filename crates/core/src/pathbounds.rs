@@ -17,10 +17,11 @@
 //! stays bit-identical across thread counts and steal schedules.
 
 use std::ops::Range;
+use std::sync::Arc;
 
-use gubpi_interval::{BoxN, Interval};
+use gubpi_interval::{next_after_down, next_after_up, BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
-use gubpi_symbolic::{note_kernel_cells, KernelSeed, SymPath, Tape, LANES};
+use gubpi_symbolic::{note_kernel_cells, KernelSeed, SymPath, SymVal, Tape, LANES};
 
 use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
 
@@ -150,6 +151,17 @@ pub struct PathBoundOptions {
     /// --no-kernel`), so field regressions are diagnosable by flipping
     /// one env var.
     pub use_kernel: bool,
+    /// Substitute geometric tail enclosures into budget-⊤ paths before
+    /// bounding (see [`tail_substituted`]): a ⊤ path carrying a
+    /// [`gubpi_symbolic::TailEnclosure`] with per-step contraction
+    /// `c_hi < 1` has its trailing `[0, ∞]` score placeholder tightened
+    /// to the closed-form geometric remainder `[0, x_hi/(1 − c_hi)]`,
+    /// turning the path's `+∞` upper-bound contribution into a finite
+    /// one. Sound: the remainder dominates every score the truncated
+    /// suffix could still emit. The default honours the `GUBPI_NO_TAIL`
+    /// escape hatch (`repro --no-tail`), under which bounds are
+    /// bit-identical to the bare-⊤ behaviour.
+    pub use_tail: bool,
 }
 
 impl Default for PathBoundOptions {
@@ -162,6 +174,7 @@ impl Default for PathBoundOptions {
             volume_budget: 4_000,
             exact_dim_cap: 7,
             use_kernel: !kernel_disabled(std::env::var("GUBPI_NO_KERNEL").ok().as_deref()),
+            use_tail: !tail_disabled(std::env::var("GUBPI_NO_TAIL").ok().as_deref()),
         }
     }
 }
@@ -170,6 +183,62 @@ impl Default for PathBoundOptions {
 /// non-empty value other than `"0"` counts as "disable".
 fn kernel_disabled(value: Option<&str>) -> bool {
     matches!(value, Some(v) if !v.is_empty() && v != "0")
+}
+
+/// Does a `GUBPI_NO_TAIL` value disable tail substitution? Same
+/// convention as `GUBPI_NO_KERNEL`: any non-empty value other than
+/// `"0"` counts as "disable".
+fn tail_disabled(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
+}
+
+/// The tail-substituted variant of a budget-⊤ path, when the geometric
+/// enclosure applies — `None` means "bound the path as-is".
+///
+/// A ⊤ path's score list ends with the `[0, ∞]` placeholder the
+/// executor pushes when it cuts a subtree, which drags every upper
+/// bound the path touches to `+∞`. When the path carries a
+/// [`gubpi_symbolic::TailEnclosure`] — per-unfolding contraction
+/// `c = [0, c_hi]` and continuation factor `x = [0, x_hi]` from the
+/// static analysis — the total score mass of the truncated suffix is
+/// dominated by the geometric series `Σ_{j≥0} x·c_hi^j =
+/// x_hi/(1 − c_hi)`, so the placeholder tightens to
+/// `[0, x_hi/(1 − c_hi)]`. The quotient is outward-rounded
+/// (denominator down, quotient up) so the closed form stays sound
+/// under f64.
+///
+/// Returns `None` when tails are disabled (`opts.use_tail`), the path
+/// is not budget-truncated, no enclosure was attached, or `c_hi ≥ 1`:
+/// score-free and data-guarded loops sit exactly at the `c = 1`
+/// boundary, where the series diverges and `1 − c_hi` would be `0` —
+/// they keep the bare ⊤ rather than divide by zero.
+pub fn tail_substituted(path: &SymPath, opts: &PathBoundOptions) -> Option<SymPath> {
+    if !opts.use_tail || !path.budget_truncated {
+        return None;
+    }
+    let t = path.tail?;
+    let c_hi = t.per_step_weight.hi();
+    let x_hi = t.continuation_weight.hi();
+    // The half-open range also rejects a NaN contraction estimate.
+    if !(0.0..1.0).contains(&c_hi) || !x_hi.is_finite() || x_hi < 0.0 {
+        return None;
+    }
+    let denom = next_after_down(1.0 - c_hi);
+    if denom <= 0.0 {
+        return None;
+    }
+    let bound = next_after_up(x_hi / denom);
+    let mut out = path.clone();
+    let last = out
+        .scores
+        .last_mut()
+        .expect("⊤ paths end with the placeholder score");
+    debug_assert!(
+        matches!(**last, SymVal::Interval(iv) if iv == Interval::NON_NEG),
+        "budget-⊤ paths push the [0, ∞] placeholder last"
+    );
+    *last = Arc::new(SymVal::Interval(Interval::new(0.0, bound)));
+    Some(out)
 }
 
 // --------------------------------------------------------------------
@@ -276,6 +345,8 @@ pub fn bound_path_query_threaded(
     opts: PathBoundOptions,
     threads: Threads,
 ) -> (f64, f64) {
+    let tailed = tail_substituted(path, &opts);
+    let path = tailed.as_ref().unwrap_or(path);
     let (job, fold) = plan_path_query(path, u, opts);
     let mut acc = (0.0, 0.0);
     run_jobs_with(
@@ -301,6 +372,8 @@ pub fn bound_path_threaded(
     threads: Threads,
     sink: &mut impl BoundSink,
 ) {
+    let tailed = tail_substituted(path, &opts);
+    let path = tailed.as_ref().unwrap_or(path);
     run_jobs_with(
         WorkerPool::global(),
         threads.worker_count(usize::MAX),
@@ -322,6 +395,8 @@ pub fn bound_path_grid_only_threaded(
     threads: Threads,
     sink: &mut impl BoundSink,
 ) {
+    let tailed = tail_substituted(path, &opts);
+    let path = tailed.as_ref().unwrap_or(path);
     run_jobs_with(
         WorkerPool::global(),
         threads.worker_count(usize::MAX),
@@ -832,7 +907,7 @@ fn plan_linear(path: &SymPath, opts: PathBoundOptions, mode: ResultMode) -> Path
 mod tests {
     use super::*;
     use gubpi_lang::{infer, parse};
-    use gubpi_symbolic::{symbolic_paths, SymExecOptions};
+    use gubpi_symbolic::{symbolic_paths, SymExecOptions, TailEnclosure};
     use gubpi_types::infer_interval_types;
 
     fn paths(src: &str) -> Vec<SymPath> {
@@ -1142,6 +1217,144 @@ mod tests {
         assert!(kernel_disabled(Some("1")));
         assert!(kernel_disabled(Some("true")));
         assert!(kernel_disabled(Some("yes")));
+    }
+
+    #[test]
+    fn no_tail_env_values_parse() {
+        assert!(!tail_disabled(None));
+        assert!(!tail_disabled(Some("")));
+        assert!(!tail_disabled(Some("0")));
+        assert!(tail_disabled(Some("1")));
+        assert!(tail_disabled(Some("true")));
+        assert!(tail_disabled(Some("yes")));
+    }
+
+    /// A minimal sampleless ⊤ path: the `[0, ∞]` placeholder is its
+    /// only score, exactly as the executor emits it.
+    fn top_path_with(tail: Option<TailEnclosure>) -> SymPath {
+        SymPath {
+            result: Arc::new(SymVal::Interval(Interval::REAL)),
+            n_samples: 0,
+            constraints: vec![],
+            scores: vec![Arc::new(SymVal::Interval(Interval::NON_NEG))],
+            truncated: true,
+            budget_truncated: true,
+            tail,
+        }
+    }
+
+    #[test]
+    fn tail_substitution_tightens_the_placeholder_score() {
+        let tail = TailEnclosure {
+            unfoldings_explored: 5,
+            per_step_weight: Interval::new(0.0, 0.5),
+            continuation_weight: Interval::new(0.0, 1.0),
+        };
+        let path = top_path_with(Some(tail));
+        let opts = PathBoundOptions::default();
+        assert!(opts.use_tail, "tests run without GUBPI_NO_TAIL");
+        let sub = tail_substituted(&path, &opts).expect("c_hi = 0.5 < 1 must substitute");
+        // x_hi/(1 − c_hi) = 1/0.5 = 2, up to outward rounding.
+        let SymVal::Interval(iv) = **sub.scores.last().unwrap() else {
+            panic!("substituted placeholder stays an interval literal");
+        };
+        assert_eq!(iv.lo(), 0.0);
+        assert!(iv.hi() >= 2.0 && iv.hi() < 2.0 + 1e-12, "hi={}", iv.hi());
+        // The bound itself: upper mass goes from +∞ to the remainder.
+        let no_tail = PathBoundOptions {
+            use_tail: false,
+            ..opts
+        };
+        let (lo_off, hi_off) = bound_path_query(&path, Interval::REAL, no_tail);
+        let (lo_on, hi_on) = bound_path_query(&path, Interval::REAL, opts);
+        assert_eq!(hi_off, f64::INFINITY);
+        assert!(hi_on.is_finite() && hi_on <= 2.0 + 1e-9, "hi_on={hi_on}");
+        assert_eq!(lo_off.to_bits(), lo_on.to_bits(), "lower bound untouched");
+    }
+
+    #[test]
+    fn score_free_loops_at_c_equal_one_keep_the_bare_top() {
+        // Satellite: `c == 1` (score-free / data-guarded loops) must
+        // fall back to ⊤ — never divide by `1 − c_hi = 0`.
+        let boundary = TailEnclosure {
+            unfoldings_explored: 3,
+            per_step_weight: Interval::new(0.0, 1.0),
+            continuation_weight: Interval::new(0.0, 1.0),
+        };
+        let opts = PathBoundOptions::default();
+        assert!(tail_substituted(&top_path_with(Some(boundary)), &opts).is_none());
+        // Just below the boundary the closed form is finite and sound.
+        let below = TailEnclosure {
+            per_step_weight: Interval::new(0.0, 1.0 - 1e-9),
+            ..boundary
+        };
+        let sub = tail_substituted(&top_path_with(Some(below)), &opts).unwrap();
+        let SymVal::Interval(iv) = **sub.scores.last().unwrap() else {
+            panic!("interval literal");
+        };
+        assert!(iv.hi().is_finite() && iv.hi() >= 1e9);
+        // Above 1 (an analysis that failed to contract) also bails.
+        let above = TailEnclosure {
+            per_step_weight: Interval::new(0.0, 1.5),
+            ..boundary
+        };
+        assert!(tail_substituted(&top_path_with(Some(above)), &opts).is_none());
+        // No enclosure, disabled tails, and non-⊤ paths all bail too.
+        assert!(tail_substituted(&top_path_with(None), &opts).is_none());
+        let off = PathBoundOptions {
+            use_tail: false,
+            ..opts
+        };
+        let some = TailEnclosure {
+            per_step_weight: Interval::new(0.0, 0.5),
+            ..boundary
+        };
+        assert!(tail_substituted(&top_path_with(Some(some)), &off).is_none());
+        let mut exact = top_path_with(Some(some));
+        exact.budget_truncated = false;
+        assert!(tail_substituted(&exact, &opts).is_none());
+    }
+
+    #[test]
+    fn tail_enclosed_geo_paths_get_finite_upper_bounds_end_to_end() {
+        use gubpi_analysis::ProgramFacts;
+        use gubpi_symbolic::{symbolic_paths_report, WorkerPool};
+
+        let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let facts = ProgramFacts::compute(&p, &typing);
+        let opts = SymExecOptions {
+            max_fix_unfoldings: 16,
+            max_paths: 6,
+            ..Default::default()
+        };
+        let (paths, _) =
+            symbolic_paths_report(&p, &typing, None, Some(&facts), opts, WorkerPool::global());
+        assert!(paths.iter().any(|q| q.budget_truncated));
+        let with_tail = PathBoundOptions::default();
+        let no_tail = PathBoundOptions {
+            use_tail: false,
+            ..with_tail
+        };
+        let sum = |o: PathBoundOptions| {
+            let mut acc = (0.0, 0.0);
+            for q in &paths {
+                let (l, h) = bound_path_query(q, Interval::REAL, o);
+                acc.0 += l;
+                acc.1 += h;
+            }
+            acc
+        };
+        let (lo_on, hi_on) = sum(with_tail);
+        let (lo_off, hi_off) = sum(no_tail);
+        // Bare ⊤ paths force +∞; the geometric remainder stays finite
+        // and still covers the total measure (a probability: exactly 1).
+        assert_eq!(hi_off, f64::INFINITY);
+        assert!(hi_on.is_finite(), "tail-enclosed upper must be finite");
+        assert!(hi_on >= 1.0, "upper must still cover the true mass 1");
+        assert_eq!(lo_on.to_bits(), lo_off.to_bits(), "lower bounds identical");
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //! two sides *before* any evaluation happens. A branch whose expression
 //! is syntactically linear (no `if`, no application anywhere in its
 //! subtree) can produce few leaves on its own, so it is assigned a small
-//! fixed reserve and the bulk of the budget follows the branchy side —
+//! budget-proportional reserve and the bulk of the budget follows the
+//! branchy side —
 //! this keeps deep one-sided recursions (geometric, random walks) at
 //! full depth while balanced recursion trees degrade exactly like a
 //! global cap (a budget `B` supports `log₂ B` levels of halving). A
@@ -43,7 +44,7 @@ use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
 use gubpi_pool::WorkerPool;
 use gubpi_types::IntervalTyping;
 
-use crate::path::{CmpDir, SymConstraint, SymPath};
+use crate::path::{CmpDir, SymConstraint, SymPath, TailEnclosure};
 use crate::symval::SymVal;
 
 /// Options controlling symbolic exploration.
@@ -82,9 +83,11 @@ impl Default for SymExecOptions {
     }
 }
 
-/// Budget reserved for a syntactically linear branch (see module docs):
-/// enough for a little post-branch fan-out in its continuation without
-/// starving the branchy side.
+/// Floor of the budget reserved for a syntactically linear branch (see
+/// [`Executor::split_budget`]): enough for a little post-branch fan-out
+/// in its continuation without starving the branchy side. Large budgets
+/// reserve proportionally more (`b/32`), so a linear side whose
+/// continuation is a whole second recursion is not starved.
 const LINEAR_BRANCH_RESERVE: usize = 16;
 
 /// Minimum per-side budget before a fork is worth shipping to another
@@ -112,6 +115,16 @@ pub struct ExecReport {
     /// afford (path budget, fuel, or stack depth), as opposed to
     /// `approxFix` truncations which keep the path's own structure.
     pub budget_truncated_paths: usize,
+    /// Finished paths truncated *only* by the `approxFix` unfolding
+    /// depth ([`SymPath::truncated`] without
+    /// [`SymPath::budget_truncated`]): their own structure survives and
+    /// their weights stay finite via the typed replacement.
+    pub depth_truncated_paths: usize,
+    /// ⊤ paths that carry a [`TailEnclosure`](crate::TailEnclosure) —
+    /// the cut fell inside a recursion with a recorded tail fact, so
+    /// tail-aware bounding can replace the `[0, ∞]` placeholder by a
+    /// finite geometric remainder (when `per_step < 1`).
+    pub tail_enclosed_paths: usize,
 }
 
 /// Runs symbolic execution from `(P, 0, ∅, ∅)`, returning all finished
@@ -138,7 +151,7 @@ pub fn symbolic_paths_in(
     opts: SymExecOptions,
     pool: &WorkerPool,
 ) -> Vec<SymPath> {
-    symbolic_paths_report(program, typing, None, opts, pool).0
+    symbolic_paths_report(program, typing, None, None, opts, pool).0
 }
 
 /// [`symbolic_paths_in`] with optional static facts and a pruning /
@@ -162,10 +175,20 @@ pub fn symbolic_paths_in(
 /// Both rules remove only exactly-zero terms from the bound sums, so a
 /// pruned run is bit-identical to a facts-free (`--no-prune`) run — just
 /// with fewer enumerated paths.
+///
+/// `tail_facts` is deliberately a *separate* parameter from the pruning
+/// `facts`: when supplied, ⊤ paths cut inside a recursion with a
+/// recorded [`TailFact`](gubpi_analysis::TailFact) carry a
+/// [`TailEnclosure`](crate::TailEnclosure) as plain data. Attaching the
+/// enclosure never changes a path's own denotation, so tail facts may
+/// flow in even under `--no-prune` without perturbing the pruning
+/// bit-identity contract; whether the enclosure is *used* is decided by
+/// the tail-aware bounding layer (`gubpi_core::pathbounds`).
 pub fn symbolic_paths_report(
     program: &Program,
     typing: &IntervalTyping,
     facts: Option<&ProgramFacts>,
+    tail_facts: Option<&ProgramFacts>,
     opts: SymExecOptions,
     pool: &WorkerPool,
 ) -> (Vec<SymPath>, ExecReport) {
@@ -180,6 +203,7 @@ pub fn symbolic_paths_report(
         // never claim a score is zero or a branch dead — but gate here
         // too so the contract does not depend on that.
         facts: facts.filter(|f| !f.is_aborted()),
+        tail_facts,
         linear,
         pool,
         fork_budget: AtomicUsize::new(workers - 1),
@@ -194,6 +218,7 @@ pub fn symbolic_paths_report(
         truncated: false,
         fuel: opts.fuel,
         path_budget: opts.max_paths.max(1),
+        active_fix: None,
     };
     let leaves = ex.eval(&program.root, &SEnv::empty(), st, 0);
     let paths: Vec<SymPath> = leaves
@@ -206,30 +231,22 @@ pub fn symbolic_paths_report(
                 scores: st.scores,
                 truncated: st.truncated,
                 budget_truncated: false,
+                tail: None,
             },
-            _ => top_path(st),
+            _ => ex.top_path(st),
         })
         .collect();
     let report = ExecReport {
         pruned_branches: ex.pruned_branches.load(Ordering::Relaxed),
         zero_score_drops: ex.zero_score_drops.load(Ordering::Relaxed),
         budget_truncated_paths: paths.iter().filter(|p| p.budget_truncated).count(),
+        depth_truncated_paths: paths
+            .iter()
+            .filter(|p| p.truncated && !p.budget_truncated)
+            .count(),
+        tail_enclosed_paths: paths.iter().filter(|p| p.tail.is_some()).count(),
     };
     (paths, report)
-}
-
-/// A sound "anything can happen beyond this point" path.
-fn top_path(st: PState) -> SymPath {
-    let mut scores = st.scores;
-    scores.push(Arc::new(SymVal::Interval(Interval::NON_NEG)));
-    SymPath {
-        result: Arc::new(SymVal::Interval(Interval::REAL)),
-        n_samples: st.n,
-        constraints: st.constraints,
-        scores,
-        truncated: true,
-        budget_truncated: true,
-    }
 }
 
 /// Marks every node whose subtree is *syntactically linear*: free of
@@ -340,6 +357,12 @@ struct PState {
     /// Maximum number of leaves this state's subtree may produce.
     /// Divided deterministically at every uncertain branch; always ≥ 1.
     path_budget: usize,
+    /// The most recently applied `μ` node and how many times this path
+    /// has applied it — the truncation site a budget cut is attributed
+    /// to when attaching a tail enclosure. Census-grade: it may point at
+    /// an already-completed loop, which only mislabels the attribution
+    /// (the enclosure itself bounds the whole remaining program).
+    active_fix: Option<(NodeId, u32)>,
 }
 
 type Branches = Vec<(Option<SValue>, PState)>;
@@ -350,6 +373,9 @@ struct Executor<'a> {
     /// Static pre-execution facts enabling dead-branch pruning; `None`
     /// reproduces the historical (`--no-prune`) behaviour exactly.
     facts: Option<&'a ProgramFacts>,
+    /// Facts consulted only for tail enclosures on ⊤ paths — kept apart
+    /// from the prune gate so `--no-prune` runs still attach tails.
+    tail_facts: Option<&'a ProgramFacts>,
     /// `NodeId →` "subtree is syntactically linear" (see [`mark_linear`]).
     linear: HashMap<NodeId, bool>,
     /// The persistent executor that runs claimed else-continuations.
@@ -366,6 +392,33 @@ struct Executor<'a> {
 }
 
 impl Executor<'_> {
+    /// A sound "anything can happen beyond this point" path. When the
+    /// cut fell inside a recursion with a recorded tail fact, the
+    /// geometric-remainder enclosure rides along as data — substituted
+    /// for the `[0, ∞]` placeholder only by tail-aware bounding.
+    fn top_path(&self, st: PState) -> SymPath {
+        let tail = st.active_fix.and_then(|(node, k)| {
+            self.tail_facts
+                .and_then(|f| f.tail_fact(node))
+                .map(|tf| TailEnclosure {
+                    unfoldings_explored: k,
+                    per_step_weight: tf.per_step,
+                    continuation_weight: tf.continuation,
+                })
+        });
+        let mut scores = st.scores;
+        scores.push(Arc::new(SymVal::Interval(Interval::NON_NEG)));
+        SymPath {
+            result: Arc::new(SymVal::Interval(Interval::REAL)),
+            n_samples: st.n,
+            constraints: st.constraints,
+            scores,
+            truncated: true,
+            budget_truncated: true,
+            tail,
+        }
+    }
+
     fn eval(&self, e: &Expr, env: &SEnv, st: PState, depth: u32) -> Branches {
         if depth >= self.opts.max_depth {
             return vec![(None, st)];
@@ -532,14 +585,19 @@ impl Executor<'_> {
 
     /// Splits a branch budget `b ≥ 2` between the two sides of a fork.
     ///
-    /// A syntactically linear side ([`mark_linear`]) gets a small fixed
+    /// A syntactically linear side ([`mark_linear`]) gets a small
     /// reserve and the branchy side inherits the rest, so one-sided
     /// recursions keep (nearly) full depth; otherwise the budget is
-    /// halved. Both sides always receive ≥ 1 and the shares sum to `b`,
-    /// which is what makes `max_paths` a hard cap on the leaf count.
+    /// halved. The reserve is budget-proportional (`b/32`, floored at
+    /// [`LINEAR_BRANCH_RESERVE`]): a linear side's *continuation* may
+    /// itself be a whole second recursion (`geo 0 + geo 0`), and a
+    /// fixed 16-entry reserve starved it while thousands of budget
+    /// units sat unused on the first recursion's spine. Both sides
+    /// always receive ≥ 1 and the shares sum to `b`, which is what
+    /// makes `max_paths` a hard cap on the leaf count.
     fn split_budget(&self, b: usize, t: &Expr, els: &Expr) -> (usize, usize) {
         let lin = |e: &Expr| self.linear.get(&e.id).copied().unwrap_or(false);
-        let reserve = LINEAR_BRANCH_RESERVE.min(b / 2).max(1);
+        let reserve = LINEAR_BRANCH_RESERVE.max(b / 32).min(b / 2).max(1);
         match (lin(t), lin(els)) {
             (true, false) => (reserve, b - reserve),
             (false, true) => (b - reserve, reserve),
@@ -628,6 +686,13 @@ impl Executor<'_> {
                 }
                 let mut st2 = st;
                 st2.unfoldings -= 1;
+                st2.active_fix = Some((
+                    node,
+                    match st2.active_fix {
+                        Some((n, k)) if n == node => k + 1,
+                        _ => 1,
+                    },
+                ));
                 let rec = SValue::Fix {
                     node,
                     fname: fname.clone(),
@@ -881,16 +946,21 @@ mod tests {
 
     #[test]
     fn budget_split_truncation_profile_on_sequential_composition() {
-        // ROADMAP "Budget-split truncation profile": a *sequential
-        // composition* of two deep recursions (`walk a + walk b`) can
-        // truncate the second recursion harder than the old first-come
-        // global counter did, because the first recursion's
-        // syntactically linear `then` sides carry only the fixed
-        // LINEAR_BRANCH_RESERVE (16) into their continuation — and that
-        // continuation is the whole second recursion. This test pins
-        // today's counts so any future continuation-aware reserve (or
-        // surplus restoration after a subtree finishes) shows up as a
-        // deliberate diff here, not as silent drift.
+        // ROADMAP "Budget-split truncation profile", resolved: with the
+        // fixed 16-entry reserve, a *sequential composition* of two
+        // deep recursions (`geo 0 + geo 0`) truncated the second
+        // recursion to 31 paths (some of them bare ⊤) while thousands
+        // of budget units sat unused on the first one's spine. The
+        // budget-proportional reserve (`b/32`) hands every linear-side
+        // continuation enough budget for the whole second recursion:
+        // 37 paths and no ⊤ paths. The 9 remaining truncations are
+        // approxFix *depth* truncations from the shared per-path
+        // unfolding counter (a first geo that exits after k unfoldings
+        // leaves 8 − k for the second, so each of the 8 exact prefixes
+        // plus the first geo's own approxFix ends in one depth
+        // truncation: Σ_{k=1..8} (9 − k) + 1 = 37 paths). The profile
+        // is budget-independent once the proportional reserve covers
+        // the second recursion (same counts at 2 000 and 20 000).
         let compose = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0 + geo 0";
         let single = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
         let opts = |max_paths| SymExecOptions {
@@ -902,19 +972,18 @@ mod tests {
         let alone = paths_with(single, opts(20_000));
         assert_eq!(alone.len(), 9);
         assert_eq!(alone.iter().filter(|p| p.truncated).count(), 1);
-        // A first-come global cap of 20 000 would admit the full
-        // 9 × 9 = 81 product paths; the deterministic split instead
-        // caps every linear-side continuation at the 16-entry reserve,
-        // truncating the *second* geo early: 31 paths, 9 of them ⊤/
-        // approxFix-truncated. The profile is budget-independent until
-        // the cap actually binds (same counts at 1 000 and 20 000).
-        for cap in [1_000usize, 20_000] {
+        for cap in [2_000usize, 20_000] {
             let ps = paths_with(compose, opts(cap));
-            assert_eq!(ps.len(), 31, "cap={cap}");
+            assert_eq!(ps.len(), 37, "cap={cap}");
             assert_eq!(
                 ps.iter().filter(|p| p.truncated).count(),
                 9,
-                "cap={cap}: second-walk truncation profile"
+                "cap={cap}: only approxFix depth truncations remain"
+            );
+            assert_eq!(
+                ps.iter().filter(|p| p.budget_truncated).count(),
+                0,
+                "cap={cap}: no ⊤ paths"
             );
         }
     }
@@ -925,7 +994,9 @@ mod tests {
         let typing = infer_interval_types(&p, &simple);
         let facts = ProgramFacts::compute(&p, &typing);
         let f = if prune { Some(&facts) } else { None };
-        symbolic_paths_report(&p, &typing, f, opts, WorkerPool::global())
+        // Tail facts flow in regardless of the prune gate, mirroring
+        // the analyzer's wiring.
+        symbolic_paths_report(&p, &typing, f, Some(&facts), opts, WorkerPool::global())
     }
 
     #[test]
@@ -1002,12 +1073,97 @@ mod tests {
         let tops = paths.iter().filter(|p| p.budget_truncated).count();
         assert!(tops > 0, "tight budget must produce ⊤ paths");
         assert_eq!(report.budget_truncated_paths, tops);
+        // The census splits truncations by cause: ⊤ (budget) vs
+        // approxFix depth. Together they cover every truncated path.
+        let depth = paths
+            .iter()
+            .filter(|p| p.truncated && !p.budget_truncated)
+            .count();
+        assert_eq!(report.depth_truncated_paths, depth);
+        assert_eq!(
+            report.budget_truncated_paths + report.depth_truncated_paths,
+            paths.iter().filter(|p| p.truncated).count()
+        );
+        assert_eq!(
+            report.tail_enclosed_paths,
+            paths.iter().filter(|p| p.tail.is_some()).count()
+        );
         // ⊤ paths are a subset of truncated paths; approxFix-only
         // truncations keep budget_truncated == false.
         assert!(paths.iter().all(|p| !p.budget_truncated || p.truncated));
         let (full, full_report) = paths_report(src, SymExecOptions::default(), false);
         assert_eq!(full_report.budget_truncated_paths, 0);
         assert!(full.iter().all(|p| !p.budget_truncated));
+    }
+
+    #[test]
+    fn top_paths_carry_tail_enclosures_from_contraction_facts() {
+        // A coin-guarded loop has a per-unfolding contraction fact
+        // ([0, 0.5] for `geo`): every ⊤ path the budget produces must
+        // carry it as a `TailEnclosure`, stamped with how many
+        // unfoldings the path explored before truncation.
+        let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let opts = SymExecOptions {
+            max_fix_unfoldings: 16,
+            max_paths: 6,
+            ..Default::default()
+        };
+        let (paths, report) = paths_report(src, opts, false);
+        let tops: Vec<_> = paths.iter().filter(|p| p.budget_truncated).collect();
+        assert!(!tops.is_empty(), "tight budget must produce ⊤ paths");
+        for p in &tops {
+            let tail = p.tail.expect("⊤ path inside geo must carry a tail fact");
+            assert_eq!(tail.per_step_weight.lo(), 0.0);
+            assert_eq!(tail.per_step_weight.hi(), 0.5);
+            assert_eq!(tail.continuation_weight.hi(), 1.0);
+            assert!(tail.unfoldings_explored >= 1);
+        }
+        assert_eq!(report.tail_enclosed_paths, tops.len());
+        // Non-⊤ paths (exact leaves and approxFix truncations) never
+        // carry an enclosure: their score lists already close the path.
+        assert!(paths.iter().all(|p| p.budget_truncated || p.tail.is_none()));
+        // approxFix-only truncation at full budget: no ⊤, no tails.
+        let (full, full_report) = paths_report(
+            src,
+            SymExecOptions {
+                max_fix_unfoldings: 4,
+                ..Default::default()
+            },
+            false,
+        );
+        assert!(full.iter().any(|p| p.truncated));
+        assert_eq!(full_report.tail_enclosed_paths, 0);
+        assert!(full.iter().all(|p| p.tail.is_none()));
+    }
+
+    #[test]
+    fn tail_enclosures_require_facts_and_respect_analysis_bailouts() {
+        let opts = SymExecOptions {
+            max_fix_unfoldings: 16,
+            max_paths: 6,
+            ..Default::default()
+        };
+        // Without a facts table the executor degrades to bare ⊤ paths.
+        let src = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let p = parse(src).unwrap();
+        let simple = infer(&p).unwrap();
+        let typing = infer_interval_types(&p, &simple);
+        let (paths, report) =
+            symbolic_paths_report(&p, &typing, None, None, opts, WorkerPool::global());
+        assert!(paths.iter().any(|p| p.budget_truncated));
+        assert_eq!(report.tail_enclosed_paths, 0);
+        assert!(paths.iter().all(|p| p.tail.is_none()));
+        // A loop whose body scores with weight above 1 (a sharp normal
+        // pdf peaks at ≈ 3.99) gets no tail fact from the analysis, so
+        // its ⊤ paths stay bare even with facts wired in.
+        let scored = "let rec walk x =
+               if x <= 0 then 0 else
+                 (observe sample from normal(0.5, 0.1); walk (x - sample))
+             in walk 1";
+        let (paths, report) = paths_report(scored, opts, false);
+        assert!(paths.iter().any(|p| p.budget_truncated));
+        assert_eq!(report.tail_enclosed_paths, 0);
+        assert!(paths.iter().all(|p| p.tail.is_none()));
     }
 
     #[test]

@@ -948,6 +948,7 @@ mod tests {
             ],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         }
     }
 
@@ -1059,6 +1060,7 @@ mod tests {
             scores: vec![],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let tape = Tape::for_path(&path);
         assert_eq!(tape.checks.len(), 2);
@@ -1117,6 +1119,7 @@ mod tests {
             scores: vec![c(0.25)],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let tape = Tape::for_path(&path);
         assert!(tape.is_empty(), "everything pre-folds");
@@ -1182,6 +1185,7 @@ mod tests {
             scores: vec![],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let _ = Tape::for_path_seeded(&path, Some(&seed));
         let after = kernel_stats();

@@ -57,6 +57,26 @@ impl fmt::Display for SymConstraint {
     }
 }
 
+/// Tail-enclosure data attached to a ⊤ path: the geometric-remainder
+/// ingredients of the recursion whose exploration the budget cut off.
+///
+/// Carried as plain data — attaching it never changes the path's own
+/// denotation. `gubpi_core::pathbounds` substitutes the ⊤ path's
+/// `[0, ∞]` score placeholder with the finite enclosure
+/// `[0, x_hi / (1 − c_hi)]` when `per_step_weight.hi() < 1` (and tail
+/// accounting is enabled); otherwise the trivial ⊤ contribution stands.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TailEnclosure {
+    /// How many unfoldings of the truncating recursion the path
+    /// explored before the cut (census data, not part of the bound —
+    /// the explored prefix's decay already lives in `Δ` and `Ξ`).
+    pub unfoldings_explored: u32,
+    /// Upper enclosure `c` of the one-unfolding continue mass.
+    pub per_step_weight: Interval,
+    /// Upper enclosure `x` of the out-of-body score product.
+    pub continuation_weight: Interval,
+}
+
 /// A finished symbolic (interval) path `Ψ = (V, n, Δ, Ξ)`.
 ///
 /// `PartialEq` is structural (float literals compare by value, so two
@@ -85,6 +105,10 @@ pub struct SymPath {
     /// count, separating "recursion depth hit `max_fix_unfoldings`"
     /// from "path budget too small".
     pub budget_truncated: bool,
+    /// For ⊤ paths cut inside a recursion with a provable geometric
+    /// tail: the remainder enclosure (see [`TailEnclosure`]). Always
+    /// `None` for non-⊤ paths.
+    pub tail: Option<TailEnclosure>,
 }
 
 impl SymPath {
@@ -129,6 +153,17 @@ impl SymPath {
         self.n_samples.hash(&mut h);
         self.truncated.hash(&mut h);
         self.budget_truncated.hash(&mut h);
+        match &self.tail {
+            None => 0u8.hash(&mut h),
+            Some(t) => {
+                1u8.hash(&mut h);
+                t.unfoldings_explored.hash(&mut h);
+                t.per_step_weight.lo().to_bits().hash(&mut h);
+                t.per_step_weight.hi().to_bits().hash(&mut h);
+                t.continuation_weight.lo().to_bits().hash(&mut h);
+                t.continuation_weight.hi().to_bits().hash(&mut h);
+            }
+        }
         hash_symval(&self.result, &mut h);
         self.constraints.len().hash(&mut h);
         for c in &self.constraints {
@@ -245,6 +280,7 @@ mod tests {
             scores: vec![c(2.0), s(0)],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let b = BoxN::new(vec![Interval::new(0.25, 0.5)]);
         assert_eq!(p.weight_range_over_box(&b), Interval::new(0.5, 1.0));
@@ -262,6 +298,7 @@ mod tests {
             scores: vec![],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         assert!(good.satisfies_single_use());
         let bad = SymPath {
@@ -271,6 +308,7 @@ mod tests {
             scores: vec![],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         assert!(!bad.satisfies_single_use());
     }
@@ -293,6 +331,7 @@ mod tests {
             scores: vec![c(2.0)],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let same = base.clone();
         assert_eq!(base.fingerprint(), same.fingerprint());
@@ -311,5 +350,15 @@ mod tests {
         let mut flipped = constrained.clone();
         flipped.constraints[0].dir = CmpDir::GtZero;
         assert_ne!(constrained.fingerprint(), flipped.fingerprint());
+        let mut tailed = base.clone();
+        tailed.tail = Some(TailEnclosure {
+            unfoldings_explored: 3,
+            per_step_weight: Interval::new(0.0, 0.5),
+            continuation_weight: Interval::new(0.0, 1.0),
+        });
+        assert_ne!(base.fingerprint(), tailed.fingerprint());
+        let mut deeper = tailed.clone();
+        deeper.tail.as_mut().unwrap().unfoldings_explored = 4;
+        assert_ne!(tailed.fingerprint(), deeper.fingerprint());
     }
 }

@@ -165,6 +165,7 @@ proptest! {
             scores: vec![score],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let tape = Tape::for_path(&path);
         let mut scratch = tape.scratch();
@@ -195,6 +196,7 @@ proptest! {
             scores: vec![score],
             truncated: false,
             budget_truncated: false,
+            tail: None,
         };
         let tape = Tape::for_path(&path);
         let mut scalar = tape.scratch();
@@ -324,6 +326,7 @@ fn interval_constraints_keep_the_forall_exists_distinction() {
         scores: vec![],
         truncated: false,
         budget_truncated: false,
+        tail: None,
     };
     let tape = Tape::for_path(&path);
     let mut scratch = tape.scratch();

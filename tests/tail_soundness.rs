@@ -1,0 +1,176 @@
+//! Soundness of the geometric tail enclosures for truncated recursions:
+//! tail-tightened bounds must still contain high-precision Monte-Carlo
+//! estimates at every path budget, and upper bounds must only improve
+//! as the budget grows — with and without the `--no-tail` escape hatch.
+
+use gubpi_core::{AnalysisOptions, Analyzer, PathBoundOptions};
+use gubpi_inference::importance::{importance_sample, ImportanceOptions};
+use gubpi_interval::Interval;
+use gubpi_lang::parse;
+use gubpi_symbolic::SymExecOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Plain geometric loop: per-unfolding contraction 1/2, no scores.
+const GEOMETRIC: &str = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+
+/// Scored unbounded loop: contraction 1/4 (coin 1/2 × score 1/2).
+const SCORED_GEOMETRIC: &str =
+    "let rec geo x = if sample <= 0.5 then x else (score(0.5); geo (x + 1)) in geo 0";
+
+/// The pedestrian model: data-guarded loop, so the static analysis
+/// cannot contract it below 1 — its ⊤ paths keep the bare `[0, ∞]`
+/// placeholder even with tails enabled (the `c = 1` fallback).
+const PEDESTRIAN: &str = r#"
+    let start = 3 * sample uniform(0, 1) in
+    let rec walk x =
+      if x <= 0 then 0 else
+        let step = sample uniform(0, 1) in
+        if sample <= 0.5 then step + walk (x + step)
+        else step + walk (x - step)
+    in
+    let distance = walk start in
+    observe distance from normal(1.1, 0.1);
+    start"#;
+
+fn analyzer(src: &str, unfold: u32, max_paths: usize, use_tail: bool) -> Analyzer {
+    let mut opts = AnalysisOptions {
+        sym: SymExecOptions {
+            max_fix_unfoldings: unfold,
+            max_paths,
+            ..Default::default()
+        },
+        bounds: PathBoundOptions {
+            use_tail,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    opts.bounds.splits = 8;
+    Analyzer::from_source(src, opts).expect("model compiles")
+}
+
+/// Test threads get 2 MiB stacks; the pedestrian's deep recursive MC
+/// runs need more in debug builds (same helper as
+/// `tests/parallel_soundness.rs`).
+fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn test worker")
+        .join()
+        .expect("test worker panicked");
+}
+
+fn posterior_mc(src: &str, u: Interval, samples: usize, seed: u64) -> f64 {
+    let p = parse(src).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = importance_sample(&p, samples, ImportanceOptions::default(), &mut rng);
+    ws.probability_in(u.lo(), u.hi())
+}
+
+#[test]
+fn tail_enclosed_bounds_contain_monte_carlo_posteriors() {
+    // Budgets from "almost everything is a ⊤ path" to "no ⊤ paths at
+    // all": the tail-tightened bounds must bracket the Monte-Carlo
+    // posterior at every point of that sweep.
+    with_big_stack(|| {
+        let zoo: &[(&str, &str, Interval, u32, usize)] = &[
+            ("geometric", GEOMETRIC, Interval::new(-0.5, 1.5), 16, 60_000),
+            (
+                "scored-geometric",
+                SCORED_GEOMETRIC,
+                Interval::new(-0.5, 1.5),
+                16,
+                60_000,
+            ),
+            ("pedestrian", PEDESTRIAN, Interval::new(0.0, 1.0), 4, 20_000),
+        ];
+        for &(name, src, u, unfold, samples) in zoo {
+            let mc = posterior_mc(src, u, samples, 0x7A11);
+            for max_paths in [6usize, 24, 2_000] {
+                let a = analyzer(src, unfold, max_paths, true);
+                let (lo, hi) = a.posterior_probability(u);
+                // MC slack: ±0.02 covers the sampling error comfortably
+                // at these sample counts.
+                assert!(
+                    lo <= mc + 0.02 && mc <= hi + 0.02,
+                    "{name} (budget {max_paths}): MC {mc} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn tail_enclosed_z_bounds_contain_the_exact_mass() {
+    // Both geometric variants have closed-form normalising constants:
+    // Σ_k (1/2)^{k+1} = 1 and Σ_k (1/2)^{k+1}(1/2)^k = 2/3. The
+    // tail-tightened Z enclosure must contain them at every budget.
+    for (name, src, z) in [
+        ("geometric", GEOMETRIC, 1.0),
+        ("scored-geometric", SCORED_GEOMETRIC, 2.0 / 3.0),
+    ] {
+        for max_paths in [6usize, 24, 2_000] {
+            let a = analyzer(src, 16, max_paths, true);
+            let (lo, hi) = a.normalizing_constant();
+            assert!(
+                lo <= z && z <= hi,
+                "{name} (budget {max_paths}): Z {z} outside [{lo}, {hi}]"
+            );
+            assert!(
+                hi.is_finite(),
+                "{name} (budget {max_paths}): tails must keep Z finite"
+            );
+        }
+    }
+}
+
+#[test]
+fn upper_bounds_are_monotone_in_the_path_budget() {
+    // Growing the path budget converts ⊤ paths into exact prefixes with
+    // deeper (smaller-volume) remainders: the Z upper bound must never
+    // get worse — with tails substituting the geometric remainder, and
+    // without them (`--no-tail`, where it drops from +∞ to finite once
+    // the last ⊤ path disappears).
+    for use_tail in [true, false] {
+        for (name, src) in [
+            ("geometric", GEOMETRIC),
+            ("scored-geometric", SCORED_GEOMETRIC),
+        ] {
+            let mut prev = f64::INFINITY;
+            for max_paths in [6usize, 12, 48, 4_000] {
+                let a = analyzer(src, 16, max_paths, use_tail);
+                let (_, hi) = a.denotation_bounds(Interval::REAL);
+                assert!(
+                    hi <= prev,
+                    "{name} (use_tail={use_tail}): hi {hi} worse than {prev} at budget {max_paths}"
+                );
+                prev = hi;
+            }
+            assert!(
+                prev.is_finite(),
+                "{name} (use_tail={use_tail}): generous budgets must end finite"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_tail_mode_reverts_to_bare_top_and_identical_lower_bounds() {
+    // The `--no-tail` contract: at a ⊤-producing budget the upper bound
+    // reverts to +∞ (pre-enclosure behaviour) while lower bounds agree
+    // bit for bit with the tail-enabled run.
+    for src in [GEOMETRIC, SCORED_GEOMETRIC] {
+        let on = analyzer(src, 16, 6, true);
+        let off = analyzer(src, 16, 6, false);
+        assert!(on.exec_report().tail_enclosed_paths > 0);
+        for u in [Interval::REAL, Interval::new(-0.5, 1.5)] {
+            let (lo_on, hi_on) = on.denotation_bounds(u);
+            let (lo_off, hi_off) = off.denotation_bounds(u);
+            assert_eq!(lo_on.to_bits(), lo_off.to_bits());
+            assert!(hi_on.is_finite());
+            assert_eq!(hi_off, f64::INFINITY);
+        }
+    }
+}
