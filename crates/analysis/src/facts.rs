@@ -55,6 +55,8 @@ use gubpi_interval::Interval;
 use gubpi_lang::{Expr, ExprKind, Name, NodeId, PrimOp, Program, Span};
 use gubpi_types::{ITy, IntervalTyping};
 
+use crate::ranking::{self, RankVerdict, RankedTail};
+
 /// Options controlling the abstract interpretation.
 #[derive(Copy, Clone, Debug)]
 pub struct FactsOptions {
@@ -114,6 +116,10 @@ pub struct TailFact {
     pub per_step: Interval,
     /// Upper enclosure of the out-of-body score product `x` (≥ 1).
     pub continuation: Interval,
+    /// Eventually-geometric certificate synthesized by the ranking pass
+    /// (see [`crate::ranking`]) — the consumer's rescue when
+    /// `per_step.hi() ≥ 1` blocks the plain geometric series.
+    pub ranked: Option<RankedTail>,
 }
 
 /// A `let`-bound variable that is never used although its definition
@@ -139,6 +145,7 @@ pub struct ProgramFacts {
     contraction: HashMap<NodeId, Interval>,
     fix_values: HashMap<NodeId, Interval>,
     tail_facts: HashMap<NodeId, TailFact>,
+    ranking: HashMap<NodeId, RankVerdict>,
     unused_samples: Vec<UnusedSample>,
     constant_pool: Vec<Interval>,
     aborted: bool,
@@ -225,6 +232,23 @@ impl ProgramFacts {
             }
         });
         self.tail_facts.extend(tails);
+        // Ranking verdicts per μ node (needs the tail facts above);
+        // successful syntheses ride on the fact the consumers read.
+        let mut verdicts = Vec::new();
+        program.root.walk(&mut |e| {
+            if let ExprKind::Fix(fname, param, body) = &e.kind {
+                let v = ranking::assess_fix(program, typing, self, e, fname, param, body);
+                verdicts.push((e.id, v));
+            }
+        });
+        for (id, v) in verdicts {
+            if let RankVerdict::Synthesized { ranked, .. } = &v {
+                if let Some(tf) = self.tail_facts.get_mut(&id) {
+                    tf.ranked = Some(*ranked);
+                }
+            }
+            self.ranking.insert(id, v);
+        }
         // Dead branches need the zero-score set, so a second walk.
         let mut dead = Vec::new();
         program.root.walk(&mut |e| {
@@ -281,6 +305,7 @@ impl ProgramFacts {
         Some(TailFact {
             per_step: Interval::new(0.0, c),
             continuation: Interval::new(0.0, x),
+            ranked: None, // the ranking pass fills this in afterwards
         })
     }
 
@@ -290,7 +315,7 @@ impl ProgramFacts {
     /// `None` when no finite bound applies — a bare `fname` escaping
     /// into a value, more than one call on a single execution path, or
     /// a call inside a guard or score argument.
-    fn continue_mass(&self, e: &Expr, fname: &Name) -> Option<f64> {
+    pub(crate) fn continue_mass(&self, e: &Expr, fname: &Name) -> Option<f64> {
         let mentions = |e: &Expr| e.free_vars().contains(fname);
         if !mentions(e) {
             return Some(0.0);
@@ -382,7 +407,7 @@ impl ProgramFacts {
     /// stay ≤ 1 (contributing 1), once-shot sites contribute their
     /// static high endpoint. `None` when a site has no usable bound —
     /// the sequential-composition widening of the tail enclosure.
-    fn continuation_factor(&self, program: &Program, body_id: NodeId) -> Option<f64> {
+    pub(crate) fn continuation_factor(&self, program: &Program, body_id: NodeId) -> Option<f64> {
         fn go(
             facts: &ProgramFacts,
             e: &Expr,
@@ -506,6 +531,22 @@ impl ProgramFacts {
         self.tail_facts.len()
     }
 
+    /// Per `μ` node: the ranking pass verdict — plain geometric,
+    /// synthesized eventually-geometric, or a failure with a
+    /// human-readable reason (see [`crate::ranking`]).
+    pub fn ranking_verdict(&self, id: NodeId) -> Option<&RankVerdict> {
+        self.ranking.get(&id)
+    }
+
+    /// Number of `μ` nodes whose tail fact carries a synthesized
+    /// eventually-geometric certificate.
+    pub fn ranked_tail_count(&self) -> usize {
+        self.tail_facts
+            .values()
+            .filter(|t| t.ranked.is_some())
+            .count()
+    }
+
     /// Did the abstract interpreter reach this node at least once?
     pub fn was_evaluated(&self, id: NodeId) -> bool {
         self.evaluated.contains(&id)
@@ -562,7 +603,7 @@ fn coin_probs(guard: &Expr) -> Option<(f64, f64)> {
 
 /// When `e` is an application chain headed by `Var(fname)`, the
 /// argument expressions of the chain.
-fn call_of<'a>(e: &'a Expr, fname: &Name) -> Option<Vec<&'a Expr>> {
+pub(crate) fn call_of<'a>(e: &'a Expr, fname: &Name) -> Option<Vec<&'a Expr>> {
     let mut args = Vec::new();
     let mut cur = e;
     loop {
@@ -1102,6 +1143,18 @@ mod tests {
         assert_eq!(tf.per_step.hi(), 1.0, "no provable decay");
         assert!(tf.continuation.hi() > 1.0, "observe factor: {tf:?}");
         assert!(tf.continuation.hi().is_finite());
+        // The ranking pass rescues the c = 1 boundary: the escape-mass
+        // certificate rides on the fact (details in `ranking::tests`).
+        let ranked = tf
+            .ranked
+            .expect("pedestrian gets a synthesized certificate");
+        assert_eq!(ranked.prefix_bound, 0);
+        assert!(ranked.rate.hi() < 1.0);
+        assert_eq!(facts.ranked_tail_count(), 1);
+        assert!(matches!(
+            facts.ranking_verdict(fix),
+            Some(RankVerdict::Synthesized { .. })
+        ));
     }
 
     #[test]

@@ -7,7 +7,15 @@
 //! reachability, and per-recursion weight-contraction estimates read off
 //! the weight-aware interval types.
 //!
-//! Three consumers:
+//! A second pass, **ranking synthesis** ([`ranking`]), runs over the
+//! facts: for each `μ` node it extracts the per-unfolding argument
+//! transformer as an interval-affine map and certifies — by interval
+//! arithmetic alone — an *eventually*-geometric tail fact
+//! ([`RankedTail`]: bounded prefix `k₀`, post-prefix rate, prefix
+//! weight) for data-guarded recursions the plain contraction estimate
+//! cannot bound below 1.
+//!
+//! Four consumers:
 //!
 //! * the **symbolic executor** skips provably zero-mass branches (every
 //!   `else fail`), dropping paths whose contribution to *both* posterior
@@ -16,10 +24,15 @@
 //! * the **path-bound kernel** seeds its constant pool and its
 //!   constraint evaluation order from the static intervals instead of
 //!   re-deriving them per query;
+//! * **tail enclosures**: budget-truncated ⊤ paths carry the plain
+//!   contraction and, when synthesized, the ranked prefix — bounding
+//!   substitutes a finite geometric (or two-phase eventually-geometric)
+//!   remainder for the bare `[0, ∞]` placeholder;
 //! * the **lint layer** ([`lint_program`]) reports modelling mistakes —
 //!   zero-weight observations, out-of-domain distribution parameters,
 //!   unreachable branches, unused sampling bindings, truncation-prone
-//!   recursions — with pretty-printed locations (`repro analyze`).
+//!   recursions, recursions with no synthesizable tail bound — with
+//!   pretty-printed locations (`repro analyze`).
 //!
 //! # Example
 //!
@@ -38,6 +51,8 @@
 
 pub mod facts;
 pub mod lint;
+pub mod ranking;
 
 pub use facts::{BranchFlow, FactsOptions, ProgramFacts, TailFact, UnusedSample};
 pub use lint::{lint_program, Lint, LintKind, Severity};
+pub use ranking::{AffineMap, RankVerdict, RankedTail, RankingEvidence};

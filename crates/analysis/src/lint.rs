@@ -16,6 +16,7 @@ use gubpi_lang::{line_col, pretty, Expr, ExprKind, PrimOp, Program, Span};
 use gubpi_types::IntervalTyping;
 
 use crate::facts::ProgramFacts;
+use crate::ranking::RankVerdict;
 
 /// How bad a finding is.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -41,6 +42,9 @@ pub enum LintKind {
     TruncationRiskRecursion,
     /// A score factor with no finite upper bound.
     UnboundedScore,
+    /// A recursion for which neither a geometric nor an
+    /// eventually-geometric tail fact could be established.
+    NoTailBoundRecursion,
 }
 
 impl LintKind {
@@ -53,6 +57,7 @@ impl LintKind {
             LintKind::UnusedSample => "unused-sample",
             LintKind::TruncationRiskRecursion => "truncation-risk-recursion",
             LintKind::UnboundedScore => "unbounded-score",
+            LintKind::NoTailBoundRecursion => "no-tail-bound-recursion",
         }
     }
 }
@@ -256,6 +261,22 @@ fn lint_fix(e: &Expr, facts: &ProgramFacts, lints: &mut Vec<Lint>) {
             ),
         });
     }
+    // Deliberate recursion is legitimate, so this stays a note — but a
+    // μ node that defeated the ranking pass keeps bare `[0, ∞]` upper
+    // contributions on every budget-truncated path, and the synthesis
+    // failure reason usually names the offending construct.
+    if let Some(RankVerdict::Failed { reason }) = facts.ranking_verdict(e.id) {
+        lints.push(Lint {
+            kind: LintKind::NoTailBoundRecursion,
+            severity: Severity::Note,
+            span: e.span,
+            message: format!(
+                "no geometric or eventually-geometric tail bound could be \
+                 synthesized for this recursion ({reason}); budget-truncated \
+                 explorations keep the bare [0, ∞] upper contribution"
+            ),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -347,7 +368,25 @@ mod tests {
     }
 
     #[test]
-    fn five_distinct_kinds_are_reachable() {
+    fn recursions_without_any_tail_bound_are_noted_with_the_reason() {
+        // Tree recursion: two calls on one execution path defeat both
+        // the geometric and the eventually-geometric argument.
+        let lints =
+            lints_for("let rec t x = if sample <= 0.5 then x else t (x + 1) + t (x + 2) in t 0");
+        let hit = lints
+            .iter()
+            .find(|l| l.kind == LintKind::NoTailBoundRecursion)
+            .expect("tree recursion has no tail bound");
+        assert_eq!(hit.severity, Severity::Note);
+        assert!(hit.message.contains("single-call"), "{}", hit.message);
+        // A loop the ranking pass rescues must NOT fire the lint.
+        let rescued =
+            lints_for("let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1");
+        assert!(!kinds(&rescued).contains(&LintKind::NoTailBoundRecursion));
+    }
+
+    #[test]
+    fn all_seven_kinds_are_reachable() {
         let mut seen = std::collections::HashSet::new();
         for src in [
             "observe 5 from uniform(0, 1); sample",
@@ -356,11 +395,12 @@ mod tests {
             "let waste = sample in sample",
             "let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1",
             "score(1 / sample); sample",
+            "let rec t x = if sample <= 0.5 then x else t (x + 1) + t (x + 2) in t 0",
         ] {
             for l in lints_for(src) {
                 seen.insert(l.kind);
             }
         }
-        assert!(seen.len() >= 5, "only {} kinds: {seen:?}", seen.len());
+        assert_eq!(seen.len(), 7, "kinds seen: {seen:?}");
     }
 }

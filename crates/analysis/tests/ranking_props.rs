@@ -1,0 +1,133 @@
+//! Property tests for the ranking-synthesis pass: on randomly generated
+//! affine-guard loops, the synthesized certificate must over-approximate
+//! what concrete unfoldings do.
+//!
+//! * Bounded-prefix certificates `k₀`: for a countdown loop with
+//!   transformer `x ↦ a·x − d` (`a ∈ (0, 1]`, `d > 0`) and a bounded
+//!   entry value, concretely iterating the transformer from *any* entry
+//!   in the static range must drive the guard below 0 within `k₀`
+//!   steps. An undercount here would make the two-phase tail formula
+//!   unsound (the geometric phase would start before the guard can
+//!   actually fail).
+//! * Geometric rates `c_eff`: for a coin-guarded loop that continues
+//!   with probability `1 − p`, the verdict's rate must dominate that
+//!   concrete per-step continue mass.
+
+use gubpi_analysis::{ProgramFacts, RankVerdict, RankingEvidence};
+use gubpi_lang::{infer, parse, ExprKind, NodeId};
+use gubpi_types::infer_interval_types;
+use proptest::prelude::*;
+
+/// Compiles a loop and returns the ranking verdict of its single `μ`.
+fn verdict_of(src: &str) -> (ProgramFacts, Option<NodeId>) {
+    let program = parse(src).unwrap_or_else(|e| panic!("loop must parse: {e:?}\n{src}"));
+    let simple = infer(&program).unwrap_or_else(|e| panic!("loop must type-check: {e:?}\n{src}"));
+    let typing = infer_interval_types(&program, &simple);
+    let facts = ProgramFacts::compute(&program, &typing);
+    let mut fix = None;
+    program.root.walk(&mut |e| {
+        if matches!(e.kind, ExprKind::Fix(..)) && fix.is_none() {
+            fix = Some(e.id);
+        }
+    });
+    (facts, fix)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `k₀` over-approximates the concrete exit time of every entry
+    /// value in the loop's static range.
+    #[test]
+    fn bounded_prefixes_dominate_concrete_exit_times(
+        // Contraction factor of the transformer, exactly representable
+        // so the source literal round-trips.
+        a_i in 0usize..4,
+        // Per-step decrement (quarters, strictly positive).
+        d_q in 1u32..=12,
+        // Integer part of the entry bound: entry = e0 + sample ≤ e0 + 1.
+        e0 in 0u32..=8,
+    ) {
+        let a = [1.0f64, 0.75, 0.5, 0.25][a_i];
+        let d = f64::from(d_q) / 4.0;
+        // A slope of exactly 1 is written without the multiply: the
+        // extractor keeps `+`/`-` exact via directed 2Sum rounding but
+        // (documentedly) widens `·` outward, and a widened slope `1 ± ε`
+        // escapes the `a ⊆ [0, 1]` side condition of the prefix search.
+        let step = if a == 1.0 {
+            format!("x - {d}")
+        } else {
+            format!("{a} * x - {d}")
+        };
+        let src = format!(
+            "let rec f x = if x <= 0 then 0 else f ({step}) in f ({e0} + sample)"
+        );
+        let (facts, fix) = verdict_of(&src);
+        let fix = fix.expect("loop has a fix node");
+        let v = facts
+            .ranking_verdict(fix)
+            .unwrap_or_else(|| panic!("no verdict for\n{src}"));
+        // These loops always admit a bounded prefix: `a ≤ 1`, the
+        // decrement is strictly positive and the entry is bounded.
+        let RankVerdict::Synthesized { ranked, evidence } = v else {
+            panic!("expected a synthesized certificate, got `{}` for\n{}", v.describe(), src);
+        };
+        prop_assert!(
+            matches!(evidence, RankingEvidence::BoundedPrefix { .. }),
+            "expected a bounded prefix, got `{}` for\n{}",
+            v.describe(),
+            src
+        );
+        let k0 = ranked.prefix_bound;
+        // Concretely unfold the transformer from a grid of entry values
+        // covering the full static range [e0, e0 + 1] (the map is
+        // monotone in x, but check the grid anyway — it is cheap and
+        // also guards against slope-handling bugs).
+        for i in 0..=16u32 {
+            let mut x = f64::from(e0) + f64::from(i) / 16.0;
+            let mut exited = false;
+            for _ in 0..k0 {
+                if x <= 0.0 {
+                    exited = true;
+                    break;
+                }
+                x = a * x - d;
+            }
+            // After k₀ applications the guard must have failed: either
+            // we exited mid-prefix or the final value is ≤ 0.
+            prop_assert!(
+                exited || x <= 0.0,
+                "entry {} still alive after k₀ = {} steps (x = {}) for\n{}",
+                f64::from(e0) + f64::from(i) / 16.0,
+                k0,
+                x,
+                src
+            );
+        }
+    }
+
+    /// The plain-geometric rate dominates the concrete per-step
+    /// continue probability `1 − p`.
+    #[test]
+    fn geometric_rates_dominate_concrete_continue_mass(p_q in 1u32..=15) {
+        let p = f64::from(p_q) / 16.0;
+        let src = format!(
+            "let rec f x = if sample <= {p} then x else f (x + 1) in f 0"
+        );
+        let (facts, fix) = verdict_of(&src);
+        let fix = fix.expect("loop has a fix node");
+        let v = facts
+            .ranking_verdict(fix)
+            .unwrap_or_else(|| panic!("no verdict for\n{src}"));
+        let RankVerdict::Geometric { rate } = v else {
+            panic!("expected the plain-geometric verdict, got `{}` for\n{}", v.describe(), src);
+        };
+        prop_assert!(
+            *rate >= 1.0 - p,
+            "rate {} undercuts concrete continue mass {} for\n{}",
+            rate,
+            1.0 - p,
+            src
+        );
+    }
+}

@@ -329,16 +329,37 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// Quotes a string as a JSON literal (the verdict texts only need the
+/// standard escapes; they are plain prose with math symbols).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// `tail-report`: bounds on the normalising constant `Z` for models
 /// with truncated recursions, with the geometric tail enclosures on vs
 /// off (`--no-tail`), and the gap between them. Writes the
 /// `BENCH_tail.json` snapshot next to `BENCH_prune.json`.
 ///
 /// Lower bounds are asserted bit-identical across the two modes — the
-/// enclosure only tightens the ⊤ placeholder's upper end. The
-/// pedestrian row documents the `c = 1` fallback: its loop is
-/// data-guarded (the analysis cannot contract it below 1), so both
-/// modes keep the bare ⊤ and the gap stays infinite.
+/// enclosure only tightens the ⊤ placeholder's upper end. Each row also
+/// records the ranking pass's verdict for the model's recursion:
+/// `plain-geometric` loops were already tail-bounded by the per-step
+/// contraction alone, `synthesized` ones needed an eventually-geometric
+/// certificate (pedestrian's data-guarded walk sits here — its upper
+/// bound is finite only because of the escape-mass argument, and this
+/// function asserts that it is), `none` rows keep the bare ⊤.
 fn tail_report() {
     println!("== Tail report: Z bounds with tail enclosures vs --no-tail ===========");
     let fig6a = models::figure6()
@@ -354,7 +375,7 @@ fn tail_report() {
         ("pedestrian", models::PEDESTRIAN, 4, 48),
     ];
     println!(
-        "{:<18} {:>7} {:>6} {:>11} {:>12} {:>12}",
+        "{:<18} {:>7} {:>6} {:>11} {:>12} {:>12}  ranking",
         "model", "top", "tails", "lo", "hi (tails)", "hi (bare)"
     );
     let mut rows = Vec::new();
@@ -382,21 +403,48 @@ fn tail_report() {
             lo_off.to_bits(),
             "{name}: tails must not move lower bounds"
         );
+        // The ranking pass's verdict for the model's recursion (every
+        // zoo model here has exactly one `μ` node).
+        let mut verdict: Option<&gubpi_core::RankVerdict> = None;
+        on.program().root.walk(&mut |e| {
+            if matches!(e.kind, gubpi_lang::ExprKind::Fix(..)) && verdict.is_none() {
+                verdict = on.facts().ranking_verdict(e.id);
+            }
+        });
+        let (ranking, ranking_reason) = match verdict {
+            Some(v) => (v.label(), v.describe()),
+            None => ("none", "no recursion facts for this model".to_owned()),
+        };
+        if name == "pedestrian" {
+            // The CI smoke assertion of the ranking pass: the
+            // pedestrian walk has no per-step contraction (c = 1), so a
+            // finite upper bound here means the synthesized
+            // eventually-geometric certificate actually fired.
+            assert_eq!(ranking, "synthesized", "pedestrian: {ranking_reason}");
+            assert!(
+                hi_on.is_finite(),
+                "pedestrian: ranked tail must give a finite upper bound, got {hi_on}"
+            );
+        }
         println!(
-            "{:<18} {:>7} {:>6} {:>11.6} {:>12.6} {:>12.6}",
-            name, r.budget_truncated_paths, r.tail_enclosed_paths, lo_on, hi_on, hi_off
+            "{:<18} {:>7} {:>6} {:>11.6} {:>12.6} {:>12.6}  {}",
+            name, r.budget_truncated_paths, r.tail_enclosed_paths, lo_on, hi_on, hi_off, ranking
         );
         rows.push(format!(
             "    {{\n      \"name\": \"{name}\",\n      \"top_paths\": {},\n      \
-             \"tail_enclosed_paths\": {},\n      \"lo\": {},\n      \"hi_tail\": {},\n      \
-             \"hi_no_tail\": {},\n      \"gap_tail\": {},\n      \"gap_no_tail\": {}\n    }}",
+             \"tail_enclosed_paths\": {},\n      \"ranked_tail_paths\": {},\n      \
+             \"lo\": {},\n      \"hi_tail\": {},\n      \
+             \"hi_no_tail\": {},\n      \"gap_tail\": {},\n      \"gap_no_tail\": {},\n      \
+             \"ranking\": \"{ranking}\",\n      \"ranking_reason\": {}\n    }}",
             r.budget_truncated_paths,
             r.tail_enclosed_paths,
+            r.ranked_tail_paths,
             json_num(lo_on),
             json_num(hi_on),
             json_num(hi_off),
             json_num(hi_on - lo_on),
             json_num(hi_off - lo_off),
+            json_str(&ranking_reason),
         ));
     }
     let json = format!(
@@ -447,10 +495,17 @@ fn stats(elapsed_s: f64) {
         "prune: {} dead branches skipped, {} zero-score continuations dropped",
         r.pruned_branches, r.zero_score_drops
     );
+    // Three-way ⊤ census: ranked ⊆ tail-enclosed ⊆ budget-truncated,
+    // so the plain-tail and bare-⊤ counts are the set differences.
     println!(
-        "trunc: {} budget-truncated (top) paths ({} carrying tail enclosures), \
-         {} approxFix-depth-truncated paths",
-        r.budget_truncated_paths, r.tail_enclosed_paths, r.depth_truncated_paths
+        "trunc: {} budget-truncated (top) paths ({} with eventually-geometric tails, \
+         {} with plain geometric tails, {} bare ⊤), {} approxFix-depth-truncated paths",
+        r.budget_truncated_paths,
+        r.ranked_tail_paths,
+        r.tail_enclosed_paths.saturating_sub(r.ranked_tail_paths),
+        r.budget_truncated_paths
+            .saturating_sub(r.tail_enclosed_paths),
+        r.depth_truncated_paths
     );
     let k = gubpi_symbolic::kernel_stats();
     if k.tapes == 0 {

@@ -40,6 +40,7 @@ static ZERO_SCORE_DROPS: AtomicUsize = AtomicUsize::new(0);
 static BUDGET_TRUNCATED: AtomicUsize = AtomicUsize::new(0);
 static DEPTH_TRUNCATED: AtomicUsize = AtomicUsize::new(0);
 static TAIL_ENCLOSED: AtomicUsize = AtomicUsize::new(0);
+static RANKED_TAIL: AtomicUsize = AtomicUsize::new(0);
 static LINT_WARNINGS: AtomicUsize = AtomicUsize::new(0);
 
 /// The [`ExecReport`] counters summed over every `shared_analyzer` call
@@ -51,6 +52,7 @@ pub fn aggregated_exec_report() -> ExecReport {
         budget_truncated_paths: BUDGET_TRUNCATED.load(Ordering::Relaxed),
         depth_truncated_paths: DEPTH_TRUNCATED.load(Ordering::Relaxed),
         tail_enclosed_paths: TAIL_ENCLOSED.load(Ordering::Relaxed),
+        ranked_tail_paths: RANKED_TAIL.load(Ordering::Relaxed),
     }
 }
 
@@ -83,6 +85,7 @@ pub fn shared_analyzer(source: &str, mut opts: AnalysisOptions) -> Analyzer {
     BUDGET_TRUNCATED.fetch_add(r.budget_truncated_paths, Ordering::Relaxed);
     DEPTH_TRUNCATED.fetch_add(r.depth_truncated_paths, Ordering::Relaxed);
     TAIL_ENCLOSED.fetch_add(r.tail_enclosed_paths, Ordering::Relaxed);
+    RANKED_TAIL.fetch_add(r.ranked_tail_paths, Ordering::Relaxed);
     if env_flag("GUBPI_LINT") {
         for lint in a.lints() {
             if lint.severity == Severity::Warning {

@@ -443,6 +443,21 @@ pub const SCORED_GEOMETRIC: &str = r#"
       else (score(0.5); geo (x + 1))
     in geo 0"#;
 
+/// A data-guarded countdown: the loop argument strictly decreases by 1
+/// per unfolding, so it terminates deterministically within a bounded
+/// number of steps — but there is *no* probabilistic contraction (the
+/// recursing branch has continue mass 1), so the plain geometric tail
+/// analysis cannot bound it. The ranking pass synthesizes a
+/// bounded-prefix certificate instead: the entry value is at most
+/// `2 + sample ≤ 3`, so the guard `x ≤ 0` must fail within a few
+/// unfoldings. Since every path terminates with weight 1, `Z = 1`
+/// exactly — the tail soundness suite pins the bounds against that.
+pub const COUNTDOWN: &str = r#"
+    let rec count x =
+      if x <= 0 then 0
+      else count (x - 1)
+    in count (2 + sample)"#;
+
 /// The pedestrian program of Example 1.1 (Fig. 1 / Fig. 7).
 pub const PEDESTRIAN: &str = r#"
     let start = 3 * sample uniform(0, 1) in

@@ -1256,6 +1256,47 @@ mod tests {
     }
 
     #[test]
+    fn ranked_tails_give_data_guarded_loops_finite_upper_bounds() {
+        // A data-guarded loop sits at per-step mass 1, where the plain
+        // geometric series is unusable — PR 7 left its ⊤ paths at +∞.
+        // The ranking certificate must now make the upper bound finite,
+        // while `--no-tail` still reverts and lower bounds stay put.
+        let src = "let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1";
+        let mk = |use_tail: bool| {
+            Analyzer::from_source(
+                src,
+                AnalysisOptions {
+                    sym: SymExecOptions {
+                        max_fix_unfoldings: 16,
+                        max_paths: 6,
+                        ..Default::default()
+                    },
+                    bounds: PathBoundOptions {
+                        use_tail,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let on = mk(true);
+        let off = mk(false);
+        let report = on.exec_report();
+        assert!(report.budget_truncated_paths > 0, "need ⊤ paths");
+        assert!(report.ranked_tail_paths > 0, "need ranked enclosures");
+        assert_eq!(report.ranked_tail_paths, report.tail_enclosed_paths);
+        let (lo_on, hi_on) = on.denotation_bounds(Interval::REAL);
+        let (lo_off, hi_off) = off.denotation_bounds(Interval::REAL);
+        assert_eq!(lo_on.to_bits(), lo_off.to_bits(), "lower bound untouched");
+        assert_eq!(hi_off, f64::INFINITY, "bare ⊤ forces +∞");
+        assert!(hi_on.is_finite(), "ranked tail must cap the upper bound");
+        // The loop a.s. terminates with result 0 and weight 1, so
+        // ⟦P⟧(R) = 1 must stay inside the bounds.
+        assert!(lo_on <= 1.0 && 1.0 <= hi_on, "[{lo_on}, {hi_on}]");
+    }
+
+    #[test]
     fn facts_and_lints_are_exposed() {
         // A deliberate modelling mistake: uniform(1, 0) has an inverted
         // support, and the `if 2 <= 1` branch is unreachable.

@@ -53,7 +53,7 @@ pub mod pool {
 }
 
 pub use analyze::{AnalysisOptions, Analyzer, CacheStats, Method, QueryError, SharedQueryCache};
-pub use gubpi_analysis::{lint_program, Lint, LintKind, ProgramFacts, Severity};
+pub use gubpi_analysis::{lint_program, Lint, LintKind, ProgramFacts, RankVerdict, Severity};
 pub use gubpi_symbolic::ExecReport;
 pub use histogram::{HistogramBounds, NormalizedBin};
 pub use pathbounds::{

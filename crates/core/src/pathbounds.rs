@@ -19,7 +19,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use gubpi_interval::{next_after_down, next_after_up, BoxN, Interval};
+use gubpi_interval::{next_after_down, next_after_up, pow_up, BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
 use gubpi_symbolic::{note_kernel_cells, KernelSeed, SymPath, SymVal, Tape, LANES};
 
@@ -207,11 +207,27 @@ fn tail_disabled(value: Option<&str>) -> bool {
 /// (denominator down, quotient up) so the closed form stays sound
 /// under f64.
 ///
+/// At the `c = 1` boundary — score-free and data-guarded loops — the
+/// series diverges, and the plain enclosure is unusable. When the
+/// ranking pass attached an eventually-geometric prefix
+/// ([`gubpi_symbolic::TailPrefix`]: decay starts by unfolding `k₀` at
+/// rate `c_eff`, prefix terminations carry weight ≤ `w_prefix`), the
+/// placeholder instead tightens to the **two-phase** closed form
+///
+/// ```text
+/// x_hi · (w_hi + c_eff^{max(0, k₀ − k_explored)} / (1 − c_eff))
+/// ```
+///
+/// computed with outward rounding throughout (power up via
+/// [`pow_up`], denominator down, products and sums up). The plain
+/// geometric case is mathematically its `k₀ = 0`, `w = 0`
+/// specialization, but keeps its own literal code path so plain-fact
+/// bounds stay bit-identical to the pre-ranking formula.
+///
 /// Returns `None` when tails are disabled (`opts.use_tail`), the path
-/// is not budget-truncated, no enclosure was attached, or `c_hi ≥ 1`:
-/// score-free and data-guarded loops sit exactly at the `c = 1`
-/// boundary, where the series diverges and `1 − c_hi` would be `0` —
-/// they keep the bare ⊤ rather than divide by zero.
+/// is not budget-truncated, no enclosure was attached, or `c_hi ≥ 1`
+/// with no (usable) prefix component — such paths keep the bare ⊤
+/// rather than divide by zero.
 pub fn tail_substituted(path: &SymPath, opts: &PathBoundOptions) -> Option<SymPath> {
     if !opts.use_tail || !path.budget_truncated {
         return None;
@@ -219,15 +235,35 @@ pub fn tail_substituted(path: &SymPath, opts: &PathBoundOptions) -> Option<SymPa
     let t = path.tail?;
     let c_hi = t.per_step_weight.hi();
     let x_hi = t.continuation_weight.hi();
+    if !x_hi.is_finite() || x_hi < 0.0 {
+        return None;
+    }
     // The half-open range also rejects a NaN contraction estimate.
-    if !(0.0..1.0).contains(&c_hi) || !x_hi.is_finite() || x_hi < 0.0 {
-        return None;
-    }
-    let denom = next_after_down(1.0 - c_hi);
-    if denom <= 0.0 {
-        return None;
-    }
-    let bound = next_after_up(x_hi / denom);
+    let bound = if (0.0..1.0).contains(&c_hi) {
+        // Plain geometric remainder (the PR 7 formula, verbatim).
+        let denom = next_after_down(1.0 - c_hi);
+        if denom <= 0.0 {
+            return None;
+        }
+        next_after_up(x_hi / denom)
+    } else {
+        // Eventually geometric: the certificate splits the suffix into
+        // a prefix phase (mass ≤ w_hi) and a decay phase discounted by
+        // the prefix steps the cut has not yet explored.
+        let p = t.prefix?;
+        let r_hi = p.rate.hi();
+        let w_hi = p.prefix_weight.hi();
+        if !(0.0..1.0).contains(&r_hi) || !w_hi.is_finite() || w_hi < 0.0 {
+            return None;
+        }
+        let denom = next_after_down(1.0 - r_hi);
+        if denom <= 0.0 {
+            return None;
+        }
+        let remaining = p.prefix_bound.saturating_sub(t.unfoldings_explored);
+        let decay = next_after_up(pow_up(r_hi, remaining) / denom);
+        next_after_up(x_hi * next_after_up(w_hi + decay))
+    };
     let mut out = path.clone();
     let last = out
         .scores
@@ -907,7 +943,7 @@ fn plan_linear(path: &SymPath, opts: PathBoundOptions, mode: ResultMode) -> Path
 mod tests {
     use super::*;
     use gubpi_lang::{infer, parse};
-    use gubpi_symbolic::{symbolic_paths, SymExecOptions, TailEnclosure};
+    use gubpi_symbolic::{symbolic_paths, SymExecOptions, TailEnclosure, TailPrefix};
     use gubpi_types::infer_interval_types;
 
     fn paths(src: &str) -> Vec<SymPath> {
@@ -1249,6 +1285,7 @@ mod tests {
             unfoldings_explored: 5,
             per_step_weight: Interval::new(0.0, 0.5),
             continuation_weight: Interval::new(0.0, 1.0),
+            prefix: None,
         };
         let path = top_path_with(Some(tail));
         let opts = PathBoundOptions::default();
@@ -1274,12 +1311,13 @@ mod tests {
 
     #[test]
     fn score_free_loops_at_c_equal_one_keep_the_bare_top() {
-        // Satellite: `c == 1` (score-free / data-guarded loops) must
-        // fall back to ⊤ — never divide by `1 − c_hi = 0`.
+        // `c == 1` without a ranking certificate must fall back to ⊤ —
+        // never divide by `1 − c_hi = 0`.
         let boundary = TailEnclosure {
             unfoldings_explored: 3,
             per_step_weight: Interval::new(0.0, 1.0),
             continuation_weight: Interval::new(0.0, 1.0),
+            prefix: None,
         };
         let opts = PathBoundOptions::default();
         assert!(tail_substituted(&top_path_with(Some(boundary)), &opts).is_none());
@@ -1313,6 +1351,105 @@ mod tests {
         let mut exact = top_path_with(Some(some));
         exact.budget_truncated = false;
         assert!(tail_substituted(&exact, &opts).is_none());
+    }
+
+    #[test]
+    fn ranked_prefixes_rescue_the_c_equal_one_boundary() {
+        // An eventually-geometric certificate with rate 0 (the escape-
+        // mass / bounded-prefix shape the ranking pass emits): before
+        // k₀ the decay term vanishes, at or past k₀ it contributes one
+        // full unit — both finite where plain geometric bails.
+        let opts = PathBoundOptions::default();
+        let ranked = |explored: u32| TailEnclosure {
+            unfoldings_explored: explored,
+            per_step_weight: Interval::new(0.0, 1.0),
+            continuation_weight: Interval::new(0.0, 2.0),
+            prefix: Some(TailPrefix {
+                prefix_bound: 4,
+                rate: Interval::ZERO,
+                prefix_weight: Interval::new(0.0, 1.0),
+            }),
+        };
+        let hi_of = |t: TailEnclosure| {
+            let sub = tail_substituted(&top_path_with(Some(t)), &opts)
+                .expect("ranked prefix must substitute at c = 1");
+            let SymVal::Interval(iv) = **sub.scores.last().unwrap() else {
+                panic!("interval literal");
+            };
+            assert_eq!(iv.lo(), 0.0);
+            iv.hi()
+        };
+        // Cut before the prefix ends: 0^{4−2} kills the decay term, so
+        // the bound is x_hi · w_hi = 2, up to outward rounding.
+        let early = hi_of(ranked(2));
+        assert!((2.0..2.0 + 1e-9).contains(&early), "early={early}");
+        // Cut past the prefix: 0^0 = 1 adds the full decay unit —
+        // x_hi · (w_hi + 1) = 4.
+        let late = hi_of(ranked(5));
+        assert!((4.0..4.0 + 1e-9).contains(&late), "late={late}");
+        // A genuine post-prefix rate: c_eff = 0.5, two prefix steps
+        // left → 0.5² / (1 − 0.5) = 0.5; with w = 0 and x = 1 the
+        // bound is ≈ 0.5, far below the plain series' 2.
+        let mut coin = ranked(1);
+        coin.continuation_weight = Interval::new(0.0, 1.0);
+        coin.prefix = Some(TailPrefix {
+            prefix_bound: 3,
+            rate: Interval::new(0.0, 0.5),
+            prefix_weight: Interval::ZERO,
+        });
+        let discounted = hi_of(coin);
+        assert!((0.5..0.5 + 1e-9).contains(&discounted), "{discounted}");
+    }
+
+    #[test]
+    fn unusable_prefixes_and_plain_facts_keep_their_old_behavior() {
+        let opts = PathBoundOptions::default();
+        let base = TailEnclosure {
+            unfoldings_explored: 3,
+            per_step_weight: Interval::new(0.0, 1.0),
+            continuation_weight: Interval::new(0.0, 1.0),
+            prefix: Some(TailPrefix {
+                prefix_bound: 2,
+                rate: Interval::new(0.0, 1.0), // rate at the boundary
+                prefix_weight: Interval::new(0.0, 1.0),
+            }),
+        };
+        // A prefix whose own rate fails to contract cannot rescue ⊤.
+        assert!(tail_substituted(&top_path_with(Some(base)), &opts).is_none());
+        // `--no-tail` wins over any certificate.
+        let good = TailEnclosure {
+            prefix: Some(TailPrefix {
+                prefix_bound: 0,
+                rate: Interval::ZERO,
+                prefix_weight: Interval::new(0.0, 1.0),
+            }),
+            ..base
+        };
+        let off = PathBoundOptions {
+            use_tail: false,
+            ..opts
+        };
+        assert!(tail_substituted(&top_path_with(Some(good)), &off).is_none());
+        // A contracting plain fact takes the literal PR 7 branch even
+        // when a prefix rides along: bit-identical to a prefix-free
+        // enclosure.
+        let plain = TailEnclosure {
+            per_step_weight: Interval::new(0.0, 0.5),
+            prefix: None,
+            ..base
+        };
+        let both = TailEnclosure {
+            per_step_weight: Interval::new(0.0, 0.5),
+            ..good
+        };
+        let hi = |t: TailEnclosure| {
+            let sub = tail_substituted(&top_path_with(Some(t)), &opts).unwrap();
+            let SymVal::Interval(iv) = **sub.scores.last().unwrap() else {
+                panic!("interval literal");
+            };
+            iv.hi()
+        };
+        assert_eq!(hi(plain).to_bits(), hi(both).to_bits());
     }
 
     #[test]

@@ -36,4 +36,4 @@ mod round;
 pub use boxes::BoxN;
 pub use interval::Interval;
 pub use lattice::{widen, Lattice};
-pub use round::{next_after_down, next_after_up};
+pub use round::{add_down, add_up, next_after_down, next_after_up, pow_up};

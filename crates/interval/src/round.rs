@@ -24,6 +24,89 @@ pub fn next_after_up(x: f64) -> f64 {
     f64::next_up(x)
 }
 
+/// The rounding error of the floating-point sum `s = a + b` (finite
+/// `s`): the exact residue `a + b − s`, by the Møller–Knuth two-sum
+/// error-free transformation. Its sign tells a directed rounding which
+/// way the computed sum missed.
+fn two_sum_err(a: f64, b: f64, s: f64) -> f64 {
+    let bv = s - a;
+    let av = s - bv;
+    (b - bv) + (a - av)
+}
+
+/// The sum `a + b` rounded towards `+∞` — exact when the
+/// floating-point sum is exact, one ulp up only when round-to-nearest
+/// actually rounded down. An overflow to `−∞` (both operands finite)
+/// is repaired to `−MAX`, the tightest representable upper bound.
+pub fn add_up(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        return s; // ∞ − ∞: no meaningful bound, propagate
+    }
+    if s == f64::NEG_INFINITY && a != f64::NEG_INFINITY && b != f64::NEG_INFINITY {
+        return -f64::MAX;
+    }
+    if !s.is_finite() {
+        return s;
+    }
+    if two_sum_err(a, b, s) > 0.0 {
+        next_after_up(s)
+    } else {
+        s
+    }
+}
+
+/// The sum `a + b` rounded towards `−∞` (see [`add_up`]).
+pub fn add_down(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        return s;
+    }
+    if s == f64::INFINITY && a != f64::INFINITY && b != f64::INFINITY {
+        return f64::MAX;
+    }
+    if !s.is_finite() {
+        return s;
+    }
+    if two_sum_err(a, b, s) < 0.0 {
+        next_after_down(s)
+    } else {
+        s
+    }
+}
+
+/// An upper bound on `base^exp` for `base ∈ [0, 1]`, computed by
+/// square-and-multiply with every partial product rounded **up** one
+/// ulp. `pow_up(_, 0)` is exactly `1.0` (including `0^0`, the empty
+/// product), and `pow_up(0.0, n)` is exactly `0.0` for `n > 0`.
+///
+/// Soundness: for non-negative reals, if `p ≥ base^m` and `q ≥ base^n`
+/// then `up(p · q) ≥ base^{m+n}` — upper-rounding each step preserves
+/// the invariant, so the result dominates the exact power. Used by the
+/// tail-enclosure formulas in `gubpi_core::pathbounds`, where the
+/// decay factor `c_eff^{k₀ − k}` must never be under-approximated.
+pub fn pow_up(base: f64, exp: u32) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&base), "pow_up expects base in [0, 1]");
+    let mut result = 1.0f64;
+    let mut square = base;
+    let mut n = exp;
+    while n > 0 {
+        if n & 1 == 1 {
+            result = next_after_up(result * square).min(1.0);
+        }
+        n >>= 1;
+        if n > 0 {
+            square = next_after_up(square * square).min(1.0);
+        }
+    }
+    // `0 · anything` and the final min keep the exact endpoints exact.
+    if base == 0.0 && exp > 0 {
+        0.0
+    } else {
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +133,96 @@ mod tests {
         let x = 1.0f64;
         let up = next_after_up(x);
         assert_eq!(up, x + f64::EPSILON);
+    }
+
+    #[test]
+    fn zero_steps_into_the_subnormals() {
+        // Both signed zeros step to the nearest subnormal on either
+        // side — the steps must cross zero, not saturate at it.
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        for z in [0.0f64, -0.0f64] {
+            assert_eq!(next_after_up(z), tiny, "up({z})");
+            assert_eq!(next_after_down(z), -tiny, "down({z})");
+        }
+    }
+
+    #[test]
+    fn subnormal_steps_stay_strict_and_adjacent() {
+        let tiny = f64::from_bits(1);
+        assert_eq!(next_after_down(tiny), 0.0);
+        assert_eq!(next_after_up(-tiny), -0.0);
+        // Largest subnormal ↔ smallest normal is one step.
+        let largest_subnormal = f64::from_bits(0x000F_FFFF_FFFF_FFFF);
+        assert!(largest_subnormal < f64::MIN_POSITIVE);
+        assert_eq!(next_after_up(largest_subnormal), f64::MIN_POSITIVE);
+        assert_eq!(next_after_down(f64::MIN_POSITIVE), largest_subnormal);
+    }
+
+    #[test]
+    fn max_steps_to_infinity_and_back() {
+        assert_eq!(next_after_up(f64::MAX), f64::INFINITY);
+        assert_eq!(next_after_down(f64::INFINITY), f64::MAX);
+        assert_eq!(next_after_down(-f64::MAX), f64::NEG_INFINITY);
+        assert_eq!(next_after_up(f64::NEG_INFINITY), -f64::MAX);
+    }
+
+    #[test]
+    fn directed_sums_are_exact_when_the_sum_is() {
+        assert_eq!(add_up(0.5, 0.25), 0.75);
+        assert_eq!(add_down(0.5, 0.25), 0.75);
+        assert_eq!(add_up(1.0, -1.0), 0.0);
+        assert_eq!(add_down(1.0, -1.0), 0.0);
+        assert_eq!(add_up(1.0, 0.0), 1.0);
+        assert_eq!(add_down(-3.0, 0.0), -3.0);
+    }
+
+    #[test]
+    fn directed_sums_step_only_against_the_rounding() {
+        // 1 + ε/4 rounds down to 1: the upper bound must step, the
+        // lower bound must not.
+        let tiny = f64::EPSILON / 4.0;
+        assert_eq!(add_up(1.0, tiny), next_after_up(1.0));
+        assert_eq!(add_down(1.0, tiny), 1.0);
+        // Mirrored: 1 − ε/4 rounds up to 1.
+        assert_eq!(add_down(1.0, -tiny), next_after_down(1.0));
+        assert_eq!(add_up(1.0, -tiny), 1.0);
+        // The bracket always contains the true sum.
+        for &(a, b) in &[(0.1, 0.2), (1e16, 1.0), (-0.3, 0.7), (1e-300, -1e-300)] {
+            assert!(add_down(a, b) <= a + b && a + b <= add_up(a, b));
+        }
+    }
+
+    #[test]
+    fn directed_sums_handle_overflow_and_infinities() {
+        assert_eq!(add_up(f64::MAX, f64::MAX), f64::INFINITY);
+        assert_eq!(add_down(f64::MAX, f64::MAX), f64::MAX);
+        assert_eq!(add_down(-f64::MAX, -f64::MAX), f64::NEG_INFINITY);
+        assert_eq!(add_up(-f64::MAX, -f64::MAX), -f64::MAX);
+        assert_eq!(add_up(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(add_down(f64::NEG_INFINITY, 1.0), f64::NEG_INFINITY);
+        assert!(add_up(f64::INFINITY, f64::NEG_INFINITY).is_nan());
+    }
+
+    #[test]
+    fn pow_up_dominates_exact_powers() {
+        // Exact endpoints stay exact…
+        assert_eq!(pow_up(0.5, 0), 1.0);
+        assert_eq!(pow_up(0.0, 0), 1.0);
+        assert_eq!(pow_up(0.0, 7), 0.0);
+        assert_eq!(pow_up(1.0, u32::MAX), 1.0);
+        // …and everything else stays an upper bound on the real power,
+        // within a few ulps of it.
+        let p = pow_up(0.5, 3);
+        assert!((0.125..0.125 * (1.0 + 8.0 * f64::EPSILON)).contains(&p));
+        for &c in &[0.1, 0.3, 0.5, 0.9, 0.999] {
+            for exp in [1u32, 2, 5, 17, 64, 1000] {
+                let up = pow_up(c, exp);
+                assert!(up >= c.powi(exp as i32), "pow_up({c}, {exp})");
+                assert!(up <= 1.0);
+            }
+        }
+        // Deep powers underflow towards zero without panicking.
+        assert!(pow_up(0.5, 10_000) >= 0.0);
+        assert!(pow_up(0.5, 10_000) < 1e-300);
     }
 }

@@ -44,7 +44,7 @@ use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
 use gubpi_pool::WorkerPool;
 use gubpi_types::IntervalTyping;
 
-use crate::path::{CmpDir, SymConstraint, SymPath, TailEnclosure};
+use crate::path::{CmpDir, SymConstraint, SymPath, TailEnclosure, TailPrefix};
 use crate::symval::SymVal;
 
 /// Options controlling symbolic exploration.
@@ -125,6 +125,13 @@ pub struct ExecReport {
     /// tail-aware bounding can replace the `[0, ∞]` placeholder by a
     /// finite geometric remainder (when `per_step < 1`).
     pub tail_enclosed_paths: usize,
+    /// The subset of [`tail_enclosed_paths`](ExecReport::tail_enclosed_paths)
+    /// whose enclosure carries an eventually-geometric prefix component
+    /// from the ranking pass — usable even at the `per_step = 1`
+    /// boundary. The three-way ⊤ census is therefore: ranked tails,
+    /// plain tails (`tail_enclosed_paths − ranked_tail_paths`), and
+    /// bare ⊤ (`budget_truncated_paths − tail_enclosed_paths`).
+    pub ranked_tail_paths: usize,
 }
 
 /// Runs symbolic execution from `(P, 0, ∅, ∅)`, returning all finished
@@ -245,6 +252,10 @@ pub fn symbolic_paths_report(
             .filter(|p| p.truncated && !p.budget_truncated)
             .count(),
         tail_enclosed_paths: paths.iter().filter(|p| p.tail.is_some()).count(),
+        ranked_tail_paths: paths
+            .iter()
+            .filter(|p| p.tail.is_some_and(|t| t.prefix.is_some()))
+            .count(),
     };
     (paths, report)
 }
@@ -404,6 +415,11 @@ impl Executor<'_> {
                     unfoldings_explored: k,
                     per_step_weight: tf.per_step,
                     continuation_weight: tf.continuation,
+                    prefix: tf.ranked.map(|r| TailPrefix {
+                        prefix_bound: r.prefix_bound,
+                        rate: r.rate,
+                        prefix_weight: r.prefix_weight,
+                    }),
                 })
         });
         let mut scores = st.scores;
@@ -1134,6 +1150,40 @@ mod tests {
         assert!(full.iter().any(|p| p.truncated));
         assert_eq!(full_report.tail_enclosed_paths, 0);
         assert!(full.iter().all(|p| p.tail.is_none()));
+    }
+
+    #[test]
+    fn data_guarded_top_paths_carry_the_ranked_prefix() {
+        // A data-guarded loop sits at per_step = 1: the plain geometric
+        // series is unusable, but the ranking pass attaches an
+        // eventually-geometric prefix that the census counts separately.
+        let src = "let rec walk x = if x <= 0 then 0 else walk (x - sample) in walk 1";
+        let opts = SymExecOptions {
+            max_fix_unfoldings: 16,
+            max_paths: 6,
+            ..Default::default()
+        };
+        let (paths, report) = paths_report(src, opts, false);
+        let tops: Vec<_> = paths.iter().filter(|p| p.budget_truncated).collect();
+        assert!(!tops.is_empty(), "tight budget must produce ⊤ paths");
+        for p in &tops {
+            let tail = p.tail.expect("⊤ path inside walk must carry the fact");
+            assert_eq!(tail.per_step_weight.hi(), 1.0, "no plain decay");
+            let prefix = tail.prefix.expect("ranking pass must attach a prefix");
+            assert!(prefix.rate.hi() < 1.0);
+            assert!(prefix.prefix_weight.hi() <= 1.0);
+        }
+        assert_eq!(report.ranked_tail_paths, tops.len());
+        assert_eq!(report.tail_enclosed_paths, tops.len());
+        // The plain-geometric loop's enclosures carry no prefix: its
+        // ranked census stays 0 while the tail census counts them.
+        let geo = "let rec geo x = if sample <= 0.5 then x else geo (x + 1) in geo 0";
+        let (paths, report) = paths_report(geo, opts, false);
+        assert!(report.tail_enclosed_paths > 0);
+        assert_eq!(report.ranked_tail_paths, 0);
+        assert!(paths
+            .iter()
+            .all(|p| p.tail.is_none_or(|t| t.prefix.is_none())));
     }
 
     #[test]

@@ -54,5 +54,5 @@ pub use gubpi_pool::WorkerPool;
 pub use kernel::{
     kernel_stats, note_kernel_cells, CellBounds, KernelSeed, KernelStats, Tape, TapeScratch, LANES,
 };
-pub use path::{CmpDir, SymConstraint, SymPath, TailEnclosure};
+pub use path::{CmpDir, SymConstraint, SymPath, TailEnclosure, TailPrefix};
 pub use symval::SymVal;

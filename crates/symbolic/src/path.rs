@@ -68,13 +68,34 @@ impl fmt::Display for SymConstraint {
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct TailEnclosure {
     /// How many unfoldings of the truncating recursion the path
-    /// explored before the cut (census data, not part of the bound —
-    /// the explored prefix's decay already lives in `Δ` and `Ξ`).
+    /// explored before the cut. Census data for the plain geometric
+    /// formula (the explored prefix's decay already lives in `Δ` and
+    /// `Ξ`), but load-bearing for an eventually-geometric `prefix`:
+    /// the two-phase formula discounts by `k₀ − unfoldings_explored`
+    /// remaining prefix steps.
     pub unfoldings_explored: u32,
     /// Upper enclosure `c` of the one-unfolding continue mass.
     pub per_step_weight: Interval,
     /// Upper enclosure `x` of the out-of-body score product.
     pub continuation_weight: Interval,
+    /// Eventually-geometric certificate from the ranking pass (mirrors
+    /// `gubpi_analysis::RankedTail`), for recursions whose plain
+    /// `per_step_weight` sits at or above the `c = 1` boundary.
+    pub prefix: Option<TailPrefix>,
+}
+
+/// The eventually-geometric component of a [`TailEnclosure`]: after at
+/// most `prefix_bound` unfoldings the continue mass decays at `rate`,
+/// and suffix executions terminating before that carry total weight at
+/// most `prefix_weight` (see `gubpi_analysis::ranking`).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TailPrefix {
+    /// `k₀`: unfoldings until the decay phase provably starts.
+    pub prefix_bound: u32,
+    /// `c_eff`: the post-prefix per-step continue mass (hi < 1 usable).
+    pub rate: Interval,
+    /// `w_prefix`: total weight of prefix-phase terminations.
+    pub prefix_weight: Interval,
 }
 
 /// A finished symbolic (interval) path `Ψ = (V, n, Δ, Ξ)`.
@@ -162,6 +183,17 @@ impl SymPath {
                 t.per_step_weight.hi().to_bits().hash(&mut h);
                 t.continuation_weight.lo().to_bits().hash(&mut h);
                 t.continuation_weight.hi().to_bits().hash(&mut h);
+                match &t.prefix {
+                    None => 0u8.hash(&mut h),
+                    Some(p) => {
+                        1u8.hash(&mut h);
+                        p.prefix_bound.hash(&mut h);
+                        p.rate.lo().to_bits().hash(&mut h);
+                        p.rate.hi().to_bits().hash(&mut h);
+                        p.prefix_weight.lo().to_bits().hash(&mut h);
+                        p.prefix_weight.hi().to_bits().hash(&mut h);
+                    }
+                }
             }
         }
         hash_symval(&self.result, &mut h);
@@ -355,10 +387,30 @@ mod tests {
             unfoldings_explored: 3,
             per_step_weight: Interval::new(0.0, 0.5),
             continuation_weight: Interval::new(0.0, 1.0),
+            prefix: None,
         });
         assert_ne!(base.fingerprint(), tailed.fingerprint());
         let mut deeper = tailed.clone();
         deeper.tail.as_mut().unwrap().unfoldings_explored = 4;
         assert_ne!(tailed.fingerprint(), deeper.fingerprint());
+        // The eventually-geometric component must separate too — the
+        // memo cache keys bound substitutions on it.
+        let mut ranked = tailed.clone();
+        ranked.tail.as_mut().unwrap().prefix = Some(TailPrefix {
+            prefix_bound: 0,
+            rate: Interval::ZERO,
+            prefix_weight: Interval::new(0.0, 1.0),
+        });
+        assert_ne!(tailed.fingerprint(), ranked.fingerprint());
+        let mut longer = ranked.clone();
+        longer
+            .tail
+            .as_mut()
+            .unwrap()
+            .prefix
+            .as_mut()
+            .unwrap()
+            .prefix_bound = 7;
+        assert_ne!(ranked.fingerprint(), longer.fingerprint());
     }
 }

@@ -2,6 +2,12 @@
 //! tail-tightened bounds must still contain high-precision Monte-Carlo
 //! estimates at every path budget, and upper bounds must only improve
 //! as the budget grows — with and without the `--no-tail` escape hatch.
+//!
+//! Two regimes are covered: plain geometric tails (the per-step
+//! continue mass contracts below 1 on its own) and the ranked,
+//! *eventually*-geometric tails the ranking-synthesis pass certifies
+//! for data-guarded loops (countdown's bounded prefix, pedestrian's
+//! escape-mass fallback), where the plain analysis is stuck at `c = 1`.
 
 use gubpi_core::{AnalysisOptions, Analyzer, PathBoundOptions};
 use gubpi_inference::importance::{importance_sample, ImportanceOptions};
@@ -18,9 +24,18 @@ const GEOMETRIC: &str = "let rec geo x = if sample <= 0.5 then x else geo (x + 1
 const SCORED_GEOMETRIC: &str =
     "let rec geo x = if sample <= 0.5 then x else (score(0.5); geo (x + 1)) in geo 0";
 
-/// The pedestrian model: data-guarded loop, so the static analysis
-/// cannot contract it below 1 — its ⊤ paths keep the bare `[0, ∞]`
-/// placeholder even with tails enabled (the `c = 1` fallback).
+/// Data-guarded countdown: no probabilistic contraction at all (the
+/// recursing branch continues with mass 1), but the argument strictly
+/// decreases from an entry value ≤ 3, so the ranking pass certifies a
+/// bounded prefix. Every run returns 0 with weight 1, so `Z = 1`
+/// exactly.
+const COUNTDOWN: &str =
+    "let rec count x = if x <= 0 then 0 else count (x - 1) in count (2 + sample)";
+
+/// The pedestrian model: data-guarded loop the static analysis cannot
+/// contract below 1. The ranking pass rescues its ⊤ paths with the
+/// single-call escape-mass certificate (terminating suffix mass ≤ 1),
+/// so the upper bounds stay finite at every budget.
 const PEDESTRIAN: &str = r#"
     let start = 3 * sample uniform(0, 1) in
     let rec walk x =
@@ -154,6 +169,98 @@ fn upper_bounds_are_monotone_in_the_path_budget() {
             );
         }
     }
+}
+
+#[test]
+fn ranked_tails_keep_the_pedestrian_upper_bound_finite() {
+    // The headline of the ranking pass: the pedestrian walk has no
+    // geometric contraction (c = 1), so before ranked tails its Z upper
+    // bound was +∞ at any ⊤-producing budget. The escape-mass
+    // certificate bounds the terminating suffix mass by 1, and the
+    // bound must stay finite — and sound — across the budget sweep.
+    with_big_stack(|| {
+        let mc = posterior_mc(PEDESTRIAN, Interval::new(0.0, 1.0), 20_000, 0x7A11);
+        for max_paths in [6usize, 24, 2_000] {
+            let on = analyzer(PEDESTRIAN, 4, max_paths, true);
+            let off = analyzer(PEDESTRIAN, 4, max_paths, false);
+            let r = on.exec_report();
+            assert_eq!(
+                r.ranked_tail_paths, r.budget_truncated_paths,
+                "budget {max_paths}: every pedestrian ⊤ path should carry a ranked tail"
+            );
+            let (lo_on, hi_on) = on.denotation_bounds(Interval::REAL);
+            let (lo_off, hi_off) = off.denotation_bounds(Interval::REAL);
+            assert_eq!(
+                lo_on.to_bits(),
+                lo_off.to_bits(),
+                "budget {max_paths}: ranked tails must not move lower bounds"
+            );
+            assert!(
+                hi_on.is_finite(),
+                "budget {max_paths}: ranked tail must keep Z's upper bound finite, got {hi_on}"
+            );
+            if r.budget_truncated_paths > 0 {
+                assert_eq!(
+                    hi_off,
+                    f64::INFINITY,
+                    "budget {max_paths}: --no-tail must revert to the bare ⊤"
+                );
+            }
+            // Posterior probabilities still bracket the MC estimate.
+            let (plo, phi) = on.posterior_probability(Interval::new(0.0, 1.0));
+            assert!(
+                plo <= mc + 0.02 && mc <= phi + 0.02,
+                "budget {max_paths}: MC {mc} outside [{plo}, {phi}]"
+            );
+        }
+    });
+}
+
+#[test]
+fn countdown_bounds_pin_the_exact_normalising_constant() {
+    // The countdown loop terminates deterministically (bounded-prefix
+    // certificate), returning 0 with weight 1 on every run: Z = 1
+    // exactly. The enclosure must contain it at every budget, and the
+    // ranked tail must keep the upper bound finite even when the path
+    // budget cuts the loop short.
+    for max_paths in [2usize, 6, 24, 2_000] {
+        let a = analyzer(COUNTDOWN, 16, max_paths, true);
+        let (lo, hi) = a.normalizing_constant();
+        assert!(
+            lo <= 1.0 && 1.0 <= hi,
+            "budget {max_paths}: Z = 1 outside [{lo}, {hi}]"
+        );
+        assert!(
+            hi.is_finite(),
+            "budget {max_paths}: countdown upper bound must stay finite, got {hi}"
+        );
+    }
+    // At a generous budget the loop is fully explored and the bounds
+    // collapse to (essentially) the exact value.
+    let a = analyzer(COUNTDOWN, 16, 2_000, true);
+    let (lo, hi) = a.normalizing_constant();
+    assert!(hi - lo < 1e-6, "fully explored countdown: [{lo}, {hi}]");
+}
+
+#[test]
+fn ranked_upper_bounds_are_monotone_for_the_pedestrian() {
+    // Budget-monotonicity for the ranked (escape-mass) tail: its
+    // multiplier is constant across cut depths, so deeper cuts only
+    // shrink the continuation weight and the Z upper bound must never
+    // get worse as the path budget grows.
+    with_big_stack(|| {
+        let mut prev = f64::INFINITY;
+        for max_paths in [6usize, 12, 48, 500] {
+            let a = analyzer(PEDESTRIAN, 4, max_paths, true);
+            let (_, hi) = a.denotation_bounds(Interval::REAL);
+            assert!(
+                hi <= prev,
+                "pedestrian: hi {hi} worse than {prev} at budget {max_paths}"
+            );
+            assert!(hi.is_finite(), "budget {max_paths}: hi must be finite");
+            prev = hi;
+        }
+    });
 }
 
 #[test]
