@@ -19,8 +19,9 @@ use bench::{
     shared_analysis_cache, shared_analyzer,
 };
 use gubpi_core::{
-    lint_program, render_histogram, AnalysisOptions, Analyzer, Method, ProgramFacts, Severity,
-    WorkerPool,
+    bound_path_grid_only_threaded, lint_program, render_histogram, run_adaptive_refinement,
+    tail_substituted, AnalysisOptions, Analyzer, GridRefiner, Method, PathBoundOptions,
+    ProgramFacts, QueryFold, RefineOptions, Severity, SingleQuery, Threads, WorkerPool,
 };
 use gubpi_inference::hmc::{hmc_sample, HmcOptions};
 use gubpi_inference::importance::{importance_sample, ImportanceOptions};
@@ -102,6 +103,37 @@ fn main() {
         std::env::set_var("GUBPI_NO_TAIL", "1");
         args.remove(i);
     }
+    // `--no-refine` disables gap-driven adaptive region refinement —
+    // equivalent to GUBPI_NO_REFINE=1. Every grid query falls back to
+    // the one-shot uniform sweep, bit-identical to the pre-refinement
+    // engine; the escape hatch mirrors --no-kernel / --no-tail.
+    if let Some(i) = args.iter().position(|a| a == "--no-refine") {
+        std::env::set_var("GUBPI_NO_REFINE", "1");
+        args.remove(i);
+    }
+    // `--gap-target X` stops adaptive refinement early once the summed
+    // upper−lower gap of a query drops to X — equivalent to
+    // GUBPI_GAP_TARGET. 0 (the default) refines to the full cell budget.
+    if let Some(i) = args.iter().position(|a| a == "--gap-target") {
+        match args
+            .get(i + 1)
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|g| g.is_finite() && *g >= 0.0)
+        {
+            Some(_) => {
+                std::env::set_var("GUBPI_GAP_TARGET", args[i + 1].clone());
+            }
+            None => {
+                let got = args.get(i + 1).map(String::as_str).unwrap_or("<missing>");
+                eprintln!(
+                    "--gap-target expects a finite gap >= 0; got `{got}` \
+                     (use 0 to refine to the full cell budget)"
+                );
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     // `--lint` prints the static-analysis findings for every model a
     // command analyzes, as the analyzers are built (GUBPI_LINT=1).
     let lint_mode = if let Some(i) = args.iter().position(|a| a == "--lint") {
@@ -132,7 +164,8 @@ fn main() {
             println!(
                 "repro — regenerates the tables and figures of the GuBPI paper\n\n\
                  USAGE: repro [--threads N|auto|off] [--cache-cap N] [--no-kernel] [--no-prune]\n       \
-                 [--no-tail] [--lint] [--deny-warnings] [--stats] [COMMAND]\n\n\
+                 [--no-tail] [--no-refine] [--gap-target X] [--lint] [--deny-warnings]\n       \
+                 [--stats] [COMMAND]\n\n\
                  COMMANDS:\n  \
                  table1        Table 1/4: probability estimation, GuBPI vs [56]\n  \
                  table2        Table 2: discrete models vs exact posteriors\n  \
@@ -147,6 +180,8 @@ fn main() {
                  model; writes the BENCH_prune.json snapshot\n  \
                  tail-report   upper−lower gap on Z for truncated recursions, tail\n                \
                  enclosures on vs off; writes the BENCH_tail.json snapshot\n  \
+                 gap-report    bound gap at equal cell budget, uniform sweep vs\n                \
+                 gap-driven adaptive refinement; writes BENCH_gap.json\n  \
                  smoke         one tiny model end to end (seconds; for diagnosing\n                \
                  an installation together with --stats / --no-kernel)\n  \
                  all           everything above (the default)\n\n\
@@ -164,6 +199,12 @@ fn main() {
                  --no-tail              disable geometric tail enclosures on budget-⊤ paths\n                         \
                  (same as GUBPI_NO_TAIL=1; upper bounds revert to +∞\n                         \
                  where a ⊤ path exists, lower bounds are bit-identical)\n  \
+                 --no-refine            disable gap-driven adaptive region refinement (same\n                         \
+                 as GUBPI_NO_REFINE=1; grid queries fall back to the\n                         \
+                 one-shot uniform sweep, bit-identically)\n  \
+                 --gap-target X         stop refining a query once its summed bound gap\n                         \
+                 reaches X (same as GUBPI_GAP_TARGET; 0 = refine to the\n                         \
+                 full cell budget)\n  \
                  --lint                 print static-analysis findings for every model a\n                         \
                  command analyzes (same as GUBPI_LINT=1)\n  \
                  --deny-warnings        exit 1 on warning-severity lints (with `analyze`,\n                         \
@@ -179,6 +220,7 @@ fn main() {
         "analyze" => analyze(args.get(1).map(String::as_str), deny_warnings),
         "prune-report" => prune_report(),
         "tail-report" => tail_report(),
+        "gap-report" => gap_report(),
         "pedestrian" | "fig1" | "fig7" => pedestrian(),
         "fig5" => fig5(),
         "fig6" => fig6(),
@@ -459,6 +501,209 @@ fn tail_report() {
     println!();
 }
 
+/// `gap-report`: the upper−lower bound gap at an equal cell budget,
+/// one-shot uniform sweep vs gap-driven adaptive refinement. Writes the
+/// `BENCH_gap.json` snapshot next to `BENCH_prune.json` /
+/// `BENCH_tail.json`.
+///
+/// Two whole-model comparisons run the full analyzer twice with
+/// identical options (same splits, same region budget, `Method::Grid`)
+/// and only the `refine` switch flipped; the pedestrian row isolates the
+/// model's dominant path (most sample dimensions) and drives one
+/// `GridRefiner` directly against `bound_path_query_threaded`. The
+/// headline metric is gap-per-second — how fast each engine buys bound
+/// tightness — not cells-per-second. The ≥2× gap-shrink assertions on
+/// the grass grid and the pedestrian dominant path are the CI smoke
+/// gate for the refinement engine.
+fn gap_report() {
+    println!("== Gap report: uniform sweep vs adaptive refinement (equal cells) ====");
+    let grass = models::table2()
+        .into_iter()
+        .find(|b| b.name == "grass")
+        .expect("grass is in table2");
+    let fig6a = models::figure6()
+        .into_iter()
+        .find(|b| b.id == "6a")
+        .expect("fig6a is in the zoo");
+    println!(
+        "{:<26} {:>12} {:>12} {:>7} {:>10} {:>9} {:>9}",
+        "workload", "gap uniform", "gap adaptive", "ratio", "gap/s", "t_uni(s)", "t_ada(s)"
+    );
+    let mut rows = Vec::new();
+    let mut push_row = |name: &str,
+                        (ulo, uhi, ut): (f64, f64, f64),
+                        (alo, ahi, at): (f64, f64, f64),
+                        min_ratio: f64| {
+        let gap_u = uhi - ulo;
+        let gap_a = ahi - alo;
+        let ratio = gap_u / gap_a.max(f64::MIN_POSITIVE);
+        // Gap closed per second of refinement: the report's headline.
+        let gps = (gap_u - gap_a) / at.max(1e-12);
+        println!(
+            "{:<26} {:>12.6} {:>12.6} {:>6.1}x {:>10.3} {:>9.3} {:>9.3}",
+            name, gap_u, gap_a, ratio, gps, ut, at
+        );
+        if min_ratio > 0.0 {
+            assert!(
+                ratio >= min_ratio,
+                "{name}: adaptive refinement must shrink the gap ≥{min_ratio}x at equal \
+                 cell budget (uniform {gap_u}, adaptive {gap_a})"
+            );
+        }
+        rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"lo_uniform\": {},\n      \
+             \"hi_uniform\": {},\n      \"lo_adaptive\": {},\n      \"hi_adaptive\": {},\n      \
+             \"gap_uniform\": {},\n      \"gap_adaptive\": {},\n      \"gap_ratio\": {},\n      \
+             \"uniform_secs\": {:.4},\n      \"adaptive_secs\": {:.4},\n      \
+             \"gap_closed_per_sec\": {}\n    }}",
+            json_num(ulo),
+            json_num(uhi),
+            json_num(alo),
+            json_num(ahi),
+            json_num(gap_u),
+            json_num(gap_a),
+            json_num(ratio),
+            ut,
+            at,
+            json_num(gps),
+        ));
+    };
+    // Whole-model rows: Method::Grid pins the grid semantics (the one
+    // refinement accelerates) even where the linear semantics would
+    // apply, so uniform-vs-adaptive is an apples-to-apples sweep. The
+    // bound gap lives on the cells straddling branch thresholds — a
+    // measure-zero surface — so adaptive's edge over the uniform grid
+    // grows with the cell budget; the splits below give refinement room
+    // to out-resolve the uniform grid within the same budget.
+    let entries: Vec<(&str, &str, u32, Interval, f64)> = vec![
+        (
+            "table2-grass-grid",
+            grass.source,
+            8,
+            Interval::new(0.5, 1.5),
+            2.0,
+        ),
+        ("fig6a-grid", fig6a.source, 8, Interval::REAL, 0.0),
+    ];
+    for (name, source, unfold, u, min_ratio) in entries {
+        let run = |refine: bool| {
+            let mut o = AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: unfold,
+                    ..Default::default()
+                },
+                method: Method::Grid,
+                ..Default::default()
+            };
+            o.bounds.splits = 24;
+            o.bounds.region_budget = 400_000;
+            o.refine = refine;
+            o.gap_target = 0.0;
+            o.max_refine_depth = 40;
+            let a = Analyzer::from_source(source, o).expect("zoo model compiles");
+            let t0 = Instant::now();
+            let (lo, hi) = a.denotation_bounds(u);
+            (lo, hi, t0.elapsed().as_secs_f64())
+        };
+        push_row(name, run(false), run(true), min_ratio);
+    }
+    // Dominant-path rows: the single terminated symbolic path with the
+    // most sample dimensions, bounded through the grid semantics in
+    // both modes (uniform `bound_path_grid_only_threaded` vs one
+    // `GridRefiner`), so the row measures the refinement engine itself
+    // — not path enumeration and not the linear semantics.
+    //
+    // The pedestrian row carries no ratio floor: its walk is closed off
+    // by `approxFix`, so the dominant path's score ranges over an
+    // interval containing ⊤ contributions that no amount of cell
+    // refinement can shrink — the row records the honest gap-per-second
+    // on the paper's headline model. The noisyOr row is the enforced
+    // dominant-path witness: its gap lives entirely on branch-threshold
+    // faces, which the worklist resolves far past the uniform grid.
+    let noisy_or = models::table2()
+        .into_iter()
+        .find(|b| b.name == "noisyOr")
+        .expect("noisyOr is in table2");
+    let path_rows: Vec<(&str, &str, u32, usize, Interval, f64)> = vec![
+        (
+            "noisyor-dominant-path",
+            noisy_or.source,
+            8,
+            20,
+            Interval::new(0.5, 1.5),
+            2.0,
+        ),
+        (
+            "pedestrian-dominant-path",
+            models::PEDESTRIAN,
+            2,
+            12,
+            Interval::new(1.0, 1.25),
+            0.0,
+        ),
+    ];
+    let width = Threads::Auto.worker_count(usize::MAX);
+    for (name, source, unfold, splits, u, min_ratio) in path_rows {
+        let a = Analyzer::from_source(
+            source,
+            AnalysisOptions {
+                sym: SymExecOptions {
+                    max_fix_unfoldings: unfold,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("zoo model compiles");
+        let dominant = a
+            .paths()
+            .iter()
+            .filter(|p| !p.budget_truncated)
+            .max_by_key(|p| p.n_samples)
+            .expect("model has terminated paths")
+            .clone();
+        let bopts = PathBoundOptions {
+            splits,
+            region_budget: 400_000,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let mut sink = SingleQuery::new(u);
+        bound_path_grid_only_threaded(&dominant, bopts, Threads::Auto, &mut sink);
+        let ut = t0.elapsed().as_secs_f64();
+        let tailed = tail_substituted(&dominant, &bopts);
+        let path = tailed.as_ref().unwrap_or(&dominant);
+        let refine = RefineOptions {
+            refine: true,
+            gap_target: 0.0,
+            max_refine_depth: 40,
+        };
+        let t0 = Instant::now();
+        let mut refiners = vec![
+            GridRefiner::new(path, QueryFold::Filter(u), bopts, &refine, None)
+                .expect("the dominant path is grid-refinable"),
+        ];
+        let b = run_adaptive_refinement(WorkerPool::global(), width, &mut refiners, 0.0);
+        let at = t0.elapsed().as_secs_f64();
+        push_row(
+            name,
+            (sink.lo, sink.hi, ut),
+            (b[0].0, b[0].1, at),
+            min_ratio,
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"gap\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gap.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!();
+}
+
 /// `--stats`: per-path cache, persistent-pool and compiled-kernel
 /// counters for the run.
 fn stats(elapsed_s: f64) {
@@ -481,6 +726,16 @@ fn stats(elapsed_s: f64) {
         "pool:  {} workers spawned, {} dispatches, {} inline runs, last chunk width {}",
         p.spawned_workers, p.dispatches, p.inline_runs, p.last_chunk_width
     );
+    if p.refine_rounds == 0 {
+        println!("refine: no adaptive rounds (uniform sweeps only; see --no-refine)");
+    } else {
+        println!(
+            "refine: {} adaptive rounds, {} cell splits, last query gap {:.6}",
+            p.refine_rounds,
+            p.refine_splits,
+            p.last_refine_gap()
+        );
+    }
     println!(
         "tasks: {} path, {} region chunks; steals: {} path, {} region; forks: {} pooled, {} inline",
         p.path_tasks,

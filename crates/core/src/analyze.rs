@@ -15,7 +15,8 @@ use gubpi_types::{infer_interval_types, IntervalTyping};
 use crate::histogram::HistogramBounds;
 use crate::pathbounds::{
     linear_applicable, plan_path_grid_only_seeded, plan_path_query_seeded, plan_path_seeded,
-    tail_substituted, BoundSink, PathBoundOptions, QueryFold, Region,
+    run_adaptive_refinement, tail_substituted, BoundSink, GridRefiner, PathBoundOptions, QueryFold,
+    RefineOptions, Region,
 };
 
 /// Which per-path semantics to use.
@@ -46,29 +47,55 @@ pub struct AnalysisOptions {
     /// disabling it (`repro --no-prune`) reproduces bit-identical bounds
     /// with more enumerated paths — the field-regression escape hatch.
     pub prune: bool,
+    /// Bound grid-destined paths by **gap-driven adaptive refinement**
+    /// (coarse seed grid + worklist bisection of the cells contributing
+    /// most to the upper−lower gap) instead of the one-shot uniform
+    /// sweep, at the *same* cell budget. Histograms always use the
+    /// uniform sweep (their sinks need the full value-range partition).
+    /// The default honours the `GUBPI_NO_REFINE` escape hatch (`repro
+    /// --no-refine`), under which query bounds are bit-identical to the
+    /// uniform sweep.
+    pub refine: bool,
+    /// Stop refining a query early once the summed gap of its refined
+    /// paths drops to this value; `0.0` (default) spends the full cell
+    /// budget. Per-path results computed under a positive gap target
+    /// depend on the whole query's worklist, so they bypass the memo
+    /// cache (purity would not survive sharing them).
+    pub gap_target: f64,
+    /// Maximum bisection depth below the adaptive seed grid.
+    pub max_refine_depth: u32,
 }
 
 impl Default for AnalysisOptions {
     fn default() -> AnalysisOptions {
+        let refine = RefineOptions::default();
         AnalysisOptions {
             sym: SymExecOptions::default(),
             bounds: PathBoundOptions::default(),
             method: Method::default(),
             threads: Threads::default(),
             prune: true,
+            refine: refine.refine,
+            gap_target: refine.gap_target,
+            max_refine_depth: refine.max_refine_depth,
         }
     }
 }
 
+/// The refinement configuration as an exact, hashable key component:
+/// `(refine, gap_target bits, max_refine_depth)`. `f64::to_bits` keys
+/// the gap target exactly (the float itself has no `Eq`/`Hash`).
+type RefineKey = (bool, u64, u32);
+
 /// `(path fingerprint, query lo bits, query hi bits, bounding options,
-/// method)`. The fingerprint is a 64-bit structural hash, so every
-/// cached result additionally stores the [`SymPath`] it was computed
-/// for and lookups verify **structural equality** before reusing an
-/// entry — a fingerprint collision costs one extra bucket entry, never
-/// a wrong bound. The option values are keyed exactly (derived
-/// `Eq`/`Hash`), so differing configurations can never alias — even
-/// ones added to [`PathBoundOptions`] later.
-type QueryKey = (u64, u64, u64, PathBoundOptions, Method);
+/// method, refinement key)`. The fingerprint is a 64-bit structural
+/// hash, so every cached result additionally stores the [`SymPath`] it
+/// was computed for and lookups verify **structural equality** before
+/// reusing an entry — a fingerprint collision costs one extra bucket
+/// entry, never a wrong bound. The option values are keyed exactly
+/// (derived `Eq`/`Hash`), so differing configurations can never alias
+/// — even ones added to [`PathBoundOptions`] later.
+type QueryKey = (u64, u64, u64, PathBoundOptions, Method, RefineKey);
 
 /// One verified cache entry.
 struct CacheEntry {
@@ -570,6 +597,16 @@ impl Analyzer {
     /// one analyzer is safe).
     pub fn denotation_bounds_with(&self, u: Interval, bounds: PathBoundOptions) -> (f64, f64) {
         let method = self.opts.method;
+        let refine = RefineOptions {
+            refine: self.opts.refine,
+            gap_target: self.opts.gap_target,
+            max_refine_depth: self.opts.max_refine_depth,
+        };
+        let refine_key: RefineKey = (
+            refine.refine,
+            refine.gap_target.to_bits(),
+            refine.max_refine_depth,
+        );
         let key = |i: usize| -> QueryKey {
             (
                 self.fingerprints[i],
@@ -577,8 +614,31 @@ impl Analyzer {
                 u.hi().to_bits(),
                 bounds,
                 method,
+                refine_key,
             )
         };
+        // Which paths are grid-destined and therefore candidates for
+        // adaptive refinement? (Linear paths under `Auto` keep the
+        // polytope semantics; sampleless paths have nothing to split.
+        // Tail substitution only rewrites a score constant, so it
+        // cannot change this classification.)
+        let refinable: Vec<bool> = self
+            .paths
+            .iter()
+            .map(|p| {
+                refine.refine
+                    && p.n_samples > 0
+                    && match method {
+                        Method::Auto => !linear_applicable(p),
+                        Method::Grid => true,
+                    }
+            })
+            .collect();
+        // Under a positive gap target a refined path's bounds depend on
+        // the whole query's worklist (refinement stops when the *summed*
+        // gap hits the target), so those results are not pure per-path
+        // values: they bypass the memo cache entirely.
+        let bypass = |i: usize| refine.gap_target > 0.0 && refinable[i];
         // One lock for the whole lookup pass: cached results are read
         // out before dispatch, so workers never contend on the cache.
         // Fingerprint hits are verified by structural path equality
@@ -588,6 +648,9 @@ impl Analyzer {
             let mut map = self.cache.inner.map.lock().expect("cache poisoned");
             (0..self.paths.len())
                 .map(|i| {
+                    if bypass(i) {
+                        return None;
+                    }
                     let stamp = self.cache.tick();
                     map.buckets.get_mut(&key(i)).and_then(|bucket| {
                         bucket
@@ -627,10 +690,27 @@ impl Analyzer {
             .iter()
             .map(|&(_, p)| tail_substituted(p, &bounds))
             .collect();
+        // Partition the misses: grid-destined paths become per-path
+        // adaptive refiners (falling back to the uniform sweep when the
+        // grid is too coarse to subdivide); everything else keeps its
+        // one-shot plan. Both batches run on the same pool with the
+        // same deterministic (path, region)-order replay.
         let mut jobs: Vec<PathJob<'_, Region>> = Vec::with_capacity(misses.len());
         let mut folds: Vec<QueryFold> = Vec::with_capacity(misses.len());
-        for (&(_, p), t) in misses.iter().zip(&tailed) {
+        let mut uniform_at: Vec<usize> = Vec::with_capacity(misses.len());
+        let mut refiners: Vec<GridRefiner<'_>> = Vec::new();
+        let mut refiner_at: Vec<usize> = Vec::new();
+        for (mi, (&(i, p), t)) in misses.iter().zip(&tailed).enumerate() {
             let p = t.as_ref().unwrap_or(p);
+            if refinable[i] {
+                if let Some(r) =
+                    GridRefiner::new(p, QueryFold::Filter(u), bounds, &refine, Some(&self.seed))
+                {
+                    refiners.push(r);
+                    refiner_at.push(mi);
+                    continue;
+                }
+            }
             let (job, fold) = match method {
                 Method::Auto => plan_path_query_seeded(p, u, bounds, Some(&self.seed)),
                 Method::Grid => (
@@ -640,17 +720,26 @@ impl Analyzer {
             };
             jobs.push(job);
             folds.push(fold);
+            uniform_at.push(mi);
         }
+        let width = self.opts.threads.worker_count(usize::MAX);
         let mut computed: Vec<(f64, f64)> = vec![(0.0, 0.0); misses.len()];
-        run_jobs_with(
-            &self.pool,
-            self.opts.threads.worker_count(usize::MAX),
-            jobs,
-            |i, region| folds[i].apply(&mut computed[i], region),
-        );
+        run_jobs_with(&self.pool, width, jobs, |j, region| {
+            folds[j].apply(&mut computed[uniform_at[j]], region)
+        });
+        if !refiners.is_empty() {
+            let refined =
+                run_adaptive_refinement(&self.pool, width, &mut refiners, refine.gap_target);
+            for (&mi, b) in refiner_at.iter().zip(refined) {
+                computed[mi] = b;
+            }
+        }
         if !misses.is_empty() {
             let mut map = self.cache.inner.map.lock().expect("cache poisoned");
             for (&(i, _), &v) in misses.iter().zip(&computed) {
+                if bypass(i) {
+                    continue;
+                }
                 let stamp = self.cache.tick();
                 let bucket = map.buckets.entry(key(i)).or_default();
                 // A racing analyzer may have inserted the same path

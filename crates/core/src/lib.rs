@@ -60,8 +60,8 @@ pub use pathbounds::{
     bound_path, bound_path_grid_only, bound_path_grid_only_threaded, bound_path_query,
     bound_path_query_threaded, bound_path_threaded, grid_splits, linear_applicable, plan_path,
     plan_path_grid_only, plan_path_grid_only_seeded, plan_path_query, plan_path_query_seeded,
-    plan_path_seeded, tail_substituted, BoundSink, PathBoundOptions, QueryFold, Region,
-    SingleQuery,
+    plan_path_seeded, run_adaptive_refinement, tail_substituted, BoundSink, GridRefiner,
+    PathBoundOptions, QueryFold, RefineOptions, Region, SingleQuery,
 };
 pub use pool::{PoolStats, Threads, WorkerPool};
 pub use report::render_histogram;

@@ -939,6 +939,384 @@ fn plan_linear(path: &SymPath, opts: PathBoundOptions, mode: ResultMode) -> Path
     }
 }
 
+// --------------------------------------------------------------------
+// Gap-driven adaptive region refinement
+// --------------------------------------------------------------------
+
+/// Does a `GUBPI_NO_REFINE` value disable adaptive refinement? Same
+/// convention as `GUBPI_NO_KERNEL`: any non-empty value other than
+/// `"0"` counts as "disable".
+fn refine_disabled(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
+}
+
+/// Options for gap-driven adaptive refinement (kept separate from
+/// [`PathBoundOptions`], which must stay float-free for `Eq`/`Hash`;
+/// the analyzer folds these into its cache key via `f64::to_bits`).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RefineOptions {
+    /// Refine grid-destined paths adaptively instead of sweeping the
+    /// full uniform grid. The default honours the `GUBPI_NO_REFINE`
+    /// escape hatch (`repro --no-refine`), under which every query is
+    /// bit-identical to the uniform sweep.
+    pub refine: bool,
+    /// Stop refining once the summed (upper − lower) gap of all
+    /// refined paths in a query drops to this value; `0.0` (the
+    /// default) means "spend the whole cell budget". Overridable via
+    /// `GUBPI_GAP_TARGET` / `repro --gap-target`.
+    pub gap_target: f64,
+    /// Maximum bisection depth below the seed grid; cells at this
+    /// depth settle instead of re-entering the worklist.
+    pub max_refine_depth: u32,
+}
+
+impl Default for RefineOptions {
+    fn default() -> RefineOptions {
+        RefineOptions {
+            refine: !refine_disabled(std::env::var("GUBPI_NO_REFINE").ok().as_deref()),
+            gap_target: std::env::var("GUBPI_GAP_TARGET")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|g| g.is_finite() && *g >= 0.0)
+                .unwrap_or(0.0),
+            max_refine_depth: 12,
+        }
+    }
+}
+
+/// A region's contribution to the query's (upper − lower) gap, folded
+/// the same way the bounds themselves are: under [`QueryFold::Filter`]
+/// a cell only contributes its `hi` mass while its value range still
+/// intersects `U`, and only its `lo` mass while the range is contained
+/// in `U`. `NaN` (`∞ − ∞`) settles as `0.0` so an all-⊤ path cannot
+/// wedge the worklist.
+fn gap_score(fold: QueryFold, (v, lo, hi): Region) -> f64 {
+    let score = match fold {
+        QueryFold::Direct => hi - lo,
+        QueryFold::Filter(u) => {
+            let hi_in = if v.intersects(&u) { hi } else { 0.0 };
+            let lo_in = if v.subset_of(&u) { lo } else { 0.0 };
+            hi_in - lo_in
+        }
+    };
+    if score.is_nan() {
+        0.0
+    } else {
+        score
+    }
+}
+
+/// A refinable cell on the worklist: its gap contribution, the
+/// canonical sequence number that breaks score ties (assigned in
+/// evaluation order, which is itself deterministic), its bisection
+/// depth, the box, and the region triple it currently contributes.
+struct Leaf {
+    score: f64,
+    seq: u64,
+    depth: u32,
+    cell: BoxN,
+    region: Region,
+}
+
+/// Gap-driven adaptive refinement of one grid-destined path (§6.3
+/// semantics, adaptively subdivided).
+///
+/// Instead of sweeping the uniform `k^n` grid, the refiner seeds a
+/// coarse grid, scores every evaluated cell by its gap contribution
+/// ([`gap_score`]), and repeatedly bisects the widest dimension of the
+/// worst cells until the query's gap target, the cell budget (the
+/// **same** `k^n` the uniform sweep would have spent), or the maximum
+/// depth is reached. Soundness: the two children of a bisection
+/// partition the parent box exactly, and interval evaluation is
+/// inclusion-monotone, so every round only tightens the path's bounds
+/// — the refined result is always contained in the uniform sweep's.
+///
+/// # Determinism
+///
+/// All selection, scoring and integration run on the caller's thread;
+/// workers only evaluate batches of cells whose results are replayed
+/// in canonical index order (the same `(path, region)` replay as the
+/// uniform sweep). The priority order is total — score descending via
+/// `f64::total_cmp`, then canonical sequence number ascending — so the
+/// refinement tree, and therefore every reported bound, is
+/// **bit-identical across thread counts and steal schedules**.
+pub struct GridRefiner<'a> {
+    path: &'a SymPath,
+    tape: Option<Tape>,
+    fold: QueryFold,
+    max_depth: u32,
+    budget: usize,
+    used: usize,
+    settled: (f64, f64),
+    settled_gap: f64,
+    frontier: Vec<Leaf>,
+    pending: Vec<BoxN>,
+    pending_depth: Vec<u32>,
+    next_seq: u64,
+    splits: u64,
+    done: bool,
+}
+
+impl<'a> GridRefiner<'a> {
+    /// A refiner for one grid-destined path, or `None` when refinement
+    /// is disabled, the path has no sample space, or the uniform grid
+    /// is too coarse to subdivide (`k < 4`) — callers fall back to the
+    /// uniform sweep in that case. The cell budget is exactly the
+    /// uniform sweep's `k^n`, so adaptive and uniform runs at default
+    /// options spend the same number of cell evaluations.
+    pub fn new(
+        path: &'a SymPath,
+        fold: QueryFold,
+        opts: PathBoundOptions,
+        refine: &RefineOptions,
+        seed: Option<&KernelSeed>,
+    ) -> Option<GridRefiner<'a>> {
+        if !refine.refine || path.n_samples == 0 {
+            return None;
+        }
+        let n = path.n_samples;
+        let k = grid_splits(opts.splits, n, opts.region_budget);
+        if k < 4 {
+            return None;
+        }
+        let budget = k.pow(n as u32);
+        // Seed coarsely — a quarter of the per-dimension resolution,
+        // capped to keep high-dimensional seeds from eating the budget
+        // — and leave the rest of the budget to adaptive bisection.
+        let k0 = grid_splits((k / 4).clamp(2, 8), n, (budget / 4).max(1));
+        let cell_edges: Vec<Interval> = Interval::UNIT.split(k0);
+        let total = k0.pow(n as u32);
+        let mut pending: Vec<BoxN> = Vec::with_capacity(total);
+        let mut odo = Odometer::at(n, 0, |_| k0);
+        for _ in 0..total {
+            pending.push((0..n).map(|d| cell_edges[odo.digits[d]]).collect());
+            odo.step(|_| k0);
+        }
+        Some(GridRefiner {
+            path,
+            tape: opts.use_kernel.then(|| Tape::for_path_seeded(path, seed)),
+            fold,
+            max_depth: refine.max_refine_depth,
+            budget,
+            used: 0,
+            settled: (0.0, 0.0),
+            settled_gap: 0.0,
+            frontier: Vec::new(),
+            pending_depth: vec![0; total],
+            pending,
+            next_seq: 0,
+            splits: 0,
+            done: false,
+        })
+    }
+
+    /// Moves the next batch of cells from the worklist into `pending`,
+    /// returning whether this refiner has cells to evaluate this
+    /// round. Pop count scales with the worklist (a quarter of the
+    /// positive-score prefix, at least 8) so the shape of the
+    /// refinement tree is driven by the gap landscape; the remaining
+    /// cell budget only truncates it, which keeps refinement trees at
+    /// different budgets nested prefixes of each other.
+    fn select_batch(&mut self) -> bool {
+        if !self.pending.is_empty() {
+            return true; // round 0: the seed grid is already pending
+        }
+        if self.done {
+            return false;
+        }
+        let remaining = self.budget.saturating_sub(self.used);
+        if remaining < 2 || self.frontier.is_empty() {
+            self.done = true;
+            return false;
+        }
+        self.frontier
+            .sort_by(|a, b| b.score.total_cmp(&a.score).then(a.seq.cmp(&b.seq)));
+        let positive = self.frontier.iter().take_while(|l| l.score > 0.0).count();
+        if positive == 0 {
+            self.done = true;
+            return false;
+        }
+        let pops = positive.min(remaining / 2).min((positive / 4).max(8));
+        for leaf in self.frontier.drain(..pops) {
+            match leaf.cell.bisect_widest() {
+                Some((a, b)) => {
+                    self.splits += 1;
+                    self.pending.push(a);
+                    self.pending.push(b);
+                    self.pending_depth.push(leaf.depth + 1);
+                    self.pending_depth.push(leaf.depth + 1);
+                }
+                None => {
+                    // Degenerate (point) box: nothing left to split.
+                    self.fold.apply(&mut self.settled, leaf.region);
+                    self.settled_gap += leaf.score;
+                }
+            }
+        }
+        !self.pending.is_empty()
+    }
+
+    /// The pending batch as a stealable region sweep. Cells are tagged
+    /// with their batch index so the (already order-replayed) stream
+    /// can be matched back to `pending`; dead cells (excluded by a
+    /// constraint ∃-test) are simply absent and settle with zero
+    /// contribution.
+    fn round_job(&self) -> PathJob<'_, (usize, Region)> {
+        if self.pending.is_empty() {
+            return PathJob::Ready(Vec::new());
+        }
+        let boxes = &self.pending;
+        match &self.tape {
+            Some(tape) => PathJob::Sweep {
+                total: boxes.len(),
+                cost: tape.cost(),
+                process: Box::new(move |range: Range<usize>, buf| {
+                    note_kernel_cells(range.len() as u64);
+                    let mut scratch = tape.scratch();
+                    let slice = &boxes[range.clone()];
+                    tape.eval_boxes(&mut scratch, slice, |i, cell| {
+                        let vol = slice[i].volume();
+                        let lo = if cell.definite {
+                            vol * cell.weight.lo()
+                        } else {
+                            0.0
+                        };
+                        buf.push((range.start + i, (cell.value, lo, vol * cell.weight.hi())));
+                    });
+                }),
+            },
+            None => {
+                let path = self.path;
+                PathJob::Sweep {
+                    total: boxes.len(),
+                    cost: tree_walk_cost(path),
+                    process: Box::new(move |range: Range<usize>, buf| {
+                        for idx in range {
+                            let cell = &boxes[idx];
+                            if !path.constraints_on_box(cell, false) {
+                                continue;
+                            }
+                            let vol = cell.volume();
+                            let w = path.weight_range_over_box(cell);
+                            let v = path.result.range_over_box(cell);
+                            let definite = path.constraints_on_box(cell, true);
+                            let lo = if definite { vol * w.lo() } else { 0.0 };
+                            buf.push((idx, (v, lo, vol * w.hi())));
+                        }
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Folds one round's replayed region stream back into the refiner:
+    /// refinable cells (positive score, below max depth) join the
+    /// worklist, everything else settles into the accumulated bounds.
+    fn integrate(&mut self, out: &[(usize, Region)]) {
+        self.used += self.pending.len();
+        for &(idx, region) in out {
+            let score = gap_score(self.fold, region);
+            let depth = self.pending_depth[idx];
+            if score > 0.0 && depth < self.max_depth {
+                self.frontier.push(Leaf {
+                    score,
+                    seq: self.next_seq + idx as u64,
+                    depth,
+                    cell: self.pending[idx].clone(),
+                    region,
+                });
+            } else {
+                self.fold.apply(&mut self.settled, region);
+                self.settled_gap += score;
+            }
+        }
+        self.next_seq += self.pending.len() as u64;
+        self.pending.clear();
+        self.pending_depth.clear();
+    }
+
+    /// The path's current (upper − lower) gap: settled cells plus the
+    /// still-refinable worklist.
+    pub fn gap(&self) -> f64 {
+        let mut gap = self.settled_gap;
+        for leaf in &self.frontier {
+            gap += leaf.score;
+        }
+        gap
+    }
+
+    /// Cell evaluations spent so far (≤ the uniform sweep's `k^n`).
+    pub fn cells_used(&self) -> usize {
+        self.used
+    }
+
+    /// Cells the refiner bisected so far.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Settles the remaining worklist (in canonical sequence order)
+    /// and returns the path's final `(lo, hi)` bounds.
+    fn finish(&mut self) -> (f64, f64) {
+        self.frontier.sort_by_key(|leaf| leaf.seq);
+        for leaf in self.frontier.drain(..) {
+            self.fold.apply(&mut self.settled, leaf.region);
+            self.settled_gap += leaf.score;
+        }
+        self.settled
+    }
+}
+
+/// Drives a set of per-path [`GridRefiner`]s in lockstep rounds on the
+/// worker pool and returns each path's final `(lo, hi)` bounds (in
+/// refiner order).
+///
+/// Each round dispatches every refiner's pending batch as one
+/// [`run_jobs_with`] call, so workers adopt whole paths **and steal
+/// child-cell chunks from still-running dominant paths**, exactly like
+/// a uniform sweep; all scoring and worklist surgery happens on the
+/// caller's thread between rounds. `gap_target > 0` stops refinement
+/// early once the summed gap across all refiners drops below it (the
+/// budget and depth limits always apply). Rounds, splits and the final
+/// gap are recorded on the pool ([`gubpi_pool::PoolStats`]).
+pub fn run_adaptive_refinement(
+    pool: &WorkerPool,
+    width: usize,
+    refiners: &mut [GridRefiner<'_>],
+    gap_target: f64,
+) -> Vec<(f64, f64)> {
+    let mut rounds: u64 = 0;
+    loop {
+        let mut any = false;
+        for r in refiners.iter_mut() {
+            any |= r.select_batch();
+        }
+        if !any {
+            break;
+        }
+        let mut outs: Vec<Vec<(usize, Region)>> = refiners.iter().map(|_| Vec::new()).collect();
+        {
+            let jobs: Vec<PathJob<'_, (usize, Region)>> =
+                refiners.iter().map(GridRefiner::round_job).collect();
+            run_jobs_with(pool, width, jobs, |j, item| outs[j].push(item));
+        }
+        for (r, out) in refiners.iter_mut().zip(&outs) {
+            r.integrate(out);
+        }
+        rounds += 1;
+        if gap_target > 0.0 {
+            let total: f64 = refiners.iter().map(GridRefiner::gap).sum();
+            if total <= gap_target {
+                break;
+            }
+        }
+    }
+    let final_gap: f64 = refiners.iter().map(GridRefiner::gap).sum();
+    let splits: u64 = refiners.iter().map(GridRefiner::splits).sum();
+    pool.note_refinement(rounds, splits, final_gap);
+    refiners.iter_mut().map(GridRefiner::finish).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

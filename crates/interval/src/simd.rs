@@ -1,0 +1,255 @@
+//! A portable `f64x4` lane shim for the compiled region kernel.
+//!
+//! The kernel's `Tape::eval_block` walks structure-of-arrays endpoint
+//! buffers in lane-blocks; this module makes those loops explicit
+//! 4-wide vector operations instead of relying on autovectorization.
+//! Every operation is defined **elementwise in terms of the exact
+//! scalar expression the kernel's scalar backend uses** — `f64::min` /
+//! `f64::max` (not the subtly different SSE2 `minpd`/`maxpd`), the
+//! `0 · ±∞ = 0` extended product, and NaN repair by replacement — so
+//! the vector and scalar backends are bit-identical by construction.
+//! The differential test in `gubpi_symbolic::kernel` re-proves this on
+//! real tapes.
+//!
+//! Both backends are always compiled; the `simd` cargo feature only
+//! selects which one `Tape::eval_block` dispatches to by default.
+//! The wrapper is `#[repr(transparent)]` over `[f64; 4]` and every op
+//! is a tight fixed-length loop, which LLVM reliably lowers to vector
+//! instructions on targets that have them.
+
+/// Four `f64` lanes operated on elementwise.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+/// Number of lanes in [`F64x4`].
+pub const SIMD_LANES: usize = 4;
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Loads four consecutive lanes from `src` starting at `at`.
+    #[inline]
+    pub fn load(src: &[f64], at: usize) -> F64x4 {
+        F64x4([src[at], src[at + 1], src[at + 2], src[at + 3]])
+    }
+
+    /// Stores the four lanes into `dst` starting at `at`.
+    #[inline]
+    pub fn store(self, dst: &mut [f64], at: usize) {
+        dst[at..at + 4].copy_from_slice(&self.0);
+    }
+
+    /// Elementwise extended product with `0 · ±∞ = 0` — the weight
+    /// convention from the crate root, lane-for-lane identical to the
+    /// kernel's scalar `mul_ext`.
+    #[inline]
+    pub fn mul_ext(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0; 4];
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = if a == 0.0 || b == 0.0 { 0.0 } else { a * b };
+        }
+        F64x4(out)
+    }
+
+    /// Elementwise `f64::min` (NaN-discarding, unlike SSE2 `minpd`).
+    #[inline]
+    pub fn min(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0; 4];
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a.min(b);
+        }
+        F64x4(out)
+    }
+
+    /// Elementwise `f64::max` (NaN-discarding, unlike SSE2 `maxpd`).
+    #[inline]
+    pub fn max(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0; 4];
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a.max(b);
+        }
+        F64x4(out)
+    }
+
+    /// Replaces NaN lanes with `replacement` — the kernel's endpoint
+    /// repair after `∞ + −∞` (lower endpoints get `−∞`, upper `+∞`).
+    #[inline]
+    pub fn repair_nan(self, replacement: f64) -> F64x4 {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            if o.is_nan() {
+                *o = replacement;
+            }
+        }
+        F64x4(out)
+    }
+
+    /// Candidate scan for a lower endpoint: per lane, `acc` unless the
+    /// candidate compares strictly smaller (`if c < acc { c }`). This
+    /// mirrors the kernel's scalar multiply candidate scan exactly,
+    /// including its NaN behaviour (a NaN candidate never replaces).
+    #[inline]
+    pub fn scan_lo(self, cand: F64x4) -> F64x4 {
+        let mut out = self.0;
+        for (o, &c) in out.iter_mut().zip(cand.0.iter()) {
+            if c < *o {
+                *o = c;
+            }
+        }
+        F64x4(out)
+    }
+
+    /// Candidate scan for an upper endpoint: per lane, `acc` unless the
+    /// candidate compares strictly greater. See [`F64x4::scan_lo`].
+    #[inline]
+    pub fn scan_hi(self, cand: F64x4) -> F64x4 {
+        let mut out = self.0;
+        for (o, &c) in out.iter_mut().zip(cand.0.iter()) {
+            if c > *o {
+                *o = c;
+            }
+        }
+        F64x4(out)
+    }
+}
+
+/// Elementwise `a + b` (IEEE semantics, may produce NaN for
+/// `∞ + −∞`; pair with [`F64x4::repair_nan`]).
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+
+    #[inline]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0; 4];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a + b;
+        }
+        F64x4(out)
+    }
+}
+
+/// Elementwise negation.
+impl std::ops::Neg for F64x4 {
+    type Output = F64x4;
+
+    #[inline]
+    fn neg(self) -> F64x4 {
+        let mut out = [0.0; 4];
+        for (o, a) in out.iter_mut().zip(self.0.iter()) {
+            *o = -a;
+        }
+        F64x4(out)
+    }
+}
+
+/// Elementwise three-case absolute value of the interval `[lo, hi]`,
+/// returning the `(lo, hi)` lane pairs of `|[lo, hi]|`:
+/// `lo ≥ 0 → (lo, hi)`, `hi ≤ 0 → (−hi, −lo)`, else `(0, max(hi, −lo))`
+/// — the same case split as the kernel's scalar `Abs` lane loop.
+#[inline]
+pub fn abs_lanes(lo: F64x4, hi: F64x4) -> (F64x4, F64x4) {
+    let mut out_lo = [0.0; 4];
+    let mut out_hi = [0.0; 4];
+    for i in 0..4 {
+        let (l, h) = (lo.0[i], hi.0[i]);
+        let (al, ah) = if l >= 0.0 {
+            (l, h)
+        } else if h <= 0.0 {
+            (-h, -l)
+        } else {
+            (0.0, h.max(-l))
+        };
+        out_lo[i] = al;
+        out_hi[i] = ah;
+    }
+    (F64x4(out_lo), F64x4(out_hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WEIRD: [f64; 8] = [
+        0.0,
+        -0.0,
+        1.5,
+        -2.25,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        1e308,
+    ];
+
+    #[test]
+    fn mul_ext_annihilates_zero_times_infinity() {
+        let zeros = F64x4([0.0, -0.0, 0.0, -0.0]);
+        let infs = F64x4([
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        ]);
+        assert_eq!(zeros.mul_ext(infs).0, [0.0; 4]);
+        assert_eq!(infs.mul_ext(zeros).0, [0.0; 4]);
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_expressions_bitwise() {
+        for &a in &WEIRD {
+            for &b in &WEIRD {
+                let va = F64x4::splat(a);
+                let vb = F64x4::splat(b);
+                let scalar_mul = if a == 0.0 || b == 0.0 { 0.0 } else { a * b };
+                for lane in 0..4 {
+                    assert_eq!((va + vb).0[lane].to_bits(), (a + b).to_bits());
+                    assert_eq!(va.mul_ext(vb).0[lane].to_bits(), scalar_mul.to_bits());
+                    assert_eq!(va.min(vb).0[lane].to_bits(), a.min(b).to_bits());
+                    assert_eq!(va.max(vb).0[lane].to_bits(), a.max(b).to_bits());
+                    assert_eq!((-va).0[lane].to_bits(), (-a).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_nan_replaces_only_nan_lanes() {
+        let v = F64x4([1.0, f64::NAN, f64::INFINITY, f64::NAN]);
+        let r = v.repair_nan(f64::NEG_INFINITY);
+        assert_eq!(
+            r.0,
+            [1.0, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY]
+        );
+    }
+
+    #[test]
+    fn candidate_scans_ignore_nan_candidates() {
+        let acc = F64x4::splat(2.0);
+        let cand = F64x4([f64::NAN, 1.0, 3.0, f64::NAN]);
+        assert_eq!(acc.scan_lo(cand).0, [2.0, 1.0, 2.0, 2.0]);
+        assert_eq!(acc.scan_hi(cand).0, [2.0, 2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn abs_lanes_covers_all_three_sign_cases() {
+        let lo = F64x4([1.0, -3.0, -2.0, 0.0]);
+        let hi = F64x4([2.0, -1.0, 5.0, 0.0]);
+        let (alo, ahi) = abs_lanes(lo, hi);
+        assert_eq!(alo.0, [1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(ahi.0, [2.0, 3.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src = [9.0, 8.0, 7.0, 6.0, 5.0, 4.0];
+        let v = F64x4::load(&src, 1);
+        assert_eq!(v.0, [8.0, 7.0, 6.0, 5.0]);
+        let mut dst = [0.0; 6];
+        v.store(&mut dst, 2);
+        assert_eq!(dst, [0.0, 0.0, 8.0, 7.0, 6.0, 5.0]);
+    }
+}

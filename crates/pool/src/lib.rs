@@ -22,5 +22,5 @@ mod sched;
 mod threads;
 
 pub use pool::{PoolStats, WorkerPool};
-pub use sched::{chunk_width, run_jobs_with, PathJob, RegionFn, Task};
+pub use sched::{chunk_width, run_jobs_with, PathJob, RegionFn, Task, LANE_GRAIN};
 pub use threads::Threads;

@@ -148,6 +148,24 @@ pub struct PoolStats {
     /// a gauge (not monotone) exposing the adaptive, cost-seeded
     /// chunking decision (`gubpi_pool::chunk_width`).
     pub last_chunk_width: u64,
+    /// Gap-driven adaptive refinement rounds driven to completion (one
+    /// per lockstep worklist batch the refiner dispatched as a sweep).
+    pub refine_rounds: u64,
+    /// Worklist cells bisected during adaptive refinement (each split
+    /// re-evaluates two child cells on the compiled tape).
+    pub refine_splits: u64,
+    /// `f64::to_bits` of the total (upper − lower) gap left by the most
+    /// recently finished adaptive refinement run — a gauge, like
+    /// [`PoolStats::last_chunk_width`]; decode with
+    /// [`PoolStats::last_refine_gap`].
+    pub last_refine_gap_bits: u64,
+}
+
+impl PoolStats {
+    /// The [`PoolStats::last_refine_gap_bits`] gauge as an `f64`.
+    pub fn last_refine_gap(&self) -> f64 {
+        f64::from_bits(self.last_refine_gap_bits)
+    }
 }
 
 #[derive(Default)]
@@ -162,6 +180,9 @@ pub(crate) struct StatsCells {
     forks_parallel: AtomicU64,
     forks_inline: AtomicU64,
     pub(crate) last_chunk_width: AtomicU64,
+    refine_rounds: AtomicU64,
+    refine_splits: AtomicU64,
+    last_refine_gap_bits: AtomicU64,
 }
 
 struct Inner {
@@ -262,7 +283,22 @@ impl WorkerPool {
             forks_parallel: s.forks_parallel.load(Ordering::Relaxed),
             forks_inline: s.forks_inline.load(Ordering::Relaxed),
             last_chunk_width: s.last_chunk_width.load(Ordering::Relaxed),
+            refine_rounds: s.refine_rounds.load(Ordering::Relaxed),
+            refine_splits: s.refine_splits.load(Ordering::Relaxed),
+            last_refine_gap_bits: s.last_refine_gap_bits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one finished adaptive-refinement run: `rounds` lockstep
+    /// worklist rounds, `splits` cell bisections, and the final
+    /// (upper − lower) gap (stored as a bits gauge; see
+    /// [`PoolStats::last_refine_gap`]).
+    pub fn note_refinement(&self, rounds: u64, splits: u64, final_gap: f64) {
+        let s = &self.inner.stats;
+        s.refine_rounds.fetch_add(rounds, Ordering::Relaxed);
+        s.refine_splits.fetch_add(splits, Ordering::Relaxed);
+        s.last_refine_gap_bits
+            .store(final_gap.to_bits(), Ordering::Relaxed);
     }
 
     /// Number of worker threads spawned so far.

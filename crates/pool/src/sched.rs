@@ -80,6 +80,14 @@ pub enum PathJob<'a, T> {
     },
 }
 
+/// The scheduler's minimum chunk grain, mirroring the compiled
+/// kernel's lane-block width (`gubpi_symbolic::LANES` asserts the two
+/// stay equal). Sweeps are evaluated in lane blocks of this many
+/// regions at once; a chunk narrower than one block wastes vector
+/// lanes *and* pays a full per-chunk setup (scratch allocation, buffer,
+/// replay entry) for a fraction of a block's work.
+pub const LANE_GRAIN: usize = 16;
+
 /// Deterministic chunk width of a region sweep: a **pure function of
 /// `(total, width, cost)`**, so the partition of the index space — and
 /// therefore every replayed bound — is bit-identical across runs, steal
@@ -89,10 +97,15 @@ pub enum PathJob<'a, T> {
 /// regions (long tapes, high-dimensional volumes) get smaller chunks so
 /// idle workers can steal meaningful work, cheap regions get larger
 /// chunks so the scheduler's atomic traffic and buffer overhead stay
-/// negligible. Two guards bracket the cost-derived width: at most ~4
+/// negligible. Three guards bracket the cost-derived width: at most ~4
 /// chunks per participant of headroom is kept (the PR-4 fairness
-/// split), and a sweep never shatters into more than `MAX_CHUNKS`
-/// (4096) chunks no matter how expensive its regions look.
+/// split), a sweep never shatters into more than `MAX_CHUNKS` (4096)
+/// chunks no matter how expensive its regions look, and a chunk never
+/// drops below one [`LANE_GRAIN`] lane block (unless the sweep itself
+/// is smaller). The lane floor is what keeps *small, expensive* sweeps
+/// — adaptive-refinement rounds hand the scheduler a few dozen
+/// deep-tape child cells at a time — from shattering into one-region
+/// chunks whose scratch setup outweighs the work.
 pub fn chunk_width(total: usize, width: usize, cost: u64) -> usize {
     /// Target work units (cost × regions) per chunk.
     const TARGET_CHUNK_COST: u64 = 1 << 20;
@@ -102,7 +115,11 @@ pub fn chunk_width(total: usize, width: usize, cost: u64) -> usize {
     let by_cost = usize::try_from(TARGET_CHUNK_COST / cost.max(1))
         .unwrap_or(usize::MAX)
         .max(1);
-    by_cost.min(fair).max(total.div_ceil(MAX_CHUNKS)).max(1)
+    by_cost
+        .min(fair)
+        .max(total.div_ceil(MAX_CHUNKS))
+        .max(LANE_GRAIN.min(total))
+        .max(1)
 }
 
 /// Per-sweep shared claiming state.
@@ -458,14 +475,34 @@ mod tests {
         let heavy = chunk_width(100_000, 4, 1 << 12);
         assert!(heavy < 6250, "heavy regions must chunk finer: {heavy}");
         assert_eq!(heavy, (1usize << 20) >> 12);
-        // ... but never below the 4096-chunk cap or one region.
+        // ... but never below the 4096-chunk cap, a lane block, or the
+        // sweep itself.
         assert_eq!(chunk_width(1 << 20, 4, u64::MAX), (1usize << 20) / 4096);
-        assert_eq!(chunk_width(10, 4, u64::MAX), 1);
+        assert_eq!(chunk_width(10, 4, u64::MAX), 10);
+        assert_eq!(chunk_width(100, 4, u64::MAX), LANE_GRAIN);
         // Monotone determinism: same inputs, same width — every call.
         for &(t, w, c) in &[(1usize, 1usize, 1u64), (12345, 3, 77), (1 << 20, 8, 500)] {
             assert_eq!(chunk_width(t, w, c), chunk_width(t, w, c));
             assert!(chunk_width(t, w, c) >= 1);
         }
+    }
+
+    #[test]
+    fn few_expensive_regions_chunk_at_lane_blocks() {
+        // An adaptive-refinement round: a small batch of expensive
+        // cells. The raw cost target would shatter it into one-region
+        // chunks; the lane floor must hold the width at one lane block,
+        // observable through the `last_chunk_width` gauge.
+        let pool = WorkerPool::new();
+        assert_eq!(chunk_width(40, 4, 1 << 20), LANE_GRAIN);
+        let jobs: Vec<PathJob<'_, usize>> = vec![PathJob::Sweep {
+            total: 40,
+            cost: 1 << 20,
+            process: Box::new(|range, buf| buf.extend(range)),
+        }];
+        let got = collect(&pool, 4, jobs);
+        assert_eq!(got.len(), 40);
+        assert_eq!(pool.stats().last_chunk_width, LANE_GRAIN as u64);
     }
 
     #[test]

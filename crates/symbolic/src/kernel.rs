@@ -44,7 +44,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gubpi_analysis::ProgramFacts;
-use gubpi_interval::Interval;
+use gubpi_interval::simd::{abs_lanes, F64x4, SIMD_LANES};
+use gubpi_interval::{BoxN, Interval};
 use gubpi_lang::PrimOp;
 
 use crate::path::{CmpDir, SymPath};
@@ -98,6 +99,12 @@ impl KernelSeed {
 
 /// Number of cells evaluated per [`Tape::eval_block`] lane block.
 pub const LANES: usize = 16;
+
+// The scheduler floors region-chunk widths at whole lane blocks
+// (`gubpi_pool::chunk_width`), and the explicit-SIMD backend walks each
+// block in `F64x4` groups; both contracts are compile-time checked.
+const _: () = assert!(LANES == gubpi_pool::LANE_GRAIN);
+const _: () = assert!(LANES.is_multiple_of(SIMD_LANES));
 
 /// A slot in the tape's register file during compilation.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -688,6 +695,16 @@ impl Tape {
     /// in the block (masked) but their downstream values are never
     /// reported, so batching cannot change a bit of any output.
     pub fn eval_block(&self, s: &mut TapeScratch, lanes: usize) -> bool {
+        self.eval_block_via(s, lanes, cfg!(feature = "simd"))
+    }
+
+    /// [`Tape::eval_block`] with the lane backend chosen explicitly:
+    /// `simd = false` runs the scalar lane loops, `simd = true` the
+    /// explicit [`F64x4`] vector ops. Both backends are always compiled
+    /// and produce bit-identical outputs (the differential test below
+    /// and the `region_kernel` bench enforce it); `eval_block` merely
+    /// picks the default from the `simd` cargo feature.
+    pub fn eval_block_via(&self, s: &mut TapeScratch, lanes: usize, simd: bool) -> bool {
         debug_assert!(lanes <= LANES && lanes > 0);
         for l in 0..LANES {
             s.alive[l] = l < lanes;
@@ -695,7 +712,7 @@ impl Tape {
         let mut pc = 0usize;
         for check in &self.checks {
             while pc < check.after as usize {
-                self.exec_lanes(&self.instrs[pc], s, lanes);
+                self.exec_lanes(&self.instrs[pc], s, lanes, simd);
                 pc += 1;
             }
             let base = check.reg as usize * LANES;
@@ -712,7 +729,7 @@ impl Tape {
             }
         }
         while pc < self.instrs.len() {
-            self.exec_lanes(&self.instrs[pc], s, lanes);
+            self.exec_lanes(&self.instrs[pc], s, lanes, simd);
             pc += 1;
         }
         for l in 0..lanes {
@@ -742,7 +759,7 @@ impl Tape {
     /// convention) as straight-line lane loops the compiler can
     /// vectorize; everything else gathers each lane into `Interval`s and
     /// calls the same `eval_interval` the scalar path uses.
-    fn exec_lanes(&self, ins: &Instr, s: &mut TapeScratch, lanes: usize) {
+    fn exec_lanes(&self, ins: &Instr, s: &mut TapeScratch, lanes: usize, simd: bool) {
         /// Extended-real product with `0 · ±∞ = 0` (mirrors
         /// `gubpi_interval`'s internal `mul_ext`).
         #[inline]
@@ -752,6 +769,9 @@ impl Tape {
             } else {
                 a * b
             }
+        }
+        if simd && Tape::exec_lanes_simd(ins, s) {
+            return;
         }
         let d = ins.dst as usize * LANES;
         let a = ins.args[0] as usize * LANES;
@@ -845,6 +865,131 @@ impl Tape {
                     s.hi[d + l] = r.hi();
                 }
             }
+        }
+    }
+
+    /// Explicit-SIMD lane backend: the cheap arithmetic ops as
+    /// [`F64x4`] vector expressions over `LANES / 4` groups, each op
+    /// lane-for-lane identical to the scalar loop in [`Tape::exec_lanes`]
+    /// (same candidate order, same NaN repair, same `0 · ∞ = 0`).
+    /// Processes **all** [`LANES`] lanes regardless of how many are
+    /// live — lanes past the block's fill hold stale endpoint data, but
+    /// the groups are elementwise independent and dead-lane outputs are
+    /// never read, so that is harmless. Returns `false` for ops the
+    /// vector shim does not cover (caller falls through to the scalar
+    /// gather/scatter path).
+    fn exec_lanes_simd(ins: &Instr, s: &mut TapeScratch) -> bool {
+        let d = ins.dst as usize * LANES;
+        let a = ins.args[0] as usize * LANES;
+        match ins.op {
+            PrimOp::Add => {
+                let b = ins.args[1] as usize * LANES;
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let lo = (F64x4::load(&s.lo, a + g) + F64x4::load(&s.lo, b + g))
+                        .repair_nan(f64::NEG_INFINITY);
+                    let hi = (F64x4::load(&s.hi, a + g) + F64x4::load(&s.hi, b + g))
+                        .repair_nan(f64::INFINITY);
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            PrimOp::Sub => {
+                // `a − b = a + (−b)`, exactly as `Interval::sub`.
+                let b = ins.args[1] as usize * LANES;
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let lo = (F64x4::load(&s.lo, a + g) + -F64x4::load(&s.hi, b + g))
+                        .repair_nan(f64::NEG_INFINITY);
+                    let hi = (F64x4::load(&s.hi, a + g) + -F64x4::load(&s.lo, b + g))
+                        .repair_nan(f64::INFINITY);
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            PrimOp::Neg => {
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let lo = -F64x4::load(&s.hi, a + g);
+                    let hi = -F64x4::load(&s.lo, a + g);
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            PrimOp::Mul => {
+                let b = ins.args[1] as usize * LANES;
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let (alo, ahi) = (F64x4::load(&s.lo, a + g), F64x4::load(&s.hi, a + g));
+                    let (blo, bhi) = (F64x4::load(&s.lo, b + g), F64x4::load(&s.hi, b + g));
+                    let first = alo.mul_ext(blo);
+                    let mut lo = first;
+                    let mut hi = first;
+                    for cand in [alo.mul_ext(bhi), ahi.mul_ext(blo), ahi.mul_ext(bhi)] {
+                        lo = lo.scan_lo(cand);
+                        hi = hi.scan_hi(cand);
+                    }
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            PrimOp::Min => {
+                let b = ins.args[1] as usize * LANES;
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let lo = F64x4::load(&s.lo, a + g).min(F64x4::load(&s.lo, b + g));
+                    let hi = F64x4::load(&s.hi, a + g).min(F64x4::load(&s.hi, b + g));
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            PrimOp::Max => {
+                let b = ins.args[1] as usize * LANES;
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let lo = F64x4::load(&s.lo, a + g).max(F64x4::load(&s.lo, b + g));
+                    let hi = F64x4::load(&s.hi, a + g).max(F64x4::load(&s.hi, b + g));
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            PrimOp::Abs => {
+                for g in (0..LANES).step_by(SIMD_LANES) {
+                    let (lo, hi) = abs_lanes(F64x4::load(&s.lo, a + g), F64x4::load(&s.hi, a + g));
+                    lo.store(&mut s.lo, d + g);
+                    hi.store(&mut s.hi, d + g);
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Evaluates an **irregular batch** of boxes — the adaptive
+    /// refiner's child cells, which unlike a uniform sweep share no
+    /// odometer structure — in [`LANES`]-sized blocks, calling
+    /// `emit(index, bounds)` for every box not excluded by a check, in
+    /// ascending index order. Re-entrant over a shared scratch: every
+    /// input register and instruction output is rewritten per block and
+    /// constants are preloaded into all lanes, so interleaving calls on
+    /// one scratch (round after round) cannot leak state between
+    /// batches.
+    pub fn eval_boxes(
+        &self,
+        s: &mut TapeScratch,
+        boxes: &[BoxN],
+        mut emit: impl FnMut(usize, CellBounds),
+    ) {
+        let mut at = 0usize;
+        while at < boxes.len() {
+            let lanes = LANES.min(boxes.len() - at);
+            for (l, cell) in boxes[at..at + lanes].iter().enumerate() {
+                for (dim, &iv) in cell.intervals().iter().enumerate() {
+                    s.set_input(dim, l, iv);
+                }
+            }
+            if self.eval_block(s, lanes) {
+                for l in 0..lanes {
+                    if let Some(cell) = s.lane(l) {
+                        emit(at + l, cell);
+                    }
+                }
+            }
+            at += lanes;
         }
     }
 }
@@ -1103,6 +1248,115 @@ mod tests {
                 let want = tape.eval_cell(dims, &mut scalar);
                 let got = if any { block.lane(lane) } else { None };
                 assert_same(got, want, &format!("lane {lane}"));
+            }
+        }
+    }
+
+    #[test]
+    fn simd_lane_backend_is_bit_identical_to_scalar() {
+        // Both backends are always compiled; the cargo feature only
+        // flips the default. Drive them explicitly over cells that
+        // exercise every fast-path op (demo_path has Add/Sub/Mul via
+        // the constraints and scores) including empty/degenerate boxes.
+        let path = demo_path();
+        let tape = Tape::for_path(&path);
+        let mut scalar = tape.scratch();
+        let mut vector = tape.scratch();
+        let cells: Vec<[Interval; 2]> = (0..40)
+            .map(|i| {
+                let x = i as f64 / 40.0;
+                [Interval::new(x, x + 0.025), Interval::new(1.0 - x, 1.0)]
+            })
+            .collect();
+        for chunk in cells.chunks(LANES) {
+            for (lane, dims) in chunk.iter().enumerate() {
+                scalar.set_input(0, lane, dims[0]);
+                scalar.set_input(1, lane, dims[1]);
+                vector.set_input(0, lane, dims[0]);
+                vector.set_input(1, lane, dims[1]);
+            }
+            let any_s = tape.eval_block_via(&mut scalar, chunk.len(), false);
+            let any_v = tape.eval_block_via(&mut vector, chunk.len(), true);
+            assert_eq!(any_s, any_v);
+            for lane in 0..chunk.len() {
+                let want = if any_s { scalar.lane(lane) } else { None };
+                let got = if any_v { vector.lane(lane) } else { None };
+                assert_same(got, want, &format!("simd vs scalar lane {lane}"));
+            }
+        }
+    }
+
+    #[test]
+    fn simd_min_max_abs_match_scalar_on_signed_inputs() {
+        // demo_path never exercises Min/Max/Abs; build a value tape
+        // that does, over inputs straddling zero so every Abs case and
+        // NaN-free Min/Max corner fires identically on both backends.
+        let v = SymVal::prim(
+            PrimOp::Min,
+            vec![
+                SymVal::prim(PrimOp::Abs, vec![s(0)]),
+                SymVal::prim(
+                    PrimOp::Max,
+                    vec![s(1), SymVal::prim(PrimOp::Neg, vec![s(0)])],
+                ),
+            ],
+        );
+        let tape = Tape::for_value(2, &v);
+        let mut scalar = tape.scratch();
+        let mut vector = tape.scratch();
+        let spans = [
+            Interval::new(-2.0, -1.0),
+            Interval::new(-1.0, 1.0),
+            Interval::new(0.0, 3.0),
+            Interval::new(f64::NEG_INFINITY, 0.5),
+        ];
+        let mut lane = 0;
+        for &a in &spans {
+            for &b in &spans {
+                scalar.set_input(0, lane, a);
+                scalar.set_input(1, lane, b);
+                vector.set_input(0, lane, a);
+                vector.set_input(1, lane, b);
+                lane += 1;
+            }
+        }
+        assert_eq!(lane, LANES);
+        assert!(tape.eval_block_via(&mut scalar, LANES, false));
+        assert!(tape.eval_block_via(&mut vector, LANES, true));
+        for l in 0..LANES {
+            assert_same(vector.lane(l), scalar.lane(l), &format!("lane {l}"));
+        }
+    }
+
+    #[test]
+    fn eval_boxes_handles_irregular_batches_reentrantly() {
+        let path = demo_path();
+        let tape = Tape::for_path(&path);
+        let mut scratch = tape.scratch();
+        let mut scalar = tape.scratch();
+        // Batch sizes that are not lane multiples, reusing one scratch
+        // across rounds like the adaptive refiner does.
+        for batch in [1usize, 7, LANES, LANES + 3, 2 * LANES + 1] {
+            let boxes: Vec<BoxN> = (0..batch)
+                .map(|i| {
+                    let x = i as f64 / batch as f64;
+                    BoxN::new(vec![
+                        Interval::new(x / 2.0, x / 2.0 + 0.3),
+                        Interval::new(0.2, 0.2 + x / 2.0),
+                    ])
+                })
+                .collect();
+            let mut got: Vec<Option<CellBounds>> = vec![None; batch];
+            let mut last = 0usize;
+            tape.eval_boxes(&mut scratch, &boxes, |i, cell| {
+                assert!(got[i].is_none() && i >= last, "ascending index order");
+                last = i;
+                got[i] = Some(cell);
+            });
+            for (i, b) in boxes.iter().enumerate() {
+                let dims: Vec<Interval> = b.intervals().to_vec();
+                let want = tape.eval_cell(&dims, &mut scalar);
+                assert_same(got[i], want, &format!("batch {batch} box {i}"));
             }
         }
     }

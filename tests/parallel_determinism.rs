@@ -429,6 +429,61 @@ fn kernel_and_interpreter_report_identical_bits() {
     }
 }
 
+/// Gap-driven adaptive refinement must preserve the bit-identity
+/// contract: worklist selection, scoring and integration run on the
+/// caller's thread in canonical (score, sequence) order, and workers
+/// only evaluate replayed cell batches — so the refinement tree, and
+/// therefore every reported bound, is the same under every thread
+/// count and steal schedule, on a fresh pool or a reused warm one.
+/// `gap_target > 0` additionally exercises the early-stop round logic.
+#[test]
+fn adaptive_refinement_is_bit_identical_across_thread_counts() {
+    use gubpi_core::{SharedQueryCache, WorkerPool};
+    // Trivial side path + non-linear dominant path: the dominant sweep
+    // is grid-destined, so it goes through the adaptive refiner, and
+    // idle workers have refinement child-cell batches to steal.
+    let src = "
+        if sample <= 0.1 then 0 else
+          let x = sample in let y = sample in let z = sample in
+          score(sigmoid(x * y + z)); x * y * z";
+    let u = Interval::new(0.0, 0.5);
+    for gap_target in [0.0, 0.05] {
+        let build = |threads: Threads, pool: &WorkerPool| {
+            let mut opts = AnalysisOptions {
+                threads,
+                ..Default::default()
+            };
+            opts.bounds.splits = 8;
+            opts.refine = true;
+            opts.gap_target = gap_target;
+            Analyzer::from_source_with(src, opts, &SharedQueryCache::new(), pool).unwrap()
+        };
+        let seq_pool = WorkerPool::new();
+        let reference = build(Threads::Off, &seq_pool).denotation_bounds(u);
+        assert!(
+            seq_pool.stats().refine_rounds > 0,
+            "the dominant path must actually refine"
+        );
+        for threads in SETTINGS.iter().copied().chain([Threads::Fixed(8)]) {
+            let pool = WorkerPool::new();
+            let fresh = build(threads, &pool).denotation_bounds(u);
+            assert_bits_eq(
+                reference,
+                fresh,
+                &format!("adaptive (gap_target {gap_target}) fresh pool under {threads:?}"),
+            );
+            // A second analyzer on the same (now warm) pool: steal
+            // schedules differ, bits must not.
+            let warm = build(threads, &pool).denotation_bounds(u);
+            assert_bits_eq(
+                reference,
+                warm,
+                &format!("adaptive (gap_target {gap_target}) warm pool under {threads:?}"),
+            );
+        }
+    }
+}
+
 /// The worker-count clamp: a query with a single unit of work on a wide
 /// setting must run inline — no pool dispatch, no empty partials, no
 /// threads spawned for nothing.
