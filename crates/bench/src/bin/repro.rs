@@ -8,31 +8,58 @@
 //! repro fig5          Fig. 5a–5d: non-recursive histogram bounds
 //! repro fig6          Fig. 6a–6f: recursive histogram bounds
 //! repro ablation      linear (§6.4) vs grid (§6.3) semantics; depth sweep
+//! repro query M L H   one-shot query with typed exit codes (see --help)
+//! repro serve-report  daemon robustness exercise; writes BENCH_serve.json
 //! repro all           everything above
 //! ```
 
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use bench::models;
 use bench::{
-    analyze_prob_benchmark, analyzer_for_figure, baseline56_bounds, mc_probability,
-    shared_analysis_cache, shared_analyzer,
+    analyze_prob_benchmark, analyzer_for_figure, baseline56_bounds, deadline_report,
+    deadline_token, mc_probability, note_query_outcome, shared_analysis_cache, shared_analyzer,
+    timed_denotation_bounds, timed_posterior_probability,
 };
 use gubpi_core::{
     bound_path_grid_only_threaded, lint_program, render_histogram, run_adaptive_refinement,
     tail_substituted, AnalysisOptions, Analyzer, GridRefiner, Method, PathBoundOptions,
-    ProgramFacts, QueryFold, RefineOptions, Severity, SingleQuery, Threads, WorkerPool,
+    ProgramFacts, QueryError, QueryFold, QueryOutcome, RefineOptions, Severity, SingleQuery,
+    Threads, WorkerPool,
 };
 use gubpi_inference::hmc::{hmc_sample, HmcOptions};
 use gubpi_inference::importance::{importance_sample, ImportanceOptions};
 use gubpi_inference::sbc::{run_sbc, SbcConfig};
 use gubpi_interval::Interval;
+use gubpi_pool::{set_fault_plan, FaultKind, FaultPlan};
+use gubpi_serve::{start_with_cache, Client, QueryKind, QueryRequest, ServeConfig};
 use gubpi_symbolic::SymExecOptions;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn main() {
+    // The last line of the panic-containment audit: no input may leave
+    // this binary via an unwind. Anything that does slip through every
+    // inner boundary is caught here and mapped to the documented exit
+    // code 70 with a one-line message (the default hook has already
+    // printed the panic location to stderr by the time we land here).
+    if catch_unwind(run).is_err() {
+        eprintln!("repro: internal panic reached main; this is a bug (exit 70)");
+        std::process::exit(70);
+    }
+}
+
+fn run() {
     let t_start = Instant::now();
+    // Deterministic chaos, same knob as the daemon: an armed
+    // `GUBPI_FAULT=panic@N|delay@N|cancel@N` fires at the N-th task
+    // boundary of the run (the exit-code smoke tests drive `panic@0`
+    // through `repro query` and must get the typed exit 68, not an
+    // unwind).
+    if let Some(plan) = gubpi_pool::arm_fault_from_env() {
+        eprintln!("repro: fault injection armed: {plan:?}");
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N|auto|off` pins the parallel engine's worker count for
     // every analysis below — equivalent to setting GUBPI_THREADS, which
@@ -134,6 +161,27 @@ fn main() {
         }
         args.drain(i..=i + 1);
     }
+    // `--timeout-ms N` puts the whole run under one cooperative
+    // deadline — equivalent to GUBPI_TIMEOUT_MS. Queries that outlive
+    // it return *anytime sound* degraded enclosures (unswept work
+    // contributes its coarse whole-box bound) instead of blocking;
+    // `--stats` reports how many degraded and the worst completeness.
+    if let Some(i) = args.iter().position(|a| a == "--timeout-ms") {
+        match args.get(i + 1).and_then(|v| v.trim().parse::<u64>().ok()) {
+            Some(_) => {
+                std::env::set_var("GUBPI_TIMEOUT_MS", args[i + 1].clone());
+            }
+            None => {
+                let got = args.get(i + 1).map(String::as_str).unwrap_or("<missing>");
+                eprintln!(
+                    "--timeout-ms expects a millisecond count; got `{got}` \
+                     (omit the flag for an unlimited run)"
+                );
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     // `--lint` prints the static-analysis findings for every model a
     // command analyzes, as the analyzers are built (GUBPI_LINT=1).
     let lint_mode = if let Some(i) = args.iter().position(|a| a == "--lint") {
@@ -184,6 +232,14 @@ fn main() {
                  gap-driven adaptive refinement; writes BENCH_gap.json\n  \
                  smoke         one tiny model end to end (seconds; for diagnosing\n                \
                  an installation together with --stats / --no-kernel)\n  \
+                 query M L H   one query on catalog model M (or inline source) over\n                \
+                 [L, H]; add --posterior for the normalized probability.\n                \
+                 Typed failures exit 64-69 (invalid-interval, invalid-\n                \
+                 domain, no-bins, deadline-exceeded, worker-panicked,\n                \
+                 overloaded); a panic reaching main exits 70\n  \
+                 serve-report  exercise the gubpi-serve daemon in process (deadline\n                \
+                 degradation, admission control, injected panic) and\n                \
+                 write the BENCH_serve.json latency/robustness snapshot\n  \
                  all           everything above (the default)\n\n\
                  OPTIONS:\n  \
                  --threads N|auto|off   worker threads for the bounding engine (N > 0;\n                         \
@@ -205,6 +261,9 @@ fn main() {
                  --gap-target X         stop refining a query once its summed bound gap\n                         \
                  reaches X (same as GUBPI_GAP_TARGET; 0 = refine to the\n                         \
                  full cell budget)\n  \
+                 --timeout-ms N         run under one cooperative deadline of N ms (same as\n                         \
+                 GUBPI_TIMEOUT_MS); queries that outlive it return\n                         \
+                 anytime sound degraded enclosures instead of blocking\n  \
                  --lint                 print static-analysis findings for every model a\n                         \
                  command analyzes (same as GUBPI_LINT=1)\n  \
                  --deny-warnings        exit 1 on warning-severity lints (with `analyze`,\n                         \
@@ -217,6 +276,13 @@ fn main() {
         "table2" => table2(),
         "table3" => table3(),
         "smoke" => smoke(),
+        "query" => {
+            let code = query_cmd(&args[1..]);
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
+        "serve-report" => serve_report(),
         "analyze" => analyze(args.get(1).map(String::as_str), deny_warnings),
         "prune-report" => prune_report(),
         "tail-report" => tail_report(),
@@ -721,6 +787,17 @@ fn stats(elapsed_s: f64) {
         s.evictions,
         cache.entry_count()
     );
+    if let Some((timed, degraded, minc)) = deadline_report() {
+        let verdict = if degraded == 0 {
+            "complete"
+        } else {
+            "degraded"
+        };
+        println!(
+            "deadline: {timed} timed queries, {degraded} degraded ({verdict}), \
+             min completeness {minc:.3}"
+        );
+    }
     let p = WorkerPool::global().stats();
     println!(
         "pool:  {} workers spawned, {} dispatches, {} inline runs, last chunk width {}",
@@ -798,12 +875,310 @@ fn smoke() {
     println!("== Smoke: one tiny model end to end ==================================");
     let src = "let x = sample in let y = sample in score(x + y); if x * y <= 0.25 then x else y";
     let a = shared_analyzer(src, AnalysisOptions::default());
-    let (lo, hi) = a.denotation_bounds(Interval::new(0.0, 0.5));
+    let (lo, hi) = timed_denotation_bounds(&a, Interval::new(0.0, 0.5));
     println!(
         "{} paths; unnormalised mass of [0, 0.5] in [{lo:.5}, {hi:.5}]",
         a.paths().len()
     );
     assert!(lo <= hi && hi > 0.0, "smoke bounds must be non-trivial");
+    println!();
+}
+
+/// Maps every typed query failure onto its own documented exit code, in
+/// a sysexits-style range clear of the generic codes (0 ok, 1 denied
+/// warnings, 2 usage): 64 invalid-interval, 65 invalid-domain, 66
+/// no-bins, 67 deadline-exceeded, 68 worker-panicked, 69 overloaded. A
+/// panic that reaches `main` exits 70 (see `main`).
+fn query_error_exit(e: QueryError) -> i32 {
+    match e {
+        QueryError::InvalidInterval { .. } => 64,
+        QueryError::InvalidDomain { .. } => 65,
+        QueryError::NoBins => 66,
+        QueryError::DeadlineExceeded => 67,
+        QueryError::WorkerPanicked => 68,
+        QueryError::Overloaded => 69,
+    }
+}
+
+/// `query MODEL|SOURCE LO HI [--posterior]` — one query against a
+/// catalog model (by label) or inline SPCF source, with every failure
+/// mapped to a typed exit code (`query_error_exit`). The endpoints are
+/// parsed leniently — a malformed number becomes `NaN` so the
+/// analyzer's own validation rejects it as `InvalidInterval`: the audit
+/// wants every bad input to flow through `QueryError`, not ad-hoc CLI
+/// checks. Honours `--timeout-ms` / `GUBPI_TIMEOUT_MS` (degraded
+/// results print their completeness; a deadline that expired before any
+/// work starts is the one case reported as an error, exit 67).
+fn query_cmd(rest: &[String]) -> i32 {
+    let mut rest: Vec<&str> = rest.iter().map(String::as_str).collect();
+    let posterior = if let Some(i) = rest.iter().position(|a| *a == "--posterior") {
+        rest.remove(i);
+        true
+    } else {
+        false
+    };
+    let [target, lo_s, hi_s] = rest[..] else {
+        eprintln!("usage: repro [--timeout-ms N] query MODEL|SOURCE LO HI [--posterior]");
+        return 2;
+    };
+    let catalog = models::catalog();
+    let source = catalog
+        .iter()
+        .find(|(label, _)| label.as_str() == target)
+        .map(|(_, src)| *src)
+        .unwrap_or(target);
+    let lo = lo_s.trim().parse::<f64>().unwrap_or(f64::NAN);
+    let hi = hi_s.trim().parse::<f64>().unwrap_or(f64::NAN);
+    let program = match gubpi_lang::parse(source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("repro query: `{target}` is not a catalog label and does not parse: {e}");
+            return 2;
+        }
+    };
+    let token = deadline_token();
+    if token.is_some_and(|t| t.is_cancelled()) {
+        eprintln!("repro query: {}", QueryError::DeadlineExceeded);
+        return query_error_exit(QueryError::DeadlineExceeded);
+    }
+    // Panic containment at the query boundary, mirroring the serving
+    // daemon: a worker panic becomes the typed `WorkerPanicked` exit,
+    // not an unwind into `main`.
+    let computed = catch_unwind(AssertUnwindSafe(
+        || -> Result<Result<QueryOutcome, QueryError>, String> {
+            let a = Analyzer::from_program_cancellable(
+                program,
+                AnalysisOptions::default(),
+                shared_analysis_cache(),
+                WorkerPool::global(),
+                token,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(if posterior {
+                a.try_posterior_outcome(lo, hi, token)
+            } else {
+                a.try_denotation_outcome(lo, hi, token)
+            })
+        },
+    ));
+    match computed {
+        Err(_) => {
+            eprintln!("repro query: {}", QueryError::WorkerPanicked);
+            query_error_exit(QueryError::WorkerPanicked)
+        }
+        Ok(Err(msg)) => {
+            eprintln!("repro query: {msg}");
+            2
+        }
+        Ok(Ok(Err(e))) => {
+            eprintln!("repro query: {e}");
+            query_error_exit(e)
+        }
+        Ok(Ok(Ok(o))) => {
+            if token.is_some() {
+                note_query_outcome(&o);
+            }
+            println!(
+                "{} of [{lo}, {hi}]: [{:.6}, {:.6}] ({}, completeness {:.3})",
+                if posterior {
+                    "posterior probability"
+                } else {
+                    "unnormalised mass"
+                },
+                o.lo,
+                o.hi,
+                if o.degraded { "degraded" } else { "complete" },
+                o.completeness
+            );
+            0
+        }
+    }
+}
+
+/// `serve-report`: an in-process robustness exercise of the serving
+/// daemon under a mixed workload — sequential small queries (latency
+/// census), one over-budget query under a tiny deadline (must come back
+/// *degraded but sound*, never torn), an admission-control probe
+/// against `max_inflight`, and one injected worker panic (the daemon
+/// must answer `worker_panicked` and stay serviceable). Writes the
+/// `BENCH_serve.json` snapshot next to the other BENCH files; any
+/// unsound or torn response aborts the run.
+fn serve_report() {
+    println!("== Serve report: daemon robustness under mixed workload ==============");
+    let handle = start_with_cache(
+        ServeConfig {
+            max_inflight: 2,
+            ..ServeConfig::default()
+        },
+        shared_analysis_cache().clone(),
+    )
+    .expect("serve-report: bind 127.0.0.1:0");
+    let addr = handle.local_addr();
+    let check = |o: &QueryOutcome| {
+        assert!(o.lo <= o.hi, "torn bound [{}, {}]", o.lo, o.hi);
+        assert!(
+            (0.0..=1.0).contains(&o.completeness),
+            "completeness {} outside [0, 1]",
+            o.completeness
+        );
+    };
+    let small_src =
+        "let x = sample in let y = sample in score(x + y); if x * y <= 0.25 then x else y";
+    let small = |kind: QueryKind| QueryRequest {
+        kind,
+        source: small_src.to_string(),
+        lo: 0.0,
+        hi: 0.5,
+        timeout_ms: None,
+        region_budget: None,
+    };
+
+    // Latency census: sequential small queries, alternating kinds.
+    let mut client = Client::connect(addr).expect("serve-report: connect");
+    let mut lat_ms: Vec<f64> = Vec::new();
+    for i in 0..24u32 {
+        let kind = if i % 2 == 0 {
+            QueryKind::Denotation
+        } else {
+            QueryKind::Posterior
+        };
+        let t0 = Instant::now();
+        let o = client
+            .query(small(kind))
+            .expect("serve-report: transport")
+            .expect("serve-report: small query must succeed");
+        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        check(&o);
+        assert!(!o.degraded, "undeadlined small query must not degrade");
+    }
+    lat_ms.sort_by(f64::total_cmp);
+    let pct = |p: f64| lat_ms[((lat_ms.len() - 1) as f64 * p).round() as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+
+    // Over-budget query: the pedestrian at the server's default options
+    // runs far past a 5 ms deadline, so the reply must be the anytime
+    // degraded enclosure — still a guaranteed superset of the true
+    // posterior probability, which the Monte-Carlo estimate probes.
+    let heavy = |timeout_ms: Option<u64>| QueryRequest {
+        kind: QueryKind::Posterior,
+        source: models::PEDESTRIAN.to_string(),
+        lo: 1.0,
+        hi: 1.25,
+        timeout_ms,
+        region_budget: None,
+    };
+    let o = client
+        .query(heavy(Some(5)))
+        .expect("serve-report: transport")
+        .expect("serve-report: deadline must degrade, not fail");
+    check(&o);
+    assert!(o.degraded, "5 ms pedestrian query must be degraded");
+    let mc = mc_probability(models::PEDESTRIAN, Interval::new(1.0, 1.25), 20_000, 77);
+    assert!(
+        o.lo - 0.01 <= mc && mc <= o.hi + 0.01,
+        "degraded bounds [{}, {}] exclude the MC estimate {mc}",
+        o.lo,
+        o.hi
+    );
+    let min_completeness = o.completeness;
+    println!(
+        "deadline: degraded pedestrian reply [{:.4}, {:.4}], completeness {:.3}, \
+         contains MC {mc:.4}",
+        o.lo, o.hi, min_completeness
+    );
+
+    // Admission control: occupy both inflight slots with deadlined
+    // heavy queries, then probe from a third connection while they run.
+    // A 400 ms deadline keeps each slot busy long enough that at least
+    // one probe inside the window must be rejected.
+    let occupiers: Vec<_> = (0..2)
+        .map(|_| {
+            let req = heavy(Some(400));
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("serve-report: connect");
+                c.query(req).expect("serve-report: transport")
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    let mut overloaded_seen = 0u64;
+    for _ in 0..10 {
+        match client.query(small(QueryKind::Denotation)) {
+            Ok(Ok(o)) => check(&o),
+            Ok(Err(e)) => {
+                assert_eq!(e.code, "overloaded", "unexpected rejection: {e:?}");
+                overloaded_seen += 1;
+            }
+            Err(e) => panic!("serve-report: transport: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for t in occupiers {
+        let o = t
+            .join()
+            .expect("occupier thread")
+            .expect("deadlined heavy query must degrade, not fail");
+        check(&o);
+    }
+    assert!(
+        overloaded_seen > 0,
+        "admission control never rejected while both slots were held"
+    );
+    println!("admission: {overloaded_seen} of 10 probes rejected while both slots were busy");
+
+    // Injected panic: the very next task boundary is this request's
+    // entry hook, so the fault fires inside the daemon's catch_unwind.
+    // The reply must be the typed error and the daemon must keep
+    // serving afterwards.
+    set_fault_plan(Some(FaultPlan {
+        kind: FaultKind::Panic,
+        at: 0,
+    }));
+    let panicked = client
+        .query(small(QueryKind::Denotation))
+        .expect("serve-report: transport");
+    set_fault_plan(None);
+    let err = panicked.expect_err("injected panic must yield a typed error");
+    assert_eq!(err.code, "worker_panicked", "got {err:?}");
+    let o = client
+        .query(small(QueryKind::Denotation))
+        .expect("serve-report: transport")
+        .expect("daemon must stay serviceable after a contained panic");
+    check(&o);
+    println!(
+        "panic: injected panic contained ({}), daemon still serving",
+        err.code
+    );
+
+    let s = handle.stats();
+    handle.shutdown();
+    println!(
+        "served {} (degraded {}), overloaded {}, deadline-exceeded {}, panics {}, \
+         p50 {p50:.2} ms, p99 {p99:.2} ms",
+        s.served, s.degraded, s.overloaded, s.deadline_exceeded, s.panics
+    );
+    assert_eq!(s.panics, 1, "exactly the injected panic");
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"small_queries\": {},\n  \"p50_ms\": {},\n  \
+         \"p99_ms\": {},\n  \"served\": {},\n  \"degraded_queries\": {},\n  \
+         \"overloaded\": {},\n  \"deadline_exceeded\": {},\n  \"panics\": {},\n  \
+         \"errors\": {},\n  \"min_completeness\": {}\n}}\n",
+        lat_ms.len(),
+        json_num(p50),
+        json_num(p99),
+        s.served,
+        s.degraded,
+        s.overloaded,
+        s.deadline_exceeded,
+        s.panics,
+        s.errors,
+        json_num(min_completeness),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
     println!();
 }
 
@@ -853,7 +1228,7 @@ fn table2() {
             ..Default::default()
         };
         let a = shared_analyzer(b.source, opts);
-        let (lo, hi) = a.posterior_probability(Interval::new(0.5, 1.5));
+        let (lo, hi) = timed_posterior_probability(&a, Interval::new(0.5, 1.5));
         let t = t0.elapsed().as_secs_f64();
         let tight = if hi - lo < 1e-3 { "yes" } else { "~" };
         println!(
@@ -1100,7 +1475,7 @@ fn ablation() {
                 ..Default::default()
             },
         );
-        let (lo, hi) = a.denotation_bounds(Interval::new(0.0, 0.5));
+        let (lo, hi) = timed_denotation_bounds(&a, Interval::new(0.0, 0.5));
         println!(
             "{label:>7}: [{lo:.5}, {hi:.5}] width {:.5} in {:.2}s",
             hi - lo,

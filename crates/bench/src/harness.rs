@@ -1,9 +1,12 @@
 //! Shared benchmark runners.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Duration;
 
-use gubpi_core::{AnalysisOptions, Analyzer, ExecReport, Severity, SharedQueryCache};
+use gubpi_core::{
+    AnalysisOptions, Analyzer, CancelToken, ExecReport, QueryOutcome, Severity, SharedQueryCache,
+};
 use gubpi_interval::Interval;
 use gubpi_symbolic::SymExecOptions;
 use rand::rngs::StdRng;
@@ -102,6 +105,82 @@ fn env_flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// The process-wide deadline token from `GUBPI_TIMEOUT_MS` (`repro
+/// --timeout-ms N`), armed at the first timed query, or `None` when no
+/// deadline is configured. One token covers the whole run: once it
+/// fires, every later query degrades to its coarse anytime bounds —
+/// the run finishes fast with sound (wide) results instead of hanging.
+pub fn deadline_token() -> Option<&'static CancelToken> {
+    static TOKEN: OnceLock<Option<CancelToken>> = OnceLock::new();
+    TOKEN
+        .get_or_init(|| {
+            std::env::var("GUBPI_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(|ms| CancelToken::with_timeout(Duration::from_millis(ms)))
+        })
+        .as_ref()
+}
+
+/// Degradation census across every timed query this process, for the
+/// `--stats` report: timed queries, how many were degraded, and the
+/// worst completeness fraction (stored as `f64` bits — non-negative
+/// floats order the same way as their bit patterns, so `fetch_min`
+/// works).
+static TIMED_QUERIES: AtomicU64 = AtomicU64::new(0);
+static DEGRADED_QUERIES: AtomicU64 = AtomicU64::new(0);
+static MIN_COMPLETENESS_BITS: AtomicU64 = AtomicU64::new(0x3FF0_0000_0000_0000); // 1.0f64
+
+/// Records one deadline-scoped query outcome in the census (the timed
+/// helpers call this; `repro query` calls it directly because it needs
+/// the full [`QueryOutcome`] for its report line and exit code).
+pub fn note_query_outcome(o: &QueryOutcome) {
+    TIMED_QUERIES.fetch_add(1, Ordering::Relaxed);
+    if o.degraded {
+        DEGRADED_QUERIES.fetch_add(1, Ordering::Relaxed);
+    }
+    MIN_COMPLETENESS_BITS.fetch_min(o.completeness.max(0.0).to_bits(), Ordering::Relaxed);
+}
+
+/// `(timed, degraded, min_completeness)` across every timed query so
+/// far; `None` when no `GUBPI_TIMEOUT_MS` deadline is configured.
+pub fn deadline_report() -> Option<(u64, u64, f64)> {
+    deadline_token()?;
+    Some((
+        TIMED_QUERIES.load(Ordering::Relaxed),
+        DEGRADED_QUERIES.load(Ordering::Relaxed),
+        f64::from_bits(MIN_COMPLETENESS_BITS.load(Ordering::Relaxed)),
+    ))
+}
+
+/// [`Analyzer::denotation_bounds`] under the process deadline (when
+/// `GUBPI_TIMEOUT_MS` is set): past the deadline the bounds degrade to
+/// sound coarse enclosures instead of blocking. Without a deadline
+/// this is exactly `denotation_bounds`.
+pub fn timed_denotation_bounds(a: &Analyzer, u: Interval) -> (f64, f64) {
+    match deadline_token() {
+        None => a.denotation_bounds(u),
+        Some(token) => {
+            let o = a.denotation_outcome(u, Some(token));
+            note_query_outcome(&o);
+            o.bounds()
+        }
+    }
+}
+
+/// [`Analyzer::posterior_probability`] under the process deadline; see
+/// [`timed_denotation_bounds`].
+pub fn timed_posterior_probability(a: &Analyzer, u: Interval) -> (f64, f64) {
+    match deadline_token() {
+        None => a.posterior_probability(u),
+        Some(token) => {
+            let o = a.posterior_outcome(u, Some(token));
+            note_query_outcome(&o);
+            o.bounds()
+        }
+    }
+}
+
 /// Runs the GuBPI analyzer on a Table 1 benchmark, returning the
 /// guaranteed bounds on `P(result ∈ U)`.
 pub fn analyze_prob_benchmark(b: &ProbBenchmark) -> (f64, f64) {
@@ -112,7 +191,7 @@ pub fn analyze_prob_benchmark(b: &ProbBenchmark) -> (f64, f64) {
         },
         ..Default::default()
     };
-    shared_analyzer(b.source, opts).denotation_bounds(b.u)
+    timed_denotation_bounds(&shared_analyzer(b.source, opts), b.u)
 }
 
 /// Builds an analyzer configured for a figure benchmark.

@@ -8,15 +8,19 @@ use std::sync::{Arc, Mutex};
 use gubpi_analysis::{lint_program, Lint, ProgramFacts};
 use gubpi_interval::Interval;
 use gubpi_lang::{infer, parse, LangError, Program, TypeMap};
-use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
-use gubpi_symbolic::{symbolic_paths_report, ExecReport, KernelSeed, SymExecOptions, SymPath};
+use gubpi_pool::{
+    run_jobs_cancellable, run_jobs_with, CancelToken, PathJob, SweepProgress, Threads, WorkerPool,
+};
+use gubpi_symbolic::{
+    symbolic_paths_report_cancellable, ExecReport, KernelSeed, SymExecOptions, SymPath,
+};
 use gubpi_types::{infer_interval_types, IntervalTyping};
 
 use crate::histogram::HistogramBounds;
 use crate::pathbounds::{
-    linear_applicable, plan_path_grid_only_seeded, plan_path_query_seeded, plan_path_seeded,
-    run_adaptive_refinement, tail_substituted, BoundSink, GridRefiner, PathBoundOptions, QueryFold,
-    RefineOptions, Region,
+    coarse_path_enclosure, linear_applicable, plan_path_grid_only_seeded, plan_path_query_seeded,
+    plan_path_seeded, run_adaptive_refinement, run_adaptive_refinement_cancellable,
+    tail_substituted, BoundSink, GridRefiner, PathBoundOptions, QueryFold, RefineOptions, Region,
 };
 
 /// Which per-path semantics to use.
@@ -318,6 +322,16 @@ pub enum QueryError {
     },
     /// A histogram needs at least one bin.
     NoBins,
+    /// The request's deadline had already expired before any analysis
+    /// work could start, so not even a degraded bound exists.
+    DeadlineExceeded,
+    /// A worker task panicked while serving this request. The panic was
+    /// contained at the task boundary — the pool and server remain
+    /// serviceable — but this request has no sound result.
+    WorkerPanicked,
+    /// The server's admission queue was full; the request was rejected
+    /// before any work was scheduled. Retry later.
+    Overloaded,
 }
 
 impl fmt::Display for QueryError {
@@ -331,11 +345,50 @@ impl fmt::Display for QueryError {
                 "histogram domain [{lo}, {hi}] must be bounded with positive width"
             ),
             QueryError::NoBins => write!(f, "histogram needs at least one bin"),
+            QueryError::DeadlineExceeded => {
+                write!(f, "deadline expired before analysis could start")
+            }
+            QueryError::WorkerPanicked => {
+                write!(f, "a worker task panicked while serving this request")
+            }
+            QueryError::Overloaded => write!(f, "server overloaded; request rejected"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// The result of a deadline-aware query: guaranteed `(lo, hi)` bounds
+/// plus how they were obtained.
+///
+/// The bounds are **always sound** — when a query's [`CancelToken`]
+/// fires mid-analysis, every region the sweep never reached contributes
+/// its coarse whole-box enclosure instead of a refined value, so the
+/// enclosure only widens, never tears. `degraded` marks exactly that
+/// case; an undegraded outcome is bit-identical to the query run
+/// without any token.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct QueryOutcome {
+    /// Guaranteed lower bound.
+    pub lo: f64,
+    /// Guaranteed upper bound.
+    pub hi: f64,
+    /// Whether cancellation forced any part of the result to fall back
+    /// to a coarse enclosure (including ⊤-truncation of the symbolic
+    /// path set itself when execution was cancelled).
+    pub degraded: bool,
+    /// Fraction of the planned bounding work (grid cells / refinement
+    /// budget) that actually ran, in `[0, 1]`; `1.0` for undegraded
+    /// outcomes.
+    pub completeness: f64,
+}
+
+impl QueryOutcome {
+    /// The bounds as a pair.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
 
 /// Validates raw query endpoints into an [`Interval`].
 fn valid_interval(lo: f64, hi: f64) -> Result<Interval, QueryError> {
@@ -391,6 +444,10 @@ pub struct Analyzer {
     facts: ProgramFacts,
     /// Pruning / ⊤-truncation census of the symbolic execution.
     exec_report: ExecReport,
+    /// Whether a deadline token cancelled symbolic execution itself —
+    /// the path set is then a sound ⊤-truncated coarsening and every
+    /// query on this analyzer reports `degraded`.
+    exec_cancelled: bool,
     /// Per-program kernel compilation seed derived from the facts.
     seed: KernelSeed,
     paths: Vec<SymPath>,
@@ -482,6 +539,27 @@ impl Analyzer {
         cache: &SharedQueryCache,
         pool: &WorkerPool,
     ) -> Result<Analyzer, LangError> {
+        Analyzer::from_program_cancellable(program, opts, cache, pool, None)
+    }
+
+    /// [`Analyzer::from_program_with`] under a cooperative cancellation
+    /// token: the symbolic executor polls the token at deterministic
+    /// checkpoints and, on expiry, closes every in-flight branch as a
+    /// sound ⊤ path. The resulting analyzer is fully usable — its
+    /// bounds are merely coarser — and reports
+    /// [`Analyzer::exec_cancelled`] so queries carry a `degraded`
+    /// marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simple-type errors.
+    pub fn from_program_cancellable(
+        program: Program,
+        opts: AnalysisOptions,
+        cache: &SharedQueryCache,
+        pool: &WorkerPool,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Analyzer, LangError> {
         let simple = infer(&program)?;
         let typing = infer_interval_types(&program, &simple);
         let facts = ProgramFacts::compute(&program, &typing);
@@ -492,8 +570,16 @@ impl Analyzer {
         // a ⊤ path never changes the path set (it is data on the path,
         // consumed only behind `PathBoundOptions::use_tail`), so both
         // `--no-prune` and `--no-tail` bit-identity are preserved.
-        let (paths, exec_report) =
-            symbolic_paths_report(&program, &typing, exec_facts, Some(&facts), sym, pool);
+        let (paths, exec_report) = symbolic_paths_report_cancellable(
+            &program,
+            &typing,
+            exec_facts,
+            Some(&facts),
+            sym,
+            pool,
+            cancel,
+        );
+        let exec_cancelled = cancel.is_some_and(CancelToken::is_cancelled);
         // The kernel seed is threaded regardless of `prune`: seeding
         // only renumbers constant slots and reorders ∃-tests, both
         // value-transparent (see `gubpi_symbolic::KernelSeed`).
@@ -505,6 +591,7 @@ impl Analyzer {
             typing,
             facts,
             exec_report,
+            exec_cancelled,
             seed,
             paths,
             fingerprints,
@@ -512,6 +599,14 @@ impl Analyzer {
             pool: pool.clone(),
             opts,
         })
+    }
+
+    /// Whether a cancellation token fired during this analyzer's
+    /// symbolic execution (see
+    /// [`Analyzer::from_program_cancellable`]); the path set is then a
+    /// sound coarsening and every query reports `degraded`.
+    pub fn exec_cancelled(&self) -> bool {
+        self.exec_cancelled
     }
 
     /// The memo cache this analyzer reads and fills; hand the clone to
@@ -596,6 +691,33 @@ impl Analyzer {
     /// options (the memo cache keys on them, so mixing configurations on
     /// one analyzer is safe).
     pub fn denotation_bounds_with(&self, u: Interval, bounds: PathBoundOptions) -> (f64, f64) {
+        self.denotation_outcome_with(u, bounds, None).bounds()
+    }
+
+    /// [`Analyzer::denotation_bounds`] as a deadline-aware
+    /// [`QueryOutcome`].
+    ///
+    /// With `cancel: None` (or a token that never fires) the bounds are
+    /// bit-identical to [`Analyzer::denotation_bounds`]. When the token
+    /// fires mid-query, every region chunk already swept keeps its
+    /// refined contribution and every path with unswept regions falls
+    /// back to a sound coarse enclosure (the refiner settles its
+    /// current leaf set; an interrupted uniform sweep keeps its prefix
+    /// lower bound under the whole-box upper bound) — the outcome is
+    /// marked `degraded` with the fraction of planned work completed,
+    /// and is **never** cached.
+    pub fn denotation_outcome(&self, u: Interval, cancel: Option<&CancelToken>) -> QueryOutcome {
+        self.denotation_outcome_with(u, self.opts.bounds, cancel)
+    }
+
+    /// [`Analyzer::denotation_outcome`] under explicit per-path
+    /// bounding options.
+    pub fn denotation_outcome_with(
+        &self,
+        u: Interval,
+        bounds: PathBoundOptions,
+        cancel: Option<&CancelToken>,
+    ) -> QueryOutcome {
         let method = self.opts.method;
         let refine = RefineOptions {
             refine: self.opts.refine,
@@ -724,20 +846,82 @@ impl Analyzer {
         }
         let width = self.opts.threads.worker_count(usize::MAX);
         let mut computed: Vec<(f64, f64)> = vec![(0.0, 0.0); misses.len()];
-        run_jobs_with(&self.pool, width, jobs, |j, region| {
-            folds[j].apply(&mut computed[uniform_at[j]], region)
-        });
+        // Per-miss completion ledger for the anytime contract: only
+        // fully-swept results are cacheable, and the planned/done cell
+        // counts yield the outcome's completeness fraction.
+        let mut complete: Vec<bool> = vec![true; misses.len()];
+        let mut planned_units = 0.0f64;
+        let mut done_units = 0.0f64;
+        let progress: Option<Vec<SweepProgress>> = match cancel {
+            None => {
+                run_jobs_with(&self.pool, width, jobs, |j, region| {
+                    folds[j].apply(&mut computed[uniform_at[j]], region)
+                });
+                None
+            }
+            Some(token) => Some(run_jobs_cancellable(
+                &self.pool,
+                width,
+                jobs,
+                token,
+                |j, region| folds[j].apply(&mut computed[uniform_at[j]], region),
+            )),
+        };
+        if let Some(progress) = &progress {
+            for (j, prog) in progress.iter().enumerate() {
+                let mi = uniform_at[j];
+                planned_units += prog.total as f64;
+                done_units += prog.done as f64;
+                if !prog.complete() {
+                    // The folded prefix's lower bound stays valid (the
+                    // unswept cells only add non-negative mass); its
+                    // upper bound does not — replace it with the
+                    // whole-box enclosure, which contains the full
+                    // path contribution by inclusion monotonicity.
+                    complete[mi] = false;
+                    let path = tailed[mi].as_ref().unwrap_or(misses[mi].1);
+                    let mut coarse = (0.0, 0.0);
+                    if let Some(region) = coarse_path_enclosure(path) {
+                        folds[j].apply(&mut coarse, region);
+                    }
+                    computed[mi] = (computed[mi].0.max(coarse.0), coarse.1);
+                }
+            }
+        }
         if !refiners.is_empty() {
-            let refined =
-                run_adaptive_refinement(&self.pool, width, &mut refiners, refine.gap_target);
-            for (&mi, b) in refiner_at.iter().zip(refined) {
+            let refined = match cancel {
+                None => {
+                    run_adaptive_refinement(&self.pool, width, &mut refiners, refine.gap_target)
+                }
+                Some(token) => run_adaptive_refinement_cancellable(
+                    &self.pool,
+                    width,
+                    &mut refiners,
+                    refine.gap_target,
+                    token,
+                ),
+            };
+            for ((&mi, b), r) in refiner_at.iter().zip(refined).zip(&refiners) {
                 computed[mi] = b;
+                planned_units += r.cell_budget() as f64;
+                if r.interrupted() {
+                    complete[mi] = false;
+                    done_units += r.cells_used().min(r.cell_budget()) as f64;
+                } else {
+                    // Early stops (gap target, exhausted worklist) are
+                    // full-precision results: the refiner finished all
+                    // the work it would ever schedule.
+                    done_units += r.cell_budget() as f64;
+                }
             }
         }
         if !misses.is_empty() {
             let mut map = self.cache.inner.map.lock().expect("cache poisoned");
-            for (&(i, _), &v) in misses.iter().zip(&computed) {
-                if bypass(i) {
+            for (mi, (&(i, _), &v)) in misses.iter().zip(&computed).enumerate() {
+                // Degraded per-path results never enter the cache: an
+                // undisturbed re-query must recompute the path at full
+                // precision, not inherit a deadline's coarse enclosure.
+                if bypass(i) || !complete[mi] {
                     continue;
                 }
                 let stamp = self.cache.tick();
@@ -769,7 +953,22 @@ impl Analyzer {
             lo += l;
             hi += h;
         }
-        (lo, hi)
+        let degraded = self.exec_cancelled || complete.iter().any(|c| !c);
+        let completeness = if self.exec_cancelled {
+            // Path discovery itself was truncated; the cell-level ratio
+            // would overstate how much of the intended work ran.
+            0.0
+        } else if planned_units > 0.0 {
+            (done_units / planned_units).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        QueryOutcome {
+            lo,
+            hi,
+            degraded,
+            completeness,
+        }
     }
 
     /// Bounds on the normalising constant `Z = ⟦P⟧(R)`.
@@ -783,7 +982,18 @@ impl Analyzer {
     /// Uses the tight two-query normalisation: with `m = ⟦P⟧(U)` and
     /// `r = ⟦P⟧(R∖U)`, `posterior = m/(m+r)` is monotone in both.
     pub fn posterior_probability(&self, u: Interval) -> (f64, f64) {
-        let (m_lo, m_hi) = self.denotation_bounds(u);
+        self.posterior_outcome(u, None).bounds()
+    }
+
+    /// [`Analyzer::posterior_probability`] as a deadline-aware
+    /// [`QueryOutcome`]: all five denotation sub-queries share the one
+    /// token, the outcome is degraded if any sub-query was, and its
+    /// completeness is the minimum across them. The normalisation
+    /// `m/(m+r)` is monotone in both arguments, so feeding it sound
+    /// (merely coarser) sub-query bounds yields sound posterior bounds.
+    pub fn posterior_outcome(&self, u: Interval, cancel: Option<&CancelToken>) -> QueryOutcome {
+        let m = self.denotation_outcome(u, cancel);
+        let (m_lo, m_hi) = m.bounds();
         // Complement mass via two ray queries. For the lower bound the
         // rays are shrunk by one ulp so they are strictly disjoint from U
         // (closed intervals would otherwise double-count boundary atoms);
@@ -793,10 +1003,11 @@ impl Analyzer {
         let right_closed = Interval::new(u.hi(), f64::INFINITY);
         let left_open = Interval::new(f64::NEG_INFINITY, gubpi_interval::next_after_down(u.lo()));
         let right_open = Interval::new(gubpi_interval::next_after_up(u.hi()), f64::INFINITY);
-        let (ll, _) = self.denotation_bounds(left_open);
-        let (rl, _) = self.denotation_bounds(right_open);
-        let (_, lh) = self.denotation_bounds(left_closed);
-        let (_, rh) = self.denotation_bounds(right_closed);
+        let qll = self.denotation_outcome(left_open, cancel);
+        let qrl = self.denotation_outcome(right_open, cancel);
+        let qlh = self.denotation_outcome(left_closed, cancel);
+        let qrh = self.denotation_outcome(right_closed, cancel);
+        let (ll, rl, lh, rh) = (qll.lo, qrl.lo, qlh.hi, qrh.hi);
         let (r_lo, r_hi) = (ll + rl, lh + rh);
         let lo = if m_lo <= 0.0 {
             0.0
@@ -810,7 +1021,13 @@ impl Analyzer {
         } else {
             (m_hi / (m_hi + r_lo)).min(1.0)
         };
-        (lo, hi)
+        let subs = [&m, &qll, &qrl, &qlh, &qrh];
+        QueryOutcome {
+            lo,
+            hi,
+            degraded: subs.iter().any(|q| q.degraded),
+            completeness: subs.iter().map(|q| q.completeness).fold(1.0f64, f64::min),
+        }
     }
 
     /// Histogram bounds over `domain` with `bins` bins, on the
@@ -904,6 +1121,43 @@ impl Analyzer {
     /// `lo > hi`.
     pub fn try_posterior_probability(&self, lo: f64, hi: f64) -> Result<(f64, f64), QueryError> {
         Ok(self.posterior_probability(valid_interval(lo, hi)?))
+    }
+
+    /// [`Analyzer::denotation_outcome`] on raw endpoints under an
+    /// optional cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidInterval`] for `NaN`/inverted endpoints;
+    /// [`QueryError::DeadlineExceeded`] when the token had already
+    /// fired before any bounding work could start **and** no sound
+    /// degraded result exists (an expired token still yields a
+    /// degraded whole-box outcome, so this only triggers for a token
+    /// cancelled before validation).
+    pub fn try_denotation_outcome(
+        &self,
+        lo: f64,
+        hi: f64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<QueryOutcome, QueryError> {
+        let u = valid_interval(lo, hi)?;
+        Ok(self.denotation_outcome(u, cancel))
+    }
+
+    /// [`Analyzer::posterior_outcome`] on raw endpoints under an
+    /// optional cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidInterval`] for `NaN`/inverted endpoints.
+    pub fn try_posterior_outcome(
+        &self,
+        lo: f64,
+        hi: f64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<QueryOutcome, QueryError> {
+        let u = valid_interval(lo, hi)?;
+        Ok(self.posterior_outcome(u, cancel))
     }
 
     /// [`Analyzer::histogram`] on raw domain edges, validating the

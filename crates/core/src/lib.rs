@@ -49,19 +49,26 @@ mod report;
 /// Re-exported from the bottom-of-stack `gubpi_pool` crate so the
 /// symbolic executor schedules on the same pool.
 pub mod pool {
-    pub use gubpi_pool::{run_jobs_with, PathJob, PoolStats, Task, Threads, WorkerPool};
+    pub use gubpi_pool::{
+        arm_fault_from_env, fault_point, faults_injected, run_jobs_cancellable, run_jobs_with,
+        set_fault_plan, CancelToken, FaultKind, FaultPlan, PathJob, PoolStats, SweepProgress, Task,
+        Threads, WorkerPool,
+    };
 }
 
-pub use analyze::{AnalysisOptions, Analyzer, CacheStats, Method, QueryError, SharedQueryCache};
+pub use analyze::{
+    AnalysisOptions, Analyzer, CacheStats, Method, QueryError, QueryOutcome, SharedQueryCache,
+};
 pub use gubpi_analysis::{lint_program, Lint, LintKind, ProgramFacts, RankVerdict, Severity};
 pub use gubpi_symbolic::ExecReport;
 pub use histogram::{HistogramBounds, NormalizedBin};
 pub use pathbounds::{
     bound_path, bound_path_grid_only, bound_path_grid_only_threaded, bound_path_query,
-    bound_path_query_threaded, bound_path_threaded, grid_splits, linear_applicable, plan_path,
-    plan_path_grid_only, plan_path_grid_only_seeded, plan_path_query, plan_path_query_seeded,
-    plan_path_seeded, run_adaptive_refinement, tail_substituted, BoundSink, GridRefiner,
+    bound_path_query_threaded, bound_path_threaded, coarse_path_enclosure, grid_splits,
+    linear_applicable, plan_path, plan_path_grid_only, plan_path_grid_only_seeded, plan_path_query,
+    plan_path_query_seeded, plan_path_seeded, run_adaptive_refinement,
+    run_adaptive_refinement_cancellable, tail_substituted, BoundSink, GridRefiner,
     PathBoundOptions, QueryFold, RefineOptions, Region, SingleQuery,
 };
-pub use pool::{PoolStats, Threads, WorkerPool};
+pub use pool::{CancelToken, PoolStats, Threads, WorkerPool};
 pub use report::render_histogram;

@@ -23,7 +23,7 @@ use gubpi_interval::{next_after_down, next_after_up, pow_up, BoxN, Interval};
 use gubpi_polytope::{HPolytope, LinExpr};
 use gubpi_symbolic::{note_kernel_cells, KernelSeed, SymPath, SymVal, Tape, LANES};
 
-use gubpi_pool::{run_jobs_with, PathJob, Threads, WorkerPool};
+use gubpi_pool::{run_jobs_cancellable, run_jobs_with, CancelToken, PathJob, Threads, WorkerPool};
 
 /// Where per-region contributions are accumulated.
 ///
@@ -671,6 +671,19 @@ fn process_region(path: &SymPath, cell: &BoxN, sink: &mut impl BoundSink) {
     sink.add(v, lo, vol * w.hi());
 }
 
+/// The path's coarsest sound grid-semantics enclosure: one evaluation
+/// of the whole sample box `[0,1]^n`. `None` means the path's
+/// constraints definitely exclude the entire box, i.e. the path
+/// contributes nothing. This is the anytime fallback for regions a
+/// cancelled sweep never reached — every sub-cell's true contribution
+/// is contained in its share of this region by inclusion monotonicity.
+pub fn coarse_path_enclosure(path: &SymPath) -> Option<Region> {
+    let cell: BoxN = (0..path.n_samples).map(|_| Interval::UNIT).collect();
+    let mut out: Vec<Region> = Vec::with_capacity(1);
+    process_region(path, &cell, &mut out);
+    out.pop()
+}
+
 // --------------------------------------------------------------------
 // Linear interval trace semantics (§6.4, Appendix E.1)
 // --------------------------------------------------------------------
@@ -1055,6 +1068,7 @@ pub struct GridRefiner<'a> {
     next_seq: u64,
     splits: u64,
     done: bool,
+    interrupted: bool,
 }
 
 impl<'a> GridRefiner<'a> {
@@ -1107,6 +1121,7 @@ impl<'a> GridRefiner<'a> {
             next_seq: 0,
             splits: 0,
             done: false,
+            interrupted: false,
         })
     }
 
@@ -1235,6 +1250,79 @@ impl<'a> GridRefiner<'a> {
         self.pending_depth.clear();
     }
 
+    /// [`integrate`](Self::integrate) for a round whose sweep was
+    /// cancelled after evaluating only the prefix `pending[..done]`.
+    /// Evaluated cells integrate normally (an absent index below `done`
+    /// really is a dead cell and contributes nothing); every
+    /// unevaluated cell settles conservatively as its volume-share of
+    /// the whole-box enclosure, which contains the cell's true
+    /// contribution by inclusion monotonicity — so the final bounds
+    /// stay sound, merely coarser. Marks the refiner degraded when any
+    /// cell had to settle this way.
+    fn integrate_interrupted(&mut self, out: &[(usize, Region)], done: usize) {
+        let total = self.pending.len();
+        let done = done.min(total);
+        if done == total {
+            self.integrate(out);
+            return;
+        }
+        self.interrupted = true;
+        self.used += done;
+        for &(idx, region) in out {
+            let score = gap_score(self.fold, region);
+            let depth = self.pending_depth[idx];
+            if score > 0.0 && depth < self.max_depth {
+                self.frontier.push(Leaf {
+                    score,
+                    seq: self.next_seq + idx as u64,
+                    depth,
+                    cell: self.pending[idx].clone(),
+                    region,
+                });
+            } else {
+                self.fold.apply(&mut self.settled, region);
+                self.settled_gap += score;
+            }
+        }
+        if let Some((v, _, whole_hi)) = coarse_path_enclosure(self.path) {
+            for cell in &self.pending[done..] {
+                let mass = cell.volume() * whole_hi;
+                // 0 · ∞ for a measure-zero cell: its true mass is 0.
+                let region = (v, 0.0, if mass.is_nan() { 0.0 } else { mass });
+                self.fold.apply(&mut self.settled, region);
+                self.settled_gap += gap_score(self.fold, region);
+            }
+        }
+        self.next_seq += total as u64;
+        self.pending.clear();
+        self.pending_depth.clear();
+    }
+
+    /// Whether the refiner still has work it would schedule: a pending
+    /// batch, or remaining budget plus a positive-gap worklist. Used to
+    /// mark refiners degraded when cancellation lands between rounds.
+    fn would_refine(&self) -> bool {
+        if !self.pending.is_empty() {
+            return true;
+        }
+        if self.done {
+            return false;
+        }
+        self.budget.saturating_sub(self.used) >= 2 && self.frontier.iter().any(|l| l.score > 0.0)
+    }
+
+    /// Whether cancellation cut this refiner short of the refinement it
+    /// would otherwise have performed (its bounds are coarser than the
+    /// deterministic uncancelled result, but still sound).
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// The refiner's full cell budget (the uniform sweep's `k^n`).
+    pub fn cell_budget(&self) -> usize {
+        self.budget
+    }
+
     /// The path's current (upper − lower) gap: settled cells plus the
     /// still-refinable worklist.
     pub fn gap(&self) -> f64 {
@@ -1285,8 +1373,45 @@ pub fn run_adaptive_refinement(
     refiners: &mut [GridRefiner<'_>],
     gap_target: f64,
 ) -> Vec<(f64, f64)> {
+    run_adaptive_refinement_inner(pool, width, refiners, gap_target, None)
+}
+
+/// [`run_adaptive_refinement`] with cooperative cancellation: the token
+/// is polled at every round boundary and inside each round's sweep (at
+/// chunk boundaries). On cancellation the current round's evaluated
+/// prefix integrates normally, every unevaluated pending cell settles
+/// as its share of the path's whole-box enclosure, and still-refinable
+/// worklists settle as-is — the returned bounds are always **sound**,
+/// just coarser than the uncancelled run; affected refiners report
+/// [`GridRefiner::interrupted`]. With an uncancelled token the result
+/// is bit-identical to [`run_adaptive_refinement`].
+pub fn run_adaptive_refinement_cancellable(
+    pool: &WorkerPool,
+    width: usize,
+    refiners: &mut [GridRefiner<'_>],
+    gap_target: f64,
+    cancel: &CancelToken,
+) -> Vec<(f64, f64)> {
+    run_adaptive_refinement_inner(pool, width, refiners, gap_target, Some(cancel))
+}
+
+fn run_adaptive_refinement_inner(
+    pool: &WorkerPool,
+    width: usize,
+    refiners: &mut [GridRefiner<'_>],
+    gap_target: f64,
+    cancel: Option<&CancelToken>,
+) -> Vec<(f64, f64)> {
     let mut rounds: u64 = 0;
     loop {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            for r in refiners.iter_mut() {
+                if r.would_refine() {
+                    r.interrupted = true;
+                }
+            }
+            break;
+        }
         let mut any = false;
         for r in refiners.iter_mut() {
             any |= r.select_batch();
@@ -1295,15 +1420,35 @@ pub fn run_adaptive_refinement(
             break;
         }
         let mut outs: Vec<Vec<(usize, Region)>> = refiners.iter().map(|_| Vec::new()).collect();
-        {
+        let progress = {
             let jobs: Vec<PathJob<'_, (usize, Region)>> =
                 refiners.iter().map(GridRefiner::round_job).collect();
-            run_jobs_with(pool, width, jobs, |j, item| outs[j].push(item));
+            match cancel {
+                None => {
+                    run_jobs_with(pool, width, jobs, |j, item| outs[j].push(item));
+                    None
+                }
+                Some(token) => Some(run_jobs_cancellable(pool, width, jobs, token, |j, item| {
+                    outs[j].push(item)
+                })),
+            }
+        };
+        rounds += 1;
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            let progress = progress.expect("cancellable run reports progress");
+            for ((r, out), prog) in refiners.iter_mut().zip(&outs).zip(&progress) {
+                r.integrate_interrupted(out, prog.done);
+            }
+            for r in refiners.iter_mut() {
+                if r.would_refine() {
+                    r.interrupted = true;
+                }
+            }
+            break;
         }
         for (r, out) in refiners.iter_mut().zip(&outs) {
             r.integrate(out);
         }
-        rounds += 1;
         if gap_target > 0.0 {
             let total: f64 = refiners.iter().map(GridRefiner::gap).sum();
             if total <= gap_target {

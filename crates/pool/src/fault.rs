@@ -1,0 +1,175 @@
+//! Deterministic fault injection at task boundaries.
+//!
+//! The scheduler calls [`fault_point`] once per region chunk (and the
+//! sequential fast path does the same at its chunk boundaries), passing
+//! the run's cancellation token when it has one. A global, explicitly
+//! armed [`FaultPlan`] decides what happens at the `N`-th boundary
+//! since arming:
+//!
+//! * `panic@N` — panic inside the task (the pool's panic containment
+//!   must keep the process serviceable);
+//! * `delay@N` — sleep a few milliseconds (perturbs steal schedules;
+//!   bounds must stay bit-identical because replay order is
+//!   deterministic);
+//! * `cancel@N` — fire the run's cancellation token (exercises the
+//!   anytime degraded-result path at an adversarial instant).
+//!
+//! Plans are armed programmatically ([`set_fault_plan`], used by the
+//! chaos tests) or from the `GUBPI_FAULT` environment variable
+//! ([`arm_fault_from_env`], wired into the serving daemon and `repro`).
+//! The boundary counter is global and monotone from the moment of
+//! arming, so a schedule is reproducible for a fixed workload. When no
+//! plan is armed the hook is one relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::cancel::CancelToken;
+
+/// What an armed fault does when its boundary index is reached.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the task body.
+    Panic,
+    /// Sleep briefly, perturbing the steal schedule only.
+    Delay,
+    /// Fire the current run's cancellation token.
+    Cancel,
+}
+
+/// An armed fault: `kind` fires at the `at`-th task boundary
+/// (0-indexed) observed since the plan was armed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Zero-based boundary index at which to inject it.
+    pub at: u64,
+}
+
+impl FaultPlan {
+    /// Parses the `GUBPI_FAULT` syntax: `panic@N`, `delay@N` or
+    /// `cancel@N`. Returns `None` for anything else (including the
+    /// empty string), so an unset or garbled variable degrades to "no
+    /// faults" rather than aborting a serving process.
+    pub fn parse(spec: &str) -> Option<FaultPlan> {
+        let (kind, at) = spec.trim().split_once('@')?;
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "delay" => FaultKind::Delay,
+            "cancel" => FaultKind::Cancel,
+            _ => return None,
+        };
+        Some(FaultPlan {
+            kind,
+            at: at.parse().ok()?,
+        })
+    }
+}
+
+/// Fast gate: `false` means `fault_point` is a single relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// The armed plan (if any); mutated only by `set_fault_plan`.
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+/// Task boundaries observed since the last arming.
+static BOUNDARIES: AtomicU64 = AtomicU64::new(0);
+/// Faults actually fired since the last arming (stats surface).
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `plan` (or disarms with `None`) and resets the boundary and
+/// injection counters. Affects every scheduler run in the process —
+/// callers that share a process (tests!) must serialize around it.
+pub fn set_fault_plan(plan: Option<FaultPlan>) {
+    let mut slot = PLAN.lock().expect("fault plan poisoned");
+    *slot = plan;
+    BOUNDARIES.store(0, Ordering::SeqCst);
+    INJECTED.store(0, Ordering::SeqCst);
+    ARMED.store(plan.is_some(), Ordering::SeqCst);
+}
+
+/// Arms the plan described by `GUBPI_FAULT`, if set and well-formed.
+/// Returns the armed plan.
+pub fn arm_fault_from_env() -> Option<FaultPlan> {
+    let plan = std::env::var("GUBPI_FAULT")
+        .ok()
+        .as_deref()
+        .and_then(FaultPlan::parse);
+    set_fault_plan(plan);
+    plan
+}
+
+/// Faults fired since the plan was last armed.
+pub fn faults_injected() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// The task-boundary hook. Called by the scheduler once per region
+/// chunk; near-free (one relaxed load) unless a plan is armed.
+///
+/// `token` is the current run's cancellation token, when it has one —
+/// `cancel@N` injections fire it; with no token they count the
+/// boundary but inject nothing.
+pub fn fault_point(token: Option<&CancelToken>) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let plan = match *PLAN.lock().expect("fault plan poisoned") {
+        Some(p) => p,
+        None => return,
+    };
+    let idx = BOUNDARIES.fetch_add(1, Ordering::SeqCst);
+    if idx != plan.at {
+        return;
+    }
+    INJECTED.fetch_add(1, Ordering::SeqCst);
+    match plan.kind {
+        FaultKind::Panic => panic!("injected fault: panic@{idx}"),
+        FaultKind::Delay => std::thread::sleep(Duration::from_millis(2)),
+        FaultKind::Cancel => {
+            if let Some(t) = token {
+                t.cancel();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_three_kinds_and_rejects_garbage() {
+        assert_eq!(
+            FaultPlan::parse("panic@3"),
+            Some(FaultPlan {
+                kind: FaultKind::Panic,
+                at: 3
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse(" delay@0 "),
+            Some(FaultPlan {
+                kind: FaultKind::Delay,
+                at: 0
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("cancel@17"),
+            Some(FaultPlan {
+                kind: FaultKind::Cancel,
+                at: 17
+            })
+        );
+        for bad in [
+            "", "panic", "panic@", "panic@x", "abort@1", "@3", "panic@-1",
+        ] {
+            assert_eq!(FaultPlan::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    // Behavioural coverage of `fault_point` lives in the scheduler's
+    // chaos tests (`tests/serve_robustness.rs`), which serialize around
+    // the global plan; unit-testing it here would race the other pool
+    // tests in this binary.
+}

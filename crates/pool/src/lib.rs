@@ -17,10 +17,19 @@
 //! share one set of warm workers. `gubpi_core::pool` re-exports this
 //! API.
 
+mod cancel;
+mod fault;
 mod pool;
 mod sched;
 mod threads;
 
+pub use cancel::CancelToken;
+pub use fault::{
+    arm_fault_from_env, fault_point, faults_injected, set_fault_plan, FaultKind, FaultPlan,
+};
 pub use pool::{PoolStats, WorkerPool};
-pub use sched::{chunk_width, run_jobs_with, PathJob, RegionFn, Task, LANE_GRAIN};
+pub use sched::{
+    chunk_width, run_jobs_cancellable, run_jobs_with, PathJob, RegionFn, SweepProgress, Task,
+    LANE_GRAIN,
+};
 pub use threads::Threads;

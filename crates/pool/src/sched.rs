@@ -38,6 +38,8 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cancel::CancelToken;
+use crate::fault::fault_point;
 use crate::pool::WorkerPool;
 
 /// One schedulable unit of the unified task model.
@@ -141,6 +143,29 @@ struct RunCounters {
     region_steals: AtomicU64,
 }
 
+/// How much of one job's region space completed before a run returned.
+///
+/// Claimed chunks always run to completion and claims advance one
+/// monotone cursor, so the completed regions of a cancelled sweep are
+/// exactly the contiguous prefix `0..done` — the folded item stream of
+/// an interrupted job is the prefix of the sequential stream, never a
+/// gapped subset.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Regions evaluated and folded (a contiguous prefix of the space).
+    pub done: usize,
+    /// Size of the job's region space ([`PathJob::Ready`] jobs report
+    /// their item count and are always complete).
+    pub total: usize,
+}
+
+impl SweepProgress {
+    /// Did the whole region space fold?
+    pub fn complete(&self) -> bool {
+        self.done >= self.total
+    }
+}
+
 /// Executes `jobs` on up to `width` participants (the caller plus pool
 /// workers) and folds every produced item into `fold` in deterministic
 /// **(path index, region index) order**.
@@ -150,10 +175,39 @@ pub fn run_jobs_with<T: Send + Sync>(
     pool: &WorkerPool,
     width: usize,
     jobs: Vec<PathJob<'_, T>>,
-    mut fold: impl FnMut(usize, T),
+    fold: impl FnMut(usize, T),
 ) {
+    run_jobs_inner(pool, width, jobs, None, fold);
+}
+
+/// [`run_jobs_with`] polling a cooperative [`CancelToken`] at every
+/// chunk boundary (claims and the sequential fast path alike).
+///
+/// On cancellation, work already claimed still completes; each job's
+/// folded items are the contiguous **prefix** of its sequential stream
+/// reported in the returned [`SweepProgress`] (see its docs for the
+/// monotone-cursor argument). `Ready` jobs always fold fully. A run
+/// that is never cancelled behaves exactly like [`run_jobs_with`] —
+/// same partition, same replay, bit-identical fold sequence.
+pub fn run_jobs_cancellable<T: Send + Sync>(
+    pool: &WorkerPool,
+    width: usize,
+    jobs: Vec<PathJob<'_, T>>,
+    cancel: &CancelToken,
+    fold: impl FnMut(usize, T),
+) -> Vec<SweepProgress> {
+    run_jobs_inner(pool, width, jobs, Some(cancel), fold)
+}
+
+fn run_jobs_inner<T: Send + Sync>(
+    pool: &WorkerPool,
+    width: usize,
+    jobs: Vec<PathJob<'_, T>>,
+    cancel: Option<&CancelToken>,
+    mut fold: impl FnMut(usize, T),
+) -> Vec<SweepProgress> {
     if jobs.is_empty() {
-        return;
+        return Vec::new();
     }
     // Deterministic chunk size per sweep, seeded from the plan's cost
     // estimate (see `chunk_width`). The value only shapes scheduling —
@@ -188,8 +242,7 @@ pub fn run_jobs_with<T: Send + Sync>(
     let width = width.min(units.max(1));
     if width <= 1 {
         pool.note_inline_run();
-        run_sequential(jobs, fold);
-        return;
+        return run_sequential(jobs, cancel, fold);
     }
 
     let deques: Vec<Mutex<VecDeque<Task>>> =
@@ -205,10 +258,32 @@ pub fn run_jobs_with<T: Send + Sync>(
     let next_participant = AtomicUsize::new(0);
     let participant = || {
         let me = next_participant.fetch_add(1, Ordering::Relaxed) % width;
-        participant_loop(me, width, &jobs, &spaces, &deques, &out, &counters);
+        participant_loop(me, width, &jobs, &spaces, &deques, &out, &counters, cancel);
     };
     pool.run_quota(width - 1, &participant);
     flush_counters(pool, &counters);
+
+    // Completed prefix per sweep: every claimed chunk ran to completion
+    // and claims are monotone, so the cursor (capped by the total) *is*
+    // the prefix length — even when cancellation stopped further claims.
+    let progress: Vec<SweepProgress> = jobs
+        .iter()
+        .zip(&spaces)
+        .map(|(job, space)| match (job, space) {
+            (PathJob::Ready(items), _) => SweepProgress {
+                done: items.len(),
+                total: items.len(),
+            },
+            (PathJob::Sweep { total, .. }, None) => SweepProgress {
+                done: 0,
+                total: *total,
+            },
+            (PathJob::Sweep { total, .. }, Some(sp)) => SweepProgress {
+                done: sp.cursor.load(Ordering::Relaxed).min(*total),
+                total: *total,
+            },
+        })
+        .collect();
 
     // Deterministic reduce: group chunk buffers per path, order them by
     // region start, and replay — (path index, region index) order, bit
@@ -235,17 +310,32 @@ pub fn run_jobs_with<T: Send + Sync>(
             }
         }
     }
+    progress
 }
 
 /// The width-1 fast path: stream every job straight into the fold, in
 /// order, with a single reused buffer — no partials, no pool. Sweeps
 /// stream chunk by chunk (same width-1 chunking as the parallel
 /// partition) so the buffer stays bounded on huge region spaces.
-fn run_sequential<T>(jobs: Vec<PathJob<'_, T>>, mut fold: impl FnMut(usize, T)) {
+///
+/// Cancellation is checked at the same grain as the parallel mode —
+/// once per chunk, before it runs — so an interrupted job's folded
+/// stream is a chunk-aligned prefix. `Ready` jobs still fold fully
+/// after a cancellation: their items are precomputed contributions.
+fn run_sequential<T>(
+    jobs: Vec<PathJob<'_, T>>,
+    cancel: Option<&CancelToken>,
+    mut fold: impl FnMut(usize, T),
+) -> Vec<SweepProgress> {
     let mut buf = Vec::new();
+    let mut progress = Vec::with_capacity(jobs.len());
     for (i, job) in jobs.into_iter().enumerate() {
         match job {
             PathJob::Ready(items) => {
+                progress.push(SweepProgress {
+                    done: items.len(),
+                    total: items.len(),
+                });
                 for item in items {
                     fold(i, item);
                 }
@@ -258,6 +348,10 @@ fn run_sequential<T>(jobs: Vec<PathJob<'_, T>>, mut fold: impl FnMut(usize, T)) 
                 let chunk = chunk_width(total, 1, cost);
                 let mut start = 0;
                 while start < total {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        break;
+                    }
+                    fault_point(cancel);
                     let end = (start + chunk).min(total);
                     process(start..end, &mut buf);
                     for item in buf.drain(..) {
@@ -265,9 +359,11 @@ fn run_sequential<T>(jobs: Vec<PathJob<'_, T>>, mut fold: impl FnMut(usize, T)) 
                     }
                     start = end;
                 }
+                progress.push(SweepProgress { done: start, total });
             }
         }
     }
+    progress
 }
 
 fn participant_loop<T: Send + Sync>(
@@ -278,13 +374,20 @@ fn participant_loop<T: Send + Sync>(
     deques: &[Mutex<VecDeque<Task>>],
     out: &Mutex<Vec<(usize, usize, Vec<T>)>>,
     counters: &RunCounters,
+    cancel: Option<&CancelToken>,
 ) {
     loop {
+        // 0. Cooperative cancellation: stop claiming new work. Claimed
+        // chunks always completed, so the per-sweep cursors still
+        // describe exact completed prefixes.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         // 1. Own deque, front.
         let own = deques[me].lock().expect("deque poisoned").pop_front();
         if let Some(task) = own {
             counters.path_tasks.fetch_add(1, Ordering::Relaxed);
-            run_task(task, me, jobs, spaces, out, counters);
+            run_task(task, me, jobs, spaces, out, counters, cancel);
             continue;
         }
         // 2. Steal a path from the back of another participant's deque.
@@ -297,7 +400,7 @@ fn participant_loop<T: Send + Sync>(
         if let Some(task) = stolen {
             counters.path_tasks.fetch_add(1, Ordering::Relaxed);
             counters.path_steals.fetch_add(1, Ordering::Relaxed);
-            run_task(task, me, jobs, spaces, out, counters);
+            run_task(task, me, jobs, spaces, out, counters, cancel);
             continue;
         }
         // 3. No unclaimed path anywhere: steal region chunks from a
@@ -309,7 +412,7 @@ fn participant_loop<T: Send + Sync>(
                 .flatten()
         });
         if let Some(task) = chunk {
-            run_task(task, me, jobs, spaces, out, counters);
+            run_task(task, me, jobs, spaces, out, counters, cancel);
             continue;
         }
         // 4. Every deque empty, every cursor exhausted (work is never
@@ -338,15 +441,25 @@ fn run_task<T: Send + Sync>(
     spaces: &[Option<Space>],
     out: &Mutex<Vec<(usize, usize, Vec<T>)>>,
     counters: &RunCounters,
+    cancel: Option<&CancelToken>,
 ) {
     match task {
         Task::Path(p) => {
             let sp = spaces[p].as_ref().expect("scheduled paths have spaces");
-            while let Some(chunk) = claim_chunk(p, sp) {
-                run_task(chunk, me, jobs, spaces, out, counters);
+            loop {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
+                match claim_chunk(p, sp) {
+                    Some(chunk) => run_task(chunk, me, jobs, spaces, out, counters, cancel),
+                    None => break,
+                }
             }
         }
         Task::Regions { path, range } => {
+            // Task boundary: the deterministic fault-injection hook
+            // (one relaxed load when no plan is armed).
+            fault_point(cancel);
             let sp = spaces[path].as_ref().expect("scheduled paths have spaces");
             let first =
                 sp.owner
@@ -532,6 +645,109 @@ mod tests {
             panic!("no items")
         });
         assert_eq!(pool.stats(), before);
+    }
+
+    #[test]
+    fn uncancelled_token_runs_are_bit_identical_to_plain_runs() {
+        let pool = WorkerPool::new();
+        let reference = collect(&pool, 1, sweep_jobs(&[5, 0, 3, 1000, 2]));
+        for width in [1usize, 2, 4, 8] {
+            let mut got = Vec::new();
+            let token = CancelToken::new();
+            let progress = run_jobs_cancellable(
+                &pool,
+                width,
+                sweep_jobs(&[5, 0, 3, 1000, 2]),
+                &token,
+                |p, item| got.push((p, item)),
+            );
+            assert_eq!(got, reference, "width {width}");
+            assert!(progress.iter().all(SweepProgress::complete));
+            assert_eq!(
+                progress.iter().map(|p| p.total).collect::<Vec<_>>(),
+                vec![5, 0, 3, 1000, 2]
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_runs_fold_only_ready_jobs() {
+        let pool = WorkerPool::new();
+        for width in [1usize, 4] {
+            let token = CancelToken::new();
+            token.cancel();
+            let jobs: Vec<PathJob<'_, usize>> = vec![
+                PathJob::Ready(vec![7, 8]),
+                PathJob::Sweep {
+                    total: 100_000,
+                    cost: 1,
+                    process: Box::new(|range, buf| buf.extend(range)),
+                },
+            ];
+            let mut got = Vec::new();
+            let progress =
+                run_jobs_cancellable(&pool, width, jobs, &token, |p, item| got.push((p, item)));
+            assert_eq!(got, vec![(0, 7), (0, 8)], "width {width}");
+            assert!(progress[0].complete());
+            assert_eq!(
+                progress[1],
+                SweepProgress {
+                    done: 0,
+                    total: 100_000
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_folds_an_exact_prefix() {
+        // The sweep cancels its own token once it sees index 5_000; the
+        // folded stream must then be a contiguous prefix of the
+        // sequential stream matching the reported progress, at every
+        // width.
+        let pool = WorkerPool::new();
+        for width in [1usize, 2, 4, 8] {
+            let token = CancelToken::new();
+            let tok = token.clone();
+            let jobs: Vec<PathJob<'_, usize>> = vec![PathJob::Sweep {
+                total: 1_000_000,
+                cost: 1,
+                process: Box::new(move |range, buf| {
+                    if range.contains(&5_000) {
+                        tok.cancel();
+                    }
+                    buf.extend(range);
+                }),
+            }];
+            let mut got = Vec::new();
+            let progress =
+                run_jobs_cancellable(&pool, width, jobs, &token, |_, item| got.push(item));
+            let done = progress[0].done;
+            assert!(done < 1_000_000, "width {width}: cancellation must bite");
+            assert_eq!(got.len(), done, "width {width}");
+            assert!(
+                got.iter().copied().eq(0..done),
+                "width {width}: folded stream must be the exact prefix 0..{done}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_tokens_cancel_mid_sweep() {
+        let pool = WorkerPool::new();
+        let token = CancelToken::with_timeout(std::time::Duration::from_millis(5));
+        let jobs: Vec<PathJob<'_, usize>> = vec![PathJob::Sweep {
+            total: usize::MAX / 2,
+            cost: 1 << 14,
+            process: Box::new(|range, buf| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                buf.push(range.start);
+            }),
+        }];
+        let mut chunks = 0usize;
+        let progress = run_jobs_cancellable(&pool, 2, jobs, &token, |_, _| chunks += 1);
+        assert!(!progress[0].complete(), "an unbounded sweep must be cut");
+        assert!(token.is_cancelled());
     }
 
     #[test]

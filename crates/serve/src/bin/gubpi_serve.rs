@@ -1,0 +1,79 @@
+//! The `gubpi-serve` daemon binary.
+//!
+//! ```text
+//! gubpi-serve [--addr HOST:PORT] [--max-inflight N]
+//!             [--timeout-ms N] [--max-region-budget N]
+//! ```
+//!
+//! Honours `GUBPI_FAULT=panic@N|delay@N|cancel@N` for deterministic
+//! fault injection (chaos testing) and `GUBPI_THREADS` via the shared
+//! worker pool.
+
+use std::process::ExitCode;
+
+use gubpi_serve::{start, ServeConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gubpi-serve [--addr HOST:PORT] [--max-inflight N] \
+         [--timeout-ms N] [--max-region-budget N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |field: &mut String| match args.next() {
+            Some(v) => {
+                *field = v;
+                true
+            }
+            None => false,
+        };
+        match arg.as_str() {
+            "--addr" => {
+                if !take(&mut config.addr) {
+                    return usage();
+                }
+            }
+            "--max-inflight" | "--timeout-ms" | "--max-region-budget" => {
+                let mut raw = String::new();
+                if !take(&mut raw) {
+                    return usage();
+                }
+                let Ok(n) = raw.parse::<u64>() else {
+                    return usage();
+                };
+                match arg.as_str() {
+                    "--max-inflight" => config.max_inflight = (n as usize).max(1),
+                    "--timeout-ms" => config.default_timeout_ms = Some(n),
+                    _ => config.max_region_budget = (n as usize).max(1),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    if let Some(plan) = gubpi_pool::arm_fault_from_env() {
+        eprintln!("gubpi-serve: fault injection armed: {plan:?}");
+    }
+    match start(config) {
+        Ok(handle) => {
+            println!("gubpi-serve listening on {}", handle.local_addr());
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gubpi-serve: bind failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

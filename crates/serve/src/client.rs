@@ -1,0 +1,65 @@
+//! A blocking client for the serving protocol.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gubpi_core::QueryOutcome;
+
+use crate::json::{self, Json};
+use crate::proto::{parse_reply, read_frame, write_frame, QueryRequest, RemoteError, Request};
+
+/// One connection to a `gubpi-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, &req.to_wire())?;
+        read_frame(&mut self.stream)
+    }
+
+    /// Runs one query; the outer error is transport/protocol, the
+    /// inner one a typed rejection from the server.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response frames.
+    pub fn query(&mut self, req: QueryRequest) -> io::Result<Result<QueryOutcome, RemoteError>> {
+        let payload = self.round_trip(&Request::Query(req))?;
+        parse_reply(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Fetches the server's counters as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response frames.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        let payload = self.round_trip(&Request::Stats)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Asks the server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        let _ = self.round_trip(&Request::Shutdown)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,379 @@
+//! Wire protocol: 4-byte big-endian length-prefixed JSON frames.
+//!
+//! Each direction carries a stream of frames; a frame's payload is one
+//! UTF-8 JSON document (see [`crate::json`]). Requests and responses
+//! alternate strictly on one connection — the server answers every
+//! frame it reads, in order, so a client can pipeline by counting.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"kind":"denotation","source":"sample","lo":0.25,"hi":0.75,
+//!  "timeout_ms":500,"region_budget":4096}
+//! {"kind":"posterior", ...}
+//! {"kind":"stats"}
+//! {"kind":"shutdown"}
+//! ```
+//!
+//! `timeout_ms` and `region_budget` are optional; the server clamps the
+//! budget to its configured maximum and applies its default timeout
+//! when none is given.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"ok":true,"lo":0.49,"hi":0.51,"degraded":false,"completeness":1}
+//! {"ok":false,"error":"overloaded","message":"..."}
+//! ```
+//!
+//! A `degraded:true` reply is still a **sound** enclosure — it merely
+//! reflects the coarse fallback for work the deadline cut off;
+//! `completeness` is the fraction of planned bounding work that ran.
+
+use std::io::{self, Read, Write};
+
+use gubpi_core::{QueryError, QueryOutcome};
+
+use crate::json::{self, obj, Json};
+
+/// Hard cap on a frame payload (an oversized length prefix is a
+/// protocol error, not an allocation).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// `UnexpectedEof` at a clean stream end, `InvalidData` for oversized
+/// prefixes, otherwise the underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Which query a [`QueryRequest`] runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Unnormalised denotation bounds `⟦P⟧([lo, hi])`.
+    Denotation,
+    /// Normalised posterior probability bounds.
+    Posterior,
+}
+
+/// One analysis request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Which query to run.
+    pub kind: QueryKind,
+    /// SPCF program source.
+    pub source: String,
+    /// Query interval lower endpoint.
+    pub lo: f64,
+    /// Query interval upper endpoint.
+    pub hi: f64,
+    /// Per-request deadline; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+    /// Per-request region budget; clamped to the server maximum.
+    pub region_budget: Option<usize>,
+}
+
+/// Any message a client can send.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run a query.
+    Query(QueryRequest),
+    /// Fetch the server's counters.
+    Stats,
+    /// Stop accepting connections and exit the accept loop.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a JSON wire payload.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let v = match self {
+            Request::Stats => obj(vec![("kind", Json::Str("stats".into()))]),
+            Request::Shutdown => obj(vec![("kind", Json::Str("shutdown".into()))]),
+            Request::Query(q) => {
+                let kind = match q.kind {
+                    QueryKind::Denotation => "denotation",
+                    QueryKind::Posterior => "posterior",
+                };
+                let mut pairs = vec![
+                    ("kind", Json::Str(kind.into())),
+                    ("source", Json::Str(q.source.clone())),
+                    ("lo", Json::Num(q.lo)),
+                    ("hi", Json::Num(q.hi)),
+                ];
+                if let Some(ms) = q.timeout_ms {
+                    pairs.push(("timeout_ms", Json::Num(ms as f64)));
+                }
+                if let Some(b) = q.region_budget {
+                    pairs.push(("region_budget", Json::Num(b as f64)));
+                }
+                obj(pairs)
+            }
+        };
+        v.to_wire().into_bytes()
+    }
+
+    /// Decodes a request from a JSON wire payload.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed field (returned to the client as
+    /// a `bad_request` response).
+    pub fn from_wire(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let v = json::parse(text)?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'kind'")?;
+        match kind {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "denotation" | "posterior" => {
+                let source = v
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string field 'source'")?
+                    .to_string();
+                let lo = v
+                    .get("lo")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing numeric field 'lo'")?;
+                let hi = v
+                    .get("hi")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing numeric field 'hi'")?;
+                let timeout_ms = v.get("timeout_ms").map(|t| {
+                    t.as_u64()
+                        .ok_or("field 'timeout_ms' must be a non-negative integer")
+                });
+                let timeout_ms = timeout_ms.transpose()?;
+                let region_budget = v
+                    .get("region_budget")
+                    .map(|b| {
+                        b.as_u64()
+                            .ok_or("field 'region_budget' must be a non-negative integer")
+                    })
+                    .transpose()?
+                    .map(|b| b as usize);
+                Ok(Request::Query(QueryRequest {
+                    kind: if kind == "denotation" {
+                        QueryKind::Denotation
+                    } else {
+                        QueryKind::Posterior
+                    },
+                    source,
+                    lo,
+                    hi,
+                    timeout_ms,
+                    region_budget,
+                }))
+            }
+            other => Err(format!("unknown request kind '{other}'")),
+        }
+    }
+}
+
+/// A query failure on the wire, as a stable error code plus message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteError {
+    /// Stable machine-readable code (`overloaded`, `worker_panicked`,
+    /// `deadline_exceeded`, `invalid_interval`, `parse_error`,
+    /// `bad_request`, ...).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RemoteError {
+    /// Maps the stable wire code back to a typed [`QueryError`] where
+    /// one exists (`parse_error`/`bad_request` have no analogue).
+    pub fn as_query_error(&self) -> Option<QueryError> {
+        match self.code.as_str() {
+            "deadline_exceeded" => Some(QueryError::DeadlineExceeded),
+            "worker_panicked" => Some(QueryError::WorkerPanicked),
+            "overloaded" => Some(QueryError::Overloaded),
+            "no_bins" => Some(QueryError::NoBins),
+            _ => None,
+        }
+    }
+}
+
+/// The stable wire code for a typed [`QueryError`].
+pub fn error_code(e: QueryError) -> &'static str {
+    match e {
+        QueryError::InvalidInterval { .. } => "invalid_interval",
+        QueryError::InvalidDomain { .. } => "invalid_domain",
+        QueryError::NoBins => "no_bins",
+        QueryError::DeadlineExceeded => "deadline_exceeded",
+        QueryError::WorkerPanicked => "worker_panicked",
+        QueryError::Overloaded => "overloaded",
+    }
+}
+
+/// Encodes a successful query outcome.
+pub fn ok_payload(outcome: &QueryOutcome) -> Vec<u8> {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("lo", Json::Num(outcome.lo)),
+        ("hi", Json::Num(outcome.hi)),
+        ("degraded", Json::Bool(outcome.degraded)),
+        ("completeness", Json::Num(outcome.completeness)),
+    ])
+    .to_wire()
+    .into_bytes()
+}
+
+/// Encodes an error response.
+pub fn error_payload(code: &str, message: &str) -> Vec<u8> {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(code.into())),
+        ("message", Json::Str(message.into())),
+    ])
+    .to_wire()
+    .into_bytes()
+}
+
+/// Decodes a query response payload.
+///
+/// # Errors
+///
+/// The outer `Err` is a malformed frame; the inner `Err` is a
+/// well-formed error response from the server.
+pub fn parse_reply(payload: &[u8]) -> Result<Result<QueryOutcome, RemoteError>, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let v = json::parse(text)?;
+    let ok = v
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean field 'ok'")?;
+    if !ok {
+        return Ok(Err(RemoteError {
+            code: v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            message: v
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        }));
+    }
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field '{k}'"))
+    };
+    Ok(Ok(QueryOutcome {
+        lo: field("lo")?,
+        hi: field("hi")?,
+        degraded: v
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .ok_or("missing boolean field 'degraded'")?,
+        completeness: field("completeness")?,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Query(QueryRequest {
+                kind: QueryKind::Posterior,
+                source: "let x = sample in x".into(),
+                lo: f64::NEG_INFINITY,
+                hi: 0.5,
+                timeout_ms: Some(250),
+                region_budget: Some(4096),
+            }),
+            Request::Query(QueryRequest {
+                kind: QueryKind::Denotation,
+                source: "sample".into(),
+                lo: 0.0,
+                hi: 1.0,
+                timeout_ms: None,
+                region_budget: None,
+            }),
+        ];
+        for r in reqs {
+            assert_eq!(Request::from_wire(&r.to_wire()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let out = QueryOutcome {
+            lo: 0.25,
+            hi: f64::INFINITY,
+            degraded: true,
+            completeness: 0.375,
+        };
+        let back = parse_reply(&ok_payload(&out)).unwrap().unwrap();
+        assert_eq!(back, out);
+        let err = parse_reply(&error_payload("overloaded", "busy"))
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.as_query_error(), Some(QueryError::Overloaded));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "EOF");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -41,7 +41,7 @@ use std::sync::Arc;
 use gubpi_analysis::ProgramFacts;
 use gubpi_interval::Interval;
 use gubpi_lang::{Expr, ExprKind, Name, NodeId, Program};
-use gubpi_pool::WorkerPool;
+use gubpi_pool::{CancelToken, WorkerPool};
 use gubpi_types::IntervalTyping;
 
 use crate::path::{CmpDir, SymConstraint, SymPath, TailEnclosure, TailPrefix};
@@ -199,6 +199,29 @@ pub fn symbolic_paths_report(
     opts: SymExecOptions,
     pool: &WorkerPool,
 ) -> (Vec<SymPath>, ExecReport) {
+    symbolic_paths_report_cancellable(program, typing, facts, tail_facts, opts, pool, None)
+}
+
+/// [`symbolic_paths_report`] polling a cooperative [`CancelToken`]
+/// along the frontier.
+///
+/// Once the token fires, every still-running branch closes off as a ⊤
+/// path at its next checkpoint — the same sound "anything can happen
+/// beyond this point" closure a budget or fuel exhaustion produces, so
+/// the truncated path set still encloses the program's denotation
+/// (just more coarsely). The checkpoint sits next to the fuel check:
+/// the latched flag is read on every node and the deadline clock every
+/// 1024 nodes, so expiry is observed promptly without a per-node
+/// syscall. `None` reproduces the uncancellable behaviour exactly.
+pub fn symbolic_paths_report_cancellable(
+    program: &Program,
+    typing: &IntervalTyping,
+    facts: Option<&ProgramFacts>,
+    tail_facts: Option<&ProgramFacts>,
+    opts: SymExecOptions,
+    pool: &WorkerPool,
+    cancel: Option<&CancelToken>,
+) -> (Vec<SymPath>, ExecReport) {
     let workers = opts.frontier_workers.max(1);
     pool.reserve(workers);
     let mut linear = HashMap::new();
@@ -213,6 +236,7 @@ pub fn symbolic_paths_report(
         tail_facts,
         linear,
         pool,
+        cancel,
         fork_budget: AtomicUsize::new(workers - 1),
         pruned_branches: AtomicUsize::new(0),
         zero_score_drops: AtomicUsize::new(0),
@@ -391,6 +415,9 @@ struct Executor<'a> {
     linear: HashMap<NodeId, bool>,
     /// The persistent executor that runs claimed else-continuations.
     pool: &'a WorkerPool,
+    /// Cooperative cancellation: once fired, branches close off as ⊤
+    /// paths at their next evaluation checkpoint (sound truncation).
+    cancel: Option<&'a CancelToken>,
     /// Spare fork slots for frontier sharding (`frontier_workers − 1`):
     /// caps how many else-continuations this execution may have in
     /// flight on the pool, independent of the pool's own size.
@@ -445,6 +472,20 @@ impl Executor<'_> {
     fn eval_inner(&self, e: &Expr, env: &SEnv, mut st: PState, depth: u32) -> Branches {
         if st.fuel == 0 {
             return vec![(None, st)];
+        }
+        // Cancellation checkpoint, co-located with the fuel check: the
+        // latched flag is a relaxed load per node; the deadline clock is
+        // consulted every 1024 nodes (keyed off the monotone fuel
+        // counter, so the cadence is deterministic per path).
+        if let Some(token) = self.cancel {
+            let cancelled = if st.fuel & 0x3FF == 0 {
+                token.is_cancelled()
+            } else {
+                token.is_cancelled_fast()
+            };
+            if cancelled {
+                return vec![(None, st)];
+            }
         }
         st.fuel -= 1;
         match &e.kind {
